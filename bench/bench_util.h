@@ -1,0 +1,42 @@
+#ifndef RATEL_BENCH_BENCH_UTIL_H_
+#define RATEL_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/iteration_sim.h"
+#include "core/system.h"
+#include "hw/catalog.h"
+#include "model/transformer_config.h"
+
+namespace ratel::bench {
+
+/// The evaluation server (Table III) with a chosen GPU/memory/SSD count.
+inline ServerConfig Server(const GpuSpec& gpu, int64_t mem_gib, int ssds) {
+  return catalog::EvaluationServer(gpu, mem_gib * kGiB, ssds);
+}
+
+/// Formats tokens/s of a run, or "-" when the system cannot train the
+/// configuration (the paper plots these as missing bars).
+inline std::string TokensCell(const Result<IterationResult>& r,
+                              int precision = 0) {
+  if (!r.ok()) return "-";
+  return TablePrinter::Cell(r->tokens_per_s, precision);
+}
+
+inline std::string TflopsCell(const Result<IterationResult>& r) {
+  if (!r.ok()) return "-";
+  return TablePrinter::Cell(r->model_tflops, 1);
+}
+
+/// Formats a max-trainable-size probe.
+inline std::string MaxSizeCell(const TrainingSystem& sys,
+                               const ServerConfig& server, int batch) {
+  return TablePrinter::Cell(sys.MaxTrainableBillions(server, batch), 1);
+}
+
+}  // namespace ratel::bench
+
+#endif  // RATEL_BENCH_BENCH_UTIL_H_

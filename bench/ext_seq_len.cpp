@@ -1,0 +1,60 @@
+// Extension: sequence-length sensitivity of the offloading-benefit
+// ordering. The paper fixes s = 1024. The OB of a matmul output is ~h
+// FLOPs/byte while the attention context's is ~2s (Eq. 6 applied to our
+// unit inventory), so at s > h/2 the attention context *overtakes* the
+// matmul outputs in swap priority — Algorithm 1's ordering is workload-
+// dependent, not a fixed rule. This bench sweeps s and reports the
+// crossover and its effect on the chosen plan.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/activation_planner.h"
+#include "core/hardware_profile.h"
+
+int main() {
+  using namespace ratel;
+  using bench::Server;
+
+  const ServerConfig server = Server(catalog::Rtx4090(), 256, 12);
+
+  PrintBanner(std::cout,
+              "Extension: offloading-benefit crossover vs sequence length "
+              "(13B architecture, batch 16)");
+  TablePrinter t({"Seq len", "OB(qkv) [F/B]", "OB(attn_ctx) [F/B]",
+                  "Ctx ranked above matmuls?", "Swap (GiB)",
+                  "Pred. iter (s)"});
+  auto base = LlmFromTableIV("13B");
+  if (!base.ok()) return 1;
+  for (int64_t s : {256, 512, 1024, 2048, 4096, 8192}) {
+    TransformerConfig cfg = *base;
+    cfg.seq_len = s;
+    const WorkloadProfile wl = WorkloadProfile::Build(cfg, 16);
+    double ob_qkv = 0, ob_ctx = 0;
+    for (const auto& u : wl.activation_units()) {
+      if (u.layer_index != 0) continue;
+      if (u.name.find("qkv") != std::string::npos) {
+        ob_qkv = u.OffloadingBenefit();
+      }
+      if (u.name.find("attn_ctx") != std::string::npos) {
+        ob_ctx = u.OffloadingBenefit();
+      }
+    }
+    auto hw = HardwareProfiler(server).Profile(wl);
+    std::string swap = "-", iter = "-";
+    if (hw.ok()) {
+      const CostModel cm(*hw, wl);
+      const ActivationPlan plan = ActivationPlanner(cm).Plan();
+      swap = TablePrinter::Cell(plan.a_g2m / (1024.0 * 1024 * 1024), 1);
+      iter = TablePrinter::Cell(plan.predicted_iter_time, 1);
+    }
+    t.AddRow({TablePrinter::Cell(s), TablePrinter::Cell(ob_qkv, 0),
+              TablePrinter::Cell(ob_ctx, 0),
+              ob_ctx > ob_qkv ? "yes" : "no", swap, iter});
+  }
+  t.Print(std::cout);
+  std::cout << "[h = 5120 for the 13B architecture, so the crossover sits "
+               "at s = h/2 = 2560: long-context fine-tuning flips which "
+               "activations Ratel swaps first]\n";
+  return 0;
+}

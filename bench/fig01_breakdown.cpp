@@ -1,0 +1,81 @@
+// Figure 1: stage timeline and PCIe-utilization breakdown of the three
+// offloading designs when fine-tuning the 13B model at batch 32 on the
+// 12-SSD RTX 4090 server:
+//   (a) ZeRO-Infinity  — serialized CPU-optimizer stage, inter-block-only
+//                        activation offload, heavy recomputation;
+//   (b) G10            — GPU optimizer streaming model states over the
+//                        SSD link, all activations to unified memory;
+//   (c) Ratel          — active gradient offloading + holistic swapping.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/deepspeed.h"
+#include "baselines/flash_neuron.h"
+#include "bench/bench_util.h"
+#include "core/ratel_system.h"
+
+namespace {
+
+using namespace ratel;
+
+void PrintBreakdown(const char* label, const Result<IterationResult>& r) {
+  if (!r.ok()) {
+    std::printf("%-14s %s\n", label, r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-14s forward %6.1f s | backward %6.1f s | optimizer %6.1f s "
+              "| total %6.1f s | %5.0f token/s\n",
+              label, r->t_forward, r->t_backward, r->t_optimizer, r->t_iter,
+              r->tokens_per_s);
+  auto util = [](const char* stage, const StageStats& s) {
+    std::printf("  %-10s M2G %3.0f%%  G2M %3.0f%%  SSD %3.0f%%  GPU %3.0f%%  "
+                "CPU %3.0f%%\n",
+                stage, 100 * s.m2g_busy_frac, 100 * s.g2m_busy_frac,
+                100 * s.ssd_busy_frac, 100 * s.gpu_busy_frac,
+                100 * s.cpu_busy_frac);
+  };
+  util("forward", r->forward);
+  util("backward", r->backward);
+  if (r->t_optimizer > 0.0) util("optimizer", r->optimizer);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ratel;
+  using bench::Server;
+
+  const ServerConfig server = Server(catalog::Rtx4090(), 768, 12);
+  auto cfg = LlmFromTableIV("13B");
+  if (!cfg.ok()) return 1;
+  const int batch = 32;
+
+  PrintBanner(std::cout,
+              "Figure 1: offloading-design breakdown (13B, batch 32, 12 "
+              "SSDs, RTX 4090)");
+
+  ZeroInfinitySystem zero_inf;
+  PrintBreakdown("(a) ZeRO-Inf", zero_inf.Run(*cfg, batch, server));
+  std::cout << "    [paper: forward 14 s, backward 26 s (5.7 s GPU "
+               "recomputation), optimizer 23 s]\n\n";
+
+  G10System g10(/*assume_gpudirect=*/true);
+  PrintBreakdown("(b) G10", g10.Run(*cfg, batch, server));
+  std::cout << "    [paper: forward 10 s (10 s activation offload), "
+               "backward 12 s, optimizer 13 s]\n\n";
+
+  RatelSystem ratel;
+  PrintBreakdown("(c) Ratel", ratel.Run(*cfg, batch, server));
+  auto plan = ratel.PlanActivations(*cfg, batch, server);
+  if (plan.ok()) {
+    std::printf("    plan: %s swapped (%s to SSDs), recompute %.1f s of GPU "
+                "work\n",
+                FormatBytes(static_cast<double>(plan->a_g2m)).c_str(),
+                FormatBytes(static_cast<double>(plan->ssd_bytes)).c_str(),
+                plan->flop_r / (0.95 * server.gpu.peak_fp16_flops));
+  }
+  std::cout << "    [paper: forward 5 s, backward 20 s with ~34 GB "
+               "activation swap and 3.8 s recomputation]\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 5: end-to-end throughput comparison.
+//   (a) token/s vs batch size, 13B on RTX 4090;
+//   (b) token/s vs batch size, 13B on RTX 3090;
+//   (c) model-TFLOPS vs model size on RTX 4090, with the measured peak.
+
+#include <iostream>
+
+#include "baselines/colossal_ai.h"
+#include "baselines/deepspeed.h"
+#include "bench/bench_util.h"
+#include "core/ratel_system.h"
+
+namespace {
+
+using namespace ratel;
+
+void ThroughputVsBatch(const ServerConfig& server,
+                       const std::vector<int>& batches) {
+  auto cfg = LlmFromTableIV("13B");
+  if (!cfg.ok()) return;
+  ColossalAiSystem colossal;
+  ZeroInfinitySystem zero_inf;
+  ZeroOffloadSystem zero_off;
+  RatelSystem ratel;
+  TablePrinter t({"Batch", "Colossal-AI", "ZeRO-Infinity", "ZeRO-Offload",
+                  "Ratel"});
+  for (int b : batches) {
+    t.AddRow({TablePrinter::Cell(int64_t{b}),
+              bench::TokensCell(colossal.Run(*cfg, b, server)),
+              bench::TokensCell(zero_inf.Run(*cfg, b, server)),
+              bench::TokensCell(zero_off.Run(*cfg, b, server)),
+              bench::TokensCell(ratel.Run(*cfg, b, server))});
+  }
+  t.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ratel;
+  using bench::Server;
+
+  PrintBanner(std::cout,
+              "Figure 5a: throughput (token/s) vs batch, 13B on RTX 4090");
+  ThroughputVsBatch(Server(catalog::Rtx4090(), 768, 12),
+                    {8, 16, 32, 64, 128});
+  std::cout << "[paper: Ratel 2.32x over ZeRO-Offload, 3.46x over "
+               "ZeRO-Infinity, 8.02x over Colossal-AI at best batch]\n";
+
+  PrintBanner(std::cout,
+              "Figure 5b: throughput (token/s) vs batch, 13B on RTX 3090");
+  ThroughputVsBatch(Server(catalog::Rtx3090(), 768, 12), {8, 16, 32, 64});
+  std::cout << "[paper: 1.57x / 2.48x / 4.72x, same trend as the 4090]\n";
+
+  PrintBanner(std::cout,
+              "Figure 5c: model-TFLOPS vs model size on RTX 4090 (largest "
+              "feasible batch per system)");
+  {
+    const ServerConfig server = Server(catalog::Rtx4090(), 768, 12);
+    ZeroInfinitySystem zero_inf;
+    ZeroOffloadSystem zero_off;
+    RatelSystem ratel;
+    TablePrinter t({"Model", "ZeRO-Infinity", "ZeRO-Offload", "Ratel",
+                    "Ratel %peak"});
+    for (const char* name : {"13B", "30B", "70B", "135B", "175B"}) {
+      auto cfg = LlmFromTableIV(name);
+      if (!cfg.ok()) continue;
+      auto run_best = [&](const TrainingSystem& sys) {
+        const int b = sys.MaxMicroBatch(*cfg, server, 128);
+        return b >= 1 ? sys.Run(*cfg, b, server)
+                      : Result<IterationResult>(
+                            Status::FailedPrecondition("no batch fits"));
+      };
+      auto r = run_best(ratel);
+      std::string pct = "-";
+      if (r.ok()) {
+        pct = TablePrinter::Cell(
+                  100.0 * r->model_tflops * 1e12 /
+                      server.gpu.peak_fp16_flops,
+                  0) +
+              "%";
+      }
+      t.AddRow({name, bench::TflopsCell(run_best(zero_inf)),
+                bench::TflopsCell(run_best(zero_off)), bench::TflopsCell(r),
+                pct});
+    }
+    t.Print(std::cout);
+    std::cout << "Measured peak: "
+              << TablePrinter::Cell(
+                     catalog::Rtx4090().peak_fp16_flops / 1e12, 0)
+              << " TFLOPS\n"
+              << "[paper: Ratel reaches 90-95% of peak below 70B, ~53% at "
+                 "175B; baselines at most ~40%]\n";
+  }
+  return 0;
+}

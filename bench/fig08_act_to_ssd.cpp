@@ -1,0 +1,50 @@
+// Figure 8: effect of swapping activations to SSDs (vs main memory
+// only). Max trainable model size of Ratel Optimized vs Ratel+CpuAct on
+// RTX 4090 at different batch sizes, with 128 GB and 256 GB main memory.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/ratel_system.h"
+
+namespace {
+
+using namespace ratel;
+
+void MaxSizeVsBatch(int mem_gib) {
+  const ServerConfig s = bench::Server(catalog::Rtx4090(), mem_gib, 12);
+  RatelSystem ratel;
+  RatelOptions o;
+  o.act_strategy = ActivationStrategy::kMainMemoryOnly;
+  RatelSystem cpu_act(o);
+  TablePrinter t({"Batch", "Ratel+CpuAct", "Ratel Optimized", "Ratio"});
+  for (int b : {12, 24, 36, 60}) {
+    const double c = cpu_act.MaxTrainableBillions(s, b);
+    const double r = ratel.MaxTrainableBillions(s, b);
+    t.AddRow({TablePrinter::Cell(int64_t{b}), TablePrinter::Cell(c, 1),
+              TablePrinter::Cell(r, 1),
+              c > 0 ? TablePrinter::Cell(r / c, 2) + "x" : "-"});
+  }
+  t.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ratel;
+
+  PrintBanner(std::cout,
+              "Figure 8a: max trainable model size (B) with 128 GB main "
+              "memory, RTX 4090");
+  MaxSizeVsBatch(128);
+  std::cout << "[paper: Ratel Optimized trains 2x~5x larger models than "
+               "Ratel+CpuAct at 128 GB]\n";
+
+  PrintBanner(std::cout,
+              "Figure 8b: max trainable model size (B) with 256 GB main "
+              "memory, RTX 4090");
+  MaxSizeVsBatch(256);
+  std::cout << "[paper: the gap narrows with more memory; at very large "
+               "batch both are bounded by per-layer GPU activations]\n";
+  return 0;
+}

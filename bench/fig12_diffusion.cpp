@@ -1,0 +1,38 @@
+// Figure 12: throughput on diffusion models (Section V-H): Ratel vs
+// Fast-DiT across the Table VI DiT backbones at 512x512 images, each at
+// its largest feasible batch on an RTX 4090.
+
+#include <iostream>
+
+#include "baselines/fast_dit.h"
+#include "bench/bench_util.h"
+#include "core/ratel_system.h"
+
+int main() {
+  using namespace ratel;
+  using bench::Server;
+
+  const ServerConfig server = Server(catalog::Rtx4090(), 768, 12);
+  FastDiTSystem fast_dit;
+  RatelSystem ratel;
+
+  PrintBanner(std::cout,
+              "Figure 12: DiT fine-tuning throughput (image/s) on RTX 4090");
+  TablePrinter t({"Model", "Fast-DiT (batch)", "Ratel (batch)"});
+  for (const TransformerConfig& cfg : AllTableVIModels()) {
+    auto best = [&](const TrainingSystem& sys) -> std::string {
+      const int b = sys.MaxMicroBatch(cfg, server, 256);
+      if (b < 1) return "OOM";
+      auto r = sys.Run(cfg, b, server);
+      if (!r.ok()) return "OOM";
+      return TablePrinter::Cell(r->tokens_per_s, 1) + " (" +
+             std::to_string(b) + ")";
+    };
+    t.AddRow({cfg.name, best(fast_dit), best(ratel)});
+  }
+  t.Print(std::cout);
+  std::cout << "[paper: Fast-DiT OOMs from 10B upward; Ratel trains all "
+               "sizes and wins even where both fit, via larger batches "
+               "and traffic-aware activation management]\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Microbenchmark: the real autograd substrate (forward+backward cost of
+// the ops the runtime trains with).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/transformer.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace ratel::ag;
+using ratel::Rng;
+
+std::vector<float> RandomVec(Rng& rng, int64_t n) {
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(rng.NextGaussian());
+  return out;
+}
+
+void BM_MatMulForwardBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const std::vector<float> a = RandomVec(rng, n * n);
+  const std::vector<float> b = RandomVec(rng, n * n);
+  for (auto _ : state) {
+    Variable pa = Variable::Parameter({n, n}, a, "a");
+    Variable pb = Variable::Parameter({n, n}, b, "b");
+    Variable loss =
+        MeanSquaredError(MatMul(pa, pb), std::vector<float>(n * n, 0.0f));
+    loss.Backward();
+    benchmark::DoNotOptimize(pa.grad().data());
+  }
+  // fwd 2n^3 + bwd 2x2n^3.
+  state.SetItemsProcessed(state.iterations() * 6 * n * n * n);
+}
+BENCHMARK(BM_MatMulForwardBackward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AttentionForwardBackward(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  const int64_t h = 64, heads = 4, batch = 2;
+  Rng rng(2);
+  const std::vector<float> qkv = RandomVec(rng, batch * s * 3 * h);
+  for (auto _ : state) {
+    Variable p = Variable::Parameter({batch * s, 3 * h}, qkv, "qkv");
+    Variable out = CausalSelfAttention(p, batch, s, heads);
+    Variable loss = MeanSquaredError(
+        out, std::vector<float>(batch * s * h, 0.0f));
+    loss.Backward();
+    benchmark::DoNotOptimize(p.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * s * s * h);
+}
+BENCHMARK(BM_AttentionForwardBackward)->Arg(16)->Arg(64);
+
+void BM_TinyGptTrainStepGraph(benchmark::State& state) {
+  TinyGptConfig cfg;
+  cfg.vocab_size = 64;
+  cfg.seq_len = 16;
+  cfg.hidden_dim = 48;
+  cfg.num_heads = 4;
+  cfg.num_layers = static_cast<int>(state.range(0));
+  TinyGpt model(cfg, 1);
+  Rng rng(3);
+  std::vector<int64_t> ids(2 * cfg.seq_len), targets(2 * cfg.seq_len);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<int64_t>(rng.NextBelow(cfg.vocab_size));
+    targets[i] = static_cast<int64_t>(rng.NextBelow(cfg.vocab_size));
+  }
+  for (auto _ : state) {
+    model.ZeroGrads();
+    Variable loss = model.Loss(ids, targets, 2);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_TinyGptTrainStepGraph)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

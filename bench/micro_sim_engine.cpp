@@ -1,0 +1,71 @@
+// Microbenchmark: discrete-event engine throughput. Iteration schedules
+// have O(#blocks x #GPUs) tasks; this measures how fast the engine runs
+// chains, pipelines and fan-outs so the figure benches stay interactive.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.h"
+
+namespace {
+
+using ratel::ResourceId;
+using ratel::SimEngine;
+using ratel::TaskId;
+
+void BM_SerialChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimEngine eng;
+    const ResourceId r = eng.AddResource("r", 1.0);
+    TaskId prev = -1;
+    for (int i = 0; i < n; ++i) {
+      prev = eng.AddTask("t", r, 1.0,
+                         prev >= 0 ? std::vector<TaskId>{prev}
+                                   : std::vector<TaskId>{});
+    }
+    benchmark::DoNotOptimize(eng.Run().ok());
+    benchmark::DoNotOptimize(eng.Makespan());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SerialChain)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_TwoStagePipeline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimEngine eng;
+    const ResourceId gpu = eng.AddResource("gpu", 1.0);
+    const ResourceId link = eng.AddResource("link", 1.0);
+    TaskId prev_c = -1, prev_x = -1;
+    for (int i = 0; i < n; ++i) {
+      std::vector<TaskId> cdeps;
+      if (prev_c >= 0) cdeps.push_back(prev_c);
+      const TaskId c = eng.AddTask("c", gpu, 1.0, cdeps);
+      std::vector<TaskId> xdeps{c};
+      if (prev_x >= 0) xdeps.push_back(prev_x);
+      prev_x = eng.AddTask("x", link, 1.0, xdeps);
+      prev_c = c;
+    }
+    benchmark::DoNotOptimize(eng.Run().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_TwoStagePipeline)->Arg(100)->Arg(1000);
+
+void BM_ProcessorSharingFanOut(benchmark::State& state) {
+  // Worst case for the event loop: all tasks share one resource and
+  // complete one per event.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimEngine eng;
+    const ResourceId r = eng.AddResource("r", 1.0);
+    for (int i = 0; i < n; ++i) eng.AddTask("t", r, 1.0 + i, {});
+    benchmark::DoNotOptimize(eng.Run().ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProcessorSharingFanOut)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table II: tensors in LLM fine-tuning — class, size and life cycle —
+// printed for each Table IV model at batch 32, plus the intro's
+// "~2.6 TB of temporary and persistent tensors" accounting for a 100B
+// model.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "model/tensor_inventory.h"
+
+int main() {
+  using namespace ratel;
+
+  PrintBanner(std::cout, "Table II: tensor classes (13B model, batch 32)");
+  {
+    auto cfg = LlmFromTableIV("13B");
+    if (!cfg.ok()) return 1;
+    TablePrinter t({"Tensor", "Bytes", "Produced", "Consumed"});
+    for (const TensorLifecycle& row : BuildTensorInventory(*cfg, 32)) {
+      std::string produced = TrainStageName(row.produced_in);
+      if (row.produced_previous_iteration) produced += " (prev iter)";
+      t.AddRow({TensorClassName(row.cls),
+                FormatBytes(static_cast<double>(row.bytes)), produced,
+                TrainStageName(row.consumed_in)});
+    }
+    t.Print(std::cout);
+  }
+
+  PrintBanner(std::cout,
+              "Footprint per model at batch 32 (model states = 16P)");
+  {
+    TablePrinter t({"Model", "P (B)", "Model states", "Activations",
+                    "Inter-block", "Total"});
+    for (const TransformerConfig& cfg : AllTableIVModels()) {
+      const WorkloadProfile wl = WorkloadProfile::Build(cfg, 32);
+      const double states =
+          static_cast<double>(ModelStateBytes(wl.param_count()));
+      const double acts =
+          static_cast<double>(wl.total_activation_bytes());
+      t.AddRow({cfg.name,
+                TablePrinter::Cell(wl.param_count() / 1e9, 1),
+                FormatBytes(states), FormatBytes(acts),
+                FormatBytes(static_cast<double>(
+                    wl.inter_block_activation_bytes())),
+                FormatBytes(states + acts)});
+    }
+    t.Print(std::cout);
+    std::cout << "[paper intro: fine-tuning a 100B model stores ~2.6 TB of "
+                 "tensors at peak; a 175B model needs ~2.45 TB of model "
+                 "states]\n";
+  }
+  return 0;
+}

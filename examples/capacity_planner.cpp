@@ -1,0 +1,87 @@
+// Capacity planner: "what is the largest model I can fine-tune on my
+// box, and how fast?" — the purchasing question the paper's
+// cost-effectiveness analysis (Section V-I) answers for researchers with
+// a fixed budget.
+//
+// Usage: capacity_planner [gpu] [main_mem_gib] [num_ssds]
+//   gpu in {4090, 3090, 4080}, defaults: 4090 256 12
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/colossal_ai.h"
+#include "baselines/deepspeed.h"
+#include "baselines/flash_neuron.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/ratel_system.h"
+#include "hw/catalog.h"
+#include "model/transformer_config.h"
+
+int main(int argc, char** argv) {
+  using namespace ratel;
+
+  std::string gpu_name = argc > 1 ? argv[1] : "4090";
+  const int64_t mem_gib = argc > 2 ? std::atoll(argv[2]) : 256;
+  const int ssds = argc > 3 ? std::atoi(argv[3]) : 12;
+
+  GpuSpec gpu = catalog::Rtx4090();
+  if (gpu_name == "3090") gpu = catalog::Rtx3090();
+  if (gpu_name == "4080") gpu = catalog::Rtx4080();
+  const ServerConfig server =
+      catalog::EvaluationServer(gpu, mem_gib * kGiB, ssds);
+
+  std::cout << "Capacity plan for: " << gpu.name << ", " << mem_gib
+            << " GiB DRAM, " << ssds << " SSDs (total $"
+            << static_cast<int64_t>(server.TotalPriceUsd()) << ")\n\n";
+
+  // 1. Largest trainable model per system (batch 1, Fig. 6 style).
+  RatelSystem ratel;
+  ZeroInfinitySystem zero_inf;
+  ZeroOffloadSystem zero_off;
+  ColossalAiSystem colossal;
+  FlashNeuronSystem flash;
+  const TrainingSystem* systems[] = {&ratel, &zero_inf, &zero_off, &colossal,
+                                     &flash};
+  TablePrinter cap({"System", "Max model (B params)"});
+  for (const TrainingSystem* sys : systems) {
+    cap.AddRow({sys->name(),
+                TablePrinter::Cell(sys->MaxTrainableBillions(server, 1), 1)});
+  }
+  cap.Print(std::cout);
+
+  // 2. For each Table IV model Ratel can host: best batch, plan and
+  //    simulated throughput.
+  std::cout << "\nRatel fine-tuning plan per model:\n";
+  TablePrinter plan_table({"Model", "Max batch", "Swap", "To SSD", "Case",
+                           "Token/s", "TFLOPS"});
+  for (const TransformerConfig& config : AllTableIVModels()) {
+    const int batch = ratel.MaxMicroBatch(config, server);
+    if (batch < 1) {
+      plan_table.AddRow({config.name, "-", "-", "-", "does not fit", "-",
+                         "-"});
+      continue;
+    }
+    auto plan = ratel.PlanActivations(config, batch, server);
+    auto run = ratel.Run(config, batch, server);
+    if (!plan.ok() || !run.ok()) {
+      plan_table.AddRow({config.name, TablePrinter::Cell(int64_t{batch}), "-",
+                         "-", "error", "-", "-"});
+      continue;
+    }
+    plan_table.AddRow({config.name, TablePrinter::Cell(int64_t{batch}),
+                       FormatBytes(static_cast<double>(plan->a_g2m)),
+                       FormatBytes(static_cast<double>(plan->ssd_bytes)),
+                       SwapCaseName(plan->swap_case),
+                       TablePrinter::Cell(run->tokens_per_s, 0),
+                       TablePrinter::Cell(run->model_tflops, 0)});
+  }
+  plan_table.Print(std::cout);
+
+  std::cout << "\nHint: rerun with a different machine, e.g. "
+            << "`capacity_planner 4080 128 3`.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Diffusion-model fine-tuning (Section V-H): Ratel's optimizations are
+// not LLM-specific. This example plans DiT backbones (Table VI) on a
+// consumer GPU and compares against Fast-DiT, which keeps every tensor
+// resident in device memory and therefore collapses to tiny batches (or
+// OOMs outright) as the backbone grows.
+
+#include <iostream>
+
+#include "baselines/fast_dit.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/ratel_system.h"
+#include "hw/catalog.h"
+#include "model/transformer_config.h"
+
+int main() {
+  using namespace ratel;
+
+  const ServerConfig server =
+      catalog::EvaluationServer(catalog::Rtx4090(), 768 * kGiB, 12);
+  std::cout << "Fine-tuning DiT backbones (512x512 images) on "
+            << server.gpu.name << "\n\n";
+
+  RatelSystem ratel;
+  FastDiTSystem fast_dit;
+  TablePrinter t({"Model", "Fast-DiT batch", "Fast-DiT img/s", "Ratel batch",
+                  "Ratel img/s", "Speedup"});
+  for (const TransformerConfig& config : AllTableVIModels()) {
+    const int fd_batch = fast_dit.MaxMicroBatch(config, server, 256);
+    const int ratel_batch = ratel.MaxMicroBatch(config, server, 256);
+    std::string fd_rate = "OOM", speedup = "-";
+    double fd_imgs = 0.0;
+    if (fd_batch >= 1) {
+      auto r = fast_dit.Run(config, fd_batch, server);
+      if (r.ok()) {
+        fd_imgs = r->tokens_per_s;  // images/s for DiT workloads
+        fd_rate = TablePrinter::Cell(fd_imgs, 1);
+      }
+    }
+    std::string ratel_rate = "-";
+    if (ratel_batch >= 1) {
+      auto r = ratel.Run(config, ratel_batch, server);
+      if (r.ok()) {
+        ratel_rate = TablePrinter::Cell(r->tokens_per_s, 1);
+        if (fd_imgs > 0.0) {
+          speedup = TablePrinter::Cell(r->tokens_per_s / fd_imgs, 2) + "x";
+        } else {
+          speedup = "(Fast-DiT OOM)";
+        }
+      }
+    }
+    t.AddRow({config.name,
+              fd_batch >= 1 ? TablePrinter::Cell(int64_t{fd_batch}) : "OOM",
+              fd_rate, TablePrinter::Cell(int64_t{ratel_batch}), ratel_rate,
+              speedup});
+  }
+  t.Print(std::cout);
+  std::cout << "\nRatel wins on two axes (Section V-H): it hosts backbones "
+               "Fast-DiT cannot, and\nsustains larger batches on the ones "
+               "both can train.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// A real diffusion-style training run on the Ratel substrate (the
+// numeric twin of Section V-H): a TinyDiT denoiser learns epsilon
+// prediction on synthetic patch tokens while its model states live out
+// of core — every Adam update streams P32/OS32 through the striped block
+// store via the active-gradient-offloading handler, driven directly
+// (without the GPT-specific trainer) to show the runtime API's
+// generality.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "autograd/dit.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "runtime/out_of_core_adam.h"
+#include "runtime/thread_pool.h"
+#include "storage/block_store.h"
+
+int main(int argc, char** argv) {
+  using namespace ratel;
+
+  int steps = 150;
+  if (argc > 1) steps = std::atoi(argv[1]);
+
+  ag::TinyDitConfig cfg;
+  cfg.patch_dim = 8;
+  cfg.seq_len = 16;
+  cfg.hidden_dim = 32;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  ag::TinyDit model(cfg, /*seed=*/11);
+  std::cout << "TinyDiT: " << model.NumParameters()
+            << " parameters, full (non-causal) attention\n";
+
+  auto store = BlockStore::Open("/tmp/ratel_dit_store", 4, 1 << 20);
+  if (!store.ok()) {
+    std::cerr << store.status().ToString() << "\n";
+    return 1;
+  }
+  AdamConfig adam_cfg;
+  adam_cfg.lr = 2e-3;
+  OutOfCoreAdam adam(adam_cfg, store->get(), nullptr, nullptr);
+  for (auto& [name, var] : model.parameters()) {
+    RATEL_CHECK_OK(adam.Register(name, var.value()));
+  }
+  ThreadPool pipeline(3);
+
+  // Synthetic denoising task: clean patches are a smooth per-position
+  // pattern; the model sees clean + sigma*noise and predicts the noise.
+  Rng rng(3);
+  const int64_t batch = 8;
+  const int64_t n = batch * cfg.seq_len * cfg.patch_dim;
+  const float sigma = 0.5f;
+  std::vector<float> clean(n), noise(n), noisy(n);
+
+  for (int step = 1; step <= steps; ++step) {
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t pos = (i / cfg.patch_dim) % cfg.seq_len;
+      const int64_t ch = i % cfg.patch_dim;
+      clean[i] = std::sin(0.7f * pos + ch);  // structured signal
+      noise[i] = static_cast<float>(rng.NextGaussian());
+      noisy[i] = clean[i] + sigma * noise[i];
+    }
+    // Fetch the current P16 copies (forward swap-in), mixed precision.
+    std::vector<Fp16> p16;
+    for (auto& [name, var] : model.parameters()) {
+      RATEL_CHECK_OK(adam.FetchParams16(name, &p16));
+      auto& dst = var.mutable_value();
+      for (size_t i = 0; i < p16.size(); ++i) dst[i] = HalfToFloat(p16[i]);
+    }
+    model.ZeroGrads();
+    ag::Variable loss = model.Loss(noisy, noise, batch);
+    loss.Backward();
+
+    // Active gradient offloading, final block first.
+    for (int64_t l = cfg.num_layers - 1; l >= 0; --l) {
+      for (const auto& name : model.BlockParameterNames(static_cast<int>(l))) {
+        for (auto& [n2, var] : model.parameters()) {
+          if (n2 != name) continue;
+          std::vector<Fp16> g16(var.grad().size());
+          for (size_t i = 0; i < g16.size(); ++i) {
+            g16[i] = FloatToHalf(var.grad()[i]);
+          }
+          pipeline.Submit([&adam, name, g = std::move(g16)] {
+            RATEL_CHECK_OK(adam.StepTensor(name, g));
+          });
+        }
+      }
+    }
+    for (auto& [name, var] : model.parameters()) {
+      if (name.rfind("blk", 0) == 0) continue;  // handled above
+      std::vector<Fp16> g16(var.grad().size());
+      for (size_t i = 0; i < g16.size(); ++i) {
+        g16[i] = FloatToHalf(var.grad()[i]);
+      }
+      pipeline.Submit([&adam, name, g = std::move(g16)] {
+        RATEL_CHECK_OK(adam.StepTensor(name, g));
+      });
+    }
+    pipeline.Wait();
+
+    if (step == 1 || step % 30 == 0) {
+      std::printf("step %4d  denoising MSE %7.4f  (predicting zero noise "
+                  "scores 1.0; the signal is fully recoverable)\n",
+                  step, loss.value()[0]);
+    }
+  }
+  std::cout << "\nOut-of-core traffic: " << FormatBytes(adam.bytes_read())
+            << " read, " << FormatBytes(adam.bytes_written())
+            << " written through " << (*store)->num_stripes()
+            << " stripes\n";
+  return 0;
+}

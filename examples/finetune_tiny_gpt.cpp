@@ -1,0 +1,109 @@
+// Real end-to-end fine-tuning through the Ratel runtime: a small GPT is
+// trained with genuine forward/backward passes (src/autograd) while every
+// model-state tensor lives *out of core* in the striped block store — the
+// P16 copies are fetched before each forward pass (optionally via the
+// DRAM tier cache) and gradients drive the out-of-core CPU Adam handler
+// per tensor in backward arrival order (active gradient offloading,
+// Section IV-C). Activations are spilled to the store between forward
+// and backward (the A16 leg of Table II).
+//
+// The task is synthetic but learnable (predict (3*id+1) mod V); the run
+// reports loss, held-out accuracy, storage traffic and cache hit rate,
+// then writes a checkpoint of the fp32 master weights.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/transformer.h"
+#include "common/units.h"
+#include "runtime/checkpoint.h"
+#include "runtime/dataset.h"
+#include "runtime/ratel_trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace ratel;
+
+  int steps = 120;
+  if (argc > 1) steps = std::atoi(argv[1]);
+
+  ag::TinyGptConfig cfg;
+  cfg.vocab_size = 64;
+  cfg.seq_len = 16;
+  cfg.hidden_dim = 48;
+  cfg.num_heads = 4;
+  cfg.num_layers = 3;
+  ag::TinyGpt model(cfg, /*seed=*/2024);
+  std::cout << "TinyGpt: " << model.NumParameters() << " parameters, "
+            << cfg.num_layers << " blocks\n";
+
+  TrainerOptions opts;
+  opts.grad_mode = GradientOffloadMode::kOptimizedActive;
+  opts.store_dir = "/tmp/ratel_example_store";
+  opts.num_stripes = 4;              // the emulated SSD array
+  opts.host_cache_bytes = 8 * kMiB;  // DRAM tier in front of it
+  opts.spill_activations = true;     // A16 swap-out/swap-in, real bytes
+  opts.adam.lr = 3e-3;
+  auto trainer = RatelTrainer::Create(&model, opts);
+  if (!trainer.ok()) {
+    std::cerr << trainer.status().ToString() << "\n";
+    return 1;
+  }
+
+  SyntheticDataset dataset(SyntheticTask::kAffineMap, cfg.vocab_size,
+                           cfg.seq_len, /*seed=*/7);
+  const int64_t batch = 4;
+  for (int step = 1; step <= steps; ++step) {
+    const TokenBatch b = dataset.NextBatch(batch);
+    auto loss = (*trainer)->TrainStep(b.ids, b.targets, batch);
+    if (!loss.ok()) {
+      std::cerr << "step " << step << ": " << loss.status().ToString() << "\n";
+      return 1;
+    }
+    if (step == 1 || step % 20 == 0) {
+      const TokenBatch eval = dataset.EvalBatch(batch);
+      const double acc =
+          ag::Accuracy(model.Logits(eval.ids, batch), eval.targets);
+      const StepStats& s = (*trainer)->last_step_stats();
+      std::printf(
+          "step %4d  loss %6.3f  eval-acc %5.1f%%  (compute %5.1f ms, "
+          "optimizer %4.1f ms, A16 spilled %s)\n",
+          step, *loss, 100.0 * acc, 1e3 * s.compute_s, 1e3 * s.optimizer_s,
+          FormatBytes(static_cast<double>(s.activation_bytes_spilled))
+              .c_str());
+    }
+  }
+
+  std::cout << "\nStorage after training: "
+            << (*trainer)->store().num_blobs() << " blobs across "
+            << (*trainer)->store().num_stripes() << " stripes, "
+            << FormatBytes((*trainer)->store().allocated_bytes())
+            << " allocated\n";
+  std::cout << "Out-of-core traffic: "
+            << FormatBytes((*trainer)->optimizer().bytes_read()) << " read, "
+            << FormatBytes((*trainer)->optimizer().bytes_written())
+            << " written";
+  if ((*trainer)->host_cache() != nullptr) {
+    const TierCache::Stats cs = (*trainer)->host_cache()->stats();
+    std::printf(" (DRAM tier hit rate %.0f%%, %lld evictions)",
+                100.0 * cs.HitRate(),
+                static_cast<long long>(cs.evictions));
+  }
+  std::cout << "\n";
+
+  // Keep the fine-tuned master weights.
+  std::vector<std::string> names;
+  for (const auto& [name, var] : model.parameters()) names.push_back(name);
+  const std::string ckpt = "/tmp/ratel_example_model.ckpt";
+  const Status saved =
+      checkpoint::Save((*trainer)->optimizer(), names, ckpt);
+  if (saved.ok()) {
+    auto loaded = checkpoint::Load(ckpt);
+    std::cout << "Checkpoint: " << ckpt << " ("
+              << (loaded.ok() ? loaded->size() : 0) << " tensors)\n";
+  } else {
+    std::cerr << "checkpoint failed: " << saved.ToString() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "autograd/dit.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ratel::ag {
+
+namespace {
+
+std::vector<float> Gaussian(Rng& rng, int64_t n, float std_dev) {
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(rng.NextGaussian()) * std_dev;
+  return out;
+}
+
+std::vector<float> Zeros(int64_t n) { return std::vector<float>(n, 0.0f); }
+std::vector<float> Ones(int64_t n) { return std::vector<float>(n, 1.0f); }
+
+}  // namespace
+
+TinyDit::TinyDit(const TinyDitConfig& config, uint64_t seed)
+    : config_(config) {
+  RATEL_CHECK(config.hidden_dim % config.num_heads == 0);
+  Rng rng(seed);
+  const int64_t h = config.hidden_dim;
+  const int64_t d = config.patch_dim;
+  const float init_std = 0.02f;
+  const float resid_std =
+      init_std / std::sqrt(2.0f * static_cast<float>(config.num_layers));
+
+  auto add_param = [&](const std::string& name, std::vector<int64_t> shape,
+                       std::vector<float> data) {
+    params_.emplace_back(
+        name, Variable::Parameter(std::move(shape), std::move(data), name));
+  };
+
+  add_param("patch/w_in", {d, h}, Gaussian(rng, d * h, init_std));
+  add_param("patch/b_in", {h}, Zeros(h));
+  add_param("patch/pos", {config.seq_len, h},
+            Gaussian(rng, config.seq_len * h, init_std));
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    const std::string p = "blk" + std::to_string(l) + "/";
+    add_param(p + "ln1_g", {h}, Ones(h));
+    add_param(p + "ln1_b", {h}, Zeros(h));
+    add_param(p + "w_qkv", {h, 3 * h}, Gaussian(rng, h * 3 * h, init_std));
+    add_param(p + "b_qkv", {3 * h}, Zeros(3 * h));
+    add_param(p + "w_proj", {h, h}, Gaussian(rng, h * h, resid_std));
+    add_param(p + "b_proj", {h}, Zeros(h));
+    add_param(p + "ln2_g", {h}, Ones(h));
+    add_param(p + "ln2_b", {h}, Zeros(h));
+    add_param(p + "w_up", {h, 4 * h}, Gaussian(rng, h * 4 * h, init_std));
+    add_param(p + "b_up", {4 * h}, Zeros(4 * h));
+    add_param(p + "w_down", {4 * h, h}, Gaussian(rng, 4 * h * h, resid_std));
+    add_param(p + "b_down", {h}, Zeros(h));
+  }
+  add_param("final/ln_g", {h}, Ones(h));
+  add_param("final/ln_b", {h}, Zeros(h));
+  add_param("patch/w_out", {h, d}, Gaussian(rng, h * d, init_std));
+  add_param("patch/b_out", {d}, Zeros(d));
+}
+
+Variable TinyDit::Param(const std::string& name) const {
+  for (const auto& [n, v] : params_) {
+    if (n == name) return v;
+  }
+  RATEL_CHECK(false) << "unknown parameter '" << name << "'";
+  return Variable();
+}
+
+std::vector<std::string> TinyDit::BlockParameterNames(int block) const {
+  const std::string prefix = "blk" + std::to_string(block) + "/";
+  std::vector<std::string> out;
+  for (const auto& [n, v] : params_) {
+    if (n.rfind(prefix, 0) == 0) out.push_back(n);
+  }
+  return out;
+}
+
+Variable TinyDit::Predict(const std::vector<float>& noisy_patches,
+                          int64_t batch) {
+  const int64_t s = config_.seq_len;
+  const int64_t d = config_.patch_dim;
+  RATEL_CHECK(static_cast<int64_t>(noisy_patches.size()) == batch * s * d);
+
+  Variable tokens = Variable::Constant({batch * s, d}, noisy_patches);
+  std::vector<int64_t> positions(batch * s);
+  for (int64_t i = 0; i < batch * s; ++i) positions[i] = i % s;
+  Variable x =
+      Add(AddBias(MatMul(tokens, Param("patch/w_in")), Param("patch/b_in")),
+          Embedding(positions, Param("patch/pos")));
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    const std::string p = "blk" + std::to_string(l) + "/";
+    Variable h1 = LayerNorm(x, Param(p + "ln1_g"), Param(p + "ln1_b"));
+    Variable qkv = AddBias(MatMul(h1, Param(p + "w_qkv")), Param(p + "b_qkv"));
+    Variable attn = FullSelfAttention(qkv, batch, s, config_.num_heads);
+    x = Add(x, AddBias(MatMul(attn, Param(p + "w_proj")),
+                       Param(p + "b_proj")));
+    Variable h2 = LayerNorm(x, Param(p + "ln2_g"), Param(p + "ln2_b"));
+    Variable up =
+        Gelu(AddBias(MatMul(h2, Param(p + "w_up")), Param(p + "b_up")));
+    x = Add(x, AddBias(MatMul(up, Param(p + "w_down")), Param(p + "b_down")));
+  }
+  Variable h = LayerNorm(x, Param("final/ln_g"), Param("final/ln_b"));
+  return AddBias(MatMul(h, Param("patch/w_out")), Param("patch/b_out"));
+}
+
+Variable TinyDit::Loss(const std::vector<float>& noisy_patches,
+                       const std::vector<float>& true_noise, int64_t batch) {
+  RATEL_CHECK(true_noise.size() == noisy_patches.size());
+  return MeanSquaredError(Predict(noisy_patches, batch), true_noise);
+}
+
+void TinyDit::ZeroGrads() {
+  for (auto& [name, v] : params_) v.ZeroGrad();
+}
+
+int64_t TinyDit::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& [name, v] : params_) total += v.NumElements();
+  return total;
+}
+
+}  // namespace ratel::ag

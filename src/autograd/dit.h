@@ -1,0 +1,62 @@
+#ifndef RATEL_AUTOGRAD_DIT_H_
+#define RATEL_AUTOGRAD_DIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace ratel::ag {
+
+/// Configuration of the small, actually trained diffusion-transformer
+/// (the numeric twin of Table VI's DiT backbones at laptop scale):
+/// continuous patch tokens in, epsilon prediction out, bidirectional
+/// attention, MSE loss.
+struct TinyDitConfig {
+  int64_t patch_dim = 8;   // input/output channels per patch token
+  int64_t seq_len = 16;    // patch tokens per image
+  int64_t hidden_dim = 32;
+  int64_t num_heads = 2;
+  int64_t num_layers = 2;
+};
+
+/// A trainable DiT-style denoiser: in-projection, `num_layers`
+/// pre-norm transformer blocks with *full* self-attention, and an
+/// out-projection back to patch space. Parameters are named and grouped
+/// per block exactly like TinyGpt, so the same out-of-core machinery
+/// applies (Section V-H: Ratel's optimizations are model-agnostic).
+class TinyDit {
+ public:
+  TinyDit(const TinyDitConfig& config, uint64_t seed);
+
+  const TinyDitConfig& config() const { return config_; }
+
+  std::vector<std::pair<std::string, Variable>>& parameters() {
+    return params_;
+  }
+
+  std::vector<std::string> BlockParameterNames(int block) const;
+
+  /// Predicts the noise for `batch` images of noisy patch tokens
+  /// (batch * seq_len * patch_dim floats, row-major) -> same shape.
+  Variable Predict(const std::vector<float>& noisy_patches, int64_t batch);
+
+  /// Mean-squared-error denoising loss against the true noise.
+  Variable Loss(const std::vector<float>& noisy_patches,
+                const std::vector<float>& true_noise, int64_t batch);
+
+  void ZeroGrads();
+  int64_t NumParameters() const;
+
+ private:
+  Variable Param(const std::string& name) const;
+
+  TinyDitConfig config_;
+  std::vector<std::pair<std::string, Variable>> params_;
+};
+
+}  // namespace ratel::ag
+
+#endif  // RATEL_AUTOGRAD_DIT_H_

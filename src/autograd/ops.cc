@@ -1,0 +1,580 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ratel::ag {
+
+namespace {
+
+NodePtr MakeOutput(std::vector<int64_t> shape,
+                   std::vector<NodePtr> inputs) {
+  bool requires_grad = false;
+  for (const auto& in : inputs) requires_grad |= in->requires_grad();
+  auto node = std::make_shared<Node>(std::move(shape), requires_grad);
+  node->inputs = std::move(inputs);
+  node->value.assign(node->NumElements(), 0.0f);
+  return node;
+}
+
+// out(MxN) += a(MxK) * b(KxN); plain ikj loop the compiler vectorizes.
+void GemmAccum(const float* a, const float* b, float* out, int64_t m,
+               int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// out(MxN) += a(MxK) * b(NxK)^T.
+void GemmNTAccum(const float* a, const float* b, float* out, int64_t m,
+                 int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+// out(KxN) += a(MxK)^T * b(MxN).
+void GemmTNAccum(const float* a, const float* b, float* out, int64_t m,
+                 int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* orow = out + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  RATEL_CHECK(a.shape().size() == 2 && b.shape().size() == 2);
+  const int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  RATEL_CHECK(b.shape()[0] == k) << "MatMul inner-dim mismatch";
+  NodePtr out = MakeOutput({m, n}, {a.node(), b.node()});
+  GemmAccum(a.value().data(), b.value().data(), out->value.data(), m, k, n);
+  out->backward_fn = [m, k, n](Node& self) {
+    Node& na = *self.inputs[0];
+    Node& nb = *self.inputs[1];
+    if (na.requires_grad()) {
+      std::vector<float> da(m * k, 0.0f);
+      GemmNTAccum(self.grad.data(), nb.value.data(), da.data(), m, n, k);
+      na.AccumulateGrad(da.data(), m * k);
+    }
+    if (nb.requires_grad()) {
+      std::vector<float> db(k * n, 0.0f);
+      GemmTNAccum(na.value.data(), self.grad.data(), db.data(), m, k, n);
+      nb.AccumulateGrad(db.data(), k * n);
+    }
+  };
+  return Variable(out);
+}
+
+Variable MatMulNT(const Variable& a, const Variable& b) {
+  RATEL_CHECK(a.shape().size() == 2 && b.shape().size() == 2);
+  const int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[0];
+  RATEL_CHECK(b.shape()[1] == k) << "MatMulNT inner-dim mismatch";
+  NodePtr out = MakeOutput({m, n}, {a.node(), b.node()});
+  GemmNTAccum(a.value().data(), b.value().data(), out->value.data(), m, k, n);
+  out->backward_fn = [m, k, n](Node& self) {
+    Node& na = *self.inputs[0];
+    Node& nb = *self.inputs[1];
+    if (na.requires_grad()) {
+      // dA = dOut(MxN) * B(NxK).
+      std::vector<float> da(m * k, 0.0f);
+      GemmAccum(self.grad.data(), nb.value.data(), da.data(), m, n, k);
+      na.AccumulateGrad(da.data(), m * k);
+    }
+    if (nb.requires_grad()) {
+      // dB = dOut^T(NxM) * A(MxK).
+      std::vector<float> db(n * k, 0.0f);
+      GemmTNAccum(self.grad.data(), na.value.data(), db.data(), m, n, k);
+      nb.AccumulateGrad(db.data(), n * k);
+    }
+  };
+  return Variable(out);
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  RATEL_CHECK(a.shape() == b.shape()) << "Add shape mismatch";
+  NodePtr out = MakeOutput(a.shape(), {a.node(), b.node()});
+  const int64_t n = out->NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    out->value[i] = a.value()[i] + b.value()[i];
+  }
+  out->backward_fn = [n](Node& self) {
+    for (int input = 0; input < 2; ++input) {
+      Node& ni = *self.inputs[input];
+      if (ni.requires_grad()) ni.AccumulateGrad(self.grad.data(), n);
+    }
+  };
+  return Variable(out);
+}
+
+Variable AddBias(const Variable& a, const Variable& bias) {
+  RATEL_CHECK(a.shape().size() == 2 && bias.shape().size() == 1);
+  const int64_t m = a.shape()[0], n = a.shape()[1];
+  RATEL_CHECK(bias.shape()[0] == n) << "AddBias width mismatch";
+  NodePtr out = MakeOutput({m, n}, {a.node(), bias.node()});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out->value[i * n + j] = a.value()[i * n + j] + bias.value()[j];
+    }
+  }
+  out->backward_fn = [m, n](Node& self) {
+    Node& na = *self.inputs[0];
+    Node& nb = *self.inputs[1];
+    if (na.requires_grad()) na.AccumulateGrad(self.grad.data(), m * n);
+    if (nb.requires_grad()) {
+      std::vector<float> db(n, 0.0f);
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) db[j] += self.grad[i * n + j];
+      }
+      nb.AccumulateGrad(db.data(), n);
+    }
+  };
+  return Variable(out);
+}
+
+Variable Scale(const Variable& a, float factor) {
+  NodePtr out = MakeOutput(a.shape(), {a.node()});
+  const int64_t n = out->NumElements();
+  for (int64_t i = 0; i < n; ++i) out->value[i] = a.value()[i] * factor;
+  out->backward_fn = [n, factor](Node& self) {
+    Node& na = *self.inputs[0];
+    if (!na.requires_grad()) return;
+    std::vector<float> da(n);
+    for (int64_t i = 0; i < n; ++i) da[i] = self.grad[i] * factor;
+    na.AccumulateGrad(da.data(), n);
+  };
+  return Variable(out);
+}
+
+Variable Gelu(const Variable& a) {
+  NodePtr out = MakeOutput(a.shape(), {a.node()});
+  const int64_t n = out->NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    const float x = a.value()[i];
+    const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+    out->value[i] = 0.5f * x * (1.0f + t);
+  }
+  out->backward_fn = [n](Node& self) {
+    Node& na = *self.inputs[0];
+    if (!na.requires_grad()) return;
+    std::vector<float> da(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const float x = na.value[i];
+      const float u = kGeluC * (x + 0.044715f * x * x * x);
+      const float t = std::tanh(u);
+      const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+      const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      da[i] = self.grad[i] * d;
+    }
+    na.AccumulateGrad(da.data(), n);
+  };
+  return Variable(out);
+}
+
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float eps) {
+  RATEL_CHECK(x.shape().size() == 2);
+  const int64_t m = x.shape()[0], n = x.shape()[1];
+  RATEL_CHECK(gamma.shape() == std::vector<int64_t>{n});
+  RATEL_CHECK(beta.shape() == std::vector<int64_t>{n});
+  NodePtr out = MakeOutput({m, n}, {x.node(), gamma.node(), beta.node()});
+  // Cache per-row mean and inverse stddev for backward.
+  auto stats = std::make_shared<std::vector<float>>(2 * m);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = x.value().data() + i * n;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < n; ++j) mean += row[j];
+    mean /= n;
+    float var = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= n;
+    const float inv_std = 1.0f / std::sqrt(var + eps);
+    (*stats)[2 * i] = mean;
+    (*stats)[2 * i + 1] = inv_std;
+    for (int64_t j = 0; j < n; ++j) {
+      const float xhat = (row[j] - mean) * inv_std;
+      out->value[i * n + j] = xhat * gamma.value()[j] + beta.value()[j];
+    }
+  }
+  out->backward_fn = [m, n, stats](Node& self) {
+    Node& nx = *self.inputs[0];
+    Node& ng = *self.inputs[1];
+    Node& nb = *self.inputs[2];
+    std::vector<float> dx(nx.requires_grad() ? m * n : 0, 0.0f);
+    std::vector<float> dgamma(n, 0.0f), dbeta(n, 0.0f);
+    for (int64_t i = 0; i < m; ++i) {
+      const float mean = (*stats)[2 * i];
+      const float inv_std = (*stats)[2 * i + 1];
+      const float* xrow = nx.value.data() + i * n;
+      const float* grow = self.grad.data() + i * n;
+      float sum_dy_xhat = 0.0f, sum_dy = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        const float xhat = (xrow[j] - mean) * inv_std;
+        const float dy = grow[j] * ng.value[j];
+        sum_dy_xhat += dy * xhat;
+        sum_dy += dy;
+        dgamma[j] += grow[j] * xhat;
+        dbeta[j] += grow[j];
+      }
+      if (nx.requires_grad()) {
+        for (int64_t j = 0; j < n; ++j) {
+          const float xhat = (xrow[j] - mean) * inv_std;
+          const float dy = grow[j] * ng.value[j];
+          dx[i * n + j] =
+              inv_std * (dy - sum_dy / n - xhat * sum_dy_xhat / n);
+        }
+      }
+    }
+    if (nx.requires_grad()) nx.AccumulateGrad(dx.data(), m * n);
+    if (ng.requires_grad()) ng.AccumulateGrad(dgamma.data(), n);
+    if (nb.requires_grad()) nb.AccumulateGrad(dbeta.data(), n);
+  };
+  return Variable(out);
+}
+
+namespace {
+
+Variable SelfAttentionImpl(const Variable& qkv, int64_t batch,
+                           int64_t seq_len, int64_t num_heads, bool causal) {
+  RATEL_CHECK(qkv.shape().size() == 2);
+  const int64_t rows = qkv.shape()[0];
+  RATEL_CHECK(rows == batch * seq_len);
+  RATEL_CHECK(qkv.shape()[1] % 3 == 0);
+  const int64_t hidden = qkv.shape()[1] / 3;
+  RATEL_CHECK(hidden % num_heads == 0);
+  const int64_t dh = hidden / num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  NodePtr out = MakeOutput({rows, hidden}, {qkv.node()});
+  // Cache softmax probabilities for backward: [batch, heads, S, S].
+  auto probs = std::make_shared<std::vector<float>>(
+      batch * num_heads * seq_len * seq_len, 0.0f);
+
+  const float* in = qkv.value().data();
+  const int64_t in_stride = 3 * hidden;
+  auto q_at = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
+    return in[(b * seq_len + t) * in_stride + h * dh + d];
+  };
+  auto k_at = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
+    return in[(b * seq_len + t) * in_stride + hidden + h * dh + d];
+  };
+  auto v_at = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
+    return in[(b * seq_len + t) * in_stride + 2 * hidden + h * dh + d];
+  };
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t h = 0; h < num_heads; ++h) {
+      float* p = probs->data() + ((b * num_heads + h) * seq_len) * seq_len;
+      for (int64_t i = 0; i < seq_len; ++i) {
+        // Scores over the visible window (causal prefix or full row),
+        // then a numerically stable softmax.
+        const int64_t limit = causal ? i : seq_len - 1;
+        float maxv = -1e30f;
+        for (int64_t j = 0; j <= limit; ++j) {
+          float s = 0.0f;
+          for (int64_t d = 0; d < dh; ++d) {
+            s += q_at(b, i, h, d) * k_at(b, j, h, d);
+          }
+          s *= scale;
+          p[i * seq_len + j] = s;
+          maxv = std::max(maxv, s);
+        }
+        float denom = 0.0f;
+        for (int64_t j = 0; j <= limit; ++j) {
+          const float e = std::exp(p[i * seq_len + j] - maxv);
+          p[i * seq_len + j] = e;
+          denom += e;
+        }
+        for (int64_t j = 0; j <= limit; ++j) p[i * seq_len + j] /= denom;
+        // Context = probs . V.
+        float* orow = out->value.data() + (b * seq_len + i) * hidden + h * dh;
+        for (int64_t d = 0; d < dh; ++d) {
+          float acc = 0.0f;
+          for (int64_t j = 0; j <= limit; ++j) {
+            acc += p[i * seq_len + j] * v_at(b, j, h, d);
+          }
+          orow[d] = acc;
+        }
+      }
+    }
+  }
+
+  out->backward_fn = [batch, seq_len, num_heads, hidden, dh, scale,
+                      causal, probs](Node& self) {
+    Node& nqkv = *self.inputs[0];
+    if (!nqkv.requires_grad()) return;
+    const int64_t in_stride = 3 * hidden;
+    const float* in = nqkv.value.data();
+    std::vector<float> din(nqkv.NumElements(), 0.0f);
+    auto idx_q = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
+      return (b * seq_len + t) * in_stride + h * dh + d;
+    };
+    auto idx_k = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
+      return (b * seq_len + t) * in_stride + hidden + h * dh + d;
+    };
+    auto idx_v = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
+      return (b * seq_len + t) * in_stride + 2 * hidden + h * dh + d;
+    };
+    std::vector<float> dp(seq_len, 0.0f);
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t h = 0; h < num_heads; ++h) {
+        const float* p =
+            probs->data() + ((b * num_heads + h) * seq_len) * seq_len;
+        for (int64_t i = 0; i < seq_len; ++i) {
+          const int64_t limit = causal ? i : seq_len - 1;
+          const float* dout =
+              self.grad.data() + (b * seq_len + i) * hidden + h * dh;
+          // dV[j] += p[i][j] * dOut[i]; dP[i][j] = dOut[i] . V[j].
+          float dot_dp_p = 0.0f;
+          for (int64_t j = 0; j <= limit; ++j) {
+            float acc = 0.0f;
+            for (int64_t d = 0; d < dh; ++d) {
+              din[idx_v(b, j, h, d)] += p[i * seq_len + j] * dout[d];
+              acc += dout[d] * in[idx_v(b, j, h, d)];
+            }
+            dp[j] = acc;
+            dot_dp_p += acc * p[i * seq_len + j];
+          }
+          // Softmax backward: dS = P o (dP - sum(dP o P)); then Q/K grads.
+          for (int64_t j = 0; j <= limit; ++j) {
+            const float ds = p[i * seq_len + j] * (dp[j] - dot_dp_p) * scale;
+            if (ds == 0.0f) continue;
+            for (int64_t d = 0; d < dh; ++d) {
+              din[idx_q(b, i, h, d)] += ds * in[idx_k(b, j, h, d)];
+              din[idx_k(b, j, h, d)] += ds * in[idx_q(b, i, h, d)];
+            }
+          }
+        }
+      }
+    }
+    nqkv.AccumulateGrad(din.data(), nqkv.NumElements());
+  };
+  return Variable(out);
+}
+
+}  // namespace
+
+Variable CausalSelfAttention(const Variable& qkv, int64_t batch,
+                             int64_t seq_len, int64_t num_heads) {
+  return SelfAttentionImpl(qkv, batch, seq_len, num_heads, /*causal=*/true);
+}
+
+Variable FullSelfAttention(const Variable& qkv, int64_t batch,
+                           int64_t seq_len, int64_t num_heads) {
+  return SelfAttentionImpl(qkv, batch, seq_len, num_heads, /*causal=*/false);
+}
+
+Variable Embedding(const std::vector<int64_t>& ids, const Variable& table) {
+  RATEL_CHECK(table.shape().size() == 2);
+  const int64_t vocab = table.shape()[0], hidden = table.shape()[1];
+  const int64_t n = static_cast<int64_t>(ids.size());
+  for (int64_t id : ids) RATEL_CHECK(id >= 0 && id < vocab);
+  NodePtr out = MakeOutput({n, hidden}, {table.node()});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = table.value().data() + ids[i] * hidden;
+    std::copy(row, row + hidden, out->value.data() + i * hidden);
+  }
+  auto ids_copy = std::make_shared<std::vector<int64_t>>(ids);
+  out->backward_fn = [n, hidden, vocab, ids_copy](Node& self) {
+    Node& nt = *self.inputs[0];
+    if (!nt.requires_grad()) return;
+    std::vector<float> dt(vocab * hidden, 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      const float* grow = self.grad.data() + i * hidden;
+      float* trow = dt.data() + (*ids_copy)[i] * hidden;
+      for (int64_t j = 0; j < hidden; ++j) trow[j] += grow[j];
+    }
+    nt.AccumulateGrad(dt.data(), vocab * hidden);
+  };
+  return Variable(out);
+}
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int64_t>& targets) {
+  RATEL_CHECK(logits.shape().size() == 2);
+  const int64_t n = logits.shape()[0], vocab = logits.shape()[1];
+  RATEL_CHECK(static_cast<int64_t>(targets.size()) == n);
+  NodePtr out = MakeOutput({1}, {logits.node()});
+  auto probs = std::make_shared<std::vector<float>>(n * vocab);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.value().data() + i * vocab;
+    float maxv = row[0];
+    for (int64_t j = 1; j < vocab; ++j) maxv = std::max(maxv, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < vocab; ++j) {
+      const float e = std::exp(row[j] - maxv);
+      (*probs)[i * vocab + j] = e;
+      denom += e;
+    }
+    for (int64_t j = 0; j < vocab; ++j) {
+      (*probs)[i * vocab + j] /= static_cast<float>(denom);
+    }
+    RATEL_CHECK(targets[i] >= 0 && targets[i] < vocab);
+    loss -= std::log(
+        std::max(1e-30, static_cast<double>((*probs)[i * vocab + targets[i]])));
+  }
+  out->value[0] = static_cast<float>(loss / n);
+  auto targets_copy = std::make_shared<std::vector<int64_t>>(targets);
+  out->backward_fn = [n, vocab, probs, targets_copy](Node& self) {
+    Node& nl = *self.inputs[0];
+    if (!nl.requires_grad()) return;
+    const float g = self.grad[0] / static_cast<float>(n);
+    std::vector<float> dl(n * vocab);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < vocab; ++j) {
+        float d = (*probs)[i * vocab + j];
+        if (j == (*targets_copy)[i]) d -= 1.0f;
+        dl[i * vocab + j] = d * g;
+      }
+    }
+    nl.AccumulateGrad(dl.data(), n * vocab);
+  };
+  return Variable(out);
+}
+
+Variable MeanSquaredError(const Variable& pred,
+                          const std::vector<float>& targets) {
+  const int64_t n = pred.NumElements();
+  RATEL_CHECK(static_cast<int64_t>(targets.size()) == n);
+  NodePtr out = MakeOutput({1}, {pred.node()});
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = pred.value()[i] - targets[i];
+    loss += d * d;
+  }
+  out->value[0] = static_cast<float>(loss / n);
+  auto targets_copy = std::make_shared<std::vector<float>>(targets);
+  out->backward_fn = [n, targets_copy](Node& self) {
+    Node& np = *self.inputs[0];
+    if (!np.requires_grad()) return;
+    const float g = self.grad[0] * 2.0f / static_cast<float>(n);
+    std::vector<float> dp(n);
+    for (int64_t i = 0; i < n; ++i) {
+      dp[i] = (np.value[i] - (*targets_copy)[i]) * g;
+    }
+    np.AccumulateGrad(dp.data(), n);
+  };
+  return Variable(out);
+}
+
+Variable Sigmoid(const Variable& a) {
+  NodePtr out = MakeOutput(a.shape(), {a.node()});
+  const int64_t n = out->NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    out->value[i] = 1.0f / (1.0f + std::exp(-a.value()[i]));
+  }
+  // d sigmoid = y * (1 - y); reuse the forward output.
+  auto y = std::make_shared<std::vector<float>>(out->value);
+  out->backward_fn = [n, y](Node& self) {
+    Node& na = *self.inputs[0];
+    if (!na.requires_grad()) return;
+    std::vector<float> da(n);
+    for (int64_t i = 0; i < n; ++i) {
+      da[i] = self.grad[i] * (*y)[i] * (1.0f - (*y)[i]);
+    }
+    na.AccumulateGrad(da.data(), n);
+  };
+  return Variable(out);
+}
+
+Variable Tanh(const Variable& a) {
+  NodePtr out = MakeOutput(a.shape(), {a.node()});
+  const int64_t n = out->NumElements();
+  for (int64_t i = 0; i < n; ++i) out->value[i] = std::tanh(a.value()[i]);
+  auto y = std::make_shared<std::vector<float>>(out->value);
+  out->backward_fn = [n, y](Node& self) {
+    Node& na = *self.inputs[0];
+    if (!na.requires_grad()) return;
+    std::vector<float> da(n);
+    for (int64_t i = 0; i < n; ++i) {
+      da[i] = self.grad[i] * (1.0f - (*y)[i] * (*y)[i]);
+    }
+    na.AccumulateGrad(da.data(), n);
+  };
+  return Variable(out);
+}
+
+Variable Mean(const Variable& a) {
+  NodePtr out = MakeOutput({1}, {a.node()});
+  const int64_t n = a.NumElements();
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) sum += a.value()[i];
+  out->value[0] = static_cast<float>(sum / n);
+  out->backward_fn = [n](Node& self) {
+    Node& na = *self.inputs[0];
+    if (!na.requires_grad()) return;
+    std::vector<float> da(n, self.grad[0] / static_cast<float>(n));
+    na.AccumulateGrad(da.data(), n);
+  };
+  return Variable(out);
+}
+
+Variable Dropout(const Variable& a, float rate, uint64_t seed) {
+  RATEL_CHECK(rate >= 0.0f && rate < 1.0f) << "dropout rate out of range";
+  NodePtr out = MakeOutput(a.shape(), {a.node()});
+  const int64_t n = out->NumElements();
+  const float keep = 1.0f - rate;
+  const float scale = 1.0f / keep;
+  auto mask = std::make_shared<std::vector<float>>(n);
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    (*mask)[i] = rng.NextDouble() < keep ? scale : 0.0f;
+    out->value[i] = a.value()[i] * (*mask)[i];
+  }
+  out->backward_fn = [n, mask](Node& self) {
+    Node& na = *self.inputs[0];
+    if (!na.requires_grad()) return;
+    std::vector<float> da(n);
+    for (int64_t i = 0; i < n; ++i) da[i] = self.grad[i] * (*mask)[i];
+    na.AccumulateGrad(da.data(), n);
+  };
+  return Variable(out);
+}
+
+double Accuracy(const Variable& logits, const std::vector<int64_t>& targets) {
+  RATEL_CHECK(logits.shape().size() == 2);
+  const int64_t n = logits.shape()[0], vocab = logits.shape()[1];
+  RATEL_CHECK(static_cast<int64_t>(targets.size()) == n);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.value().data() + i * vocab;
+    int64_t best = 0;
+    for (int64_t j = 1; j < vocab; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    correct += best == targets[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace ratel::ag

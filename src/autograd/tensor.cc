@@ -1,0 +1,114 @@
+#include "autograd/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace ratel::ag {
+
+namespace {
+
+int64_t Product(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    RATEL_CHECK(d > 0) << "non-positive dimension " << d;
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Node::Node(std::vector<int64_t> shape, bool requires_grad)
+    : shape_(std::move(shape)),
+      num_elements_(Product(shape_)),
+      requires_grad_(requires_grad) {}
+
+void Node::AccumulateGrad(const float* g, int64_t n) {
+  RATEL_CHECK(n == num_elements_);
+  if (grad.empty()) grad.assign(num_elements_, 0.0f);
+  for (int64_t i = 0; i < n; ++i) grad[i] += g[i];
+}
+
+Variable Variable::Parameter(std::vector<int64_t> shape,
+                             std::vector<float> data, std::string name) {
+  auto node = std::make_shared<Node>(std::move(shape), /*requires_grad=*/true);
+  RATEL_CHECK(static_cast<int64_t>(data.size()) == node->NumElements())
+      << "parameter '" << name << "' data size mismatch";
+  node->value = std::move(data);
+  node->name = std::move(name);
+  return Variable(std::move(node));
+}
+
+Variable Variable::Constant(std::vector<int64_t> shape,
+                            std::vector<float> data) {
+  auto node =
+      std::make_shared<Node>(std::move(shape), /*requires_grad=*/false);
+  RATEL_CHECK(static_cast<int64_t>(data.size()) == node->NumElements());
+  node->value = std::move(data);
+  return Variable(std::move(node));
+}
+
+void Variable::ZeroGrad() {
+  RATEL_CHECK(defined());
+  node_->grad.assign(node_->NumElements(), 0.0f);
+}
+
+void Variable::Backward() {
+  RATEL_CHECK(defined());
+  RATEL_CHECK(node_->NumElements() == 1)
+      << "Backward() must start from a scalar";
+
+  // Topological order by iterative DFS over the input DAG.
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->inputs.size()) {
+      Node* child = node->inputs[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) stack.emplace_back(child, 0);
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  const float seed = 1.0f;
+  node_->AccumulateGrad(&seed, 1);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+std::vector<NodePtr> CollectIntermediateNodes(const Variable& root) {
+  RATEL_CHECK(root.defined());
+  std::vector<NodePtr> topo;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<NodePtr, size_t>> stack;
+  stack.emplace_back(root.node(), 0);
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->inputs.size()) {
+      NodePtr child = node->inputs[next_child];
+      ++next_child;
+      if (visited.insert(child.get()).second) {
+        stack.emplace_back(std::move(child), 0);
+      }
+    } else {
+      if (!node->inputs.empty()) topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return topo;
+}
+
+}  // namespace ratel::ag

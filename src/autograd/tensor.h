@@ -1,0 +1,90 @@
+#ifndef RATEL_AUTOGRAD_TENSOR_H_
+#define RATEL_AUTOGRAD_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ratel::ag {
+
+/// A node of the dynamic autograd tape: a dense fp32 tensor plus the
+/// closure that back-propagates into its inputs.
+///
+/// This is a deliberately small, real reverse-mode engine (in the spirit
+/// of PyTorch's tape) used to run genuine fine-tuning of small
+/// transformers under the Ratel runtime, so the offloading code paths are
+/// exercised with real bytes and real gradients — not only simulated time.
+class Node {
+ public:
+  Node(std::vector<int64_t> shape, bool requires_grad);
+
+  int64_t NumElements() const { return num_elements_; }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  bool requires_grad() const { return requires_grad_; }
+
+  std::vector<float> value;
+  std::vector<float> grad;  // lazily sized on first accumulation
+
+  /// Accumulates `g` (same length as value) into grad.
+  void AccumulateGrad(const float* g, int64_t n);
+
+  // Graph wiring (set by op constructors in ops.cc).
+  std::vector<std::shared_ptr<Node>> inputs;
+  std::function<void(Node&)> backward_fn;
+  std::string name;
+
+ private:
+  std::vector<int64_t> shape_;
+  int64_t num_elements_;
+  bool requires_grad_;
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+/// Value-semantic handle to a Node; the public face of the autograd API.
+class Variable {
+ public:
+  Variable() = default;
+  explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+  /// A trainable parameter tensor (participates in backward).
+  static Variable Parameter(std::vector<int64_t> shape,
+                            std::vector<float> data, std::string name);
+
+  /// A constant input tensor (no gradient).
+  static Variable Constant(std::vector<int64_t> shape,
+                           std::vector<float> data);
+
+  bool defined() const { return node_ != nullptr; }
+  const NodePtr& node() const { return node_; }
+  const std::vector<int64_t>& shape() const { return node_->shape(); }
+  int64_t NumElements() const { return node_->NumElements(); }
+
+  const std::vector<float>& value() const { return node_->value; }
+  std::vector<float>& mutable_value() { return node_->value; }
+  const std::vector<float>& grad() const { return node_->grad; }
+
+  /// Clears the gradient buffer (between iterations).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this scalar (NumElements()==1)
+  /// with seed d(self)/d(self) = 1. Gradients accumulate into every
+  /// reachable Node with requires_grad.
+  void Backward();
+
+ private:
+  NodePtr node_;
+};
+
+/// All *intermediate* nodes (op outputs, i.e. activations) reachable
+/// from `root`, in deterministic topological (inputs-first) order.
+/// Leaf nodes (parameters, constants) are excluded. Used by the runtime
+/// to swap the tape's saved activations out to storage between forward
+/// and backward (the A16 movement of Table II).
+std::vector<NodePtr> CollectIntermediateNodes(const Variable& root);
+
+}  // namespace ratel::ag
+
+#endif  // RATEL_AUTOGRAD_TENSOR_H_

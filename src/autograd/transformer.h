@@ -1,0 +1,69 @@
+#ifndef RATEL_AUTOGRAD_TRANSFORMER_H_
+#define RATEL_AUTOGRAD_TRANSFORMER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace ratel::ag {
+
+/// Configuration of the small, *actually trained* GPT used by the real
+/// runtime and the examples (the numeric twin of the paper's Table IV
+/// decoder architecture, at laptop scale).
+struct TinyGptConfig {
+  int64_t vocab_size = 256;
+  int64_t seq_len = 32;
+  int64_t hidden_dim = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+};
+
+/// A trainable decoder-only transformer with named parameters grouped per
+/// block, so the Ratel runtime can swap each block's parameter/gradient
+/// group through main memory and the block store exactly as the full
+/// system moves P16/G16 tensors.
+class TinyGpt {
+ public:
+  /// Builds the model with deterministic Gaussian init (std 0.02).
+  TinyGpt(const TinyGptConfig& config, uint64_t seed);
+
+  const TinyGptConfig& config() const { return config_; }
+
+  /// All parameters in (name, tensor) order. Names look like
+  /// "blk3/w_up" or "embed/table"; the block index orders gradient arrival
+  /// during backward (decreasing, as in Section IV-C).
+  std::vector<std::pair<std::string, Variable>>& parameters() {
+    return params_;
+  }
+
+  /// Names of parameters belonging to block `i` (for group-wise offload).
+  std::vector<std::string> BlockParameterNames(int block) const;
+
+  /// Builds the forward graph for one batch and returns the logits
+  /// [batch*seq_len, vocab] (tied LM head).
+  Variable Logits(const std::vector<int64_t>& ids, int64_t batch);
+
+  /// Builds the forward graph for one batch and returns the mean
+  /// cross-entropy loss. `ids`/`targets` hold batch*seq_len token ids.
+  Variable Loss(const std::vector<int64_t>& ids,
+                const std::vector<int64_t>& targets, int64_t batch);
+
+  /// Clears gradients of all parameters.
+  void ZeroGrads();
+
+  /// Total parameter count.
+  int64_t NumParameters() const;
+
+ private:
+  Variable Param(const std::string& name) const;
+
+  TinyGptConfig config_;
+  std::vector<std::pair<std::string, Variable>> params_;
+};
+
+}  // namespace ratel::ag
+
+#endif  // RATEL_AUTOGRAD_TRANSFORMER_H_

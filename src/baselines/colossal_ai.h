@@ -1,0 +1,31 @@
+#ifndef RATEL_BASELINES_COLOSSAL_AI_H_
+#define RATEL_BASELINES_COLOSSAL_AI_H_
+
+#include <string>
+
+#include "core/system.h"
+
+namespace ratel {
+
+/// Colossal-AI 0.3.5 with the Gemini memory manager (Section V-A): model
+/// states managed in chunks across GPU/main memory/NVMe; inter-block
+/// activation checkpoints are *kept in GPU memory* and intra-block
+/// activations recomputed (Section III-B), so large batches and large
+/// models exhaust device memory quickly. Gemini's chunk migration adds
+/// substantial per-block overhead on a single consumer GPU, which is why
+/// the paper measures only ~12% GPU busy time.
+class ColossalAiSystem final : public TrainingSystem {
+ public:
+  std::string name() const override { return "Colossal-AI"; }
+
+  bool CanTrain(const TransformerConfig& config, int batch_size,
+                const ServerConfig& server,
+                std::string* reason = nullptr) const override;
+
+  Result<IterationResult> Run(const TransformerConfig& config, int batch_size,
+                              const ServerConfig& server) const override;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_BASELINES_COLOSSAL_AI_H_

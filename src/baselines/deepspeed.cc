@@ -1,0 +1,123 @@
+#include "baselines/deepspeed.h"
+
+#include "common/units.h"
+#include "core/activation_planner.h"
+#include "core/feasibility.h"
+#include "core/hardware_profile.h"
+#include "model/tensor_inventory.h"
+
+namespace ratel {
+
+namespace {
+
+/// DeepSpeed per-block synchronization overhead on the evaluation server
+/// (gather/partition of fp16 shards, pageable-host staging); calibrated
+/// to Fig. 1a's 14 s forward stage for 13B at batch 32.
+constexpr double kZeroInfLayerOverheadS = 0.20;
+constexpr double kZeroOffLayerOverheadS = 0.12;
+constexpr double kDeepSpeedGpuEfficiency = 0.90;
+
+Result<IterationResult> RunDeepSpeed(const TransformerConfig& config,
+                                     int batch_size,
+                                     const ServerConfig& server,
+                                     ModelStatePlacement placement,
+                                     double layer_overhead, int num_gpus) {
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  HardwareProfiler profiler(server);
+  RATEL_ASSIGN_OR_RETURN(HardwareProfile hw, profiler.Profile(wl));
+  const CostModel cm(hw, wl);
+  const ActivationPlanner planner(cm);
+  // Static rule: inter-block checkpoints to main memory, recompute the
+  // rest (Section III-B).
+  const ActivationPlan plan =
+      planner.PlanForAmount(wl.inter_block_activation_bytes());
+
+  IterationKnobs knobs;
+  knobs.grad_mode = GradientOffloadMode::kSerializedOptimizer;
+  knobs.state_placement = placement;
+  knobs.gpu_efficiency = kDeepSpeedGpuEfficiency;
+  knobs.per_layer_overhead_s = layer_overhead;
+  knobs.num_gpus = num_gpus;
+  return IterationSimulator(hw, wl, plan, knobs).Simulate();
+}
+
+}  // namespace
+
+bool ZeroInfinitySystem::CanTrain(const TransformerConfig& config,
+                                  int batch_size, const ServerConfig& server,
+                                  std::string* reason) const {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  if (server.ssds.count < 1) return fail("needs NVMe SSDs for model states");
+  const int64_t gpu_need =
+      feasibility::StreamingGpuWorkingSetBytes(config, batch_size);
+  if (gpu_need > server.gpu.device_memory_bytes) {
+    return fail("GPU working set " + FormatBytes(gpu_need) + " exceeds " +
+                FormatBytes(server.gpu.device_memory_bytes));
+  }
+  // Pinned NVMe staging + gradient buffers + the inter-block checkpoints,
+  // all hosted in main memory (activations never reach the SSDs).
+  const int64_t host_need =
+      feasibility::ZeroInfinityHostBytes(config) +
+      feasibility::InterBlockBytes(config, batch_size);
+  if (host_need > server.main_memory_bytes) {
+    return fail("host footprint " + FormatBytes(host_need) + " exceeds " +
+                FormatBytes(server.main_memory_bytes));
+  }
+  const int64_t ssd_need = ModelStateBytes(config.ParameterCount());
+  if (ssd_need > server.ssds.CapacityBytes()) {
+    return fail("model states exceed SSD capacity");
+  }
+  return true;
+}
+
+Result<IterationResult> ZeroInfinitySystem::Run(
+    const TransformerConfig& config, int batch_size,
+    const ServerConfig& server) const {
+  std::string reason;
+  if (!CanTrain(config, batch_size, server, &reason)) {
+    return Status::FailedPrecondition("ZeRO-Infinity: " + reason);
+  }
+  return RunDeepSpeed(config, batch_size, server, ModelStatePlacement::kSsd,
+                      kZeroInfLayerOverheadS, num_gpus_);
+}
+
+bool ZeroOffloadSystem::CanTrain(const TransformerConfig& config,
+                                 int batch_size, const ServerConfig& server,
+                                 std::string* reason) const {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  const int64_t gpu_need =
+      feasibility::StreamingGpuWorkingSetBytes(config, batch_size);
+  if (gpu_need > server.gpu.device_memory_bytes) {
+    return fail("GPU working set " + FormatBytes(gpu_need) + " exceeds " +
+                FormatBytes(server.gpu.device_memory_bytes));
+  }
+  const int64_t host_need =
+      feasibility::ZeroOffloadHostBytes(config) +
+      feasibility::InterBlockBytes(config, batch_size);
+  if (host_need > server.main_memory_bytes) {
+    return fail("model states + checkpoints " + FormatBytes(host_need) +
+                " exceed " + FormatBytes(server.main_memory_bytes) +
+                " main memory");
+  }
+  return true;
+}
+
+Result<IterationResult> ZeroOffloadSystem::Run(
+    const TransformerConfig& config, int batch_size,
+    const ServerConfig& server) const {
+  std::string reason;
+  if (!CanTrain(config, batch_size, server, &reason)) {
+    return Status::FailedPrecondition("ZeRO-Offload: " + reason);
+  }
+  return RunDeepSpeed(config, batch_size, server,
+                      ModelStatePlacement::kMainMemory,
+                      kZeroOffLayerOverheadS, /*num_gpus=*/1);
+}
+
+}  // namespace ratel

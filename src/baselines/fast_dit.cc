@@ -1,0 +1,70 @@
+#include "baselines/fast_dit.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+#include "core/activation_planner.h"
+#include "core/feasibility.h"
+#include "core/hardware_profile.h"
+#include "model/tensor_inventory.h"
+
+namespace ratel {
+
+namespace {
+
+/// In-GPU kernel efficiency as a function of batch size: DiT blocks at
+/// hidden width ~1-2k underfill a 4090 at small batch, which is the
+/// low-throughput regime Fig. 12 shows once Fast-DiT's trainable batch
+/// collapses.
+double FastDitEfficiency(int batch) {
+  return 0.92 * static_cast<double>(batch) / (batch + 6.0);
+}
+
+}  // namespace
+
+bool FastDiTSystem::CanTrain(const TransformerConfig& config, int batch_size,
+                             const ServerConfig& server,
+                             std::string* reason) const {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  // Fast-DiT keeps all model states resident and uses gradient
+  // checkpointing: per-block boundaries plus one block's transient
+  // activations live in device memory alongside 16P of states.
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  const int64_t block_act =
+      wl.blocks().empty() ? 0 : wl.blocks()[0].activation_bytes;
+  const int64_t need = ModelStateBytes(config.ParameterCount()) +
+                       wl.inter_block_activation_bytes() + block_act +
+                       feasibility::kGpuContextBytes;
+  if (need > server.gpu.device_memory_bytes) {
+    return fail("OOM: resident states + activations " + FormatBytes(need) +
+                " exceed " + FormatBytes(server.gpu.device_memory_bytes));
+  }
+  return true;
+}
+
+Result<IterationResult> FastDiTSystem::Run(const TransformerConfig& config,
+                                           int batch_size,
+                                           const ServerConfig& server) const {
+  std::string reason;
+  if (!CanTrain(config, batch_size, server, &reason)) {
+    return Status::FailedPrecondition("Fast-DiT: " + reason);
+  }
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  HardwareProfiler profiler(server);
+  RATEL_ASSIGN_OR_RETURN(HardwareProfile hw, profiler.Profile(wl));
+  const CostModel cm(hw, wl);
+  const ActivationPlanner planner(cm);
+  const ActivationPlan plan = planner.PlanForAmount(0);
+
+  IterationKnobs knobs;
+  knobs.grad_mode = GradientOffloadMode::kSerializedOptimizer;
+  knobs.state_placement = ModelStatePlacement::kGpu;
+  knobs.gpu_efficiency = FastDitEfficiency(batch_size);
+  knobs.per_layer_overhead_s = 0.0;
+  return IterationSimulator(hw, wl, plan, knobs).Simulate();
+}
+
+}  // namespace ratel

@@ -1,0 +1,29 @@
+#ifndef RATEL_BASELINES_FAST_DIT_H_
+#define RATEL_BASELINES_FAST_DIT_H_
+
+#include <string>
+
+#include "core/system.h"
+
+namespace ratel {
+
+/// Fast-DiT, the open-source DiT training framework compared against in
+/// Fig. 12: all tensors (model states and activations) stay resident in
+/// GPU memory, so both the trainable model size and the usable batch
+/// size collapse as the backbone grows — exactly the behaviour the
+/// paper's Section V-H reports (OOM at 10B on a 24 GB card).
+class FastDiTSystem final : public TrainingSystem {
+ public:
+  std::string name() const override { return "Fast-DiT"; }
+
+  bool CanTrain(const TransformerConfig& config, int batch_size,
+                const ServerConfig& server,
+                std::string* reason = nullptr) const override;
+
+  Result<IterationResult> Run(const TransformerConfig& config, int batch_size,
+                              const ServerConfig& server) const override;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_BASELINES_FAST_DIT_H_

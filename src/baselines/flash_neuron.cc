@@ -1,0 +1,114 @@
+#include "baselines/flash_neuron.h"
+
+#include "common/units.h"
+#include "core/activation_planner.h"
+#include "core/feasibility.h"
+#include "core/hardware_profile.h"
+#include "model/tensor_inventory.h"
+
+namespace ratel {
+
+bool FlashNeuronSystem::CanTrain(const TransformerConfig& config,
+                                 int batch_size, const ServerConfig& server,
+                                 std::string* reason) const {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  if (server.ssds.count < 1) return fail("needs SSDs for activations");
+  const int64_t gpu_need =
+      feasibility::ResidentStatesGpuBytes(config, batch_size);
+  if (gpu_need > server.gpu.device_memory_bytes) {
+    return fail("resident model states + working set " +
+                FormatBytes(gpu_need) + " exceed " +
+                FormatBytes(server.gpu.device_memory_bytes) +
+                " of GPU memory");
+  }
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  if (wl.total_activation_bytes() > server.ssds.CapacityBytes()) {
+    return fail("activations exceed SSD capacity");
+  }
+  return true;
+}
+
+Result<IterationResult> FlashNeuronSystem::Run(
+    const TransformerConfig& config, int batch_size,
+    const ServerConfig& server) const {
+  std::string reason;
+  if (!CanTrain(config, batch_size, server, &reason)) {
+    return Status::FailedPrecondition("FlashNeuron: " + reason);
+  }
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  HardwareProfiler profiler(server);
+  RATEL_ASSIGN_OR_RETURN(HardwareProfile hw, profiler.Profile(wl));
+  const CostModel cm(hw, wl);
+  const ActivationPlanner planner(cm);
+  // FlashNeuron offloads (nearly) all activations; no recomputation.
+  const ActivationPlan plan =
+      planner.PlanForAmount(wl.total_activation_bytes());
+
+  IterationKnobs knobs;
+  knobs.grad_mode = GradientOffloadMode::kSerializedOptimizer;
+  knobs.state_placement = ModelStatePlacement::kGpu;
+  knobs.gpu_efficiency = 0.92;
+  knobs.per_layer_overhead_s = 0.02;
+  return IterationSimulator(hw, wl, plan, knobs).Simulate();
+}
+
+bool G10System::CanTrain(const TransformerConfig& config, int batch_size,
+                         const ServerConfig& server,
+                         std::string* reason) const {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  if (!assume_gpudirect_ && !server.gpu.supports_gpudirect) {
+    return fail("G10 requires GPUDirect, unavailable on " + server.gpu.name +
+                " (Section III-C)");
+  }
+  if (server.ssds.count < 1) return fail("needs NVMe for unified memory");
+  const int64_t gpu_need =
+      feasibility::StreamingGpuWorkingSetBytes(config, batch_size);
+  if (gpu_need > server.gpu.device_memory_bytes) {
+    return fail("GPU working set " + FormatBytes(gpu_need) + " exceeds " +
+                FormatBytes(server.gpu.device_memory_bytes));
+  }
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  const int64_t unified_need = ModelStateBytes(config.ParameterCount()) +
+                               wl.total_activation_bytes();
+  const int64_t unified_cap =
+      server.main_memory_bytes + server.ssds.CapacityBytes();
+  if (unified_need > unified_cap) {
+    return fail("unified main/NVMe memory exhausted: needs " +
+                FormatBytes(unified_need));
+  }
+  return true;
+}
+
+Result<IterationResult> G10System::Run(const TransformerConfig& config,
+                                       int batch_size,
+                                       const ServerConfig& server) const {
+  std::string reason;
+  if (!CanTrain(config, batch_size, server, &reason)) {
+    return Status::FailedPrecondition("G10: " + reason);
+  }
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  HardwareProfiler profiler(server);
+  RATEL_ASSIGN_OR_RETURN(HardwareProfile hw, profiler.Profile(wl));
+  const CostModel cm(hw, wl);
+  const ActivationPlanner planner(cm);
+  // No recomputation: (almost) all activations migrate to unified memory
+  // (Section III-C: 213 GB for 13B at batch 32).
+  const ActivationPlan plan =
+      planner.PlanForAmount(wl.total_activation_bytes());
+
+  IterationKnobs knobs;
+  knobs.grad_mode = GradientOffloadMode::kSerializedOptimizer;
+  knobs.state_placement = ModelStatePlacement::kSsd;
+  knobs.gpu_optimizer = true;  // Adam on the GPU (Fig. 1b)
+  knobs.gpu_efficiency = 0.95;
+  knobs.per_layer_overhead_s = 0.0;
+  return IterationSimulator(hw, wl, plan, knobs).Simulate();
+}
+
+}  // namespace ratel

@@ -1,0 +1,53 @@
+#ifndef RATEL_BASELINES_FLASH_NEURON_H_
+#define RATEL_BASELINES_FLASH_NEURON_H_
+
+#include <string>
+
+#include "core/system.h"
+
+namespace ratel {
+
+/// FlashNeuron (FAST'21), re-implemented with the POSIX file API instead
+/// of GPUDirect so it runs on consumer GPUs (Section V-A): activations
+/// are offloaded through main memory to the SSDs, but *all model states
+/// stay resident in GPU memory*, so the trainable model size is capped at
+/// roughly device_memory/16 bytes-per-parameter (~1.5B on a 24 GB card,
+/// Fig. 2a).
+class FlashNeuronSystem final : public TrainingSystem {
+ public:
+  std::string name() const override { return "FlashNeuron"; }
+
+  bool CanTrain(const TransformerConfig& config, int batch_size,
+                const ServerConfig& server,
+                std::string* reason = nullptr) const override;
+
+  Result<IterationResult> Run(const TransformerConfig& config, int batch_size,
+                              const ServerConfig& server) const override;
+};
+
+/// G10 (MICRO'23): both model states and activations in unified
+/// main/NVMe memory, Adam executed *on the GPU* (model states streamed
+/// over the SSD link each optimizer stage), no activation recomputation.
+/// Relies on GPUDirect, which consumer GPUs lack — `assume_gpudirect`
+/// reproduces the paper's Fig. 1b simulation that grants it anyway.
+class G10System final : public TrainingSystem {
+ public:
+  explicit G10System(bool assume_gpudirect = true)
+      : assume_gpudirect_(assume_gpudirect) {}
+
+  std::string name() const override { return "G10"; }
+
+  bool CanTrain(const TransformerConfig& config, int batch_size,
+                const ServerConfig& server,
+                std::string* reason = nullptr) const override;
+
+  Result<IterationResult> Run(const TransformerConfig& config, int batch_size,
+                              const ServerConfig& server) const override;
+
+ private:
+  bool assume_gpudirect_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_BASELINES_FLASH_NEURON_H_

@@ -1,0 +1,63 @@
+#include "baselines/megatron.h"
+
+#include "common/units.h"
+#include "model/tensor_inventory.h"
+#include "model/workload.h"
+
+namespace ratel {
+
+namespace {
+
+/// Model-FLOPs utilization of Megatron TP-8 at sequence length 1024 on
+/// NVLink A100s (kernel efficiency net of all-reduce and pipeline
+/// bubbles). Standard published MFU for this regime is 45-52%.
+constexpr double kMegatronMfu = 0.50;
+
+}  // namespace
+
+bool MegatronDgxBaseline::CanTrain(const TransformerConfig& config,
+                                   int global_batch,
+                                   std::string* reason) const {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  const int64_t aggregate_gpu =
+      dgx_.gpu.device_memory_bytes * dgx_.gpu_count;
+  const WorkloadProfile wl = WorkloadProfile::Build(config, global_batch);
+  // Model states sharded across the TP group; activation checkpoints plus
+  // one block's working activations per GPU; ~10% framework slack.
+  const int64_t need = static_cast<int64_t>(
+      1.1 * (static_cast<double>(ModelStateBytes(config.ParameterCount())) +
+             static_cast<double>(wl.inter_block_activation_bytes()) +
+             static_cast<double>(wl.blocks().empty()
+                                     ? 0
+                                     : wl.blocks()[0].activation_bytes)));
+  if (need > aggregate_gpu) {
+    return fail("needs " + FormatBytes(need) + " but DGX aggregates only " +
+                FormatBytes(aggregate_gpu));
+  }
+  return true;
+}
+
+Result<double> MegatronDgxBaseline::TokensPerSecond(
+    const TransformerConfig& config, int global_batch) const {
+  std::string reason;
+  if (!CanTrain(config, global_batch, &reason)) {
+    return Status::FailedPrecondition("Megatron-LM on DGX: " + reason);
+  }
+  const WorkloadProfile wl = WorkloadProfile::Build(config, global_batch);
+  const double cluster_flops =
+      dgx_.gpu.peak_fp16_flops * dgx_.gpu_count * kMegatronMfu;
+  // Checkpointed training recomputes the forward pass once: 4x FLOP_f.
+  const double t_iter = 4.0 * wl.forward_flops() / cluster_flops;
+  return static_cast<double>(wl.tokens_per_iteration()) / t_iter;
+}
+
+Result<double> MegatronDgxBaseline::TokensPerSecondPerKiloDollar(
+    const TransformerConfig& config, int global_batch) const {
+  RATEL_ASSIGN_OR_RETURN(double tps, TokensPerSecond(config, global_batch));
+  return tps / (dgx_.TotalPriceUsd() / 1000.0);
+}
+
+}  // namespace ratel

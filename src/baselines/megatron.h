@@ -1,0 +1,42 @@
+#ifndef RATEL_BASELINES_MEGATRON_H_
+#define RATEL_BASELINES_MEGATRON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hw/specs.h"
+#include "model/transformer_config.h"
+
+namespace ratel {
+
+/// Megatron-LM tensor parallelism on an NVLink DGX-A100 (the Fig. 13
+/// cost-effectiveness comparator). No offloading: all tensors stay in
+/// aggregate GPU memory, so the trainable size is bounded by
+/// 8 x 80 GiB; throughput follows the usual TP-8 model-FLOPs-utilization
+/// model with NVLink all-reduce overhead folded into the MFU.
+class MegatronDgxBaseline {
+ public:
+  explicit MegatronDgxBaseline(const ServerConfig& dgx) : dgx_(dgx) {}
+
+  /// Whether (model, global batch) fits the 8-GPU memory aggregate under
+  /// tensor parallelism with full recomputation disabled.
+  bool CanTrain(const TransformerConfig& config, int global_batch,
+                std::string* reason = nullptr) const;
+
+  /// Tokens/s for the given global batch.
+  Result<double> TokensPerSecond(const TransformerConfig& config,
+                                 int global_batch) const;
+
+  /// Tokens/s per thousand dollars of machine price (Fig. 13 metric).
+  Result<double> TokensPerSecondPerKiloDollar(const TransformerConfig& config,
+                                              int global_batch) const;
+
+  const ServerConfig& dgx() const { return dgx_; }
+
+ private:
+  ServerConfig dgx_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_BASELINES_MEGATRON_H_

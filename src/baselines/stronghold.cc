@@ -1,0 +1,60 @@
+#include "baselines/stronghold.h"
+
+#include "common/units.h"
+#include "core/activation_planner.h"
+#include "core/feasibility.h"
+#include "core/hardware_profile.h"
+
+namespace ratel {
+
+bool StrongHoldSystem::CanTrain(const TransformerConfig& config,
+                                int batch_size, const ServerConfig& server,
+                                std::string* reason) const {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  const int64_t gpu_need =
+      feasibility::StreamingGpuWorkingSetBytes(config, batch_size);
+  if (gpu_need > server.gpu.device_memory_bytes) {
+    return fail("GPU working window " + FormatBytes(gpu_need) + " exceeds " +
+                FormatBytes(server.gpu.device_memory_bytes));
+  }
+  // All model states plus the activation checkpoints live in host DRAM.
+  const int64_t host_need =
+      feasibility::ZeroOffloadHostBytes(config) +
+      feasibility::InterBlockBytes(config, batch_size);
+  if (host_need > server.main_memory_bytes) {
+    return fail("model states + checkpoints " + FormatBytes(host_need) +
+                " exceed " + FormatBytes(server.main_memory_bytes));
+  }
+  return true;
+}
+
+Result<IterationResult> StrongHoldSystem::Run(
+    const TransformerConfig& config, int batch_size,
+    const ServerConfig& server) const {
+  std::string reason;
+  if (!CanTrain(config, batch_size, server, &reason)) {
+    return Status::FailedPrecondition("StrongHold: " + reason);
+  }
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  HardwareProfiler profiler(server);
+  RATEL_ASSIGN_OR_RETURN(HardwareProfile hw, profiler.Profile(wl));
+  const CostModel cm(hw, wl);
+  const ActivationPlanner planner(cm);
+  // Static working-window rule: checkpoints offloaded, intra recomputed.
+  const ActivationPlan plan =
+      planner.PlanForAmount(wl.inter_block_activation_bytes());
+
+  IterationKnobs knobs;
+  // StrongHold's contribution: the optimizer consumes gradients during
+  // backward (like Ratel's naive handler), against DRAM-resident states.
+  knobs.grad_mode = GradientOffloadMode::kNaiveActive;
+  knobs.state_placement = ModelStatePlacement::kMainMemory;
+  knobs.gpu_efficiency = 0.92;
+  knobs.per_layer_overhead_s = 0.03;
+  return IterationSimulator(hw, wl, plan, knobs).Simulate();
+}
+
+}  // namespace ratel

@@ -1,0 +1,32 @@
+#ifndef RATEL_BASELINES_STRONGHOLD_H_
+#define RATEL_BASELINES_STRONGHOLD_H_
+
+#include <string>
+
+#include "core/system.h"
+
+namespace ratel {
+
+/// StrongHold (SC'22), cited by the paper as prior work that overlaps
+/// optimizer execution with backward propagation [49] — but with model
+/// states held in *main memory* (a working-window of layers on the GPU,
+/// no NVMe leg). It therefore shares ZeRO-Offload's capacity ceiling
+/// (~main_memory / 16 bytes-per-param) while approaching Ratel's
+/// gradient-pipeline efficiency inside that ceiling. Including it
+/// isolates Ratel's two contributions: the overlap (which StrongHold
+/// has) and the SSD-backed holistic placement (which it lacks).
+class StrongHoldSystem final : public TrainingSystem {
+ public:
+  std::string name() const override { return "StrongHold"; }
+
+  bool CanTrain(const TransformerConfig& config, int batch_size,
+                const ServerConfig& server,
+                std::string* reason = nullptr) const override;
+
+  Result<IterationResult> Run(const TransformerConfig& config, int batch_size,
+                              const ServerConfig& server) const override;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_BASELINES_STRONGHOLD_H_

@@ -1,0 +1,82 @@
+#ifndef RATEL_COMMON_FP16_H_
+#define RATEL_COMMON_FP16_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace ratel {
+
+/// IEEE 754 binary16 stored as its bit pattern. The library keeps fp16
+/// tensors as raw uint16_t arrays (like CUDA __half buffers) and converts
+/// at the CPU compute boundary, mirroring how mixed-precision training
+/// handles P16/G16/A16 tensors (Table II).
+using Fp16 = uint16_t;
+
+/// Converts a float to IEEE binary16 with round-to-nearest-even,
+/// saturating to +/-inf like hardware conversions.
+inline Fp16 FloatToHalf(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  bits &= 0x7FFFFFFFu;
+
+  if (bits >= 0x7F800000u) {
+    // Inf / NaN.
+    const uint32_t mantissa = bits & 0x007FFFFFu;
+    return static_cast<Fp16>(sign | 0x7C00u | (mantissa != 0 ? 0x0200u : 0u));
+  }
+  if (bits >= 0x477FF000u) {
+    // Overflows half range -> inf (0x477FF000 rounds up to 65536).
+    return static_cast<Fp16>(sign | 0x7C00u);
+  }
+  if (bits < 0x38800000u) {
+    // Subnormal half (or zero): shift into a denormalized mantissa.
+    if (bits < 0x33000000u) return static_cast<Fp16>(sign);  // underflow -> 0
+    const int shift = 126 - static_cast<int>(bits >> 23);  // in [14, 24]
+    const uint32_t mant = (bits & 0x007FFFFFu) | 0x00800000u;
+    const uint32_t rounded = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t half = 1u << (shift - 1);
+    uint32_t result = rounded;
+    if (rem > half || (rem == half && (rounded & 1u))) ++result;
+    return static_cast<Fp16>(sign | result);
+  }
+  // Normalized: re-bias exponent, round mantissa to 10 bits.
+  uint32_t out = (bits - 0x38000000u) >> 13;
+  const uint32_t rem = bits & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return static_cast<Fp16>(sign | out);
+}
+
+/// Converts IEEE binary16 bits back to float (exact).
+inline float HalfToFloat(Fp16 h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  const uint32_t mant = h & 0x3FFu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // +/- 0
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    bits = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+}  // namespace ratel
+
+#endif  // RATEL_COMMON_FP16_H_

@@ -1,0 +1,127 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value directly after "key":
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ << ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ << '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  RATEL_CHECK(!has_element_.empty());
+  has_element_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ << '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  RATEL_CHECK(!has_element_.empty());
+  has_element_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  RATEL_CHECK(!pending_key_) << "two keys in a row";
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ << ',';
+    has_element_.back() = true;
+  }
+  out_ << '"' << Escape(key) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  MaybeComma();
+  out_ << '"' << Escape(value) << '"';
+}
+
+void JsonWriter::Number(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ << "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ << buf;
+}
+
+void JsonWriter::Number(int64_t value) {
+  MaybeComma();
+  out_ << value;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ << "null";
+}
+
+std::string JsonWriter::TakeString() {
+  RATEL_CHECK(has_element_.empty()) << "unbalanced containers";
+  RATEL_CHECK(!pending_key_) << "dangling key";
+  std::string s = out_.str();
+  out_.str("");
+  return s;
+}
+
+std::string JsonWriter::Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ratel

@@ -1,0 +1,74 @@
+#ifndef RATEL_COMMON_JSON_WRITER_H_
+#define RATEL_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ratel {
+
+/// Minimal streaming JSON writer (objects, arrays, scalars) used for
+/// schedule traces (Chrome trace format) and machine-readable bench
+/// output. No external dependencies; handles string escaping and
+/// comma placement.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name"); w.String("ratel");
+///   w.Key("spans"); w.BeginArray();
+///   w.BeginObject(); ... w.EndObject();
+///   w.EndArray();
+///   w.EndObject();
+///   std::string json = w.TakeString();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key (must be inside an object, before its value).
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Number(double value);
+  void Number(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key + scalar.
+  void KeyValue(const std::string& key, const std::string& value) {
+    Key(key);
+    String(value);
+  }
+  void KeyValue(const std::string& key, double value) {
+    Key(key);
+    Number(value);
+  }
+  void KeyValue(const std::string& key, int64_t value) {
+    Key(key);
+    Number(value);
+  }
+
+  /// Finalizes and returns the document (writer is left empty).
+  std::string TakeString();
+
+  /// Escapes a string per JSON rules (exposed for tests).
+  static std::string Escape(const std::string& raw);
+
+ private:
+  void MaybeComma();
+
+  std::ostringstream out_;
+  // True if the current container already holds an element at each depth.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_COMMON_JSON_WRITER_H_

@@ -1,0 +1,96 @@
+#ifndef RATEL_COMMON_LOGGING_H_
+#define RATEL_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ratel {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink that emits one line on destruction.
+/// Used through the RATEL_LOG macro, never directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: logs and aborts the process.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace ratel
+
+#define RATEL_LOG(level)                                                  \
+  if (::ratel::LogLevel::k##level < ::ratel::GetLogLevel())               \
+    ;                                                                     \
+  else                                                                    \
+    ::ratel::internal_logging::LogMessage(::ratel::LogLevel::k##level,    \
+                                          __FILE__, __LINE__)             \
+        .stream()
+
+/// Always-on invariant check; aborts with a message when `cond` is false.
+/// Used for programming errors, not for recoverable conditions (those
+/// return Status).
+#define RATEL_CHECK(cond)                                               \
+  if (cond)                                                             \
+    ;                                                                   \
+  else                                                                  \
+    ::ratel::internal_logging::FatalLogMessage(__FILE__, __LINE__)      \
+            .stream()                                                   \
+        << "Check failed: " #cond " "
+
+#define RATEL_CHECK_OK(expr)                                            \
+  do {                                                                  \
+    const ::ratel::Status _ratel_chk = (expr);                          \
+    RATEL_CHECK(_ratel_chk.ok()) << _ratel_chk.ToString();              \
+  } while (0)
+
+#ifdef NDEBUG
+#define RATEL_DCHECK(cond) \
+  if (true)                \
+    ;                      \
+  else                     \
+    ::ratel::internal_logging::NullStream() << ""
+#else
+#define RATEL_DCHECK(cond) RATEL_CHECK(cond)
+#endif
+
+#endif  // RATEL_COMMON_LOGGING_H_

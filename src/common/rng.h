@@ -1,0 +1,45 @@
+#ifndef RATEL_COMMON_RNG_H_
+#define RATEL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace ratel {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// Used for synthetic weights, synthetic training data, and randomized
+/// property tests. We avoid std::mt19937 so results are identical across
+/// standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed);
+
+  /// Next uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_COMMON_RNG_H_

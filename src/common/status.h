@@ -1,0 +1,149 @@
+#ifndef RATEL_COMMON_STATUS_H_
+#define RATEL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ratel {
+
+/// Error category for a failed operation. Mirrors the usual database-system
+/// status taxonomy (we do not use C++ exceptions anywhere in the library).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic success/error result of an operation.
+///
+/// A default-constructed Status is OK. Errors carry a code and a message.
+/// Cheap to copy in the error-free fast path (single enum + empty string).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Like absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a Status keeps call sites terse:
+  ///   Result<int> F() { if (bad) return Status::InvalidArgument("..."); ... }
+  Result(T value) : payload_(std::move(value)) {}           // NOLINT
+  Result(Status status) : payload_(std::move(status)) {     // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace ratel
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define RATEL_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::ratel::Status _ratel_status = (expr);         \
+    if (!_ratel_status.ok()) return _ratel_status;  \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` on success
+/// and returning the error Status otherwise.
+#define RATEL_ASSIGN_OR_RETURN(lhs, expr)                \
+  RATEL_ASSIGN_OR_RETURN_IMPL_(                          \
+      RATEL_STATUS_CONCAT_(_ratel_result, __LINE__), lhs, expr)
+
+#define RATEL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define RATEL_STATUS_CONCAT_(a, b) RATEL_STATUS_CONCAT_IMPL_(a, b)
+#define RATEL_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // RATEL_COMMON_STATUS_H_

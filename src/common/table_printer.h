@@ -1,0 +1,48 @@
+#ifndef RATEL_COMMON_TABLE_PRINTER_H_
+#define RATEL_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ratel {
+
+/// Aligned plain-text table writer used by the benchmark harness to print
+/// the rows/series of each paper table and figure.
+///
+/// Usage:
+///   TablePrinter t({"Batch", "ZeRO-Inf", "Ratel"});
+///   t.AddRow({"8", "153", "512"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; the number of cells must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimal digits.
+  static std::string Cell(double value, int precision = 1);
+  static std::string Cell(int64_t value);
+
+  /// Writes the table with a header rule and column alignment.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner for a figure/table, e.g.
+///   === Figure 5a: Throughput vs batch size (13B, RTX 4090) ===
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace ratel
+
+#endif  // RATEL_COMMON_TABLE_PRINTER_H_

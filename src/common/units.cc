@@ -1,0 +1,62 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ratel {
+
+namespace {
+
+std::string FormatWithSuffix(double value, const char* suffix) {
+  char buf[64];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, suffix);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, suffix);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffix);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(double bytes) {
+  const double abs = std::fabs(bytes);
+  if (abs >= static_cast<double>(kTiB)) {
+    return FormatWithSuffix(bytes / static_cast<double>(kTiB), "TiB");
+  }
+  if (abs >= static_cast<double>(kGiB)) {
+    return FormatWithSuffix(bytes / static_cast<double>(kGiB), "GiB");
+  }
+  if (abs >= static_cast<double>(kMiB)) {
+    return FormatWithSuffix(bytes / static_cast<double>(kMiB), "MiB");
+  }
+  if (abs >= static_cast<double>(kKiB)) {
+    return FormatWithSuffix(bytes / static_cast<double>(kKiB), "KiB");
+  }
+  return FormatWithSuffix(bytes, "B");
+}
+
+std::string FormatBandwidth(double bytes_per_second) {
+  const double abs = std::fabs(bytes_per_second);
+  if (abs >= static_cast<double>(kGB)) {
+    return FormatWithSuffix(bytes_per_second / static_cast<double>(kGB),
+                            "GB/s");
+  }
+  if (abs >= static_cast<double>(kMB)) {
+    return FormatWithSuffix(bytes_per_second / static_cast<double>(kMB),
+                            "MB/s");
+  }
+  return FormatWithSuffix(bytes_per_second, "B/s");
+}
+
+std::string FormatSeconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return FormatWithSuffix(seconds, "s");
+  if (abs >= 1e-3) return FormatWithSuffix(seconds * 1e3, "ms");
+  if (abs >= 1e-6) return FormatWithSuffix(seconds * 1e6, "us");
+  return FormatWithSuffix(seconds * 1e9, "ns");
+}
+
+}  // namespace ratel

@@ -1,0 +1,42 @@
+#ifndef RATEL_COMMON_UNITS_H_
+#define RATEL_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ratel {
+
+/// Byte quantities. All tensor and device capacities in the library are
+/// expressed in plain bytes (int64_t) or, for analytical models, in double
+/// bytes; these constants keep call sites readable.
+inline constexpr int64_t kKiB = int64_t{1} << 10;
+inline constexpr int64_t kMiB = int64_t{1} << 20;
+inline constexpr int64_t kGiB = int64_t{1} << 30;
+inline constexpr int64_t kTiB = int64_t{1} << 40;
+
+/// Decimal units, used for device spec sheets (SSD vendors quote GB/s).
+inline constexpr int64_t kKB = 1000;
+inline constexpr int64_t kMB = 1000 * 1000;
+inline constexpr int64_t kGB = 1000 * 1000 * 1000;
+inline constexpr int64_t kTB = int64_t{1000} * 1000 * 1000 * 1000;
+
+/// FLOP quantities for throughput models.
+inline constexpr double kTeraFlop = 1e12;
+inline constexpr double kGigaFlop = 1e9;
+
+/// Parameter counts ("13B model").
+inline constexpr double kBillion = 1e9;
+
+/// Formats `bytes` with a binary-unit suffix, e.g. "12.5 GiB".
+std::string FormatBytes(double bytes);
+
+/// Formats a byte-per-second bandwidth with a decimal-unit suffix,
+/// e.g. "21.0 GB/s".
+std::string FormatBandwidth(double bytes_per_second);
+
+/// Formats seconds as "12.34 s" / "215 ms" / "31 us" depending on magnitude.
+std::string FormatSeconds(double seconds);
+
+}  // namespace ratel
+
+#endif  // RATEL_COMMON_UNITS_H_

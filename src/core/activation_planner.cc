@@ -1,0 +1,195 @@
+#include "core/activation_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+const char* SwapCaseName(SwapCase c) {
+  switch (c) {
+    case SwapCase::kPcieBound:
+      return "case1/pcie-bound";
+    case SwapCase::kGpuBound:
+      return "case2/gpu-bound";
+    case SwapCase::kInflection:
+      return "case3/inflection";
+  }
+  return "?";
+}
+
+std::vector<ActivationPlanner::OrderedUnit> ActivationPlanner::SwapOrder()
+    const {
+  const auto& units = model_->workload().activation_units();
+  std::vector<OrderedUnit> order;
+  order.reserve(units.size());
+  for (int i = 0; i < static_cast<int>(units.size()); ++i) {
+    order.push_back(OrderedUnit{i, units[i].bytes, units[i].recompute_flops,
+                                units[i].inter_block});
+  }
+  // layer_list.sortByOffloadingBenefit(): the mandatory block-boundary
+  // checkpoints lead (they are the recomputation roots and cannot
+  // themselves be recomputed), then decreasing OB (Eq. 6). stable_sort
+  // keeps model order among equals for determinism. The kModelOrder
+  // ablation keeps the original front-to-back order after the
+  // checkpoints.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const OrderedUnit& a, const OrderedUnit& b) {
+                     if (a.inter_block != b.inter_block) return a.inter_block;
+                     if (policy_ == SwapOrderPolicy::kModelOrder) {
+                       return false;  // keep model order
+                     }
+                     const double oba =
+                         a.bytes > 0 ? a.flops / static_cast<double>(a.bytes)
+                                     : 0.0;
+                     const double obb =
+                         b.bytes > 0 ? b.flops / static_cast<double>(b.bytes)
+                                     : 0.0;
+                     return oba > obb;
+                   });
+  return order;
+}
+
+ActivationPlan ActivationPlanner::MakePlan(
+    const std::vector<OrderedUnit>& order, size_t prefix_len) const {
+  ActivationPlan plan;
+  double flop_r = model_->TotalRecomputableFlops();
+  for (size_t i = 0; i < prefix_len; ++i) {
+    plan.swapped_units.push_back(order[i].unit_index);
+    plan.a_g2m += order[i].bytes;
+    flop_r -= order[i].flops;
+  }
+  std::sort(plan.swapped_units.begin(), plan.swapped_units.end());
+  plan.flop_r = std::max(0.0, flop_r);
+  plan.ssd_bytes = static_cast<int64_t>(
+      model_->SsdActivationBytes(static_cast<double>(plan.a_g2m)));
+  plan.predicted_iter_time =
+      model_->IterTime(static_cast<double>(plan.a_g2m), plan.flop_r);
+  return plan;
+}
+
+ActivationPlan ActivationPlanner::Plan() const {
+  if (policy_ != SwapOrderPolicy::kOffloadingBenefit) {
+    // Convexity (and hence the first-rise shortcut) only holds for the
+    // benefit order; other orders scan exhaustively.
+    return PlanByExhaustiveSearch();
+  }
+  const std::vector<OrderedUnit> order = SwapOrder();
+  const int64_t a_inter =
+      model_->workload().inter_block_activation_bytes();
+
+  // The block-boundary checkpoints are the recomputation roots: they are
+  // always swapped ("A_interBlock as the minimum safe swapped activation
+  // amount", Case 1 of Section IV-D). The scan of Algorithm 1 then walks
+  // the *optional* units in decreasing offloading benefit on top of that
+  // baseline; marginal cost per byte is nondecreasing in that order, so
+  // T_iter is discretely convex and the first non-improving unit marks
+  // the inflection point.
+  size_t mandatory = 0;
+  int64_t a_g2m = 0;
+  double flop_r = model_->TotalRecomputableFlops();
+  while (mandatory < order.size() && a_g2m < a_inter) {
+    RATEL_CHECK(order[mandatory].inter_block)
+        << "swap order must lead with inter-block checkpoints";
+    a_g2m += order[mandatory].bytes;
+    ++mandatory;
+  }
+
+  double t_min = model_->IterTime(static_cast<double>(a_g2m), flop_r);
+  size_t best_prefix = mandatory;
+  bool rose = false;
+  for (size_t i = mandatory; i < order.size(); ++i) {
+    a_g2m += order[i].bytes;
+    flop_r -= order[i].flops;
+    const double t_iter =
+        model_->IterTime(static_cast<double>(a_g2m), std::max(0.0, flop_r));
+    if (t_iter < t_min) {
+      t_min = t_iter;
+      best_prefix = i + 1;
+    } else {
+      rose = true;
+      break;  // inflection point passed (convexity)
+    }
+  }
+
+  ActivationPlan plan = MakePlan(order, best_prefix);
+  if (!rose) {
+    plan.swap_case = SwapCase::kGpuBound;  // Case 2: swapped everything
+  } else if (best_prefix <= mandatory) {
+    plan.swap_case = SwapCase::kPcieBound;  // Case 1: minimum safe amount
+  } else {
+    plan.swap_case = SwapCase::kInflection;  // Case 3
+  }
+  return plan;
+}
+
+ActivationPlan ActivationPlanner::PlanForAmount(int64_t a_g2m_target) const {
+  const std::vector<OrderedUnit> order = SwapOrder();
+  int64_t a = 0;
+  size_t prefix = 0;
+  while (prefix < order.size() && a < a_g2m_target) {
+    a += order[prefix].bytes;
+    ++prefix;
+  }
+  ActivationPlan plan = MakePlan(order, prefix);
+  plan.swap_case = SwapCase::kInflection;
+  return plan;
+}
+
+ActivationPlan ActivationPlanner::PlanWithObjective(
+    int64_t budget_bytes,
+    const std::function<double(double a_g2m, double flop_r)>& objective)
+    const {
+  const std::vector<OrderedUnit> order = SwapOrder();
+  const int64_t a_inter =
+      model_->workload().inter_block_activation_bytes();
+  double best_obj = std::numeric_limits<double>::infinity();
+  size_t best_prefix = 0;
+  int64_t a_g2m = 0;
+  double flop_r = model_->TotalRecomputableFlops();
+  size_t usable = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (a_g2m + order[i].bytes > budget_bytes) break;
+    a_g2m += order[i].bytes;
+    flop_r -= order[i].flops;
+    usable = i + 1;
+    if (a_g2m < a_inter) continue;  // checkpoints are mandatory
+    const double obj =
+        objective(static_cast<double>(a_g2m), std::max(0.0, flop_r));
+    if (obj < best_obj) {
+      best_obj = obj;
+      best_prefix = i + 1;
+    }
+  }
+  if (best_prefix == 0) best_prefix = usable;  // budget below the floor
+  ActivationPlan plan = MakePlan(order, best_prefix);
+  plan.swap_case = SwapCase::kInflection;
+  return plan;
+}
+
+ActivationPlan ActivationPlanner::PlanByExhaustiveSearch() const {
+  const std::vector<OrderedUnit> order = SwapOrder();
+  const int64_t a_inter =
+      model_->workload().inter_block_activation_bytes();
+  double best_t = std::numeric_limits<double>::infinity();
+  size_t best_prefix = order.size();
+  int64_t a_g2m = 0;
+  double flop_r = model_->TotalRecomputableFlops();
+  for (size_t i = 0; i < order.size(); ++i) {
+    a_g2m += order[i].bytes;
+    flop_r -= order[i].flops;
+    if (a_g2m < a_inter) continue;  // below the safety floor
+    const double t =
+        model_->IterTime(static_cast<double>(a_g2m), std::max(0.0, flop_r));
+    if (t < best_t) {
+      best_t = t;
+      best_prefix = i + 1;
+    }
+  }
+  ActivationPlan plan = MakePlan(order, best_prefix);
+  plan.swap_case = SwapCase::kInflection;
+  return plan;
+}
+
+}  // namespace ratel

@@ -1,0 +1,91 @@
+#ifndef RATEL_CORE_ACTIVATION_PLANNER_H_
+#define RATEL_CORE_ACTIVATION_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+
+namespace ratel {
+
+/// Which of the three convexity cases of Section IV-D the planner hit.
+enum class SwapCase {
+  kPcieBound = 1,     // Case 1: T_iter rises with A_G2M -> swap the minimum
+  kGpuBound = 2,      // Case 2: T_iter falls throughout -> swap everything
+  kInflection = 3,    // Case 3: interior optimum found
+};
+
+const char* SwapCaseName(SwapCase c);
+
+/// Output of the holistic traffic-aware activation swapping management.
+struct ActivationPlan {
+  /// Indices into WorkloadProfile::activation_units() chosen for swapping
+  /// (the rest are discarded and recomputed).
+  std::vector<int> swapped_units;
+  int64_t a_g2m = 0;             // total swapped bytes
+  int64_t ssd_bytes = 0;         // alpha * A_G2M placed on the SSDs (Eq. 3)
+  double flop_r = 0.0;           // recomputation FLOPs of the plan
+  double predicted_iter_time = 0.0;
+  SwapCase swap_case = SwapCase::kInflection;
+};
+
+/// Order in which units are considered for swapping. The
+/// offloading-benefit order (Eq. 6) is Ratel's; model order is the
+/// naive front-to-back ablation (bench/abl_planner_order).
+enum class SwapOrderPolicy { kOffloadingBenefit, kModelOrder };
+
+/// Algorithm 1: walks activation units in swap order (mandatory
+/// inter-block checkpoints first, then decreasing offloading benefit,
+/// Eq. 6) and stops at the inflection point of the convex T_iter(A_G2M).
+class ActivationPlanner {
+ public:
+  explicit ActivationPlanner(
+      const CostModel& model,
+      SwapOrderPolicy policy = SwapOrderPolicy::kOffloadingBenefit)
+      : model_(&model), policy_(policy) {}
+
+  /// The paper's Algorithm 1.
+  ActivationPlan Plan() const;
+
+  /// Plans for a *fixed* swapped amount: swaps units in benefit order
+  /// until at least `a_g2m_target` bytes are chosen. Used by the Fig. 9b
+  /// sweep (iteration time vs swapped activation size) and by ablations.
+  ActivationPlan PlanForAmount(int64_t a_g2m_target) const;
+
+  /// Exhaustive reference: evaluates T_iter after every unit in swap
+  /// order and returns the global minimum. Algorithm 1 must match this
+  /// (convexity); tests compare the two.
+  ActivationPlan PlanByExhaustiveSearch() const;
+
+  /// Generic strategy harness for the Fig. 9a ablations: walks the swap
+  /// order (checkpoints first, then decreasing benefit), never exceeding
+  /// `budget_bytes` of swapped activations, and returns the prefix that
+  /// minimizes `objective(a_g2m, flop_r)`. The full scan (not the
+  /// first-rise shortcut) is used since custom objectives need not be
+  /// convex.
+  ActivationPlan PlanWithObjective(
+      int64_t budget_bytes,
+      const std::function<double(double a_g2m, double flop_r)>& objective)
+      const;
+
+ private:
+  /// Units in swap order with cumulative sums; shared by all strategies.
+  struct OrderedUnit {
+    int unit_index;
+    int64_t bytes;
+    double flops;
+    bool inter_block;
+  };
+  std::vector<OrderedUnit> SwapOrder() const;
+  ActivationPlan MakePlan(const std::vector<OrderedUnit>& order,
+                          size_t prefix_len) const;
+
+  const CostModel* model_;
+  SwapOrderPolicy policy_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_ACTIVATION_PLANNER_H_

@@ -1,0 +1,95 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "model/tensor_inventory.h"
+
+namespace ratel {
+
+CostModel::CostModel(const HardwareProfile& hw,
+                     const WorkloadProfile& workload)
+    : hw_(hw), workload_(&workload) {
+  RATEL_CHECK(hw.thp_g > 0 && hw.bw_g > 0 && hw.bw_s2m > 0 && hw.bw_m2s > 0);
+  p_bytes2_ =
+      static_cast<double>(Params16Bytes(workload.param_count()));  // 2P
+
+  // Swap order: mandatory inter-block checkpoints first, then decreasing
+  // offloading benefit (Eq. 6).
+  std::vector<const ActivationUnit*> order;
+  order.reserve(workload.activation_units().size());
+  for (const auto& u : workload.activation_units()) order.push_back(&u);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const ActivationUnit* a, const ActivationUnit* b) {
+                     if (a->inter_block != b->inter_block) {
+                       return a->inter_block;
+                     }
+                     return a->OffloadingBenefit() > b->OffloadingBenefit();
+                   });
+  cum_bytes_.reserve(order.size() + 1);
+  cum_flops_.reserve(order.size() + 1);
+  cum_bytes_.push_back(0.0);
+  cum_flops_.push_back(0.0);
+  for (const ActivationUnit* u : order) {
+    cum_bytes_.push_back(cum_bytes_.back() + static_cast<double>(u->bytes));
+    cum_flops_.push_back(cum_flops_.back() + u->recompute_flops);
+    total_recompute_flops_ += u->recompute_flops;
+  }
+}
+
+double CostModel::SsdActivationBytes(double a_g2m) const {
+  return std::max(0.0, a_g2m - static_cast<double>(hw_.mem_avail_m));
+}
+
+double CostModel::ForwardTime(double a_g2m) const {
+  const double t_gpu = workload_->forward_flops() / hw_.thp_g;
+  const double t_g2m = a_g2m / hw_.bw_g;
+  const double t_m2g = p_bytes2_ / hw_.bw_g;
+  const double t_ssd =
+      p_bytes2_ / hw_.bw_s2m + SsdActivationBytes(a_g2m) / hw_.bw_m2s;
+  return std::max({t_gpu, t_g2m, t_m2g, t_ssd});
+}
+
+double CostModel::BackwardTime(double a_g2m, double flop_r) const {
+  const double t_gpu = (2.0 * workload_->forward_flops() + flop_r) / hw_.thp_g;
+  const double t_g2m = p_bytes2_ / hw_.bw_g;
+  const double t_m2g = (p_bytes2_ + a_g2m) / hw_.bw_g;
+  // 14P = P16 (2P) + P32 + OS32 (12P) read; 14P = P32 + OS32 + new P16
+  // written back by the overlapped out-of-core optimizer.
+  const double p14 = 7.0 * p_bytes2_;
+  const double t_ssd = (p14 + SsdActivationBytes(a_g2m)) / hw_.bw_s2m +
+                       p14 / hw_.bw_m2s;
+  return std::max({t_gpu, t_g2m, t_m2g, t_ssd});
+}
+
+double CostModel::IterTime(double a_g2m, double flop_r) const {
+  return ForwardTime(a_g2m) + BackwardTime(a_g2m, flop_r);
+}
+
+double CostModel::RecomputeFlopsAt(double a_g2m) const {
+  // cum_bytes_ is nondecreasing; find the covered prefix and interpolate
+  // within the partially covered unit (the convexity-proof relaxation;
+  // actual plans swap whole units).
+  if (cum_bytes_.size() < 2) return 0.0;  // no swappable activations
+  const double clamped =
+      std::clamp(a_g2m, 0.0, cum_bytes_.back());
+  auto it =
+      std::upper_bound(cum_bytes_.begin(), cum_bytes_.end(), clamped);
+  size_t hi = static_cast<size_t>(it - cum_bytes_.begin());
+  if (hi >= cum_bytes_.size()) hi = cum_bytes_.size() - 1;
+  const size_t lo = hi - 1;
+  double avoided = cum_flops_[lo];
+  const double span = cum_bytes_[hi] - cum_bytes_[lo];
+  if (span > 0.0) {
+    const double frac = (clamped - cum_bytes_[lo]) / span;
+    avoided += frac * (cum_flops_[hi] - cum_flops_[lo]);
+  }
+  return total_recompute_flops_ - avoided;
+}
+
+double CostModel::IterTimeAt(double a_g2m) const {
+  return IterTime(a_g2m, RecomputeFlopsAt(a_g2m));
+}
+
+}  // namespace ratel

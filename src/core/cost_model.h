@@ -1,0 +1,68 @@
+#ifndef RATEL_CORE_COST_MODEL_H_
+#define RATEL_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "core/hardware_profile.h"
+#include "model/workload.h"
+
+namespace ratel {
+
+/// The iteration-time model of Section IV-D (Equations 1-5).
+///
+/// Given the profiled hardware characteristics and a workload, computes
+/// the fully-overlapped forward/backward stage times as a function of the
+/// swapped-activation amount A_G2M and the recomputation FLOPs FLOP_r.
+/// T_iter(A_G2M) is convex (proved in the paper; verified by property
+/// tests here), which is what lets Algorithm 1 stop at the first
+/// inflection point.
+class CostModel {
+ public:
+  CostModel(const HardwareProfile& hw, const WorkloadProfile& workload);
+
+  /// Eq. 3: the portion of swapped activations that overflows main memory
+  /// onto the SSDs: alpha*A_G2M = max(0, A_G2M - MEM_avail_M).
+  double SsdActivationBytes(double a_g2m) const;
+
+  /// Eq. 4: forward stage time.
+  ///   T_f = max(FLOP_f/THP_G, A_G2M/BW_G, 2P/BW_G,
+  ///             2P/BW_S2M + alpha*A_G2M/BW_M2S)
+  double ForwardTime(double a_g2m) const;
+
+  /// Eq. 5: backward stage time (optimizer overlapped per Section IV-C).
+  ///   T_b = max((2FLOP_f+FLOP_r)/THP_G, 2P/BW_G, (2P+A_G2M)/BW_G,
+  ///             (14P+alpha*A_G2M)/BW_S2M + 14P/BW_M2S)
+  double BackwardTime(double a_g2m, double flop_r) const;
+
+  /// Eq. 1: T_iter = T_f + T_b.
+  double IterTime(double a_g2m, double flop_r) const;
+
+  /// FLOP_r for a given A_G2M under the offloading-benefit swap order
+  /// (Eq. 6-7): swaps the mandatory inter-block checkpoints first, then
+  /// units in decreasing OB, recomputing the rest. Fractional unit
+  /// boundaries interpolate, as in the convexity proof.
+  double RecomputeFlopsAt(double a_g2m) const;
+
+  /// Convenience: T_iter at A_G2M with FLOP_r from RecomputeFlopsAt.
+  double IterTimeAt(double a_g2m) const;
+
+  const HardwareProfile& hardware() const { return hw_; }
+  const WorkloadProfile& workload() const { return *workload_; }
+
+  /// Sum of all units' recompute FLOPs (full-recomputation FLOP_r).
+  double TotalRecomputableFlops() const { return total_recompute_flops_; }
+
+ private:
+  HardwareProfile hw_;
+  const WorkloadProfile* workload_;  // not owned
+  double p_bytes2_ = 0.0;            // 2P in bytes (P16 or G16 volume)
+  double total_recompute_flops_ = 0.0;
+  // Units in swap order (inter-block first, then decreasing OB):
+  // cumulative bytes and cumulative recompute-FLOPs-avoided.
+  std::vector<double> cum_bytes_;
+  std::vector<double> cum_flops_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_COST_MODEL_H_

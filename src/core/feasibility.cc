@@ -1,0 +1,78 @@
+#include "core/feasibility.h"
+
+#include "common/units.h"
+#include "model/tensor_inventory.h"
+
+namespace ratel {
+namespace feasibility {
+
+namespace {
+
+/// Host bytes pinned per block-parameter slot in the optimizer staging
+/// pipeline (P32 + OS32 + G16 + P16, Table II) times the pipeline depth.
+constexpr int kStagingDepth = 8;
+constexpr int64_t kStagingBytesPerParam = 16;
+
+/// Fixed host overhead (OS, CUDA, framework). Matches HardwareProfiler.
+constexpr int64_t kFixedHostOverhead = 12 * kGiB;
+
+/// DeepSpeed ZeRO-Infinity pins NVMe swap buffers, gradient staging and
+/// fp16 scratch proportional to the model size; calibrated to its
+/// measured 135B ceiling at 768 GB (Section V-F).
+constexpr double kZeroInfinityHostBytesPerParam = 5.6;
+
+/// Colossal-AI Gemini chunk pools, calibrated near ZeRO-Infinity.
+constexpr double kColossalHostBytesPerParam = 6.2;
+
+}  // namespace
+
+int64_t StreamingGpuWorkingSetBytes(const TransformerConfig& config,
+                                    int batch_size) {
+  const int64_t bp = config.BlockParameterCount();
+  // Transient activation residency: roughly half of one block's saved
+  // activations are alive at once while the swap-out stream drains.
+  const int64_t unit = 2 * config.seq_len * batch_size * config.hidden_dim;
+  const int64_t act_resident = 8 * unit;   // half of the 16-unit block
+  const int64_t workspace = 4 * unit;      // attention/matmul scratch
+  return kGpuContextBytes + 8 * bp + act_resident + workspace;
+}
+
+int64_t ResidentStatesGpuBytes(const TransformerConfig& config,
+                               int batch_size) {
+  const int64_t unit = 2 * config.seq_len * batch_size * config.hidden_dim;
+  return kGpuContextBytes + ModelStateBytes(config.ParameterCount()) +
+         8 * unit + 4 * unit;
+}
+
+int64_t RatelPinnedHostBytes(const TransformerConfig& config) {
+  return kFixedHostOverhead + kStagingDepth * kStagingBytesPerParam *
+                                  config.BlockParameterCount();
+}
+
+int64_t InterBlockBytes(const TransformerConfig& config, int batch_size) {
+  return 2 * config.seq_len * batch_size * config.hidden_dim *
+         config.num_layers;
+}
+
+int64_t ZeroInfinityHostBytes(const TransformerConfig& config) {
+  return 8 * kGiB + static_cast<int64_t>(kZeroInfinityHostBytesPerParam *
+                                         config.ParameterCount());
+}
+
+int64_t ColossalHostBytes(const TransformerConfig& config) {
+  return 8 * kGiB + static_cast<int64_t>(kColossalHostBytesPerParam *
+                                         config.ParameterCount());
+}
+
+int64_t ZeroOffloadHostBytes(const TransformerConfig& config) {
+  return kFixedHostOverhead + ModelStateBytes(config.ParameterCount());
+}
+
+int64_t RatelSsdBytes(const TransformerConfig& config, int batch_size) {
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  return ModelStateBytes(config.ParameterCount()) +
+         wl.total_activation_bytes();
+}
+
+}  // namespace feasibility
+}  // namespace ratel

@@ -1,0 +1,61 @@
+#ifndef RATEL_CORE_FEASIBILITY_H_
+#define RATEL_CORE_FEASIBILITY_H_
+
+#include <cstdint>
+
+#include "hw/specs.h"
+#include "model/transformer_config.h"
+#include "model/workload.h"
+
+namespace ratel {
+
+/// Memory-capacity models shared by the max-trainable-model-size and
+/// max-batch analyses (Figs. 2a, 6, 8; Table V).
+///
+/// The constants below are calibrated against the paper's feasibility
+/// results: Ratel trains 175B on an RTX 4080 with 256 GB of main memory
+/// and 276B (not 412B) on an RTX 4090 with 768 GB; ZeRO-Infinity tops out
+/// at 135B with 768 GB; FlashNeuron at ~1.5B on a 24 GB GPU.
+namespace feasibility {
+
+/// Non-negotiable GPU residue: CUDA context, cuBLAS workspaces, allocator
+/// slack.
+inline constexpr int64_t kGpuContextBytes =
+    int64_t{1228} * 1024 * 1024;  // ~1.2 GiB
+
+/// GPU bytes a streaming executor needs while computing one block:
+/// context + prefetch/compute/gradient parameter slots (8 bytes per block
+/// parameter = three P16 slots + one G16 slot) + the transient half of the
+/// block's activations + attention workspace.
+int64_t StreamingGpuWorkingSetBytes(const TransformerConfig& config,
+                                    int batch_size);
+
+/// GPU bytes when all model states stay resident (FlashNeuron): 16P plus
+/// the streaming working set's activation part.
+int64_t ResidentStatesGpuBytes(const TransformerConfig& config,
+                               int batch_size);
+
+/// Host bytes Ratel pins (fixed overhead + optimizer staging slots);
+/// equals HardwareProfiler::PinnedMainMemoryBytes.
+int64_t RatelPinnedHostBytes(const TransformerConfig& config);
+
+/// Host bytes of the block-boundary checkpoints (A_interBlock).
+int64_t InterBlockBytes(const TransformerConfig& config, int batch_size);
+
+/// DeepSpeed-style pinned host buffers when model states live on NVMe
+/// (ZeRO-Infinity): a per-parameter staging factor.
+int64_t ZeroInfinityHostBytes(const TransformerConfig& config);
+
+/// Colossal-AI Gemini host footprint (chunk pools).
+int64_t ColossalHostBytes(const TransformerConfig& config);
+
+/// ZeRO-Offload keeps all 16P of model states in host memory.
+int64_t ZeroOffloadHostBytes(const TransformerConfig& config);
+
+/// SSD bytes Ratel needs: the 16P model states plus activation spill.
+int64_t RatelSsdBytes(const TransformerConfig& config, int batch_size);
+
+}  // namespace feasibility
+}  // namespace ratel
+
+#endif  // RATEL_CORE_FEASIBILITY_H_

@@ -1,0 +1,82 @@
+#include "core/hardware_profile.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+#include "model/tensor_inventory.h"
+
+namespace ratel {
+
+namespace {
+
+/// Fixed main-memory overhead: OS, CUDA runtime, framework allocator and
+/// page tables. Matches what a PyTorch process pins on a commodity server.
+constexpr int64_t kFixedHostOverheadBytes = 12 * kGiB;
+
+/// Model-state staging chunks the active-gradient-offloading pipeline
+/// keeps in flight in main memory, in units of one transformer block's
+/// parameters: P32+OS32 in/out plus G16/P16 staging, double-buffered
+/// across the pipeline stages of Fig. 3b.
+constexpr int kOptimizerPipelineDepth = 8;
+
+}  // namespace
+
+int64_t HardwareProfiler::PinnedMainMemoryBytes(
+    const WorkloadProfile& workload) const {
+  const int64_t block_params = workload.config().BlockParameterCount();
+  // 16 bytes/param of in-flight model state per pipeline slot
+  // (P32 4 + OS32 8 + G16 2 + P16 2, Table II).
+  const int64_t per_slot = 16 * block_params;
+  return kFixedHostOverheadBytes +
+         static_cast<int64_t>(kOptimizerPipelineDepth) * per_slot;
+}
+
+Result<HardwareProfile> HardwareProfiler::Profile(
+    const WorkloadProfile& workload) const {
+  HardwareProfile hp;
+  hp.thp_g = server_.gpu.peak_fp16_flops;
+  hp.gpu_memory_bytes = server_.gpu.device_memory_bytes;
+  hp.bw_g = server_.gpu.pcie_bandwidth_per_dir;
+  hp.bw_s2m = server_.ssds.ReadBandwidth();
+  hp.bw_m2s = server_.ssds.WriteBandwidth();
+  hp.cpu_adam_rate = server_.cpu.adam_params_per_second;
+  hp.host_mem_bw = server_.cpu.memory_bandwidth;
+  if (server_.ssds.count <= 0) {
+    return Status::FailedPrecondition(
+        "profiling requires at least one SSD for model-state offload");
+  }
+
+  const int64_t pinned = PinnedMainMemoryBytes(workload);
+  hp.mem_avail_m = server_.main_memory_bytes - pinned;
+  if (hp.mem_avail_m < 0) {
+    return Status::OutOfMemory(
+        "main memory too small: needs " + FormatBytes(pinned) +
+        " pinned but only " + FormatBytes(server_.main_memory_bytes) +
+        " installed");
+  }
+
+  // The profiling iteration runs ZeRO-Infinity-style (inter-block
+  // checkpoints only, full recomputation), so its stage times follow the
+  // cost model with A_G2M = A_interBlock and FLOP_r ~ all intra units.
+  const double a_inter =
+      static_cast<double>(workload.inter_block_activation_bytes());
+  const double p2 = static_cast<double>(Params16Bytes(workload.param_count()));
+  const double flop_f = workload.forward_flops();
+  double recompute = 0.0;
+  for (const auto& u : workload.activation_units()) {
+    if (!u.inter_block) recompute += u.recompute_flops;
+  }
+  hp.t_f = std::max({flop_f / hp.thp_g, a_inter / hp.bw_g, p2 / hp.bw_g,
+                     p2 / hp.bw_s2m});
+  hp.t_b = std::max({(2.0 * flop_f + recompute) / hp.thp_g,
+                     (p2 + a_inter) / hp.bw_g,
+                     (7.0 * p2) / hp.bw_s2m + 7.0 * p2 / hp.bw_m2s});
+
+  hp.layer_forward_seconds.reserve(workload.blocks().size());
+  for (const auto& blk : workload.blocks()) {
+    hp.layer_forward_seconds.push_back(blk.forward_flops / hp.thp_g);
+  }
+  return hp;
+}
+
+}  // namespace ratel

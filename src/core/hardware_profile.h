@@ -1,0 +1,60 @@
+#ifndef RATEL_CORE_HARDWARE_PROFILE_H_
+#define RATEL_CORE_HARDWARE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hw/specs.h"
+#include "model/workload.h"
+
+namespace ratel {
+
+/// The measurements the hardware-aware profiling stage (Section IV-B)
+/// hands to the planner: Table I's THP_G, BW_G, BW_S2M, BW_M2S and
+/// MEM_avail_M, plus stage times and per-layer compute costs.
+struct HardwareProfile {
+  double thp_g = 0.0;          // peak GPU throughput, FLOP/s
+  int64_t gpu_memory_bytes = 0;  // device memory of the GPU
+  double bw_g = 0.0;           // GPU<->main PCIe, bytes/s per direction
+  double bw_s2m = 0.0;         // SSD -> main memory, bytes/s
+  double bw_m2s = 0.0;         // main memory -> SSD, bytes/s
+  double cpu_adam_rate = 0.0;  // out-of-core Adam, params/s
+  double host_mem_bw = 0.0;    // host DRAM bandwidth, bytes/s
+  int64_t mem_avail_m = 0;     // bytes of main memory spare for activations
+  double t_f = 0.0;            // profiled forward stage seconds
+  double t_b = 0.0;            // profiled backward stage seconds
+  std::vector<double> layer_forward_seconds;  // per-block GPU time
+};
+
+/// Runs the profiling stage of Section IV-B against a server description.
+///
+/// The real system measures by executing the first training iteration in a
+/// ZeRO-Infinity-like configuration (inter-block checkpoints only, all
+/// tensors through the SSDs) while monitoring PCIe counters. Our substrate
+/// derives the same quantities from the device catalog plus a simulated
+/// profiling iteration, including the main-memory headroom MEM_avail_M
+/// left after the CPU-optimizer working buffers and parameter prefetch
+/// windows are pinned.
+class HardwareProfiler {
+ public:
+  explicit HardwareProfiler(const ServerConfig& server) : server_(server) {}
+
+  /// Profiles one workload. Fails if the model cannot run at all (e.g.
+  /// one block's working set exceeds GPU memory).
+  Result<HardwareProfile> Profile(const WorkloadProfile& workload) const;
+
+  /// Main-memory bytes the runtime pins for non-activation use: OS +
+  /// framework overhead, the optimizer's in-flight model-state chunks
+  /// (pipeline depth x 24 bytes/param per block), and the P16 staging
+  /// window. Exposed for the feasibility analyses.
+  int64_t PinnedMainMemoryBytes(const WorkloadProfile& workload) const;
+
+ private:
+  ServerConfig server_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_HARDWARE_PROFILE_H_

@@ -1,0 +1,475 @@
+#include "core/iteration_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "model/tensor_inventory.h"
+#include "sim/engine.h"
+
+namespace ratel {
+
+namespace {
+
+/// GPU Adam cost per parameter in FLOP-equivalents (G10's in-GPU
+/// optimizer is HBM-bandwidth bound; this reproduces the paper's ~0.1 s
+/// GPU compute for the 13B model, Fig. 1b).
+constexpr double kGpuAdamFlopsPerParam = 1.2;
+
+/// CPU-side gradient reduction cost per parameter per extra GPU, in
+/// Adam-parameter-equivalents (multi-GPU data parallelism, Section V-G).
+constexpr double kCpuReducePerGpu = 0.15;
+
+}  // namespace
+
+const char* GradientOffloadModeName(GradientOffloadMode mode) {
+  switch (mode) {
+    case GradientOffloadMode::kSerializedOptimizer:
+      return "serialized";
+    case GradientOffloadMode::kSerializedPipelined:
+      return "serialized-pipelined";
+    case GradientOffloadMode::kNaiveActive:
+      return "naive-active";
+    case GradientOffloadMode::kOptimizedActive:
+      return "optimized-active";
+  }
+  return "?";
+}
+
+IterationSimulator::IterationSimulator(const HardwareProfile& hw,
+                                       const WorkloadProfile& workload,
+                                       const ActivationPlan& plan,
+                                       const IterationKnobs& knobs)
+    : hw_(hw), workload_(&workload), plan_(plan), knobs_(knobs) {}
+
+Result<IterationResult> IterationSimulator::Simulate(
+    ScheduleTrace* trace) const {
+  const WorkloadProfile& wl = *workload_;
+  const int num_layers = static_cast<int>(wl.blocks().size());
+  const int num_gpus = std::max(1, knobs_.num_gpus);
+  if (num_layers == 0) {
+    return Status::InvalidArgument("workload has no transformer blocks");
+  }
+
+  // ---- Derive per-block quantities from the activation plan. ----
+  std::vector<double> swap_bytes(num_layers, 0.0);
+  std::vector<double> recompute_flops(num_layers, 0.0);
+  {
+    std::vector<bool> swapped(wl.activation_units().size(), false);
+    for (int u : plan_.swapped_units) swapped[u] = true;
+    for (size_t i = 0; i < wl.activation_units().size(); ++i) {
+      const ActivationUnit& unit = wl.activation_units()[i];
+      if (swapped[i]) {
+        swap_bytes[unit.layer_index] += static_cast<double>(unit.bytes);
+      } else {
+        recompute_flops[unit.layer_index] += unit.recompute_flops;
+      }
+    }
+  }
+  if (knobs_.activations_resident) {
+    // Everything stays in device memory: no swap-out, no recompute.
+    std::fill(swap_bytes.begin(), swap_bytes.end(), 0.0);
+    std::fill(recompute_flops.begin(), recompute_flops.end(), 0.0);
+  }
+  // The SSD share of the swap (Eq. 3) is assigned to the earliest forward
+  // blocks: they are consumed last during backward, giving the SSD the
+  // longest window to stream them back.
+  std::vector<double> swap_ssd(num_layers, 0.0);
+  {
+    double budget = static_cast<double>(plan_.ssd_bytes);
+    for (int i = 0; i < num_layers && budget > 0.0; ++i) {
+      swap_ssd[i] = std::min(budget, swap_bytes[i]);
+      budget -= swap_ssd[i];
+    }
+  }
+
+  const double bp = static_cast<double>(wl.config().BlockParameterCount());
+  const double p16_blk = 2.0 * bp;
+  const double grad_blk = 2.0 * bp;
+  const double states_read_blk = 12.0 * bp;   // P32 + OS32
+  const double states_write_blk = 14.0 * bp;  // P32 + OS32 + new P16
+  const double block_flops = wl.blocks()[0].forward_flops;
+  const double head_flops =
+      wl.forward_flops() - block_flops * num_layers;
+
+  // ---- Resources. ----
+  SimEngine eng;
+  const double gpu_rate =
+      hw_.thp_g * std::clamp(knobs_.gpu_efficiency, 0.05, 1.0);
+  std::vector<ResourceId> gpu(num_gpus), m2g(num_gpus), g2m(num_gpus);
+  // Framework stalls (gather/partition, allocator sync) serialize the GPU
+  // stream without keeping the GPU busy; they live on their own per-GPU
+  // unit-rate resource so utilization accounting matches what a profiler
+  // would report.
+  std::vector<ResourceId> sync(num_gpus);
+  for (int g = 0; g < num_gpus; ++g) {
+    gpu[g] = eng.AddResource("gpu" + std::to_string(g), gpu_rate);
+    m2g[g] = eng.AddResource("m2g" + std::to_string(g), hw_.bw_g);
+    g2m[g] = eng.AddResource("g2m" + std::to_string(g), hw_.bw_g);
+    sync[g] = eng.AddResource("sync" + std::to_string(g), 1.0);
+  }
+  // The simplex SSD array serves reads and writes at different rates;
+  // tasks carry their demand in service-seconds on a unit-rate resource.
+  const ResourceId ssd = eng.AddResource("ssd", 1.0);
+  const ResourceId cpu = eng.AddResource("cpu", hw_.cpu_adam_rate);
+  // Host DRAM channel, used when model states live in main memory.
+  const ResourceId mem = eng.AddResource("mem", hw_.host_mem_bw);
+
+  auto ssd_read_s = [&](double bytes) { return bytes / hw_.bw_s2m; };
+  auto ssd_write_s = [&](double bytes) { return bytes / hw_.bw_m2s; };
+  const double overhead_s = knobs_.per_layer_overhead_s;
+
+  const bool states_on_ssd =
+      knobs_.state_placement == ModelStatePlacement::kSsd;
+  const bool states_in_main =
+      knobs_.state_placement == ModelStatePlacement::kMainMemory;
+  const bool states_on_gpu =
+      knobs_.state_placement == ModelStatePlacement::kGpu;
+
+  constexpr TaskId kNone = -1;
+  auto dep_list = [](std::initializer_list<TaskId> ids) {
+    std::vector<TaskId> out;
+    for (TaskId id : ids) {
+      if (id != kNone) out.push_back(id);
+    }
+    return out;
+  };
+
+  // ---- Forward stage. ----
+  // Family chains keep each transfer queue FIFO while different families
+  // share a channel via processor sharing (NVMe/DMA multi-queue model).
+  std::vector<TaskId> f_gpu_last(num_gpus, kNone);
+  std::vector<TaskId> f_head(num_gpus, kNone);
+  // GPU-memory backpressure: the device buffers only a few blocks of
+  // parameters/activations, so compute may run at most that many blocks
+  // ahead of its own swap-out stream, and prefetch at most that many
+  // blocks ahead of compute.
+  const double block_working_bytes =
+      static_cast<double>(
+          wl.blocks()[0].activation_bytes) + p16_blk;
+  const int kGpuBufferBlocks = static_cast<int>(std::clamp(
+      0.8 * static_cast<double>(hw_.gpu_memory_bytes) / block_working_bytes,
+      2.0, 8.0));
+  std::vector<std::vector<TaskId>> f_act_out(
+      num_gpus, std::vector<TaskId>(num_layers, kNone));
+  std::vector<std::vector<TaskId>> f_gpu_of(
+      num_gpus, std::vector<TaskId>(num_layers, kNone));
+  TaskId f_ssd_prev = kNone;
+  std::vector<TaskId> f_m2g_prev(num_gpus, kNone);
+  std::vector<TaskId> f_g2m_prev(num_gpus, kNone);
+  std::vector<TaskId> f_actssd_prev(num_gpus, kNone);
+
+  for (int i = 0; i < num_layers; ++i) {
+    TaskId fetch_ssd = kNone;
+    if (states_on_ssd) {
+      fetch_ssd = eng.AddTask("f_ssd_p16_" + std::to_string(i), ssd,
+                              ssd_read_s(p16_blk), dep_list({f_ssd_prev}));
+      f_ssd_prev = fetch_ssd;
+    } else if (states_in_main) {
+      fetch_ssd = eng.AddTask("f_mem_p16_" + std::to_string(i), mem, p16_blk,
+                              dep_list({f_ssd_prev}));
+      f_ssd_prev = fetch_ssd;
+    }
+    for (int g = 0; g < num_gpus; ++g) {
+      TaskId fetch = kNone;
+      if (!states_on_gpu) {
+        // Prefetch window: fetching block i waits until block
+        // i - kGpuBufferBlocks has been computed (its P16 slot frees).
+        const TaskId window =
+            i >= kGpuBufferBlocks ? f_gpu_of[g][i - kGpuBufferBlocks] : kNone;
+        fetch = eng.AddTask("f_m2g_p16_" + std::to_string(i), m2g[g], p16_blk,
+                            dep_list({f_m2g_prev[g], fetch_ssd, window}));
+        f_m2g_prev[g] = fetch;
+      }
+      TaskId stall = kNone;
+      if (overhead_s > 0.0) {
+        stall = eng.AddTask("f_sync_" + std::to_string(i), sync[g],
+                            overhead_s, dep_list({f_gpu_last[g]}));
+      }
+      // Swap-out backpressure: block i cannot start until block
+      // i - kGpuBufferBlocks finished draining its activations.
+      TaskId drain = kNone;
+      if (i >= kGpuBufferBlocks) {
+        drain = f_act_out[g][i - kGpuBufferBlocks];
+      }
+      const TaskId compute = eng.AddTask(
+          "f_gpu_" + std::to_string(i), gpu[g], block_flops,
+          dep_list({fetch, stall, drain, f_gpu_last[g]}));
+      f_gpu_last[g] = compute;
+      f_gpu_of[g][i] = compute;
+      if (swap_bytes[i] > 0.0) {
+        const TaskId out = eng.AddTask(
+            "f_g2m_act_" + std::to_string(i), g2m[g], swap_bytes[i],
+            dep_list({compute, f_g2m_prev[g]}));
+        f_g2m_prev[g] = out;
+        f_act_out[g][i] = out;
+        if (swap_ssd[i] > 0.0) {
+          f_actssd_prev[g] = eng.AddTask(
+              "f_ssd_act_" + std::to_string(i), ssd, ssd_write_s(swap_ssd[i]),
+              dep_list({out, f_actssd_prev[g]}));
+        }
+      }
+    }
+  }
+  for (int g = 0; g < num_gpus; ++g) {
+    f_head[g] = eng.AddTask("f_head", gpu[g], head_flops,
+                            dep_list({f_gpu_last[g]}));
+  }
+
+  // Zero-amount barrier marking the end of forward compute per GPU.
+  std::vector<TaskId> fwd_done(num_gpus, kNone);
+  for (int g = 0; g < num_gpus; ++g) {
+    fwd_done[g] = eng.AddTask("fwd_done", gpu[g], 0.0, dep_list({f_head[g]}));
+  }
+
+  // ---- Backward stage (blocks in reverse). ----
+  std::vector<TaskId> b_gpu_last(num_gpus, kNone);
+  for (int g = 0; g < num_gpus; ++g) {
+    b_gpu_last[g] = eng.AddTask("b_head", gpu[g], 2.0 * head_flops,
+                                dep_list({fwd_done[g]}));
+  }
+  TaskId b_ssd_p16_prev = kNone;
+  TaskId b_ssd_act_prev = kNone;
+  std::vector<TaskId> b_m2g_prev(num_gpus, kNone);
+  std::vector<TaskId> b_g2m_prev(num_gpus, kNone);
+  std::vector<std::vector<TaskId>> b_gpu_of(
+      num_gpus, std::vector<TaskId>(num_layers, kNone));
+  // All-GPU gradient arrival per block, consumed by the optimizer.
+  std::vector<std::vector<TaskId>> grads_of_block(
+      num_layers, std::vector<TaskId>(num_gpus, kNone));
+  std::vector<TaskId> b_gpu_of_block(num_layers, kNone);
+
+  for (int i = num_layers - 1; i >= 0; --i) {
+    TaskId p16_src = kNone;
+    if (states_on_ssd) {
+      p16_src = eng.AddTask("b_ssd_p16_" + std::to_string(i), ssd,
+                            ssd_read_s(p16_blk),
+                            dep_list({b_ssd_p16_prev, fwd_done[0]}));
+      b_ssd_p16_prev = p16_src;
+    } else if (states_in_main) {
+      p16_src = eng.AddTask("b_mem_p16_" + std::to_string(i), mem, p16_blk,
+                            dep_list({b_ssd_p16_prev, fwd_done[0]}));
+      b_ssd_p16_prev = p16_src;
+    }
+    TaskId act_ssd = kNone;
+    if (swap_ssd[i] > 0.0) {
+      act_ssd = eng.AddTask("b_ssd_act_" + std::to_string(i), ssd,
+                            ssd_read_s(swap_ssd[i]),
+                            dep_list({b_ssd_act_prev, fwd_done[0]}));
+      b_ssd_act_prev = act_ssd;
+    }
+    for (int g = 0; g < num_gpus; ++g) {
+      // Prefetch window: block i's tensors enter the GPU only after
+      // block i + kGpuBufferBlocks was consumed by backward compute.
+      const TaskId window = i + kGpuBufferBlocks < num_layers
+                                ? b_gpu_of[g][i + kGpuBufferBlocks]
+                                : kNone;
+      TaskId p16_fetch = kNone;
+      if (!states_on_gpu) {
+        p16_fetch = eng.AddTask("b_m2g_p16_" + std::to_string(i), m2g[g],
+                                p16_blk,
+                                dep_list({b_m2g_prev[g], p16_src,
+                                          fwd_done[g], window}));
+        b_m2g_prev[g] = p16_fetch;
+      }
+      TaskId act_fetch = kNone;
+      if (swap_bytes[i] > 0.0) {
+        act_fetch = eng.AddTask("b_m2g_act_" + std::to_string(i), m2g[g],
+                                swap_bytes[i],
+                                dep_list({b_m2g_prev[g], act_ssd,
+                                          fwd_done[g], window}));
+        b_m2g_prev[g] = act_fetch;
+      }
+      TaskId stall = kNone;
+      if (overhead_s > 0.0) {
+        stall = eng.AddTask("b_sync_" + std::to_string(i), sync[g],
+                            overhead_s, dep_list({b_gpu_last[g]}));
+      }
+      const TaskId compute = eng.AddTask(
+          "b_gpu_" + std::to_string(i), gpu[g],
+          2.0 * block_flops + recompute_flops[i],
+          dep_list({p16_fetch, act_fetch, stall, b_gpu_last[g]}));
+      b_gpu_last[g] = compute;
+      b_gpu_of[g][i] = compute;
+      if (g == 0) b_gpu_of_block[i] = compute;
+      grads_of_block[i][g] =
+          eng.AddTask("b_g2m_grad_" + std::to_string(i), g2m[g], grad_blk,
+                      dep_list({compute, b_g2m_prev[g]}));
+      b_g2m_prev[g] = grads_of_block[i][g];
+    }
+  }
+
+  // Backward-compute barrier (gates the serialized optimizer stage).
+  std::vector<TaskId> all_bwd;
+  for (int g = 0; g < num_gpus; ++g) {
+    all_bwd.push_back(b_gpu_last[g]);
+    all_bwd.push_back(b_g2m_prev[g]);
+  }
+  const TaskId bwd_done = eng.AddTask("bwd_done", gpu[0], 0.0, all_bwd);
+
+  // ---- Optimizer (per block, in gradient-arrival order L-1..0). ----
+  const double cpu_amount_blk =
+      bp * (1.0 + kCpuReducePerGpu * (num_gpus - 1));
+  TaskId o_read_prev = kNone;
+  TaskId o_cpu_prev = kNone;
+  TaskId o_write_prev = kNone;
+  TaskId last_opt_task = kNone;
+  // Bounded staging: at most this many blocks' model states in flight in
+  // main memory (the pipeline slots the profiler pins, Section IV-B).
+  const int kStagingDepth = std::max(1, knobs_.staging_depth);
+  std::vector<TaskId> o_cpu_done;  // in issue order
+
+  for (int i = num_layers - 1; i >= 0; --i) {
+    const std::string sfx = "_" + std::to_string(i);
+    if (states_on_gpu || knobs_.gpu_optimizer) {
+      // In-GPU Adam (FlashNeuron keeps states resident; G10 streams them
+      // over the SSD link, GPUDirect-style).
+      std::vector<TaskId> deps = dep_list({bwd_done, o_read_prev});
+      TaskId in_xfer = kNone;
+      if (!states_on_gpu) {
+        in_xfer = eng.AddTask("o_ssd_in" + sfx, ssd,
+                              ssd_read_s(states_read_blk + p16_blk), deps);
+        o_read_prev = in_xfer;
+      }
+      const TaskId step = eng.AddTask(
+          "o_gpu" + sfx, gpu[0], bp * kGpuAdamFlopsPerParam,
+          dep_list({in_xfer, o_cpu_prev, bwd_done}));
+      o_cpu_prev = step;
+      if (!states_on_gpu) {
+        o_write_prev = eng.AddTask("o_ssd_out" + sfx, ssd,
+                                   ssd_write_s(states_write_blk),
+                                   dep_list({step, o_write_prev}));
+        last_opt_task = o_write_prev;
+      } else {
+        last_opt_task = step;
+      }
+      continue;
+    }
+
+    // Out-of-core CPU optimizer.
+    const ResourceId io_res = states_in_main ? mem : ssd;
+    const double read_amt = states_in_main
+                                ? states_read_blk
+                                : ssd_read_s(states_read_blk);
+    const double write_amt = states_in_main
+                                 ? states_write_blk
+                                 : ssd_write_s(states_write_blk);
+    std::vector<TaskId> read_deps;
+    switch (knobs_.grad_mode) {
+      case GradientOffloadMode::kOptimizedActive:
+        // Reads stream ahead of gradient arrival (Fig. 3b), starting with
+        // backward, bounded by the staging-window depth.
+        read_deps = dep_list({o_read_prev, fwd_done[0]});
+        if (o_cpu_done.size() >= static_cast<size_t>(kStagingDepth)) {
+          read_deps.push_back(
+              o_cpu_done[o_cpu_done.size() - kStagingDepth]);
+        }
+        break;
+      case GradientOffloadMode::kNaiveActive:
+        // Handler serializes read -> compute -> write per tensor
+        // (Fig. 3a): the next read waits for the previous writeback.
+        read_deps = dep_list({o_write_prev});
+        for (int g = 0; g < num_gpus; ++g) {
+          read_deps.push_back(grads_of_block[i][g]);
+        }
+        break;
+      case GradientOffloadMode::kSerializedOptimizer:
+        // Whole optimizer stage gated on backward completion; handlers
+        // fully serialized per tensor.
+        read_deps = dep_list({o_write_prev, bwd_done});
+        break;
+      case GradientOffloadMode::kSerializedPipelined:
+        // Separate stage, but reads stream ahead within it.
+        read_deps = dep_list({o_read_prev, bwd_done});
+        if (o_cpu_done.size() >= static_cast<size_t>(kStagingDepth)) {
+          read_deps.push_back(
+              o_cpu_done[o_cpu_done.size() - kStagingDepth]);
+        }
+        break;
+    }
+    const TaskId rd = eng.AddTask("o_read" + sfx, io_res, read_amt, read_deps);
+    o_read_prev = rd;
+
+    std::vector<TaskId> cpu_deps = dep_list({rd, o_cpu_prev});
+    if (knobs_.grad_mode == GradientOffloadMode::kOptimizedActive ||
+        knobs_.grad_mode == GradientOffloadMode::kNaiveActive) {
+      for (int g = 0; g < num_gpus; ++g) {
+        cpu_deps.push_back(grads_of_block[i][g]);
+      }
+    }
+    const TaskId up = eng.AddTask("o_cpu" + sfx, cpu, cpu_amount_blk,
+                                  cpu_deps);
+    o_cpu_prev = up;
+    o_cpu_done.push_back(up);
+    o_write_prev = eng.AddTask("o_write" + sfx, io_res, write_amt,
+                               dep_list({up, o_write_prev}));
+    last_opt_task = o_write_prev;
+  }
+
+  RATEL_RETURN_IF_ERROR(eng.Run());
+  if (trace != nullptr) *trace = ScheduleTrace::FromEngine(eng);
+
+  // ---- Extract stage windows and utilizations. ----
+  IterationResult res;
+  double fwd_end = 0.0;
+  for (int g = 0; g < num_gpus; ++g) {
+    fwd_end = std::max(fwd_end, eng.timing(f_head[g]).finish);
+  }
+  double bwd_compute_end = eng.timing(bwd_done).finish;
+  const double iter_end = eng.Makespan();
+
+  const bool serialized =
+      knobs_.grad_mode == GradientOffloadMode::kSerializedOptimizer ||
+      knobs_.grad_mode == GradientOffloadMode::kSerializedPipelined ||
+      knobs_.gpu_optimizer || states_on_gpu;
+  res.t_forward = fwd_end;
+  if (serialized && last_opt_task != kNone) {
+    const double opt_start = bwd_compute_end;
+    res.t_backward = std::max(0.0, opt_start - fwd_end);
+    res.t_optimizer = iter_end - opt_start;
+  } else {
+    res.t_backward = iter_end - fwd_end;
+    res.t_optimizer = 0.0;
+  }
+  res.t_iter = iter_end;
+
+  auto stage_stats = [&](double t0, double t1) {
+    StageStats s;
+    s.duration = t1 - t0;
+    if (s.duration <= 0.0) return s;
+    double gpu_busy = 0.0, m2g_busy = 0.0, g2m_busy = 0.0;
+    for (int g = 0; g < num_gpus; ++g) {
+      gpu_busy += eng.ResourceBusyTime(gpu[g], t0, t1);
+      m2g_busy += eng.ResourceBusyTime(m2g[g], t0, t1);
+      g2m_busy += eng.ResourceBusyTime(g2m[g], t0, t1);
+    }
+    s.gpu_busy_frac = gpu_busy / (num_gpus * s.duration);
+    s.m2g_busy_frac = m2g_busy / (num_gpus * s.duration);
+    s.g2m_busy_frac = g2m_busy / (num_gpus * s.duration);
+    s.ssd_busy_frac = eng.ResourceBusyTime(ssd, t0, t1) / s.duration;
+    s.cpu_busy_frac = eng.ResourceBusyTime(cpu, t0, t1) / s.duration;
+    return s;
+  };
+  res.forward = stage_stats(0.0, fwd_end);
+  if (serialized) {
+    res.backward = stage_stats(fwd_end, bwd_compute_end);
+    res.optimizer = stage_stats(bwd_compute_end, iter_end);
+  } else {
+    res.backward = stage_stats(fwd_end, iter_end);
+  }
+
+  const double tokens =
+      static_cast<double>(wl.tokens_per_iteration()) * num_gpus;
+  res.tokens_per_s = tokens / res.t_iter;
+  res.model_tflops = 3.0 * wl.forward_flops() / res.t_iter / 1e12;
+  double gpu_busy_total = 0.0;
+  for (int g = 0; g < num_gpus; ++g) {
+    gpu_busy_total += eng.ResourceBusyTime(gpu[g], 0.0, iter_end);
+  }
+  res.gpu_busy_frac = gpu_busy_total / (num_gpus * iter_end);
+  res.recompute_seconds = plan_.flop_r / gpu_rate;
+  res.act_offload_bytes = static_cast<double>(plan_.a_g2m);
+  return res;
+}
+
+}  // namespace ratel

@@ -1,0 +1,125 @@
+#ifndef RATEL_CORE_ITERATION_SIM_H_
+#define RATEL_CORE_ITERATION_SIM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/activation_planner.h"
+#include "core/cost_model.h"
+#include "core/hardware_profile.h"
+#include "core/schedule_trace.h"
+#include "model/workload.h"
+
+namespace ratel {
+
+/// How the out-of-core optimizer is coupled to backward propagation
+/// (Section IV-C, Fig. 3).
+enum class GradientOffloadMode {
+  /// ZeRO-Infinity-style: the optimizer runs as a separate stage after
+  /// backward completes, with fully serialized per-tensor handlers (this
+  /// reproduces the measured 23 s stage of Fig. 1a).
+  kSerializedOptimizer,
+  /// Separate optimizer stage after backward, but internally pipelined
+  /// (reads stream ahead, CPU and writeback overlap). This is the
+  /// Ratel+ZeRO ablation of Fig. 7: Ratel minus the backward overlap.
+  kSerializedPipelined,
+  /// Naive active gradient offloading: the handler for tensor i runs
+  /// SSD->Main, CPU, Main->SSD strictly in sequence, one tensor at a time
+  /// (Fig. 3a), overlapped with backward.
+  kNaiveActive,
+  /// Optimized active gradient offloading: state reads stream ahead,
+  /// CPU updates and SSD writebacks pipeline across tensors (Fig. 3b).
+  kOptimizedActive,
+};
+
+const char* GradientOffloadModeName(GradientOffloadMode mode);
+
+/// Where model states (P32/OS32 and the P16 source of truth) live.
+enum class ModelStatePlacement {
+  kSsd,         // Ratel, ZeRO-Infinity, G10
+  kMainMemory,  // ZeRO-Offload
+  kGpu,         // FlashNeuron, Megatron-style in-GPU training
+};
+
+/// Execution-policy knobs. Ratel's defaults describe Ratel itself;
+/// baseline systems (src/baselines) override them to express their
+/// documented behaviours and measured inefficiencies.
+struct IterationKnobs {
+  GradientOffloadMode grad_mode = GradientOffloadMode::kOptimizedActive;
+  ModelStatePlacement state_placement = ModelStatePlacement::kSsd;
+  /// True runs the Adam step on the GPU (G10), streaming model states
+  /// through the GPU instead of the CPU.
+  bool gpu_optimizer = false;
+  /// Fraction of measured peak FLOPs the system's kernels achieve.
+  double gpu_efficiency = 0.95;
+  /// Framework synchronization overhead added to the GPU stream per block
+  /// per pass (DeepSpeed/Colossal-AI gather-partition and allocator
+  /// stalls; ~0 for Ratel's fully asynchronous hooks).
+  double per_layer_overhead_s = 0.0;
+  /// Number of data-parallel GPUs sharing the CPU and SSD array
+  /// (Section V-G). Gradients are all-reduced over PCIe.
+  int num_gpus = 1;
+  /// True keeps all activations resident in GPU memory: no swap traffic
+  /// and no recomputation (Fast-DiT, Megatron-style in-GPU training).
+  bool activations_resident = false;
+  /// Model-state staging slots the optimizer pipeline keeps in flight in
+  /// main memory (Fig. 3b's lookahead; ablated in bench/abl_staging_depth).
+  int staging_depth = 8;
+};
+
+/// Per-stage utilization snapshot (the percentages of Fig. 1).
+struct StageStats {
+  double duration = 0.0;
+  double gpu_busy_frac = 0.0;
+  double m2g_busy_frac = 0.0;  // PCIe main->GPU
+  double g2m_busy_frac = 0.0;  // PCIe GPU->main
+  double ssd_busy_frac = 0.0;  // SSD array (simplex)
+  double cpu_busy_frac = 0.0;  // out-of-core optimizer
+};
+
+/// Results of simulating one training iteration.
+struct IterationResult {
+  double t_forward = 0.0;
+  double t_backward = 0.0;   // backward window incl. overlapped optimizer
+  double t_optimizer = 0.0;  // serialized-optimizer tail (0 when overlapped)
+  double t_iter = 0.0;
+
+  StageStats forward;
+  StageStats backward;
+  StageStats optimizer;
+
+  double tokens_per_s = 0.0;   // images/s for DiT workloads
+  double model_tflops = 0.0;   // 3*FLOP_f / t_iter (recompute not credited)
+  double gpu_busy_frac = 0.0;  // whole iteration
+  double recompute_seconds = 0.0;
+  double act_offload_bytes = 0.0;
+};
+
+/// Builds and runs the discrete-event schedule of one iteration:
+/// per-block forward with parameter prefetch and activation swap-out,
+/// per-block backward with activation swap-in/recompute, and the chosen
+/// gradient-offloading pipeline. This is the executable counterpart of
+/// the closed-form CostModel; under full overlap the two agree (tested).
+class IterationSimulator {
+ public:
+  IterationSimulator(const HardwareProfile& hw,
+                     const WorkloadProfile& workload,
+                     const ActivationPlan& plan, const IterationKnobs& knobs);
+
+  Result<IterationResult> Simulate() const { return Simulate(nullptr); }
+
+  /// Like Simulate(); additionally captures the full device-track
+  /// schedule (for Fig. 1/3-style timelines) when `trace` is non-null.
+  Result<IterationResult> Simulate(ScheduleTrace* trace) const;
+
+ private:
+  HardwareProfile hw_;
+  const WorkloadProfile* workload_;
+  ActivationPlan plan_;
+  IterationKnobs knobs_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_ITERATION_SIM_H_

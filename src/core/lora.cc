@@ -1,0 +1,69 @@
+#include "core/lora.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "model/tensor_inventory.h"
+
+namespace ratel {
+
+int64_t LoraTrainableParams(const TransformerConfig& config,
+                            const LoraConfig& lora) {
+  RATEL_CHECK(lora.rank > 0);
+  const int64_t h = config.hidden_dim;
+  const int64_t r = lora.rank;
+  // Adapted matrices per block: qkv (h -> 3h), attention out (h -> h),
+  // MLP up (h -> 4h), MLP down (4h -> h). Each contributes r*(in + out).
+  const int64_t per_block = r * ((h + 3 * h) + (h + h) + (h + 4 * h) +
+                                 (4 * h + h));
+  return per_block * config.num_layers;
+}
+
+int64_t LoraModelStateBytes(const TransformerConfig& config,
+                            const LoraConfig& lora) {
+  return Params16Bytes(config.ParameterCount()) +
+         ModelStateBytes(LoraTrainableParams(config, lora));
+}
+
+LoraIterTraffic LoraIterationTraffic(const TransformerConfig& config,
+                                     const LoraConfig& lora,
+                                     int64_t activation_spill_bytes) {
+  const double p16 =
+      static_cast<double>(Params16Bytes(config.ParameterCount()));
+  const double pl = static_cast<double>(LoraTrainableParams(config, lora));
+  LoraIterTraffic t;
+  // Frozen base streamed for forward and backward; adapter P32+OS32+P16
+  // read for the optimizer; spilled activations come back.
+  t.ssd_read_bytes = 2.0 * p16 + 14.0 * pl +
+                     static_cast<double>(activation_spill_bytes);
+  // Adapter states written back; base never changes, so no 14P writeback.
+  t.ssd_write_bytes =
+      14.0 * pl + static_cast<double>(activation_spill_bytes);
+  return t;
+}
+
+double LoraIterTime(const HardwareProfile& hw, const WorkloadProfile& wl,
+                    const LoraConfig& lora, double a_g2m) {
+  const double p2 =
+      static_cast<double>(Params16Bytes(wl.param_count()));
+  const double pl =
+      static_cast<double>(LoraTrainableParams(wl.config(), lora));
+  const double spill =
+      std::max(0.0, a_g2m - static_cast<double>(hw.mem_avail_m));
+  // Forward (Eq. 4 with frozen-base reads only).
+  const double t_f = std::max(
+      {wl.forward_flops() / hw.thp_g, a_g2m / hw.bw_g, p2 / hw.bw_g,
+       p2 / hw.bw_s2m + spill / hw.bw_m2s});
+  // Backward (Eq. 5): gradients shrink to the adapters; the optimizer
+  // moves only 14 P_lora per direction. With LoRA there is no need to
+  // recompute (swap is cheap relative to the vanished state traffic),
+  // so charge full swap a_g2m and zero FLOP_r for the comparison.
+  const double t_b = std::max(
+      {2.0 * wl.forward_flops() / hw.thp_g,
+       2.0 * pl / hw.bw_g,            // adapter gradients out
+       (p2 + a_g2m) / hw.bw_g,        // base refetch + activations in
+       (p2 + 14.0 * pl + spill) / hw.bw_s2m + 14.0 * pl / hw.bw_m2s});
+  return t_f + t_b;
+}
+
+}  // namespace ratel

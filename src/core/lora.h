@@ -1,0 +1,58 @@
+#ifndef RATEL_CORE_LORA_H_
+#define RATEL_CORE_LORA_H_
+
+#include <cstdint>
+
+#include "core/hardware_profile.h"
+#include "model/transformer_config.h"
+#include "model/workload.h"
+
+namespace ratel {
+
+/// Extension beyond the paper: LoRA-style parameter-efficient fine-tuning
+/// on the Ratel substrate. The base weights are frozen (only their fp16
+/// copy is ever read — no P32/OS32/G16 for them), and low-rank adapters
+/// A (h x r) / B (r x out) on each projection are the only trainable
+/// state. This collapses the model-state movement of Table II:
+///
+///   full fine-tune: 16P persistent bytes, 26P SSD bytes/iteration
+///   LoRA(r):         2P + 16 P_lora bytes, 14 P_lora + reads
+///
+/// and is the natural "what if" for Ratel users whose models fit the
+/// frozen-weights budget: it converts the workload from optimizer-bound
+/// to purely GPU/PCIe-bound.
+struct LoraConfig {
+  int rank = 16;
+};
+
+/// Trainable adapter parameters: rank x (in + out) per adapted matrix,
+/// on the qkv / attention-out / MLP-up / MLP-down projections of every
+/// block.
+int64_t LoraTrainableParams(const TransformerConfig& config,
+                            const LoraConfig& lora);
+
+/// Persistent bytes: frozen fp16 base (2P) + full mixed-precision state
+/// for the adapters (16 bytes/param).
+int64_t LoraModelStateBytes(const TransformerConfig& config,
+                            const LoraConfig& lora);
+
+/// Per-iteration SSD traffic (bytes) under LoRA on the Ratel substrate:
+/// base P16 streamed twice (forward + backward reads), adapter states
+/// read and written around the CPU optimizer, plus the activation spill.
+struct LoraIterTraffic {
+  double ssd_read_bytes = 0.0;
+  double ssd_write_bytes = 0.0;
+};
+LoraIterTraffic LoraIterationTraffic(const TransformerConfig& config,
+                                     const LoraConfig& lora,
+                                     int64_t activation_spill_bytes);
+
+/// Closed-form iteration time under LoRA (Eq. 4/5 with the LoRA traffic
+/// terms). Adapter math adds ~ 3 * 2 * r/h relative FLOPs — negligible —
+/// so GPU time matches the full fine-tune's forward/backward.
+double LoraIterTime(const HardwareProfile& hw, const WorkloadProfile& wl,
+                    const LoraConfig& lora, double a_g2m);
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_LORA_H_

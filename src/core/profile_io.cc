@@ -1,0 +1,120 @@
+#include "core/profile_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace ratel {
+namespace profile_io {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'A', 'T', 'E', 'L', 'P', 'R', 'F'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IoError("profile write failed");
+  }
+  return Status::Ok();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::IoError("profile file truncated");
+  }
+  return Status::Ok();
+}
+
+/// Fixed-size scalar payload, written/read as one block. Field order is
+/// part of the format; bump kVersion on change.
+struct ScalarPayload {
+  double thp_g;
+  int64_t gpu_memory_bytes;
+  double bw_g;
+  double bw_s2m;
+  double bw_m2s;
+  double cpu_adam_rate;
+  double host_mem_bw;
+  int64_t mem_avail_m;
+  double t_f;
+  double t_b;
+};
+
+}  // namespace
+
+Status Save(const HardwareProfile& profile, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open '" + path + "' for writing");
+  RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
+  RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &kVersion, sizeof(kVersion)));
+  ScalarPayload p;
+  p.thp_g = profile.thp_g;
+  p.gpu_memory_bytes = profile.gpu_memory_bytes;
+  p.bw_g = profile.bw_g;
+  p.bw_s2m = profile.bw_s2m;
+  p.bw_m2s = profile.bw_m2s;
+  p.cpu_adam_rate = profile.cpu_adam_rate;
+  p.host_mem_bw = profile.host_mem_bw;
+  p.mem_avail_m = profile.mem_avail_m;
+  p.t_f = profile.t_f;
+  p.t_b = profile.t_b;
+  RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &p, sizeof(p)));
+  const uint32_t layers =
+      static_cast<uint32_t>(profile.layer_forward_seconds.size());
+  RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &layers, sizeof(layers)));
+  RATEL_RETURN_IF_ERROR(WriteBytes(f.get(),
+                                   profile.layer_forward_seconds.data(),
+                                   sizeof(double) * layers));
+  if (std::fflush(f.get()) != 0) return Status::IoError("flush failed");
+  return Status::Ok();
+}
+
+Result<HardwareProfile> Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open '" + path + "'");
+  char magic[8];
+  RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a Ratel profile");
+  }
+  uint32_t version = 0;
+  RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &version, sizeof(version)));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported profile version " +
+                                   std::to_string(version));
+  }
+  ScalarPayload p;
+  RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &p, sizeof(p)));
+  uint32_t layers = 0;
+  RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &layers, sizeof(layers)));
+  if (layers > 100000) {
+    return Status::InvalidArgument("corrupt profile: layer count");
+  }
+  HardwareProfile out;
+  out.thp_g = p.thp_g;
+  out.gpu_memory_bytes = p.gpu_memory_bytes;
+  out.bw_g = p.bw_g;
+  out.bw_s2m = p.bw_s2m;
+  out.bw_m2s = p.bw_m2s;
+  out.cpu_adam_rate = p.cpu_adam_rate;
+  out.host_mem_bw = p.host_mem_bw;
+  out.mem_avail_m = p.mem_avail_m;
+  out.t_f = p.t_f;
+  out.t_b = p.t_b;
+  out.layer_forward_seconds.resize(layers);
+  RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), out.layer_forward_seconds.data(),
+                                  sizeof(double) * layers));
+  return out;
+}
+
+}  // namespace profile_io
+}  // namespace ratel

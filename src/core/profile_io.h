@@ -1,0 +1,27 @@
+#ifndef RATEL_CORE_PROFILE_IO_H_
+#define RATEL_CORE_PROFILE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/hardware_profile.h"
+
+namespace ratel {
+
+/// Persistence for hardware profiles. The paper amortizes the profiling
+/// stage over a whole fine-tuning run (Section IV-B); persisting the
+/// measurements amortizes it over *runs*: a deployment profiles once per
+/// machine and every later job loads the result.
+///
+/// Format: binary, magic "RATELPRF" | version u32 | fixed-size payload |
+/// per-layer forward seconds (count u32 + doubles).
+namespace profile_io {
+
+Status Save(const HardwareProfile& profile, const std::string& path);
+
+Result<HardwareProfile> Load(const std::string& path);
+
+}  // namespace profile_io
+}  // namespace ratel
+
+#endif  // RATEL_CORE_PROFILE_IO_H_

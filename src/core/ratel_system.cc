@@ -1,0 +1,213 @@
+#include "core/ratel_system.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+#include "core/feasibility.h"
+#include "core/hardware_profile.h"
+#include "core/recompute_knapsack.h"
+#include "model/workload.h"
+
+namespace ratel {
+
+const char* ActivationStrategyName(ActivationStrategy s) {
+  switch (s) {
+    case ActivationStrategy::kHolistic:
+      return "Ratel Optimized";
+    case ActivationStrategy::kStaticInterBlock:
+      return "Ratel+ZeRO";
+    case ActivationStrategy::kCapuchin:
+      return "Ratel+Cap";
+    case ActivationStrategy::kG10InactiveTime:
+      return "Ratel+G10";
+    case ActivationStrategy::kCheckmate:
+      return "Ratel+CM";
+    case ActivationStrategy::kMainMemoryOnly:
+      return "Ratel+CpuAct";
+  }
+  return "?";
+}
+
+std::string RatelSystem::name() const {
+  std::string n = ActivationStrategyName(options_.act_strategy);
+  if (options_.grad_mode == GradientOffloadMode::kNaiveActive) {
+    n = "Ratel Naive";
+  } else if ((options_.grad_mode ==
+                  GradientOffloadMode::kSerializedOptimizer ||
+              options_.grad_mode ==
+                  GradientOffloadMode::kSerializedPipelined) &&
+             options_.act_strategy == ActivationStrategy::kHolistic) {
+    n = "Ratel+ZeRO-coupling";
+  }
+  return n;
+}
+
+bool RatelSystem::CanTrain(const TransformerConfig& config, int batch_size,
+                           const ServerConfig& server,
+                           std::string* reason) const {
+  auto fail = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+  if (batch_size < 1) return fail("batch size must be >= 1");
+  if (server.ssds.count < 1) return fail("needs at least one SSD");
+
+  const int64_t gpu_need =
+      feasibility::StreamingGpuWorkingSetBytes(config, batch_size);
+  if (gpu_need > server.gpu.device_memory_bytes) {
+    return fail("GPU working set " + FormatBytes(gpu_need) + " exceeds " +
+                FormatBytes(server.gpu.device_memory_bytes));
+  }
+  const int64_t pinned = feasibility::RatelPinnedHostBytes(config);
+  if (pinned > server.main_memory_bytes) {
+    return fail("pinned host buffers " + FormatBytes(pinned) + " exceed " +
+                FormatBytes(server.main_memory_bytes) + " main memory");
+  }
+  const int64_t mem_avail = server.main_memory_bytes - pinned;
+  const bool main_only =
+      options_.act_strategy == ActivationStrategy::kMainMemoryOnly ||
+      options_.act_strategy == ActivationStrategy::kCheckmate ||
+      options_.act_strategy == ActivationStrategy::kCapuchin ||
+      options_.act_strategy == ActivationStrategy::kStaticInterBlock;
+  if (main_only) {
+    // Strategies without an SSD spill path must host the block-boundary
+    // checkpoints in free main memory. Checkmate's MILP additionally
+    // plans double-buffered checkpoints, which is what makes it refuse
+    // the 128 GB configuration outright (Table V "Failed").
+    int64_t inter = feasibility::InterBlockBytes(config, batch_size);
+    if (options_.act_strategy == ActivationStrategy::kCheckmate) inter *= 2;
+    if (inter > mem_avail) {
+      return fail("checkpoints " + FormatBytes(inter) +
+                  " exceed free main memory " + FormatBytes(mem_avail) +
+                  " (no SSD spill in " +
+                  std::string(ActivationStrategyName(options_.act_strategy)) +
+                  ")");
+    }
+  }
+  const int64_t ssd_need = feasibility::RatelSsdBytes(config, batch_size);
+  if (ssd_need > server.ssds.CapacityBytes()) {
+    return fail("SSD footprint " + FormatBytes(ssd_need) + " exceeds array " +
+                FormatBytes(server.ssds.CapacityBytes()));
+  }
+  return true;
+}
+
+Result<ActivationPlan> RatelSystem::PlanActivations(
+    const TransformerConfig& config, int batch_size,
+    const ServerConfig& server) const {
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  HardwareProfiler profiler(server);
+  RATEL_ASSIGN_OR_RETURN(HardwareProfile hw, profiler.Profile(wl));
+  const CostModel cm(hw, wl);
+  const ActivationPlanner planner(cm);
+
+  switch (options_.act_strategy) {
+    case ActivationStrategy::kHolistic:
+      return planner.Plan();
+    case ActivationStrategy::kStaticInterBlock:
+      return planner.PlanForAmount(wl.inter_block_activation_bytes());
+    case ActivationStrategy::kG10InactiveTime:
+      return planner.PlanForAmount(wl.total_activation_bytes());
+    case ActivationStrategy::kMainMemoryOnly:
+      return planner.PlanWithObjective(
+          hw.mem_avail_m,
+          [&](double a, double fr) { return cm.IterTime(a, fr); });
+    case ActivationStrategy::kCapuchin: {
+      // Capuchin's model: GPU backward time vs GPU->main PCIe transfer,
+      // blind to SSD I/O and model-state traffic.
+      const double flop_f = wl.forward_flops();
+      return planner.PlanWithObjective(
+          hw.mem_avail_m, [&](double a, double fr) {
+            return std::max((2.0 * flop_f + fr) / hw.thp_g, a / hw.bw_g);
+          });
+    }
+    case ActivationStrategy::kCheckmate: {
+      // Checkmate minimizes recomputation subject to the main-memory
+      // budget (transfers are free in its MILP). Solved exactly as a
+      // 0/1 knapsack: mandatory checkpoints first, DP over the rest.
+      const auto& units = wl.activation_units();
+      ActivationPlan plan;
+      int64_t budget = hw.mem_avail_m;
+      std::vector<ActivationUnit> optional;
+      std::vector<int> optional_index;
+      for (int i = 0; i < static_cast<int>(units.size()); ++i) {
+        if (units[i].inter_block) {
+          plan.swapped_units.push_back(i);
+          plan.a_g2m += units[i].bytes;
+          budget -= units[i].bytes;
+        } else {
+          optional.push_back(units[i]);
+          optional_index.push_back(i);
+        }
+      }
+      if (budget < 0) {
+        return Status::OutOfMemory(
+            "Checkmate: checkpoints exceed the memory budget");
+      }
+      const KnapsackPlan kp = SolveRecomputeKnapsack(optional, budget);
+      for (int j : kp.chosen) {
+        plan.swapped_units.push_back(optional_index[j]);
+        plan.a_g2m += optional[j].bytes;
+      }
+      std::sort(plan.swapped_units.begin(), plan.swapped_units.end());
+      plan.flop_r =
+          std::max(0.0, cm.TotalRecomputableFlops() - kp.flops_saved);
+      plan.ssd_bytes = 0;  // no SSD spill concept in Checkmate
+      plan.predicted_iter_time =
+          cm.IterTime(static_cast<double>(plan.a_g2m), plan.flop_r);
+      plan.swap_case = SwapCase::kInflection;
+      return plan;
+    }
+  }
+  return Status::Internal("unknown activation strategy");
+}
+
+Result<IterationResult> RatelSystem::Run(const TransformerConfig& config,
+                                         int batch_size,
+                                         const ServerConfig& server) const {
+  return RunWithTrace(config, batch_size, server, nullptr);
+}
+
+Result<IterationResult> RatelSystem::RunWithTrace(
+    const TransformerConfig& config, int batch_size,
+    const ServerConfig& server, ScheduleTrace* trace) const {
+  std::string reason;
+  if (!CanTrain(config, batch_size, server, &reason)) {
+    return Status::FailedPrecondition(name() + " cannot train " + config.name +
+                                      " at batch " +
+                                      std::to_string(batch_size) + ": " +
+                                      reason);
+  }
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  HardwareProfiler profiler(server);
+  RATEL_ASSIGN_OR_RETURN(HardwareProfile hw, profiler.Profile(wl));
+  RATEL_ASSIGN_OR_RETURN(ActivationPlan plan,
+                         PlanActivations(config, batch_size, server));
+
+  IterationKnobs knobs;
+  knobs.grad_mode = options_.grad_mode;
+  knobs.state_placement = ModelStatePlacement::kSsd;
+  knobs.gpu_efficiency = options_.gpu_efficiency;
+  knobs.per_layer_overhead_s = 0.0;
+  knobs.num_gpus = options_.num_gpus;
+  return IterationSimulator(hw, wl, plan, knobs).Simulate(trace);
+}
+
+Result<IterationResult> RatelSystem::RunWithSwappedBytes(
+    const TransformerConfig& config, int batch_size,
+    const ServerConfig& server, int64_t a_g2m) const {
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  HardwareProfiler profiler(server);
+  RATEL_ASSIGN_OR_RETURN(HardwareProfile hw, profiler.Profile(wl));
+  const CostModel cm(hw, wl);
+  const ActivationPlanner planner(cm);
+  const ActivationPlan plan = planner.PlanForAmount(a_g2m);
+
+  IterationKnobs knobs;
+  knobs.grad_mode = options_.grad_mode;
+  knobs.gpu_efficiency = options_.gpu_efficiency;
+  knobs.num_gpus = options_.num_gpus;
+  return IterationSimulator(hw, wl, plan, knobs).Simulate();
+}
+
+}  // namespace ratel

@@ -1,0 +1,93 @@
+#ifndef RATEL_CORE_RATEL_SYSTEM_H_
+#define RATEL_CORE_RATEL_SYSTEM_H_
+
+#include <string>
+
+#include "core/activation_planner.h"
+#include "core/system.h"
+
+namespace ratel {
+
+/// Activation-management strategies Ratel can be configured with. The
+/// non-default strategies reproduce the ablation baselines of Fig. 9a
+/// (each runs on the full Ratel substrate — model states on SSD, CPU
+/// optimizer — differing only in how activations are chosen for swap).
+enum class ActivationStrategy {
+  /// Holistic traffic-aware planner, Section IV-D (Ratel Optimized).
+  kHolistic,
+  /// Static ZeRO-Infinity rule: swap only the block-boundary checkpoints,
+  /// recompute everything else (Ratel+ZeRO).
+  kStaticInterBlock,
+  /// Capuchin: balances GPU recompute time against GPU<->main PCIe
+  /// traffic only, blind to SSD and model-state flows; swaps at most what
+  /// main memory holds (Ratel+Cap).
+  kCapuchin,
+  /// G10's inactive-time rule degenerates to swapping (almost) all
+  /// activations towards the SSDs (Ratel+G10).
+  kG10InactiveTime,
+  /// Checkmate: cost-model + MILP over recompute-vs-keep with a *main
+  /// memory* budget; no SSD spill concept, so it refuses configurations
+  /// whose checkpoints exceed free host memory (Ratel+CM; "Failed" in
+  /// Table V at 128 GB).
+  kCheckmate,
+  /// Swap using the holistic planner but only into main memory — never
+  /// SSD (Ratel+CpuAct, Fig. 8).
+  kMainMemoryOnly,
+};
+
+const char* ActivationStrategyName(ActivationStrategy s);
+
+/// Configuration of a RatelSystem instance.
+struct RatelOptions {
+  GradientOffloadMode grad_mode = GradientOffloadMode::kOptimizedActive;
+  ActivationStrategy act_strategy = ActivationStrategy::kHolistic;
+  int num_gpus = 1;
+  /// Ratel's hooks add no per-layer synchronization; kernels run at
+  /// ~measured peak (Section V-C reports 90-95% of peak).
+  double gpu_efficiency = 0.95;
+};
+
+/// Ratel: the paper's system (Section IV), and — via RatelOptions — the
+/// ablated variants of Figs. 7, 8 and 9.
+class RatelSystem final : public TrainingSystem {
+ public:
+  RatelSystem() = default;
+  explicit RatelSystem(const RatelOptions& options) : options_(options) {}
+
+  std::string name() const override;
+
+  bool CanTrain(const TransformerConfig& config, int batch_size,
+                const ServerConfig& server,
+                std::string* reason = nullptr) const override;
+
+  Result<IterationResult> Run(const TransformerConfig& config, int batch_size,
+                              const ServerConfig& server) const override;
+
+  /// Like Run(), additionally capturing the device-track schedule for
+  /// Fig. 1/3-style timeline rendering.
+  Result<IterationResult> RunWithTrace(const TransformerConfig& config,
+                                       int batch_size,
+                                       const ServerConfig& server,
+                                       ScheduleTrace* trace) const;
+
+  /// The activation plan Ratel would execute (exposed for Fig. 9b and the
+  /// planner tests).
+  Result<ActivationPlan> PlanActivations(const TransformerConfig& config,
+                                         int batch_size,
+                                         const ServerConfig& server) const;
+
+  /// Simulates one iteration with a caller-fixed swapped amount (the
+  /// Fig. 9b sweep).
+  Result<IterationResult> RunWithSwappedBytes(
+      const TransformerConfig& config, int batch_size,
+      const ServerConfig& server, int64_t a_g2m) const;
+
+  const RatelOptions& options() const { return options_; }
+
+ private:
+  RatelOptions options_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_RATEL_SYSTEM_H_

@@ -1,0 +1,87 @@
+#include "core/recompute_knapsack.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+KnapsackPlan SolveRecomputeKnapsack(const std::vector<ActivationUnit>& units,
+                                    int64_t budget_bytes, int buckets) {
+  KnapsackPlan plan;
+  if (budget_bytes <= 0 || units.empty() || buckets < 1) return plan;
+
+  // Unit sizes in our inventory are small multiples of one s*b*h tensor,
+  // so their GCD is large and an *exact* DP over bytes/gcd is cheap.
+  // Fall back to upward-rounded quantization (which never exceeds the
+  // budget) when the exact table would be too wide.
+  int64_t gcd = 0;
+  for (const auto& u : units) gcd = std::gcd(gcd, u.bytes);
+  int64_t bucket_bytes;
+  if (gcd > 0 && budget_bytes / gcd <= 200000) {
+    bucket_bytes = gcd;
+    buckets = static_cast<int>(budget_bytes / gcd);  // floor: stay within
+    if (buckets < 1) return plan;
+  } else {
+    bucket_bytes = (budget_bytes + buckets - 1) / buckets;
+  }
+  const int n = static_cast<int>(units.size());
+  std::vector<int> weight(n);
+  for (int i = 0; i < n; ++i) {
+    weight[i] = static_cast<int>((units[i].bytes + bucket_bytes - 1) /
+                                 bucket_bytes);
+  }
+
+  // dp[w] = best avoided FLOPs using <= w buckets; choice tracking keeps
+  // one bit per (item, w).
+  std::vector<double> dp(buckets + 1, 0.0);
+  std::vector<std::vector<bool>> take(n,
+                                      std::vector<bool>(buckets + 1, false));
+  for (int i = 0; i < n; ++i) {
+    const double value = units[i].recompute_flops;
+    if (weight[i] > buckets) continue;
+    for (int w = buckets; w >= weight[i]; --w) {
+      const double candidate = dp[w - weight[i]] + value;
+      if (candidate > dp[w]) {
+        dp[w] = candidate;
+        take[i][w] = true;
+      }
+    }
+  }
+
+  // Reconstruct.
+  int w = buckets;
+  for (int i = n - 1; i >= 0; --i) {
+    if (w >= weight[i] && take[i][w]) {
+      plan.chosen.push_back(i);
+      plan.bytes += units[i].bytes;
+      plan.flops_saved += units[i].recompute_flops;
+      w -= weight[i];
+    }
+  }
+  std::reverse(plan.chosen.begin(), plan.chosen.end());
+  RATEL_CHECK(plan.bytes <= budget_bytes + bucket_bytes * 0)
+      << "knapsack exceeded budget";
+  return plan;
+}
+
+KnapsackPlan GreedyRecomputeKnapsack(const std::vector<ActivationUnit>& units,
+                                     int64_t budget_bytes) {
+  std::vector<int> order(units.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return units[a].OffloadingBenefit() > units[b].OffloadingBenefit();
+  });
+  KnapsackPlan plan;
+  for (int i : order) {
+    if (plan.bytes + units[i].bytes > budget_bytes) continue;
+    plan.chosen.push_back(i);
+    plan.bytes += units[i].bytes;
+    plan.flops_saved += units[i].recompute_flops;
+  }
+  std::sort(plan.chosen.begin(), plan.chosen.end());
+  return plan;
+}
+
+}  // namespace ratel

@@ -1,0 +1,39 @@
+#ifndef RATEL_CORE_RECOMPUTE_KNAPSACK_H_
+#define RATEL_CORE_RECOMPUTE_KNAPSACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/workload.h"
+
+namespace ratel {
+
+/// Result of the Checkmate-style recompute-vs-keep optimization.
+struct KnapsackPlan {
+  std::vector<int> chosen;     // indices into the unit list
+  int64_t bytes = 0;           // memory consumed by kept/swapped units
+  double flops_saved = 0.0;    // recomputation avoided
+};
+
+/// Checkmate (MLSys'20) formulates rematerialization as an optimization
+/// problem over which tensors to keep within a memory budget,
+/// minimizing recomputation; transfers are free in its cost model. This
+/// is the exact 0/1-knapsack core of that MILP for our per-unit
+/// activation model: choose units maximizing avoided recompute FLOPs
+/// subject to sum(bytes) <= budget.
+///
+/// Solved by dynamic programming over `buckets` quantized byte levels
+/// (budget rounded *down* per item so the budget is never exceeded).
+/// Exact when unit sizes are multiples of the bucket width — true for
+/// our uniform s*b*h unit inventory.
+KnapsackPlan SolveRecomputeKnapsack(const std::vector<ActivationUnit>& units,
+                                    int64_t budget_bytes, int buckets = 1024);
+
+/// Greedy density baseline (what the planner's benefit order yields);
+/// used by tests and the solver-quality ablation.
+KnapsackPlan GreedyRecomputeKnapsack(const std::vector<ActivationUnit>& units,
+                                     int64_t budget_bytes);
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_RECOMPUTE_KNAPSACK_H_

@@ -1,0 +1,75 @@
+#include "core/run_estimator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/units.h"
+#include "model/tensor_inventory.h"
+#include "model/workload.h"
+
+namespace ratel {
+
+namespace {
+
+/// Section IV-B: "the profiling stage ... takes about 2~3x times longer
+/// than that of a subsequent iteration".
+constexpr double kProfilingIterationFactor = 2.5;
+
+}  // namespace
+
+Result<FineTuneEstimate> FineTuneRunEstimator::Estimate(
+    const TransformerConfig& config, int batch_size, int64_t iterations,
+    const RatelSystem& system) const {
+  if (iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  RATEL_ASSIGN_OR_RETURN(ActivationPlan plan,
+                         system.PlanActivations(config, batch_size, server_));
+  RATEL_ASSIGN_OR_RETURN(IterationResult iter,
+                         system.Run(config, batch_size, server_));
+
+  FineTuneEstimate e;
+  e.iteration_seconds = iter.t_iter;
+  e.profiling_seconds = kProfilingIterationFactor * iter.t_iter;
+  e.total_seconds =
+      e.profiling_seconds + static_cast<double>(iterations - 1) * iter.t_iter;
+  const WorkloadProfile wl = WorkloadProfile::Build(config, batch_size);
+  e.tokens_processed = static_cast<double>(wl.tokens_per_iteration()) *
+                       static_cast<double>(iterations) *
+                       std::max(1, system.options().num_gpus);
+
+  const double p = static_cast<double>(wl.param_count());
+  // Writes: P32+OS32+P16 back (14P) + activation spill to the array.
+  e.ssd_writes_per_iter_bytes =
+      14.0 * p + static_cast<double>(plan.ssd_bytes);
+  // Reads: P16 twice (forward+backward) + P32+OS32 in + spill back.
+  e.ssd_reads_per_iter_bytes =
+      16.0 * p + static_cast<double>(plan.ssd_bytes);
+  e.total_ssd_writes_bytes =
+      e.ssd_writes_per_iter_bytes * static_cast<double>(iterations);
+  const double array_endurance =
+      static_cast<double>(server_.ssds.ssd.endurance_bytes_written) *
+      server_.ssds.count;
+  e.endurance_fraction =
+      array_endurance > 0 ? e.total_ssd_writes_bytes / array_endurance : 0.0;
+  return e;
+}
+
+std::string FormatEstimate(const FineTuneEstimate& e) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "iteration %.1f s (profiling first iteration %.1f s)\n"
+      "total %.1f h for %.2fM tokens\n"
+      "SSD traffic per iteration: %s written, %s read\n"
+      "run writes %s -> %.1f%% of the array's rated endurance",
+      e.iteration_seconds, e.profiling_seconds, e.total_seconds / 3600.0,
+      e.tokens_processed / 1e6,
+      FormatBytes(e.ssd_writes_per_iter_bytes).c_str(),
+      FormatBytes(e.ssd_reads_per_iter_bytes).c_str(),
+      FormatBytes(e.total_ssd_writes_bytes).c_str(),
+      100.0 * e.endurance_fraction);
+  return buf;
+}
+
+}  // namespace ratel

@@ -1,0 +1,52 @@
+#ifndef RATEL_CORE_RUN_ESTIMATOR_H_
+#define RATEL_CORE_RUN_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/ratel_system.h"
+
+namespace ratel {
+
+/// Wall-clock, traffic and SSD-endurance estimate for a complete
+/// fine-tuning run of `iterations` steps.
+struct FineTuneEstimate {
+  double iteration_seconds = 0.0;   // steady-state T_iter
+  double profiling_seconds = 0.0;   // first-iteration overhead (IV-B)
+  double total_seconds = 0.0;
+  double tokens_processed = 0.0;    // images for DiT workloads
+
+  /// SSD traffic per iteration: 14P of model-state writeback plus the
+  /// activation spill of the plan; reads mirror writes plus P16 fetches.
+  double ssd_writes_per_iter_bytes = 0.0;
+  double ssd_reads_per_iter_bytes = 0.0;
+  double total_ssd_writes_bytes = 0.0;
+  /// Fraction of the array's rated endurance (TBW) the run consumes.
+  /// >1.0 means the fine-tune would wear the drives out.
+  double endurance_fraction = 0.0;
+};
+
+/// Estimates a whole run from one planned/simulated iteration: the
+/// hardware-aware profiling iteration costs ~2.5x a normal one
+/// (Section IV-B: "2~3x times longer"), every subsequent iteration runs
+/// at the simulated steady state, and SSD writes accumulate against the
+/// array's endurance rating.
+class FineTuneRunEstimator {
+ public:
+  explicit FineTuneRunEstimator(const ServerConfig& server)
+      : server_(server) {}
+
+  Result<FineTuneEstimate> Estimate(const TransformerConfig& config,
+                                    int batch_size, int64_t iterations,
+                                    const RatelSystem& system = {}) const;
+
+ private:
+  ServerConfig server_;
+};
+
+/// Human-readable multi-line summary of an estimate.
+std::string FormatEstimate(const FineTuneEstimate& e);
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_RUN_ESTIMATOR_H_

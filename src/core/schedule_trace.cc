@@ -1,0 +1,114 @@
+#include "core/schedule_trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/json_writer.h"
+
+namespace ratel {
+
+ScheduleTrace ScheduleTrace::FromEngine(const SimEngine& engine) {
+  ScheduleTrace trace;
+  auto to_span = [&](const TaskRecord& rec) {
+    TraceSpan span;
+    span.name = rec.name;
+    span.track = engine.resource_name(rec.resource);
+    span.start = rec.timing.start;
+    span.duration = rec.timing.finish - rec.timing.start;
+    return span;
+  };
+  for (const TaskRecord& rec : engine.TaskRecords()) {
+    if (rec.amount <= 0.0) continue;  // barriers are not spans
+    trace.makespan_ = std::max(trace.makespan_, rec.timing.finish);
+    trace.spans_.push_back(to_span(rec));
+  }
+  for (const TaskRecord& rec : engine.CriticalPath()) {
+    if (rec.amount <= 0.0) continue;
+    trace.critical_path_.push_back(to_span(rec));
+  }
+  return trace;
+}
+
+std::vector<std::pair<std::string, double>>
+ScheduleTrace::CriticalPathByTrack() const {
+  std::map<std::string, double> by_track;
+  for (const TraceSpan& s : critical_path_) by_track[s.track] += s.duration;
+  std::vector<std::pair<std::string, double>> out(by_track.begin(),
+                                                  by_track.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+std::string ScheduleTrace::ToChromeJson() const {
+  // Stable track ids.
+  std::map<std::string, int> track_ids;
+  for (const TraceSpan& s : spans_) {
+    track_ids.emplace(s.track, static_cast<int>(track_ids.size()) + 1);
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const auto& [track, tid] : track_ids) {
+    w.BeginObject();
+    w.KeyValue("ph", std::string("M"));
+    w.KeyValue("name", std::string("thread_name"));
+    w.KeyValue("pid", int64_t{1});
+    w.KeyValue("tid", int64_t{tid});
+    w.Key("args");
+    w.BeginObject();
+    w.KeyValue("name", track);
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const TraceSpan& s : spans_) {
+    w.BeginObject();
+    w.KeyValue("ph", std::string("X"));
+    w.KeyValue("name", s.name);
+    w.KeyValue("pid", int64_t{1});
+    w.KeyValue("tid", int64_t{track_ids.at(s.track)});
+    w.KeyValue("ts", s.start * 1e6);       // microseconds
+    w.KeyValue("dur", s.duration * 1e6);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KeyValue("displayTimeUnit", std::string("ms"));
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string ScheduleTrace::ToTextTimeline(int width) const {
+  if (spans_.empty() || makespan_ <= 0.0 || width < 2) return "";
+  std::map<std::string, std::string> rows;
+  size_t label_width = 0;
+  for (const TraceSpan& s : spans_) {
+    auto [it, inserted] = rows.emplace(s.track, std::string(width, '.'));
+    label_width = std::max(label_width, s.track.size());
+    int lo = static_cast<int>(s.start / makespan_ * width);
+    int hi = static_cast<int>((s.start + s.duration) / makespan_ * width);
+    lo = std::clamp(lo, 0, width - 1);
+    hi = std::clamp(hi, lo, width - 1);
+    for (int i = lo; i <= hi; ++i) it->second[i] = '#';
+  }
+  std::string out;
+  for (const auto& [track, bar] : rows) {
+    out += track;
+    out.append(label_width - track.size() + 2, ' ');
+    out += bar;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<TraceSpan> ScheduleTrace::SpansWithPrefix(
+    const std::string& prefix) const {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans_) {
+    if (s.name.rfind(prefix, 0) == 0) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ratel

@@ -1,0 +1,64 @@
+#ifndef RATEL_CORE_SCHEDULE_TRACE_H_
+#define RATEL_CORE_SCHEDULE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace ratel {
+
+/// One scheduled span on a device track.
+struct TraceSpan {
+  std::string name;    // task name, e.g. "o_read_17"
+  std::string track;   // resource name, e.g. "ssd"
+  double start = 0.0;  // seconds
+  double duration = 0.0;
+};
+
+/// A full iteration schedule captured from the discrete-event engine,
+/// exportable as a Chrome trace (load in chrome://tracing or Perfetto)
+/// or rendered as an ASCII timeline — the executable counterpart of the
+/// paper's Fig. 1 and Fig. 3 diagrams.
+class ScheduleTrace {
+ public:
+  ScheduleTrace() = default;
+
+  /// Captures every task of a completed engine run.
+  static ScheduleTrace FromEngine(const SimEngine& engine);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  double makespan() const { return makespan_; }
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond units,
+  /// one pid per device track).
+  std::string ToChromeJson() const;
+
+  /// ASCII timeline: one row per track, `width` columns spanning the
+  /// makespan, '#' where the track is busy. Tracks with no spans are
+  /// omitted.
+  std::string ToTextTimeline(int width = 100) const;
+
+  /// Spans whose name starts with `prefix` (e.g. "o_" for the optimizer
+  /// pipeline of Fig. 3).
+  std::vector<TraceSpan> SpansWithPrefix(const std::string& prefix) const;
+
+  /// The engine's critical path (bottleneck chain), front to back.
+  const std::vector<TraceSpan>& critical_path() const {
+    return critical_path_;
+  }
+
+  /// Seconds of the critical path spent on each track — the bottleneck
+  /// attribution ("the iteration is gated 60% by the SSD array").
+  /// Pairs of (track, seconds), largest first.
+  std::vector<std::pair<std::string, double>> CriticalPathByTrack() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceSpan> critical_path_;
+  double makespan_ = 0.0;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_SCHEDULE_TRACE_H_

@@ -1,0 +1,50 @@
+#include "core/system.h"
+
+#include <cmath>
+
+namespace ratel {
+
+int TrainingSystem::MaxMicroBatch(const TransformerConfig& config,
+                                  const ServerConfig& server,
+                                  int limit) const {
+  if (!CanTrain(config, 1, server)) return 0;
+  // Exponential probe then binary search: feasibility is monotone in the
+  // batch size (all working sets grow with it).
+  int lo = 1, hi = 2;
+  while (hi <= limit && CanTrain(config, hi, server)) {
+    lo = hi;
+    hi *= 2;
+  }
+  hi = std::min(hi, limit + 1);
+  while (lo + 1 < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (CanTrain(config, mid, server)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double TrainingSystem::MaxTrainableBillions(const ServerConfig& server,
+                                            int batch_size,
+                                            double hi_billions) const {
+  auto fits = [&](double billions) {
+    return CanTrain(SyntheticLlm(billions), batch_size, server);
+  };
+  if (!fits(0.1)) return 0.0;
+  double lo = 0.1, hi = hi_billions;
+  if (fits(hi)) return hi;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (fits(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ratel

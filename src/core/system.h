@@ -1,0 +1,48 @@
+#ifndef RATEL_CORE_SYSTEM_H_
+#define RATEL_CORE_SYSTEM_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/iteration_sim.h"
+#include "hw/specs.h"
+#include "model/transformer_config.h"
+
+namespace ratel {
+
+/// A complete training system under evaluation: Ratel itself or one of
+/// the baselines (ZeRO-Infinity/Offload, Colossal-AI, FlashNeuron, G10).
+/// Every figure bench drives systems through this interface.
+class TrainingSystem {
+ public:
+  virtual ~TrainingSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Whether (model, micro-batch) fits this system's memory placement on
+  /// `server`. On false, `reason` (if non-null) explains which capacity
+  /// bound failed.
+  virtual bool CanTrain(const TransformerConfig& config, int batch_size,
+                        const ServerConfig& server,
+                        std::string* reason = nullptr) const = 0;
+
+  /// Simulates one training iteration; fails if CanTrain is false.
+  virtual Result<IterationResult> Run(const TransformerConfig& config,
+                                      int batch_size,
+                                      const ServerConfig& server) const = 0;
+
+  /// Largest trainable micro-batch on `server` (0 when even batch 1 does
+  /// not fit). Scans up to `limit`.
+  int MaxMicroBatch(const TransformerConfig& config,
+                    const ServerConfig& server, int limit = 512) const;
+
+  /// Largest trainable model size in billions of parameters at the given
+  /// batch, probing synthetic GPT-style configs by binary search
+  /// (the sweep of Figs. 2a, 6 and 8).
+  double MaxTrainableBillions(const ServerConfig& server, int batch_size,
+                              double hi_billions = 600.0) const;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_CORE_SYSTEM_H_

@@ -1,0 +1,138 @@
+#include "hw/catalog.h"
+
+#include "common/units.h"
+
+namespace ratel {
+namespace catalog {
+
+GpuSpec Rtx4090() {
+  GpuSpec g;
+  g.name = "RTX 4090";
+  g.device_memory_bytes = 24 * kGiB;
+  g.peak_fp16_flops = 165e12;      // measured transformer-block peak (Fig. 5c)
+  g.pcie_bandwidth_per_dir = 21e9;  // measured Gen4 x16 (Fig. 1)
+  g.supports_gpudirect = false;
+  g.price_usd = 1600.0;  // Table VII
+  return g;
+}
+
+GpuSpec Rtx3090() {
+  GpuSpec g;
+  g.name = "RTX 3090";
+  g.device_memory_bytes = 24 * kGiB;
+  g.peak_fp16_flops = 71e12;
+  g.pcie_bandwidth_per_dir = 21e9;
+  g.supports_gpudirect = false;
+  g.price_usd = 1100.0;
+  return g;
+}
+
+GpuSpec Rtx4080() {
+  GpuSpec g;
+  g.name = "RTX 4080";
+  g.device_memory_bytes = 16 * kGiB;
+  g.peak_fp16_flops = 97e12;
+  g.pcie_bandwidth_per_dir = 21e9;
+  g.supports_gpudirect = false;
+  g.price_usd = 1200.0;
+  return g;
+}
+
+GpuSpec A100_80G() {
+  GpuSpec g;
+  g.name = "A100-80G";
+  g.device_memory_bytes = 80 * kGiB;
+  g.peak_fp16_flops = 280e12;
+  g.pcie_bandwidth_per_dir = 25e9;
+  g.supports_gpudirect = true;
+  g.price_usd = 14177.0;  // Section I
+  return g;
+}
+
+GpuSpec Rtx4070Ti() {
+  GpuSpec g;
+  g.name = "RTX 4070 Ti";
+  g.device_memory_bytes = 12 * kGiB;
+  g.peak_fp16_flops = 74e12;
+  g.pcie_bandwidth_per_dir = 21e9;
+  g.supports_gpudirect = false;
+  g.price_usd = 800.0;
+  return g;
+}
+
+GpuSpec RtxA6000() {
+  GpuSpec g;
+  g.name = "RTX A6000";
+  g.device_memory_bytes = 48 * kGiB;
+  g.peak_fp16_flops = 77e12;
+  g.pcie_bandwidth_per_dir = 21e9;
+  g.supports_gpudirect = false;
+  g.price_usd = 4500.0;
+  return g;
+}
+
+CpuSpec XeonGold5320Dual() {
+  CpuSpec c;
+  c.name = "2x Intel Xeon Gold 5320";
+  c.physical_cores = 52;
+  // Calibrated so the ZeRO-Infinity optimizer stage for the 13B model is
+  // ~23 s (Fig. 1a) once SSD I/O (182 GB/dir at 32 GB/s) is accounted for.
+  c.adam_params_per_second = 1.05e9;
+  c.memory_bandwidth = 180e9;  // effective DDR4-3200, 2 sockets
+  return c;
+}
+
+SsdSpec IntelP5510() {
+  SsdSpec s;
+  s.name = "Intel P5510 3.84TB";
+  s.capacity_bytes = int64_t{3840} * kGB;
+  // Effective sequential bandwidth under the mixed read/write duty cycle of
+  // training (vendor sheet: 6.5 GB/s read, 3.4 GB/s write). The 1..3-SSD
+  // region of Fig. 10a scales with these; the 12-SSD aggregate is capped by
+  // the host bridge at 32 GB/s (Fig. 1a).
+  s.read_bandwidth = 3.3e9;
+  s.write_bandwidth = 2.9e9;
+  s.price_usd = 308.0;  // Table VII
+  // Vendor rating: 1 DWPD over 5 years on 3.84 TB ~= 7.0 PB written.
+  s.endurance_bytes_written = int64_t{7000} * kTB;
+  return s;
+}
+
+ServerConfig EvaluationServer(const GpuSpec& gpu, int64_t main_memory_bytes,
+                              int ssd_count) {
+  return MultiGpuServer(gpu, /*gpu_count=*/1, main_memory_bytes, ssd_count);
+}
+
+ServerConfig MultiGpuServer(const GpuSpec& gpu, int gpu_count,
+                            int64_t main_memory_bytes, int ssd_count) {
+  ServerConfig s;
+  s.name = "Commodity 4U server";
+  s.gpu = gpu;
+  s.gpu_count = gpu_count;
+  s.cpu = XeonGold5320Dual();
+  s.main_memory_bytes = main_memory_bytes;
+  s.ssds.ssd = IntelP5510();
+  s.ssds.count = ssd_count;
+  s.ssds.host_bridge_bandwidth = 32e9;  // Fig. 1a SSD-link aggregate
+  s.base_price_usd = 14098.0;           // Table VII chassis
+  return s;
+}
+
+ServerConfig DgxA100() {
+  ServerConfig s;
+  s.name = "DGX-A100";
+  s.gpu = A100_80G();
+  s.gpu_count = 8;
+  s.cpu = XeonGold5320Dual();
+  s.main_memory_bytes = 2048 * kGiB;
+  s.ssds.ssd = IntelP5510();
+  s.ssds.count = 0;
+  s.ssds.host_bridge_bandwidth = 32e9;
+  // Table VII quotes the whole machine at $200,000; fold everything into
+  // the base price so TotalPriceUsd() is exact.
+  s.base_price_usd = 200000.0 - 8 * s.gpu.price_usd;
+  return s;
+}
+
+}  // namespace catalog
+}  // namespace ratel

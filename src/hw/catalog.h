@@ -1,0 +1,46 @@
+#ifndef RATEL_HW_CATALOG_H_
+#define RATEL_HW_CATALOG_H_
+
+#include <cstdint>
+
+#include "hw/specs.h"
+
+namespace ratel {
+
+/// Device catalog. Bandwidth/throughput numbers are calibrated to the
+/// paper's measurements (Fig. 1 and Section V-A) and public spec sheets;
+/// prices follow Table VII.
+namespace catalog {
+
+/// Consumer GPUs evaluated in the paper (Section V-A, Table III).
+GpuSpec Rtx4090();   // 24 GiB, measured peak ~165 TFLOPS fp16, $1600
+GpuSpec Rtx3090();   // 24 GiB, ~71 TFLOPS fp16
+GpuSpec Rtx4080();   // 16 GiB, ~97 TFLOPS fp16
+GpuSpec A100_80G();  // DGX building block: 80 GiB, NVLink, $14177
+GpuSpec Rtx4070Ti();  // 12 GiB entry point, ~74 TFLOPS fp16
+GpuSpec RtxA6000();   // 48 GiB workstation card, ~77 TFLOPS fp16
+
+/// Dual Intel Xeon Gold 5320 (Table III).
+CpuSpec XeonGold5320Dual();
+
+/// Intel P5510 3.84 TB NVMe SSD (Table III, Table VII).
+SsdSpec IntelP5510();
+
+/// The paper's evaluation server (Table III): dual Xeon 5320, up to 768 GiB
+/// DDR4, PCIe Gen4, `ssd_count` P5510 SSDs, one `gpu`.
+ServerConfig EvaluationServer(const GpuSpec& gpu, int64_t main_memory_bytes,
+                              int ssd_count);
+
+/// Multi-GPU variant of the evaluation server (Section V-G): same chassis
+/// with `gpu_count` RTX 4090s.
+ServerConfig MultiGpuServer(const GpuSpec& gpu, int gpu_count,
+                            int64_t main_memory_bytes, int ssd_count);
+
+/// DGX-A100 with 8 NVLink A100-80G GPUs (Table VII: $200,000). Used only by
+/// the Megatron-LM cost-effectiveness baseline (Fig. 13).
+ServerConfig DgxA100();
+
+}  // namespace catalog
+}  // namespace ratel
+
+#endif  // RATEL_HW_CATALOG_H_

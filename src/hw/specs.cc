@@ -1,0 +1,24 @@
+#include "hw/specs.h"
+
+#include <algorithm>
+
+namespace ratel {
+
+double SsdArraySpec::ReadBandwidth() const {
+  return std::min(ssd.read_bandwidth * count, host_bridge_bandwidth);
+}
+
+double SsdArraySpec::WriteBandwidth() const {
+  return std::min(ssd.write_bandwidth * count, host_bridge_bandwidth);
+}
+
+int64_t SsdArraySpec::CapacityBytes() const {
+  return ssd.capacity_bytes * count;
+}
+
+double ServerConfig::TotalPriceUsd() const {
+  return base_price_usd + gpu.price_usd * gpu_count +
+         ssds.ssd.price_usd * ssds.count;
+}
+
+}  // namespace ratel

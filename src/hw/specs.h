@@ -1,0 +1,77 @@
+#ifndef RATEL_HW_SPECS_H_
+#define RATEL_HW_SPECS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ratel {
+
+/// A GPU device as seen by the offloading planner.
+///
+/// `peak_fp16_flops` is the *measured* peak (the green line of Fig. 5c:
+/// benchmarking a transformer block inside the GPU without PCIe traffic),
+/// not the marketing number.
+struct GpuSpec {
+  std::string name;
+  int64_t device_memory_bytes = 0;
+  double peak_fp16_flops = 0.0;            // FLOP/s, mixed-precision matmul
+  double pcie_bandwidth_per_dir = 0.0;     // bytes/s, measured per direction
+  bool supports_gpudirect = false;         // consumer GPUs: false (§III-C)
+  double price_usd = 0.0;
+};
+
+/// Host CPU complex (all sockets aggregated).
+///
+/// `adam_params_per_second` is the effective rate of the vectorized
+/// out-of-core CPU Adam (fp32 master update + fp16 copy production); it is
+/// memory-bandwidth bound on commodity servers.
+struct CpuSpec {
+  std::string name;
+  int physical_cores = 0;
+  double adam_params_per_second = 0.0;
+  double memory_bandwidth = 0.0;           // bytes/s, host DRAM
+};
+
+/// One NVMe SSD.
+struct SsdSpec {
+  std::string name;
+  int64_t capacity_bytes = 0;
+  double read_bandwidth = 0.0;             // bytes/s, effective sequential
+  double write_bandwidth = 0.0;            // bytes/s, effective sequential
+  double price_usd = 0.0;
+  /// Rated write endurance (total bytes written over the drive's life).
+  /// Out-of-core training writes 14P bytes per iteration, so endurance
+  /// budgeting matters for long fine-tuning runs.
+  int64_t endurance_bytes_written = 0;
+};
+
+/// A striped array of identical SSDs behind a host PCIe bridge.
+/// Aggregate bandwidth scales with the SSD count until the bridge caps it
+/// (Fig. 10: near-linear 1..3 SSDs, saturating towards 12).
+struct SsdArraySpec {
+  SsdSpec ssd;
+  int count = 0;
+  double host_bridge_bandwidth = 0.0;      // bytes/s cap across the array
+
+  double ReadBandwidth() const;
+  double WriteBandwidth() const;
+  int64_t CapacityBytes() const;
+};
+
+/// The evaluation server (Table III) or a variant of it.
+struct ServerConfig {
+  std::string name;
+  GpuSpec gpu;
+  int gpu_count = 1;
+  CpuSpec cpu;
+  int64_t main_memory_bytes = 0;
+  SsdArraySpec ssds;
+  double base_price_usd = 0.0;             // chassis w/o GPUs and SSDs
+
+  /// Total system price (Table VII accounting): base + GPUs + SSDs.
+  double TotalPriceUsd() const;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_HW_SPECS_H_

@@ -1,0 +1,54 @@
+#include "mem/memory_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace ratel {
+
+MemoryPool::MemoryPool(std::string name, int64_t capacity_bytes)
+    : name_(std::move(name)), capacity_(capacity_bytes) {
+  RATEL_CHECK(capacity_bytes >= 0);
+}
+
+Result<AllocationId> MemoryPool::Allocate(int64_t bytes, std::string label) {
+  if (bytes < 0) {
+    return Status::InvalidArgument("negative allocation in pool " + name_);
+  }
+  if (used_ + bytes > capacity_) {
+    return Status::OutOfMemory(
+        name_ + ": cannot allocate " + FormatBytes(bytes) + " for '" + label +
+        "' (used " + FormatBytes(used_) + " of " + FormatBytes(capacity_) +
+        ")");
+  }
+  const AllocationId id = next_id_++;
+  used_ += bytes;
+  peak_used_ = std::max(peak_used_, used_);
+  live_.emplace(id, Allocation{bytes, std::move(label)});
+  return id;
+}
+
+Status MemoryPool::Free(AllocationId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return Status::NotFound(name_ + ": unknown allocation id " +
+                            std::to_string(id));
+  }
+  used_ -= it->second.bytes;
+  live_.erase(it);
+  return Status::Ok();
+}
+
+void MemoryPool::FreeAll() {
+  live_.clear();
+  used_ = 0;
+}
+
+std::string MemoryPool::DebugString() const {
+  return name_ + ": used " + FormatBytes(used_) + " / " +
+         FormatBytes(capacity_) + ", peak " + FormatBytes(peak_used_) + ", " +
+         std::to_string(live_.size()) + " live allocations";
+}
+
+}  // namespace ratel

@@ -1,0 +1,69 @@
+#ifndef RATEL_MEM_MEMORY_POOL_H_
+#define RATEL_MEM_MEMORY_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ratel {
+
+/// Handle to a live allocation in a MemoryPool.
+using AllocationId = int64_t;
+
+/// Capacity-tracked logical memory pool for one device (GPU memory, pinned
+/// main memory, SSD staging). Allocation is bookkeeping only — the pool
+/// tracks byte budgets, watermarks and OOM, which is what the feasibility
+/// analyses (max trainable model size, Figs. 2a/6/8) and the runtime's
+/// buffer manager need. Not thread-safe; guard externally if shared.
+class MemoryPool {
+ public:
+  MemoryPool(std::string name, int64_t capacity_bytes);
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  /// Reserves `bytes`; fails with kOutOfMemory when it would exceed
+  /// capacity. `label` names the allocation in OOM diagnostics.
+  Result<AllocationId> Allocate(int64_t bytes, std::string label);
+
+  /// Releases a live allocation.
+  Status Free(AllocationId id);
+
+  /// Releases every live allocation (end of iteration).
+  void FreeAll();
+
+  const std::string& name() const { return name_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t used() const { return used_; }
+  int64_t available() const { return capacity_ - used_; }
+  int64_t peak_used() const { return peak_used_; }
+  int64_t num_live_allocations() const {
+    return static_cast<int64_t>(live_.size());
+  }
+
+  /// Resets the high-watermark to the current usage.
+  void ResetPeak() { peak_used_ = used_; }
+
+  /// Human-readable usage summary for diagnostics.
+  std::string DebugString() const;
+
+ private:
+  struct Allocation {
+    int64_t bytes;
+    std::string label;
+  };
+
+  std::string name_;
+  int64_t capacity_;
+  int64_t used_ = 0;
+  int64_t peak_used_ = 0;
+  AllocationId next_id_ = 1;
+  std::unordered_map<AllocationId, Allocation> live_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_MEM_MEMORY_POOL_H_

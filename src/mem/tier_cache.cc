@@ -1,0 +1,93 @@
+#include "mem/tier_cache.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+TierCache::TierCache(BlockStore* backing, int64_t capacity_bytes)
+    : backing_(backing), capacity_(capacity_bytes) {
+  RATEL_CHECK(backing != nullptr);
+  RATEL_CHECK(capacity_bytes >= 0);
+}
+
+void TierCache::EvictToFitLocked(int64_t incoming) {
+  while (stats_.bytes_cached + incoming > capacity_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    RATEL_CHECK(it != entries_.end());
+    stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
+    ++stats_.evictions;
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void TierCache::InsertLocked(const std::string& key, const void* data,
+                             int64_t size) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  if (size > capacity_) return;  // cannot fit at all; store-only
+  EvictToFitLocked(size);
+  lru_.push_front(key);
+  CacheEntry entry;
+  entry.data.assign(static_cast<const uint8_t*>(data),
+                    static_cast<const uint8_t*>(data) + size);
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  stats_.bytes_cached += size;
+}
+
+Status TierCache::Put(const std::string& key, const void* data,
+                      int64_t size) {
+  RATEL_RETURN_IF_ERROR(backing_->Put(key, data, size));
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, data, size);
+  return Status::Ok();
+}
+
+Status TierCache::Get(const std::string& key, void* out, int64_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (static_cast<int64_t>(it->second.data.size()) != size) {
+        return Status::InvalidArgument("cached blob '" + key +
+                                       "' has a different size");
+      }
+      std::memcpy(out, it->second.data.data(), size);
+      // Touch.
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(key);
+      it->second.lru_it = lru_.begin();
+      ++stats_.hits;
+      return Status::Ok();
+    }
+    ++stats_.misses;
+  }
+  RATEL_RETURN_IF_ERROR(backing_->Get(key, out, size));
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, out, size);
+  return Status::Ok();
+}
+
+void TierCache::Invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+TierCache::Stats TierCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ratel

@@ -1,0 +1,74 @@
+#ifndef RATEL_MEM_TIER_CACHE_H_
+#define RATEL_MEM_TIER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block_store.h"
+
+namespace ratel {
+
+/// Write-through LRU cache in host memory in front of the block store —
+/// the "main memory" tier of the paper's GPU / main-memory / SSD
+/// hierarchy. Hot tensors (e.g. the P16 blocks of small models, or the
+/// most recently produced activations) are served from DRAM; cold ones
+/// fall through to the "SSDs".
+///
+/// Thread-safe; concurrent Get/Put on any keys are allowed.
+class TierCache {
+ public:
+  /// `backing` must outlive the cache. `capacity_bytes` bounds the DRAM
+  /// tier (0 disables caching entirely: everything falls through).
+  TierCache(BlockStore* backing, int64_t capacity_bytes);
+
+  /// Writes through: updates the cache (evicting LRU entries as needed)
+  /// and the backing store.
+  Status Put(const std::string& key, const void* data, int64_t size);
+
+  /// Serves from DRAM on hit; otherwise reads the backing store and
+  /// promotes the blob.
+  Status Get(const std::string& key, void* out, int64_t size);
+
+  /// Drops a key from the DRAM tier (the store copy is untouched).
+  void Invalidate(const std::string& key);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t bytes_cached = 0;
+    double HitRate() const {
+      const int64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  int64_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct CacheEntry {
+    std::vector<uint8_t> data;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  // Caller holds mu_. Inserts/overwrites `key` and evicts to capacity.
+  void InsertLocked(const std::string& key, const void* data, int64_t size);
+  void EvictToFitLocked(int64_t incoming);
+
+  BlockStore* backing_;  // not owned
+  int64_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, CacheEntry> entries_;
+  Stats stats_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_MEM_TIER_CACHE_H_

@@ -1,0 +1,68 @@
+#include "model/tensor_inventory.h"
+
+#include "model/workload.h"
+
+namespace ratel {
+
+const char* TrainStageName(TrainStage stage) {
+  switch (stage) {
+    case TrainStage::kForward:
+      return "forward";
+    case TrainStage::kBackward:
+      return "backward";
+    case TrainStage::kOptimizer:
+      return "optimizer";
+  }
+  return "?";
+}
+
+const char* TensorClassName(TensorClass cls) {
+  switch (cls) {
+    case TensorClass::kParams32:
+      return "P32";
+    case TensorClass::kOptimStates32:
+      return "OS32";
+    case TensorClass::kGrads16:
+      return "G16";
+    case TensorClass::kParams16:
+      return "P16";
+    case TensorClass::kActivations16:
+      return "A16";
+  }
+  return "?";
+}
+
+int64_t Params32Bytes(int64_t params) { return 4 * params; }
+int64_t OptimStates32Bytes(int64_t params) { return 8 * params; }
+int64_t Grads16Bytes(int64_t params) { return 2 * params; }
+int64_t Params16Bytes(int64_t params) { return 2 * params; }
+
+int64_t ModelStateBytes(int64_t params) {
+  return Params32Bytes(params) + OptimStates32Bytes(params) +
+         Grads16Bytes(params) + Params16Bytes(params);
+}
+
+std::vector<TensorLifecycle> BuildTensorInventory(
+    const TransformerConfig& config, int batch_size) {
+  const int64_t p = config.ParameterCount();
+  const WorkloadProfile profile = WorkloadProfile::Build(config, batch_size);
+  std::vector<TensorLifecycle> rows;
+  rows.push_back({TensorClass::kParams32, Params32Bytes(p),
+                  TrainStage::kOptimizer, /*prev_iter=*/true,
+                  TrainStage::kOptimizer});
+  rows.push_back({TensorClass::kOptimStates32, OptimStates32Bytes(p),
+                  TrainStage::kOptimizer, /*prev_iter=*/true,
+                  TrainStage::kOptimizer});
+  rows.push_back({TensorClass::kGrads16, Grads16Bytes(p),
+                  TrainStage::kBackward, /*prev_iter=*/false,
+                  TrainStage::kOptimizer});
+  rows.push_back({TensorClass::kParams16, Params16Bytes(p),
+                  TrainStage::kOptimizer, /*prev_iter=*/true,
+                  TrainStage::kForward});
+  rows.push_back({TensorClass::kActivations16,
+                  profile.total_activation_bytes(), TrainStage::kForward,
+                  /*prev_iter=*/false, TrainStage::kBackward});
+  return rows;
+}
+
+}  // namespace ratel

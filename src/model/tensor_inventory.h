@@ -1,0 +1,54 @@
+#ifndef RATEL_MODEL_TENSOR_INVENTORY_H_
+#define RATEL_MODEL_TENSOR_INVENTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/transformer_config.h"
+
+namespace ratel {
+
+/// Training stages of one iteration (Section II).
+enum class TrainStage { kForward, kBackward, kOptimizer };
+
+const char* TrainStageName(TrainStage stage);
+
+/// Persistent/temporary tensor classes of mixed-precision fine-tuning
+/// (paper Table II).
+enum class TensorClass {
+  kParams32,      // P32:  fp32 master parameters, 4P bytes
+  kOptimStates32, // OS32: Adam moments, 8P bytes
+  kGrads16,       // G16:  fp16 gradients, 2P bytes
+  kParams16,      // P16:  fp16 parameter copy for GPU compute, 2P bytes
+  kActivations16, // A16:  saved activations, model/batch dependent
+};
+
+const char* TensorClassName(TensorClass cls);
+
+/// One Table II row: a tensor class with its size and life cycle.
+struct TensorLifecycle {
+  TensorClass cls;
+  int64_t bytes;
+  TrainStage produced_in;
+  bool produced_previous_iteration;  // P32/OS32/P16 come from iteration i-1
+  TrainStage consumed_in;
+};
+
+/// Byte sizes of the model-state tensor classes for a model with `params`
+/// parameters (Table II): P32 = 4P, OS32 = 8P, G16 = 2P, P16 = 2P.
+int64_t Params32Bytes(int64_t params);
+int64_t OptimStates32Bytes(int64_t params);
+int64_t Grads16Bytes(int64_t params);
+int64_t Params16Bytes(int64_t params);
+
+/// Total model-state bytes (P32 + OS32 + G16 + P16 = 16P).
+int64_t ModelStateBytes(int64_t params);
+
+/// Builds the full Table II inventory for a model/batch, including A16.
+std::vector<TensorLifecycle> BuildTensorInventory(
+    const TransformerConfig& config, int batch_size);
+
+}  // namespace ratel
+
+#endif  // RATEL_MODEL_TENSOR_INVENTORY_H_

@@ -1,0 +1,150 @@
+#include "model/transformer_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace ratel {
+
+namespace {
+
+struct TableEntry {
+  const char* name;
+  int layers;
+  int heads;
+  int hidden;
+};
+
+// Table IV: LLMs for evaluation.
+constexpr TableEntry kTableIV[] = {
+    {"6B", 28, 32, 4096},      {"13B", 40, 40, 5120},
+    {"30B", 48, 56, 7168},     {"70B", 80, 64, 8192},
+    {"135B", 88, 88, 11264},   {"175B", 96, 96, 12288},
+    {"276B", 112, 112, 14336}, {"412B", 128, 128, 16384},
+};
+
+// Table VI: diffusion models for evaluation (DiT-XL/2 scaled).
+constexpr TableEntry kTableVI[] = {
+    {"0.67B", 28, 16, 1152}, {"0.90B", 30, 16, 1280}, {"1.4B", 32, 16, 1536},
+    {"10B", 28, 32, 4096},   {"20B", 40, 40, 5120},   {"40B", 48, 56, 7168},
+};
+
+TransformerConfig MakeConfig(const TableEntry& e, ModelKind kind) {
+  TransformerConfig c;
+  c.name = e.name;
+  c.kind = kind;
+  c.num_layers = e.layers;
+  c.num_heads = e.heads;
+  c.hidden_dim = e.hidden;
+  if (kind == ModelKind::kDiffusionTransformer) {
+    // DiT-XL/2 on 512x512 images: the VAE downsamples 8x to a 64x64 latent,
+    // patch size 2 yields a (64/2)^2 = 1024-token sequence; no vocabulary.
+    c.seq_len = 1024;
+    c.vocab_size = 0;
+  }
+  return c;
+}
+
+}  // namespace
+
+int64_t TransformerConfig::BlockParameterCount() const {
+  const int64_t h = hidden_dim;
+  // Attention (qkv + output projection) 4 h^2, MLP (h->4h->h) 8 h^2,
+  // biases and the two layernorms ~13 h. DiT blocks add the adaLN-zero
+  // conditioning MLP (~6 h^2).
+  int64_t per_block = 12 * h * h + 13 * h;
+  if (kind == ModelKind::kDiffusionTransformer) per_block += 6 * h * h;
+  return per_block;
+}
+
+int64_t TransformerConfig::EmbeddingParameterCount() const {
+  const int64_t h = hidden_dim;
+  // Token embedding (tied with the LM head) + learned positions + final LN.
+  return vocab_size * h + seq_len * h + 2 * h;
+}
+
+int64_t TransformerConfig::ParameterCount() const {
+  return num_layers * BlockParameterCount() + EmbeddingParameterCount();
+}
+
+Result<TransformerConfig> LlmFromTableIV(const std::string& size_name) {
+  for (const auto& e : kTableIV) {
+    if (size_name == e.name) return MakeConfig(e, ModelKind::kDecoderLlm);
+  }
+  return Status::NotFound("no Table IV model named '" + size_name + "'");
+}
+
+std::vector<TransformerConfig> AllTableIVModels() {
+  std::vector<TransformerConfig> out;
+  for (const auto& e : kTableIV) {
+    out.push_back(MakeConfig(e, ModelKind::kDecoderLlm));
+  }
+  return out;
+}
+
+Result<TransformerConfig> DiTFromTableVI(const std::string& size_name) {
+  for (const auto& e : kTableVI) {
+    if (size_name == e.name) {
+      return MakeConfig(e, ModelKind::kDiffusionTransformer);
+    }
+  }
+  return Status::NotFound("no Table VI model named '" + size_name + "'");
+}
+
+std::vector<TransformerConfig> AllTableVIModels() {
+  std::vector<TransformerConfig> out;
+  for (const auto& e : kTableVI) {
+    out.push_back(MakeConfig(e, ModelKind::kDiffusionTransformer));
+  }
+  return out;
+}
+
+TransformerConfig SyntheticLlm(double billions) {
+  RATEL_CHECK(billions > 0.0);
+  const double target = billions * kBillion;
+  // Interpolate the layer count across the Table IV anchors in log-size,
+  // then solve 12 L h^2 ~= P for the hidden width (rounded to 128, the
+  // head width used throughout Table IV).
+  const int n = static_cast<int>(std::size(kTableIV));
+  auto params_of = [](const TableEntry& e) {
+    return 12.0 * e.layers * static_cast<double>(e.hidden) * e.hidden;
+  };
+  double layers = kTableIV[0].layers;
+  if (target <= params_of(kTableIV[0])) {
+    layers = std::max(
+        4.0, kTableIV[0].layers * std::cbrt(target / params_of(kTableIV[0])));
+  } else if (target >= params_of(kTableIV[n - 1])) {
+    layers = kTableIV[n - 1].layers *
+             std::cbrt(target / params_of(kTableIV[n - 1]));
+  } else {
+    for (int i = 0; i + 1 < n; ++i) {
+      const double lo = params_of(kTableIV[i]);
+      const double hi = params_of(kTableIV[i + 1]);
+      if (target >= lo && target <= hi) {
+        const double t = (std::log(target) - std::log(lo)) /
+                         (std::log(hi) - std::log(lo));
+        layers = kTableIV[i].layers +
+                 t * (kTableIV[i + 1].layers - kTableIV[i].layers);
+        break;
+      }
+    }
+  }
+  const int num_layers = std::max(2, static_cast<int>(std::lround(layers)));
+  const double h_exact = std::sqrt(target / (12.0 * num_layers));
+  const int64_t hidden =
+      std::max<int64_t>(128, 128 * std::llround(h_exact / 128.0));
+
+  TransformerConfig c;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3gB", billions);
+  c.name = buf;
+  c.kind = ModelKind::kDecoderLlm;
+  c.num_layers = num_layers;
+  c.num_heads = static_cast<int>(hidden / 128);
+  c.hidden_dim = hidden;
+  return c;
+}
+
+}  // namespace ratel

@@ -1,0 +1,65 @@
+#ifndef RATEL_MODEL_TRANSFORMER_CONFIG_H_
+#define RATEL_MODEL_TRANSFORMER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ratel {
+
+/// Architecture family: decoder-only LLM (Table IV) or DiT diffusion
+/// backbone (Table VI). DiT blocks carry adaLN conditioning parameters
+/// (18 h^2 params/block instead of 12 h^2) and throughput is reported in
+/// images/s instead of tokens/s.
+enum class ModelKind { kDecoderLlm, kDiffusionTransformer };
+
+/// Hyper-parameters of one evaluated model (paper Tables IV and VI).
+///
+/// GPT-3-style decoder: `num_layers` transformer blocks of hidden width
+/// `hidden_dim`, sequence length 1024, vocabulary 50257 (Section V-A).
+/// DiT models: 512x512 images, patchified to a 1024-token sequence.
+struct TransformerConfig {
+  std::string name;            // e.g. "13B"
+  ModelKind kind = ModelKind::kDecoderLlm;
+  int num_layers = 0;
+  int num_heads = 0;
+  int64_t hidden_dim = 0;
+  int64_t seq_len = 1024;
+  int64_t vocab_size = 50257;
+
+  /// Total trainable parameters P.
+  int64_t ParameterCount() const;
+
+  /// Parameters in one transformer block (12 h^2 + 13 h for LLM blocks;
+  /// 18 h^2 + 13 h for DiT blocks with adaLN-zero conditioning).
+  int64_t BlockParameterCount() const;
+
+  /// Parameters outside the blocks (token + position embeddings, final
+  /// layernorm; the LM head is tied to the embedding).
+  int64_t EmbeddingParameterCount() const;
+};
+
+/// The LLM configurations of Table IV, keyed by size name
+/// ("6B", "13B", "30B", "70B", "135B", "175B", "276B", "412B").
+Result<TransformerConfig> LlmFromTableIV(const std::string& size_name);
+
+/// All Table IV configurations in ascending size order.
+std::vector<TransformerConfig> AllTableIVModels();
+
+/// The diffusion configurations of Table VI, keyed by size name
+/// ("0.67B", "0.90B", "1.4B", "10B", "20B", "40B").
+Result<TransformerConfig> DiTFromTableVI(const std::string& size_name);
+
+/// All Table VI configurations in ascending size order.
+std::vector<TransformerConfig> AllTableVIModels();
+
+/// A synthetic decoder config of roughly `billions` x 1e9 parameters with
+/// GPT-3-style aspect ratio; used by max-trainable-model-size sweeps that
+/// probe sizes between (and beyond) the Table IV points.
+TransformerConfig SyntheticLlm(double billions);
+
+}  // namespace ratel
+
+#endif  // RATEL_MODEL_TRANSFORMER_CONFIG_H_

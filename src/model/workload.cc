@@ -1,0 +1,114 @@
+#include "model/workload.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+namespace {
+
+/// Builds the swappable activation units of one block.
+///
+/// Bytes are expressed in multiples of u = 2*s*b*h (one fp16 s*b*h tensor);
+/// recompute FLOPs are attributed to the matmul that would have to be
+/// re-run to regenerate the unit. The totals per block are
+/// 16u bytes and (24 b s h^2 + 4 b s^2 h) FLOPs, matching the forward cost.
+void AppendBlockUnits(const TransformerConfig& cfg, int batch, int layer,
+                      std::vector<ActivationUnit>* units) {
+  const double b = batch;
+  const double s = static_cast<double>(cfg.seq_len);
+  const double h = static_cast<double>(cfg.hidden_dim);
+  const int64_t unit_bytes = 2 * cfg.seq_len * batch * cfg.hidden_dim;
+  const double bsh2 = b * s * h * h;
+  const double bs2h = b * s * s * h;
+  // Layernorm recomputation is a handful of element-wise passes.
+  const double ln_flops = 10.0 * b * s * h;
+
+  auto add = [&](const char* name, int n_units, double flops,
+                 bool inter_block) {
+    ActivationUnit u;
+    u.name = "blk" + std::to_string(layer) + "/" + name;
+    u.layer_index = layer;
+    u.bytes = unit_bytes * n_units;
+    u.recompute_flops = flops;
+    u.inter_block = inter_block;
+    units->push_back(std::move(u));
+  };
+
+  add("input", 1, 0.0, /*inter_block=*/true);  // boundary checkpoint
+  add("ln1_out", 1, ln_flops, false);
+  add("qkv", 3, 6.0 * bsh2, false);
+  add("attn_ctx", 1, 4.0 * bs2h, false);  // scores+context, flash recompute
+  add("resid1", 1, 2.0 * bsh2, false);    // attention output projection
+  add("ln2_out", 1, ln_flops, false);
+  add("mlp_up", 4, 8.0 * bsh2, false);
+  add("gelu_out", 4, 8.0 * bsh2, false);  // carries the down-proj input cost
+}
+
+}  // namespace
+
+WorkloadProfile WorkloadProfile::Build(const TransformerConfig& config,
+                                       int batch_size) {
+  RATEL_CHECK(batch_size > 0);
+  RATEL_CHECK(config.num_layers > 0 && config.hidden_dim > 0);
+  WorkloadProfile p;
+  p.config_ = config;
+  p.batch_size_ = batch_size;
+  p.param_count_ = config.ParameterCount();
+
+  const double b = batch_size;
+  const double s = static_cast<double>(config.seq_len);
+  const double h = static_cast<double>(config.hidden_dim);
+
+  // Per-block forward FLOPs: qkv (6bsh^2) + attention scores/context
+  // (4bs^2h) + output projection (2bsh^2) + MLP (16bsh^2). DiT blocks add
+  // the adaLN conditioning MLP (12 b h^2).
+  double block_flops = 24.0 * b * s * h * h + 4.0 * b * s * s * h;
+  if (config.kind == ModelKind::kDiffusionTransformer) {
+    block_flops += 12.0 * b * h * h;
+  }
+  // LM head (logits) for decoder LLMs; patch decode for DiT is negligible.
+  const double head_flops =
+      config.kind == ModelKind::kDecoderLlm
+          ? 2.0 * b * s * h * static_cast<double>(config.vocab_size)
+          : 0.0;
+  p.forward_flops_ = block_flops * config.num_layers + head_flops;
+
+  p.blocks_.reserve(config.num_layers);
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    const size_t first_unit = p.activation_units_.size();
+    AppendBlockUnits(config, batch_size, layer, &p.activation_units_);
+    BlockProfile blk;
+    blk.index = layer;
+    blk.param_count = config.BlockParameterCount();
+    blk.forward_flops = block_flops;
+    for (size_t i = first_unit; i < p.activation_units_.size(); ++i) {
+      const ActivationUnit& u = p.activation_units_[i];
+      blk.activation_bytes += u.bytes;
+      if (u.inter_block) blk.inter_block_bytes += u.bytes;
+      p.total_activation_bytes_ += u.bytes;
+      if (u.inter_block) p.inter_block_activation_bytes_ += u.bytes;
+    }
+    p.blocks_.push_back(blk);
+  }
+  return p;
+}
+
+int64_t WorkloadProfile::tokens_per_iteration() const {
+  if (config_.kind == ModelKind::kDiffusionTransformer) return batch_size_;
+  return static_cast<int64_t>(batch_size_) * config_.seq_len;
+}
+
+int64_t WorkloadProfile::PerBlockGpuWorkingSetBytes() const {
+  // One block resident: its fp16 parameters, its saved activations, and a
+  // matmul/attention workspace of roughly two extra activation copies.
+  const int64_t p16 = 2 * config_.BlockParameterCount();
+  const int64_t act = blocks_.empty() ? 0 : blocks_[0].activation_bytes;
+  const int64_t workspace =
+      4 * config_.seq_len * static_cast<int64_t>(batch_size_) *
+      config_.hidden_dim;
+  return p16 + act + workspace;
+}
+
+}  // namespace ratel

@@ -1,0 +1,106 @@
+#ifndef RATEL_MODEL_WORKLOAD_H_
+#define RATEL_MODEL_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/transformer_config.h"
+
+namespace ratel {
+
+/// One swappable activation unit inside a transformer block.
+///
+/// The activation planner (Section IV-D) chooses, per unit, whether to swap
+/// it out (GPU -> main memory -> possibly SSD) or discard it and recompute
+/// during backward. `recompute_flops` is the extra forward work needed if
+/// the unit is discarded; the offloading benefit of Eq. 6 is
+/// OB = recompute_flops / bytes.
+struct ActivationUnit {
+  std::string name;        // e.g. "blk17/mlp_up"
+  int layer_index;         // owning transformer block
+  int64_t bytes;           // fp16 saved-tensor bytes
+  double recompute_flops;  // GPU FLOPs to regenerate if discarded
+  bool inter_block;        // block-boundary checkpoint (always swapped)
+
+  double OffloadingBenefit() const {
+    return bytes > 0 ? recompute_flops / static_cast<double>(bytes) : 0.0;
+  }
+};
+
+/// Per-block compute/activation profile.
+struct BlockProfile {
+  int index = 0;
+  int64_t param_count = 0;
+  double forward_flops = 0.0;          // one block, one micro batch
+  int64_t activation_bytes = 0;        // sum over the block's units
+  int64_t inter_block_bytes = 0;       // the boundary checkpoint alone
+};
+
+/// Full workload profile for (model config, batch size): everything the
+/// planner, the baselines, and the benches need to know about the job.
+///
+/// Activation accounting (calibrated to the paper's 13B/bsz-32 numbers:
+/// ~213 GB total, ~12.5 GB inter-block, Section III): each block saves
+/// 16 s*b*h fp16-element tensors (attention q/k/v + context, layernorm
+/// outputs, residual input, MLP up/GELU at 4h), i.e. 32*s*b*h bytes per
+/// block; attention probability matrices are recomputed flash-style. The
+/// block-boundary checkpoint is one s*b*h tensor (2*s*b*h bytes).
+class WorkloadProfile {
+ public:
+  /// Builds the profile for one model at one (micro-)batch size.
+  static WorkloadProfile Build(const TransformerConfig& config,
+                               int batch_size);
+
+  const TransformerConfig& config() const { return config_; }
+  int batch_size() const { return batch_size_; }
+
+  /// P: trainable parameters.
+  int64_t param_count() const { return param_count_; }
+
+  /// FLOP_f: GPU floating point operations of the forward stage
+  /// (backward is 2x this, Table I).
+  double forward_flops() const { return forward_flops_; }
+
+  /// A_all: total bytes of saved activations (Table I).
+  int64_t total_activation_bytes() const { return total_activation_bytes_; }
+
+  /// A_interBlock: bytes of block-boundary checkpoints (Table I); the
+  /// minimum safe swapped amount of Algorithm 1.
+  int64_t inter_block_activation_bytes() const {
+    return inter_block_activation_bytes_;
+  }
+
+  /// Tokens processed per iteration (batch * sequence length); for DiT
+  /// models, images per iteration equals the batch size.
+  int64_t tokens_per_iteration() const;
+
+  const std::vector<BlockProfile>& blocks() const { return blocks_; }
+
+  /// All swappable activation units across blocks, in model order.
+  const std::vector<ActivationUnit>& activation_units() const {
+    return activation_units_;
+  }
+
+  /// The peak fp16 working set one block needs resident in GPU memory
+  /// while computing (its P16 slice, its saved activations, and matmul
+  /// workspace); gates the maximum micro-batch a GPU can run (Section V-E:
+  /// "bounded by accommodating activations of a single layer").
+  int64_t PerBlockGpuWorkingSetBytes() const;
+
+ private:
+  WorkloadProfile() = default;
+
+  TransformerConfig config_;
+  int batch_size_ = 0;
+  int64_t param_count_ = 0;
+  double forward_flops_ = 0.0;
+  int64_t total_activation_bytes_ = 0;
+  int64_t inter_block_activation_bytes_ = 0;
+  std::vector<BlockProfile> blocks_;
+  std::vector<ActivationUnit> activation_units_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_MODEL_WORKLOAD_H_

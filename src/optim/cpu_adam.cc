@@ -1,0 +1,114 @@
+#include "optim/cpu_adam.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+void CpuAdamKernel::Step(int64_t step, int64_t n, const float* grads,
+                         float* params, float* exp_avg, float* exp_avg_sq,
+                         Fp16* params16_out) const {
+  RATEL_CHECK(step >= 1);
+  const float beta1 = static_cast<float>(config_.beta1);
+  const float beta2 = static_cast<float>(config_.beta2);
+  const float one_minus_beta1 = 1.0f - beta1;
+  const float one_minus_beta2 = 1.0f - beta2;
+  const float eps = static_cast<float>(config_.eps);
+  const float wd = static_cast<float>(config_.weight_decay);
+  const float lr = static_cast<float>(config_.lr);
+  // Bias correction folded into the step size (standard Adam form).
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step));
+  const float step_size = static_cast<float>(config_.lr / bc1);
+  const float inv_sqrt_bc2 = static_cast<float>(1.0 / std::sqrt(bc2));
+
+  for (int64_t i = 0; i < n; ++i) {
+    const float g = grads[i];
+    float m = exp_avg[i];
+    float v = exp_avg_sq[i];
+    m = beta1 * m + one_minus_beta1 * g;
+    v = beta2 * v + one_minus_beta2 * g * g;
+    exp_avg[i] = m;
+    exp_avg_sq[i] = v;
+    float p = params[i];
+    if (wd != 0.0f) p -= lr * wd * p;  // decoupled weight decay (AdamW)
+    const float denom = std::sqrt(v) * inv_sqrt_bc2 + eps;
+    p -= step_size * m / denom;
+    params[i] = p;
+    if (params16_out != nullptr) params16_out[i] = FloatToHalf(p);
+  }
+}
+
+void CpuAdamKernel::StepFp16Grads(int64_t step, int64_t n, const Fp16* grads16,
+                                  float* params, float* exp_avg,
+                                  float* exp_avg_sq, Fp16* params16_out,
+                                  float grad_unscale) const {
+  // Convert in cache-friendly tiles, then run the fp32 kernel per tile.
+  constexpr int64_t kTile = 4096;
+  float buf[kTile];
+  for (int64_t off = 0; off < n; off += kTile) {
+    const int64_t len = std::min(kTile, n - off);
+    for (int64_t i = 0; i < len; ++i) {
+      buf[i] = HalfToFloat(grads16[off + i]) * grad_unscale;
+    }
+    Step(step, len, buf, params + off, exp_avg + off, exp_avg_sq + off,
+         params16_out != nullptr ? params16_out + off : nullptr);
+  }
+}
+
+Status ChunkedCpuAdam::Register(const std::string& name,
+                                std::vector<float> initial_params) {
+  if (states_.count(name) > 0) {
+    return Status::AlreadyExists("tensor '" + name + "' already registered");
+  }
+  TensorState st;
+  st.exp_avg.assign(initial_params.size(), 0.0f);
+  st.exp_avg_sq.assign(initial_params.size(), 0.0f);
+  st.params = std::move(initial_params);
+  states_.emplace(name, std::move(st));
+  return Status::Ok();
+}
+
+Status ChunkedCpuAdam::StepTensor(const std::string& name,
+                                  const std::vector<Fp16>& grads16,
+                                  std::vector<Fp16>* params16_out) {
+  auto it = states_.find(name);
+  if (it == states_.end()) {
+    return Status::NotFound("tensor '" + name + "' not registered");
+  }
+  TensorState& st = it->second;
+  if (grads16.size() != st.params.size()) {
+    return Status::InvalidArgument(
+        "gradient size " + std::to_string(grads16.size()) +
+        " != parameter size " + std::to_string(st.params.size()) + " for '" +
+        name + "'");
+  }
+  st.step += 1;
+  if (params16_out != nullptr) params16_out->resize(st.params.size());
+  kernel_.StepFp16Grads(
+      st.step, static_cast<int64_t>(st.params.size()), grads16.data(),
+      st.params.data(), st.exp_avg.data(), st.exp_avg_sq.data(),
+      params16_out != nullptr ? params16_out->data() : nullptr);
+  return Status::Ok();
+}
+
+Result<const std::vector<float>*> ChunkedCpuAdam::MasterParams(
+    const std::string& name) const {
+  auto it = states_.find(name);
+  if (it == states_.end()) {
+    return Status::NotFound("tensor '" + name + "' not registered");
+  }
+  return &it->second.params;
+}
+
+int64_t ChunkedCpuAdam::StateBytes() const {
+  int64_t total = 0;
+  for (const auto& [name, st] : states_) {
+    total += static_cast<int64_t>(st.params.size()) * 12;
+  }
+  return total;
+}
+
+}  // namespace ratel

@@ -1,0 +1,95 @@
+#ifndef RATEL_OPTIM_CPU_ADAM_H_
+#define RATEL_OPTIM_CPU_ADAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fp16.h"
+#include "common/status.h"
+
+namespace ratel {
+
+/// Adam hyper-parameters (Kingma & Ba), with decoupled weight decay.
+struct AdamConfig {
+  double lr = 1e-4;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+/// The out-of-core CPU Adam kernel (Section II "CPU Optimizer").
+///
+/// Updates fp32 master parameters and moments from gradients, and emits
+/// the fp16 parameter copy (P16) the GPU consumes next iteration — the
+/// exact producer/consumer contract of Table II. The kernel is plain
+/// loop code that the compiler auto-vectorizes; it is deliberately
+/// chunk-oriented so the active gradient offloading pipeline (Section
+/// IV-C) can invoke it per arriving gradient tensor.
+class CpuAdamKernel {
+ public:
+  explicit CpuAdamKernel(const AdamConfig& config) : config_(config) {}
+
+  /// One Adam step over a contiguous chunk.
+  /// `step` is the 1-based global step count used for bias correction.
+  /// All arrays hold `n` elements. `params16_out` may be null when no
+  /// fp16 copy is needed.
+  void Step(int64_t step, int64_t n, const float* grads, float* params,
+            float* exp_avg, float* exp_avg_sq, Fp16* params16_out) const;
+
+  /// Same, with fp16 gradients (the G16 tensors arriving from the GPU).
+  /// `grad_unscale` multiplies each gradient after conversion — the
+  /// inverse of the mixed-precision loss scale applied before the fp16
+  /// cast.
+  void StepFp16Grads(int64_t step, int64_t n, const Fp16* grads16,
+                     float* params, float* exp_avg, float* exp_avg_sq,
+                     Fp16* params16_out, float grad_unscale = 1.0f) const;
+
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  AdamConfig config_;
+};
+
+/// Optimizer state (P32 + OS32) for a collection of named parameter
+/// tensors, updated tensor-by-tensor. This is the "CPU optimizer buffer"
+/// of Fig. 1c: the active-gradient-offloading pipeline streams model-state
+/// chunks through it.
+class ChunkedCpuAdam {
+ public:
+  explicit ChunkedCpuAdam(const AdamConfig& config) : kernel_(config) {}
+
+  /// Registers a parameter tensor and initializes master weights from the
+  /// given fp32 values (moments start at zero).
+  Status Register(const std::string& name, std::vector<float> initial_params);
+
+  /// Applies one Adam update for `name` from fp16 gradients and returns
+  /// the refreshed fp16 parameter copy. Advances this tensor's step count.
+  Status StepTensor(const std::string& name, const std::vector<Fp16>& grads16,
+                    std::vector<Fp16>* params16_out);
+
+  /// Read access for tests/checkpointing.
+  Result<const std::vector<float>*> MasterParams(const std::string& name) const;
+
+  int64_t num_tensors() const { return static_cast<int64_t>(states_.size()); }
+
+  /// Total fp32 state bytes held (P32 + OS32 = 12 bytes/param).
+  int64_t StateBytes() const;
+
+ private:
+  struct TensorState {
+    std::vector<float> params;
+    std::vector<float> exp_avg;
+    std::vector<float> exp_avg_sq;
+    int64_t step = 0;
+  };
+
+  CpuAdamKernel kernel_;
+  std::unordered_map<std::string, TensorState> states_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_OPTIM_CPU_ADAM_H_

@@ -1,0 +1,102 @@
+#include "runtime/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace ratel {
+namespace checkpoint {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'A', 'T', 'E', 'L', 'C', 'K', 'P'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IoError("checkpoint write failed");
+  }
+  return Status::Ok();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::IoError("checkpoint truncated");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Save(OutOfCoreAdam& adam, const std::vector<std::string>& names,
+            const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open '" + path + "' for writing");
+  RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
+  RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &kVersion, sizeof(kVersion)));
+  const uint32_t count = static_cast<uint32_t>(names.size());
+  RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &count, sizeof(count)));
+  std::vector<float> values;
+  for (const std::string& name : names) {
+    RATEL_RETURN_IF_ERROR(adam.FetchMasterParams(name, &values));
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &name_len, sizeof(name_len)));
+    RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), name.data(), name.size()));
+    const uint64_t n = values.size();
+    RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &n, sizeof(n)));
+    RATEL_RETURN_IF_ERROR(
+        WriteBytes(f.get(), values.data(), 4 * values.size()));
+  }
+  if (std::fflush(f.get()) != 0) return Status::IoError("flush failed");
+  return Status::Ok();
+}
+
+Result<std::vector<Entry>> Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open '" + path + "'");
+  char magic[8];
+  RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a Ratel checkpoint");
+  }
+  uint32_t version = 0;
+  RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &version, sizeof(version)));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  uint32_t count = 0;
+  RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &count, sizeof(count)));
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &name_len, sizeof(name_len)));
+    if (name_len > 4096) {
+      return Status::InvalidArgument("corrupt checkpoint: name too long");
+    }
+    Entry e;
+    e.name.resize(name_len);
+    RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), e.name.data(), name_len));
+    uint64_t n = 0;
+    RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &n, sizeof(n)));
+    if (n > (uint64_t{1} << 34)) {
+      return Status::InvalidArgument("corrupt checkpoint: tensor too large");
+    }
+    e.values.resize(n);
+    RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), e.values.data(), 4 * n));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace checkpoint
+}  // namespace ratel

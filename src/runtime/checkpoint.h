@@ -1,0 +1,38 @@
+#ifndef RATEL_RUNTIME_CHECKPOINT_H_
+#define RATEL_RUNTIME_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/out_of_core_adam.h"
+
+namespace ratel {
+
+/// Binary checkpoint of the fp32 master parameters (P32), written from
+/// the out-of-core optimizer's block store to a single file — what a
+/// user keeps after fine-tuning.
+///
+/// Format (little-endian):
+///   magic "RATELCKP" (8 bytes) | version u32 | tensor count u32
+///   per tensor: name length u32 | name bytes | element count u64 |
+///               fp32 payload
+namespace checkpoint {
+
+/// Writes the master copies of `names` (in order) from `adam` to `path`.
+Status Save(OutOfCoreAdam& adam, const std::vector<std::string>& names,
+            const std::string& path);
+
+/// One restored tensor.
+struct Entry {
+  std::string name;
+  std::vector<float> values;
+};
+
+/// Reads every tensor from a checkpoint file.
+Result<std::vector<Entry>> Load(const std::string& path);
+
+}  // namespace checkpoint
+}  // namespace ratel
+
+#endif  // RATEL_RUNTIME_CHECKPOINT_H_

@@ -1,0 +1,68 @@
+#include "runtime/dataset.h"
+
+#include "common/logging.h"
+
+namespace ratel {
+
+const char* SyntheticTaskName(SyntheticTask task) {
+  switch (task) {
+    case SyntheticTask::kAffineMap:
+      return "affine-map";
+    case SyntheticTask::kCopyPrevious:
+      return "copy-previous";
+    case SyntheticTask::kPairSum:
+      return "pair-sum";
+  }
+  return "?";
+}
+
+SyntheticDataset::SyntheticDataset(SyntheticTask task, int64_t vocab_size,
+                                   int64_t seq_len, uint64_t seed)
+    : task_(task),
+      vocab_size_(vocab_size),
+      seq_len_(seq_len),
+      seed_(seed),
+      train_rng_(seed) {
+  RATEL_CHECK(vocab_size >= 2);
+  RATEL_CHECK(seq_len >= 1);
+}
+
+TokenBatch SyntheticDataset::Generate(Rng& rng, int64_t batch_size) const {
+  TokenBatch b;
+  b.batch_size = batch_size;
+  b.seq_len = seq_len_;
+  b.ids.resize(batch_size * seq_len_);
+  b.targets.resize(b.ids.size());
+  for (auto& id : b.ids) {
+    id = static_cast<int64_t>(rng.NextBelow(vocab_size_));
+  }
+  for (int64_t row = 0; row < batch_size; ++row) {
+    const int64_t* ids = b.ids.data() + row * seq_len_;
+    int64_t* tgt = b.targets.data() + row * seq_len_;
+    for (int64_t i = 0; i < seq_len_; ++i) {
+      switch (task_) {
+        case SyntheticTask::kAffineMap:
+          tgt[i] = (ids[i] * 3 + 1) % vocab_size_;
+          break;
+        case SyntheticTask::kCopyPrevious:
+          tgt[i] = ids[i > 0 ? i - 1 : 0];
+          break;
+        case SyntheticTask::kPairSum:
+          tgt[i] = (ids[i] + (i > 0 ? ids[i - 1] : 0)) % vocab_size_;
+          break;
+      }
+    }
+  }
+  return b;
+}
+
+TokenBatch SyntheticDataset::NextBatch(int64_t batch_size) {
+  return Generate(train_rng_, batch_size);
+}
+
+TokenBatch SyntheticDataset::EvalBatch(int64_t batch_size) const {
+  Rng eval_rng(seed_ ^ 0xEA11EA11EA11EA11ULL);
+  return Generate(eval_rng, batch_size);
+}
+
+}  // namespace ratel

@@ -1,0 +1,66 @@
+#ifndef RATEL_RUNTIME_DATASET_H_
+#define RATEL_RUNTIME_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ratel {
+
+/// One token batch for the real trainer.
+struct TokenBatch {
+  std::vector<int64_t> ids;      // batch * seq_len token ids
+  std::vector<int64_t> targets;  // next-token targets, same shape
+  int64_t batch_size = 0;
+  int64_t seq_len = 0;
+};
+
+/// Synthetic-but-learnable token tasks for fine-tuning runs (the paper
+/// randomly initializes datasets for evaluations that do not require
+/// convergence; these tasks additionally *do* converge, so the runtime's
+/// numeric path is validated end to end).
+enum class SyntheticTask {
+  /// target[i] = (id[i] * 3 + 1) mod V — a pure token-wise map.
+  kAffineMap,
+  /// target[i] = id[i-1] (and target[0] = id[0]) — requires attention
+  /// to the previous position.
+  kCopyPrevious,
+  /// target[i] = (id[i] + id[i-1]) mod V — requires mixing two positions.
+  kPairSum,
+};
+
+const char* SyntheticTaskName(SyntheticTask task);
+
+/// Deterministic generator of token batches for a synthetic task.
+class SyntheticDataset {
+ public:
+  SyntheticDataset(SyntheticTask task, int64_t vocab_size, int64_t seq_len,
+                   uint64_t seed);
+
+  /// Draws the next training batch.
+  TokenBatch NextBatch(int64_t batch_size);
+
+  /// A held-out batch drawn from a fixed evaluation stream (independent
+  /// of how many training batches were consumed).
+  TokenBatch EvalBatch(int64_t batch_size) const;
+
+  SyntheticTask task() const { return task_; }
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t seq_len() const { return seq_len_; }
+
+ private:
+  TokenBatch Generate(Rng& rng, int64_t batch_size) const;
+
+  SyntheticTask task_;
+  int64_t vocab_size_;
+  int64_t seq_len_;
+  uint64_t seed_;
+  Rng train_rng_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_RUNTIME_DATASET_H_

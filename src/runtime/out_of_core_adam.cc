@@ -1,0 +1,155 @@
+#include "runtime/out_of_core_adam.h"
+
+#include "common/logging.h"
+
+namespace ratel {
+
+namespace {
+
+std::string P32Key(const std::string& name) { return "p32/" + name; }
+std::string MomKey(const std::string& name) { return "m/" + name; }
+std::string VarKey(const std::string& name) { return "v/" + name; }
+std::string P16Key(const std::string& name) { return "p16/" + name; }
+
+}  // namespace
+
+Status OutOfCoreAdam::PutBlob(const std::string& key, const void* data,
+                              int64_t size) {
+  if (cache_ != nullptr) return cache_->Put(key, data, size);
+  return store_->Put(key, data, size);
+}
+
+Status OutOfCoreAdam::GetBlob(const std::string& key, void* out,
+                              int64_t size) const {
+  if (cache_ != nullptr) return cache_->Get(key, out, size);
+  return store_->Get(key, out, size);
+}
+
+OutOfCoreAdam::OutOfCoreAdam(const AdamConfig& config, BlockStore* store,
+                             ThrottledChannel* read_channel,
+                             ThrottledChannel* write_channel)
+    : kernel_(config),
+      store_(store),
+      read_channel_(read_channel),
+      write_channel_(write_channel) {
+  RATEL_CHECK(store != nullptr);
+}
+
+Status OutOfCoreAdam::Register(const std::string& name,
+                               const std::vector<float>& initial_params) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (meta_.count(name) > 0) {
+      return Status::AlreadyExists("tensor '" + name + "' registered twice");
+    }
+    meta_[name] = TensorMeta{static_cast<int64_t>(initial_params.size()), 0};
+  }
+  const int64_t n = static_cast<int64_t>(initial_params.size());
+  const std::vector<float> zeros(initial_params.size(), 0.0f);
+  std::vector<Fp16> p16(initial_params.size());
+  for (int64_t i = 0; i < n; ++i) p16[i] = FloatToHalf(initial_params[i]);
+  RATEL_RETURN_IF_ERROR(
+      PutBlob(P32Key(name), initial_params.data(), 4 * n));
+  RATEL_RETURN_IF_ERROR(PutBlob(MomKey(name), zeros.data(), 4 * n));
+  RATEL_RETURN_IF_ERROR(PutBlob(VarKey(name), zeros.data(), 4 * n));
+  RATEL_RETURN_IF_ERROR(PutBlob(P16Key(name), p16.data(), 2 * n));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_written_ += 14 * n;
+  }
+  return Status::Ok();
+}
+
+Status OutOfCoreAdam::StepTensor(const std::string& name,
+                                 const std::vector<Fp16>& grads16,
+                                 float grad_unscale) {
+  TensorMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = meta_.find(name);
+    if (it == meta_.end()) {
+      return Status::NotFound("tensor '" + name + "' not registered");
+    }
+    if (static_cast<int64_t>(grads16.size()) != it->second.size) {
+      return Status::InvalidArgument("gradient size mismatch for '" + name +
+                                     "'");
+    }
+    it->second.step += 1;
+    meta = it->second;
+  }
+  const int64_t n = meta.size;
+
+  // SSD -> Main: stream P32 + OS32 (12 bytes/param) into staging buffers.
+  std::vector<float> params(n), m(n), v(n);
+  if (read_channel_ != nullptr) read_channel_->Consume(12 * n);
+  RATEL_RETURN_IF_ERROR(GetBlob(P32Key(name), params.data(), 4 * n));
+  RATEL_RETURN_IF_ERROR(GetBlob(MomKey(name), m.data(), 4 * n));
+  RATEL_RETURN_IF_ERROR(GetBlob(VarKey(name), v.data(), 4 * n));
+
+  // CPU compute: the Adam handler, emitting the fresh P16 copy.
+  std::vector<Fp16> p16(n);
+  kernel_.StepFp16Grads(meta.step, n, grads16.data(), params.data(), m.data(),
+                        v.data(), p16.data(), grad_unscale);
+
+  // Main -> SSD: write back P32 + OS32 + P16 (14 bytes/param).
+  if (write_channel_ != nullptr) write_channel_->Consume(14 * n);
+  RATEL_RETURN_IF_ERROR(PutBlob(P32Key(name), params.data(), 4 * n));
+  RATEL_RETURN_IF_ERROR(PutBlob(MomKey(name), m.data(), 4 * n));
+  RATEL_RETURN_IF_ERROR(PutBlob(VarKey(name), v.data(), 4 * n));
+  RATEL_RETURN_IF_ERROR(PutBlob(P16Key(name), p16.data(), 2 * n));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_read_ += 12 * n;
+    bytes_written_ += 14 * n;
+  }
+  return Status::Ok();
+}
+
+Status OutOfCoreAdam::FetchParams16(const std::string& name,
+                                    std::vector<Fp16>* out) const {
+  int64_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = meta_.find(name);
+    if (it == meta_.end()) {
+      return Status::NotFound("tensor '" + name + "' not registered");
+    }
+    n = it->second.size;
+  }
+  out->resize(n);
+  if (read_channel_ != nullptr) read_channel_->Consume(2 * n);
+  RATEL_RETURN_IF_ERROR(GetBlob(P16Key(name), out->data(), 2 * n));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_read_ += 2 * n;
+  }
+  return Status::Ok();
+}
+
+Status OutOfCoreAdam::FetchMasterParams(const std::string& name,
+                                        std::vector<float>* out) const {
+  int64_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = meta_.find(name);
+    if (it == meta_.end()) {
+      return Status::NotFound("tensor '" + name + "' not registered");
+    }
+    n = it->second.size;
+  }
+  out->resize(n);
+  RATEL_RETURN_IF_ERROR(GetBlob(P32Key(name), out->data(), 4 * n));
+  return Status::Ok();
+}
+
+int64_t OutOfCoreAdam::bytes_read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_read_;
+}
+
+int64_t OutOfCoreAdam::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+}  // namespace ratel

@@ -1,0 +1,67 @@
+#include "runtime/prefetcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+Prefetcher::Prefetcher(std::vector<std::string> keys, int depth,
+                       FetchFn fetch)
+    : keys_(std::move(keys)),
+      depth_(static_cast<size_t>(std::max(1, depth))),
+      fetch_(std::move(fetch)) {
+  RATEL_CHECK(fetch_ != nullptr);
+  worker_ = std::thread([this] { Worker(); });
+}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  slot_free_.notify_all();
+  worker_.join();
+}
+
+void Prefetcher::Worker() {
+  for (const std::string& key : keys_) {
+    // Claim a window slot first so at most `depth` blobs are ever
+    // buffered (the lookahead bound), then fetch outside the lock.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      slot_free_.wait(lock, [this] {
+        return shutdown_ || window_.size() < depth_;
+      });
+      if (shutdown_) return;
+    }
+    Item item;
+    item.key = key;
+    item.status = fetch_(key, &item.data);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      window_.push_back(std::move(item));
+      ++produced_;
+    }
+    item_ready_.notify_one();
+  }
+}
+
+Prefetcher::Item Prefetcher::Next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  RATEL_CHECK(consumed_ < keys_.size()) << "Next() called past the end";
+  item_ready_.wait(lock, [this] { return !window_.empty(); });
+  Item item = std::move(window_.front());
+  window_.pop_front();
+  ++consumed_;
+  slot_free_.notify_one();
+  return item;
+}
+
+int64_t Prefetcher::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(keys_.size() - consumed_);
+}
+
+}  // namespace ratel

@@ -1,0 +1,78 @@
+#ifndef RATEL_RUNTIME_PREFETCHER_H_
+#define RATEL_RUNTIME_PREFETCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ratel {
+
+/// Bounded-lookahead asynchronous prefetcher: a background thread walks
+/// an ordered key list, loading each blob through a caller-supplied
+/// fetch function into a bounded window of buffers the consumer drains
+/// in order — the software analogue of the M->G parameter prefetch
+/// stream of the forward stage (Section IV-A), where compute on block i
+/// overlaps the fetch of blocks i+1..i+depth.
+///
+/// Usage:
+///   Prefetcher pf(keys, depth, [&](const std::string& k,
+///                                  std::vector<uint8_t>* out) {
+///     return LoadBlob(k, out);
+///   });
+///   for (...) { auto item = pf.Next(); /* item.data */ }
+class Prefetcher {
+ public:
+  /// One fetched blob, delivered in key order.
+  struct Item {
+    std::string key;
+    std::vector<uint8_t> data;
+    Status status;  // non-OK if this key's fetch failed
+  };
+
+  using FetchFn =
+      std::function<Status(const std::string& key, std::vector<uint8_t>* out)>;
+
+  /// Starts fetching immediately. `depth` bounds the number of undrained
+  /// items in flight (backpressure: the window is the "GPU buffer").
+  Prefetcher(std::vector<std::string> keys, int depth, FetchFn fetch);
+
+  /// Joins the background thread; undrained items are discarded.
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Blocks until the next item (in the original key order) is ready.
+  /// Must be called exactly once per key.
+  Item Next();
+
+  /// Keys not yet drained by Next().
+  int64_t remaining() const;
+
+ private:
+  void Worker();
+
+  std::vector<std::string> keys_;
+  size_t depth_;
+  FetchFn fetch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable item_ready_;
+  std::condition_variable slot_free_;
+  std::deque<Item> window_;
+  size_t produced_ = 0;
+  size_t consumed_ = 0;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_RUNTIME_PREFETCHER_H_

@@ -1,0 +1,253 @@
+#include "runtime/ratel_trainer.h"
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "runtime/prefetcher.h"
+
+namespace ratel {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RatelTrainer::RatelTrainer(ag::TinyGpt* model, const TrainerOptions& options)
+    : model_(model), options_(options) {}
+
+RatelTrainer::~RatelTrainer() = default;
+
+Result<std::unique_ptr<RatelTrainer>> RatelTrainer::Create(
+    ag::TinyGpt* model, const TrainerOptions& options) {
+  RATEL_CHECK(model != nullptr);
+  std::unique_ptr<RatelTrainer> trainer(new RatelTrainer(model, options));
+  RATEL_RETURN_IF_ERROR(trainer->Initialize());
+  return trainer;
+}
+
+Status RatelTrainer::Initialize() {
+  RATEL_ASSIGN_OR_RETURN(
+      store_, BlockStore::Open(options_.store_dir, options_.num_stripes,
+                               options_.stripe_chunk_bytes));
+  if (options_.ssd_read_bandwidth > 0.0) {
+    read_channel_ = std::make_unique<ThrottledChannel>(
+        "ssd_read", options_.ssd_read_bandwidth);
+  }
+  if (options_.ssd_write_bandwidth > 0.0) {
+    write_channel_ = std::make_unique<ThrottledChannel>(
+        "ssd_write", options_.ssd_write_bandwidth);
+  }
+  adam_ = std::make_unique<OutOfCoreAdam>(options_.adam, store_.get(),
+                                          read_channel_.get(),
+                                          write_channel_.get());
+  if (options_.host_cache_bytes > 0) {
+    cache_ = std::make_unique<TierCache>(store_.get(),
+                                         options_.host_cache_bytes);
+    adam_->SetCache(cache_.get());
+  }
+  for (auto& [name, var] : model_->parameters()) {
+    RATEL_RETURN_IF_ERROR(adam_->Register(name, var.value()));
+  }
+  pipeline_ =
+      std::make_unique<ThreadPool>(std::max(1, options_.pipeline_threads));
+  return Status::Ok();
+}
+
+std::vector<std::string> RatelTrainer::ArrivalOrder() const {
+  std::vector<std::string> order;
+  order.push_back("final/ln_g");
+  order.push_back("final/ln_b");
+  for (int64_t l = model_->config().num_layers - 1; l >= 0; --l) {
+    for (const auto& name : model_->BlockParameterNames(static_cast<int>(l))) {
+      order.push_back(name);
+    }
+  }
+  order.push_back("embed/pos");
+  order.push_back("embed/table");
+  return order;
+}
+
+Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
+                                      const std::vector<int64_t>& targets,
+                                      int64_t batch) {
+  StepStats stats;
+  const int64_t read0 = adam_->bytes_read();
+  const int64_t written0 = adam_->bytes_written();
+  const double t0 = NowSeconds();
+
+  // --- Swap in the current P16 copies (the forward-stage M->G fetch),
+  // prefetched a few tensors ahead so storage reads overlap the fp16 ->
+  // fp32 conversion (the M->G / compute pipeline of Section IV-A). ---
+  {
+    std::vector<std::string> names;
+    names.reserve(model_->parameters().size());
+    for (const auto& [name, var] : model_->parameters()) {
+      names.push_back(name);
+    }
+    Prefetcher prefetcher(
+        names, /*depth=*/4,
+        [this](const std::string& key, std::vector<uint8_t>* out) {
+          std::vector<Fp16> p16;
+          RATEL_RETURN_IF_ERROR(adam_->FetchParams16(key, &p16));
+          out->resize(2 * p16.size());
+          std::memcpy(out->data(), p16.data(), out->size());
+          return Status::Ok();
+        });
+    for (auto& [name, var] : model_->parameters()) {
+      Prefetcher::Item item = prefetcher.Next();
+      RATEL_CHECK(item.key == name);
+      RATEL_RETURN_IF_ERROR(item.status);
+      std::vector<float>& dst = var.mutable_value();
+      RATEL_CHECK(item.data.size() == 2 * dst.size());
+      const Fp16* p16 = reinterpret_cast<const Fp16*>(item.data.data());
+      for (size_t i = 0; i < dst.size(); ++i) dst[i] = HalfToFloat(p16[i]);
+    }
+  }
+  const double t_fetch = NowSeconds();
+
+  // --- Forward + backward (the "GPU" work of this substrate),
+  // accumulating gradients over micro batches. ---
+  const int accum = std::max(1, options_.grad_accumulation_steps);
+  if (batch % accum != 0) {
+    return Status::InvalidArgument(
+        "batch " + std::to_string(batch) + " not divisible by " +
+        std::to_string(accum) + " accumulation steps");
+  }
+  const int64_t micro = batch / accum;
+  const int64_t seq = model_->config().seq_len;
+  model_->ZeroGrads();
+  float loss_sum = 0.0f;
+  for (int step = 0; step < accum; ++step) {
+    const auto begin = static_cast<size_t>(step * micro * seq);
+    const std::vector<int64_t> micro_ids(ids.begin() + begin,
+                                         ids.begin() + begin + micro * seq);
+    const std::vector<int64_t> micro_targets(
+        targets.begin() + begin, targets.begin() + begin + micro * seq);
+    ag::Variable loss = model_->Loss(micro_ids, micro_targets, micro);
+
+    if (options_.spill_activations) {
+      // Swap the saved activations out to the store after forward, then
+      // back in before backward (A16 of Table II). Values round-trip
+      // bit-exactly, so numerics are unchanged (tested).
+      std::vector<ag::NodePtr> acts = ag::CollectIntermediateNodes(loss);
+      int64_t spilled = 0;
+      for (size_t i = 0; i < acts.size(); ++i) {
+        ag::Node& node = *acts[i];
+        const int64_t bytes = 4 * node.NumElements();
+        if (write_channel_ != nullptr) write_channel_->Consume(bytes);
+        RATEL_RETURN_IF_ERROR(store_->Put("act/" + std::to_string(i),
+                                          node.value.data(), bytes));
+        std::vector<float>().swap(node.value);  // release "GPU memory"
+        spilled += bytes;
+      }
+      for (size_t i = 0; i < acts.size(); ++i) {
+        ag::Node& node = *acts[i];
+        const int64_t bytes = 4 * node.NumElements();
+        node.value.resize(node.NumElements());
+        if (read_channel_ != nullptr) read_channel_->Consume(bytes);
+        RATEL_RETURN_IF_ERROR(store_->Get("act/" + std::to_string(i),
+                                          node.value.data(), bytes));
+      }
+      stats.activation_bytes_spilled += spilled;
+    }
+
+    loss.Backward();
+    loss_sum += loss.value()[0];
+  }
+  const float mean_loss = loss_sum / static_cast<float>(accum);
+  const double t_compute = NowSeconds();
+
+  // --- Active gradient offloading: consume gradients per tensor in
+  // backward arrival order, dispatching the out-of-core Adam handler. ---
+  std::mutex err_mu;
+  Status first_error;
+  const float grad_unscale = 1.0f / options_.loss_scale;
+  auto handler = [&](const std::string& name, std::vector<Fp16> grads) {
+    const Status s = adam_->StepTensor(name, grads, grad_unscale);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = s;
+    }
+  };
+
+  // Deferred work for the serialized-pipelined mode (all handlers run
+  // concurrently, but only after "backward" fully finished).
+  std::vector<std::pair<std::string, std::vector<Fp16>>> deferred;
+
+  for (const std::string& name : ArrivalOrder()) {
+    // Locate the parameter and convert its gradient to G16.
+    ag::Variable var;
+    for (auto& [n, v] : model_->parameters()) {
+      if (n == name) {
+        var = v;
+        break;
+      }
+    }
+    RATEL_CHECK(var.defined()) << "missing parameter " << name;
+    const std::vector<float>& grad = var.grad();
+    if (grad.empty()) {
+      return Status::Internal("no gradient for '" + name + "'");
+    }
+    // Average over micro batches and apply the mixed-precision loss
+    // scale before the fp16 cast (unscaled inside the handler).
+    const float cast_scale =
+        options_.loss_scale / static_cast<float>(accum);
+    std::vector<Fp16> g16(grad.size());
+    for (size_t i = 0; i < grad.size(); ++i) {
+      g16[i] = FloatToHalf(grad[i] * cast_scale);
+    }
+
+    switch (options_.grad_mode) {
+      case GradientOffloadMode::kOptimizedActive:
+        // Handlers pipeline across tensors on the worker pool while the
+        // arrival loop keeps producing G16 (Fig. 3b).
+        pipeline_->Submit(
+            [&handler, name, g = std::move(g16)]() mutable {
+              handler(name, std::move(g));
+            });
+        break;
+      case GradientOffloadMode::kNaiveActive:
+        // Handler runs to completion before the next gradient is taken
+        // (Fig. 3a).
+        handler(name, std::move(g16));
+        break;
+      case GradientOffloadMode::kSerializedOptimizer:
+        // Defer everything to a separate optimizer stage below.
+        pipeline_->Submit([&handler, name, g = std::move(g16)]() mutable {
+          handler(name, std::move(g));
+        });
+        pipeline_->Wait();  // strictly one at a time, after "backward"
+        break;
+      case GradientOffloadMode::kSerializedPipelined:
+        deferred.emplace_back(name, std::move(g16));
+        break;
+    }
+  }
+  for (auto& [name, g16] : deferred) {
+    pipeline_->Submit([&handler, name = name, g = std::move(g16)]() mutable {
+      handler(name, std::move(g));
+    });
+  }
+  pipeline_->Wait();
+  RATEL_RETURN_IF_ERROR(first_error);
+  const double t_opt = NowSeconds();
+
+  stats.fetch_s = t_fetch - t0;
+  stats.compute_s = t_compute - t_fetch;
+  stats.optimizer_s = t_opt - t_compute;
+  stats.total_s = t_opt - t0;
+  stats.bytes_read = adam_->bytes_read() - read0;
+  stats.bytes_written = adam_->bytes_written() - written0;
+  stats.loss = mean_loss;
+  last_stats_ = stats;
+  return stats.loss;
+}
+
+}  // namespace ratel

@@ -1,0 +1,119 @@
+#ifndef RATEL_RUNTIME_RATEL_TRAINER_H_
+#define RATEL_RUNTIME_RATEL_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/transformer.h"
+#include "common/status.h"
+#include "core/iteration_sim.h"
+#include "mem/tier_cache.h"
+#include "runtime/out_of_core_adam.h"
+#include "runtime/thread_pool.h"
+#include "storage/block_store.h"
+#include "storage/throttled_channel.h"
+
+namespace ratel {
+
+/// Configuration of the real-execution trainer.
+struct TrainerOptions {
+  GradientOffloadMode grad_mode = GradientOffloadMode::kOptimizedActive;
+  AdamConfig adam;
+  /// Backing directory and stripe count of the emulated SSD array.
+  std::string store_dir = "/tmp/ratel_store";
+  int num_stripes = 4;
+  int64_t stripe_chunk_bytes = 1 << 20;
+  /// Optional bandwidth throttles (bytes/s) emulating slow devices; 0
+  /// disables throttling.
+  double ssd_read_bandwidth = 0.0;
+  double ssd_write_bandwidth = 0.0;
+  /// Worker threads of the optimized offload pipeline.
+  int pipeline_threads = 3;
+  /// DRAM tier-cache capacity in front of the block store (the main
+  /// memory level of the hierarchy); 0 disables caching. Hot P16 blocks
+  /// and model-state chunks are then served from DRAM.
+  int64_t host_cache_bytes = 0;
+  /// True swaps the tape's saved activations (A16) out to the block
+  /// store after forward and back in before backward — the activation
+  /// leg of the paper's holistic movement, executed with real bytes.
+  bool spill_activations = false;
+  /// Micro-batches accumulated per optimizer step (global batch =
+  /// micro batch x accumulation). Gradients are averaged.
+  int grad_accumulation_steps = 1;
+  /// Static loss scale for the G16 conversion (mixed-precision loss
+  /// scaling): gradients are scaled by this before the fp16 cast and
+  /// unscaled inside the optimizer handler, protecting small gradients
+  /// from fp16 underflow. 1.0 disables scaling.
+  float loss_scale = 1.0f;
+};
+
+/// Wall-clock / traffic breakdown of one training step.
+struct StepStats {
+  double total_s = 0.0;
+  double fetch_s = 0.0;       // P16 swap-in before forward
+  double compute_s = 0.0;     // forward + backward autograd
+  double optimizer_s = 0.0;   // time until the last handler drained
+  int64_t bytes_read = 0;     // cumulative store reads
+  int64_t bytes_written = 0;  // cumulative store writes
+  int64_t activation_bytes_spilled = 0;  // A16 swapped out and back
+  float loss = 0.0f;
+};
+
+/// The runnable counterpart of the paper's framework integration
+/// (Fig. 4): wraps a real TinyGpt model so that
+///   - fp16 parameter copies (P16) are fetched from the block store
+///     before each forward pass,
+///   - gradients are consumed per parameter group as they "arrive" in
+///     backward order, driving the out-of-core Adam handler
+///     (active gradient offloading, Section IV-C), and
+///   - the handler pipeline runs serialized / naive / optimized per
+///     TrainerOptions::grad_mode, with measurably different step times
+///     under throttled storage.
+class RatelTrainer {
+ public:
+  /// Builds the store, registers every model parameter with the
+  /// out-of-core optimizer, and seeds the initial P16 copies.
+  /// `model` must outlive the trainer.
+  static Result<std::unique_ptr<RatelTrainer>> Create(
+      ag::TinyGpt* model, const TrainerOptions& options);
+
+  ~RatelTrainer();
+
+  RatelTrainer(const RatelTrainer&) = delete;
+  RatelTrainer& operator=(const RatelTrainer&) = delete;
+
+  /// One fine-tuning step over a token batch; returns the loss.
+  Result<float> TrainStep(const std::vector<int64_t>& ids,
+                          const std::vector<int64_t>& targets, int64_t batch);
+
+  const StepStats& last_step_stats() const { return last_stats_; }
+  OutOfCoreAdam& optimizer() { return *adam_; }
+  BlockStore& store() { return *store_; }
+  /// Null when host_cache_bytes == 0.
+  const TierCache* host_cache() const { return cache_.get(); }
+
+ private:
+  RatelTrainer(ag::TinyGpt* model, const TrainerOptions& options);
+
+  Status Initialize();
+
+  /// Gradient groups in backward arrival order: final layernorm, blocks
+  /// L-1..0, then embeddings (Section IV-C's decreasing-index arrival).
+  std::vector<std::string> ArrivalOrder() const;
+
+  ag::TinyGpt* model_;  // not owned
+  TrainerOptions options_;
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<TierCache> cache_;
+  std::unique_ptr<ThrottledChannel> read_channel_;
+  std::unique_ptr<ThrottledChannel> write_channel_;
+  std::unique_ptr<OutOfCoreAdam> adam_;
+  std::unique_ptr<ThreadPool> pipeline_;
+  StepStats last_stats_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_RUNTIME_RATEL_TRAINER_H_

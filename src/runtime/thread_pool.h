@@ -1,0 +1,47 @@
+#ifndef RATEL_RUNTIME_THREAD_POOL_H_
+#define RATEL_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ratel {
+
+/// Fixed-size worker pool executing submitted closures in FIFO order per
+/// worker pickup. Used by the runtime's offload pipeline stages (state
+/// reader / Adam updater / writeback), mirroring the three overlapped
+/// steps of optimized active gradient offloading (Fig. 3b).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`; returns immediately.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_RUNTIME_THREAD_POOL_H_

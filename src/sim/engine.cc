@@ -1,0 +1,236 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+ResourceId SimEngine::AddResource(std::string name, double rate) {
+  RATEL_CHECK(rate > 0.0) << "resource '" << name << "' needs a positive rate";
+  RATEL_CHECK(!ran_) << "cannot add resources after Run()";
+  resources_.push_back(Resource{std::move(name), rate, {}, {}});
+  return static_cast<ResourceId>(resources_.size()) - 1;
+}
+
+TaskId SimEngine::AddTask(std::string name, ResourceId resource, double amount,
+                          std::vector<TaskId> deps) {
+  RATEL_CHECK(resource >= 0 &&
+              resource < static_cast<ResourceId>(resources_.size()))
+      << "bad resource id for task '" << name << "'";
+  RATEL_CHECK(amount >= 0.0);
+  RATEL_CHECK(!ran_) << "cannot add tasks after Run()";
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  for (TaskId d : deps) {
+    RATEL_CHECK(d >= 0 && d < id)
+        << "task '" << name << "' depends on unknown/later task " << d;
+  }
+  Task t;
+  t.name = std::move(name);
+  t.resource = resource;
+  t.amount = amount;
+  t.deps = std::move(deps);
+  tasks_.push_back(std::move(t));
+  dependents_.emplace_back();
+  for (TaskId d : tasks_.back().deps) dependents_[d].push_back(id);
+  return id;
+}
+
+Status SimEngine::Run() {
+  if (ran_) return Status::FailedPrecondition("SimEngine::Run called twice");
+  ran_ = true;
+
+  const int n = static_cast<int>(tasks_.size());
+  std::vector<TaskId> ready;
+  for (int i = 0; i < n; ++i) {
+    Task& t = tasks_[i];
+    t.remaining = t.amount;
+    t.unmet_deps = static_cast<int>(t.deps.size());
+    if (t.unmet_deps == 0) ready.push_back(i);
+  }
+
+  int done_count = 0;
+  double now = 0.0;
+  std::vector<TaskId> active;  // tasks currently consuming their resource
+
+  auto complete = [&](TaskId id) {
+    Task& t = tasks_[id];
+    t.done = true;
+    t.timing.finish = now;
+    ++done_count;
+    for (TaskId dep : dependents_[id]) {
+      if (--tasks_[dep].unmet_deps == 0) ready.push_back(dep);
+    }
+  };
+
+  while (done_count < n) {
+    // Move newly ready tasks into the active set; zero-amount tasks
+    // complete immediately (possibly releasing further tasks).
+    while (!ready.empty()) {
+      std::sort(ready.begin(), ready.end());
+      std::vector<TaskId> batch;
+      batch.swap(ready);
+      for (TaskId id : batch) {
+        Task& t = tasks_[id];
+        t.timing.start = now;
+        if (t.amount <= 0.0) {
+          complete(id);
+        } else {
+          active.push_back(id);
+        }
+      }
+    }
+    if (done_count == n) break;
+    if (active.empty()) {
+      return Status::InvalidArgument(
+          "dependency cycle: no runnable task but " +
+          std::to_string(n - done_count) + " unfinished");
+    }
+
+    // Equal-share rates per resource.
+    std::vector<int> load(resources_.size(), 0);
+    for (TaskId id : active) ++load[tasks_[id].resource];
+
+    // Advance to the earliest task completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (TaskId id : active) {
+      const Task& t = tasks_[id];
+      const double share = resources_[t.resource].rate / load[t.resource];
+      dt = std::min(dt, t.remaining / share);
+    }
+    RATEL_CHECK(std::isfinite(dt) && dt >= 0.0);
+
+    // Account busy time and work for loaded resources.
+    for (size_t r = 0; r < resources_.size(); ++r) {
+      if (load[r] == 0 || dt <= 0.0) continue;
+      Resource& res = resources_[r];
+      if (!res.busy_intervals.empty() &&
+          res.busy_intervals.back().second == now) {
+        res.busy_intervals.back().second = now + dt;
+        res.interval_work.back() += res.rate * dt;
+      } else {
+        res.busy_intervals.emplace_back(now, now + dt);
+        res.interval_work.push_back(res.rate * dt);
+      }
+    }
+
+    now += dt;
+    std::vector<TaskId> still_active;
+    still_active.reserve(active.size());
+    for (TaskId id : active) {
+      Task& t = tasks_[id];
+      const double share = resources_[t.resource].rate / load[t.resource];
+      t.remaining -= share * dt;
+      // Absolute+relative tolerance for float drift over many events.
+      if (t.remaining <= 1e-9 * (t.amount + 1.0)) {
+        complete(id);
+      } else {
+        still_active.push_back(id);
+      }
+    }
+    RATEL_CHECK(still_active.size() < active.size())
+        << "simulation made no progress at t=" << now;
+    active.swap(still_active);
+  }
+
+  makespan_ = now;
+  return Status::Ok();
+}
+
+const TaskTiming& SimEngine::timing(TaskId id) const {
+  RATEL_CHECK(ran_);
+  RATEL_CHECK(id >= 0 && id < static_cast<TaskId>(tasks_.size()));
+  return tasks_[id].timing;
+}
+
+std::vector<TaskRecord> SimEngine::TaskRecords() const {
+  RATEL_CHECK(ran_);
+  std::vector<TaskRecord> out;
+  out.reserve(tasks_.size());
+  for (const Task& t : tasks_) {
+    out.push_back(TaskRecord{t.name, t.resource, t.amount, t.timing});
+  }
+  return out;
+}
+
+std::vector<TaskRecord> SimEngine::CriticalPath() const {
+  RATEL_CHECK(ran_);
+  std::vector<TaskRecord> path;
+  if (tasks_.empty()) return path;
+
+  // Start from the task that finishes last (ties -> earliest id).
+  int current = 0;
+  for (int i = 1; i < static_cast<int>(tasks_.size()); ++i) {
+    if (tasks_[i].timing.finish > tasks_[current].timing.finish) current = i;
+  }
+
+  // Group tasks per resource, sorted by finish, to find queue blockers.
+  std::vector<std::vector<int>> by_resource(resources_.size());
+  for (int i = 0; i < static_cast<int>(tasks_.size()); ++i) {
+    by_resource[tasks_[i].resource].push_back(i);
+  }
+
+  const double eps = 1e-9 * (makespan_ + 1.0);
+  std::vector<bool> visited(tasks_.size(), false);
+  while (current >= 0 && !visited[current]) {
+    visited[current] = true;
+    const Task& t = tasks_[current];
+    path.push_back(TaskRecord{t.name, t.resource, t.amount, t.timing});
+    if (t.timing.start <= eps) break;
+
+    // Blocker: the dependency or same-resource predecessor whose finish
+    // is closest to (and not after) this task's start.
+    int blocker = -1;
+    double best = -1.0;
+    auto consider = [&](int cand) {
+      if (cand == current || visited[cand]) return;
+      const double f = tasks_[cand].timing.finish;
+      if (f <= t.timing.start + eps && f > best) {
+        best = f;
+        blocker = cand;
+      }
+    };
+    for (TaskId d : t.deps) consider(d);
+    // Only consult the queue when no dependency explains the start time.
+    if (blocker < 0 || best + eps < t.timing.start) {
+      for (int cand : by_resource[t.resource]) consider(cand);
+    }
+    if (blocker < 0 || best + eps < t.timing.start) break;  // gap: done
+    current = blocker;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double SimEngine::ResourceBusyTime(ResourceId resource, double t0,
+                                   double t1) const {
+  RATEL_CHECK(ran_);
+  RATEL_CHECK(resource >= 0 &&
+              resource < static_cast<ResourceId>(resources_.size()));
+  double busy = 0.0;
+  for (const auto& [a, b] : resources_[resource].busy_intervals) {
+    busy += std::max(0.0, std::min(b, t1) - std::max(a, t0));
+  }
+  return busy;
+}
+
+double SimEngine::ResourceWorkDone(ResourceId resource, double t0,
+                                   double t1) const {
+  RATEL_CHECK(ran_);
+  RATEL_CHECK(resource >= 0 &&
+              resource < static_cast<ResourceId>(resources_.size()));
+  const Resource& res = resources_[resource];
+  double work = 0.0;
+  for (size_t i = 0; i < res.busy_intervals.size(); ++i) {
+    const auto& [a, b] = res.busy_intervals[i];
+    const double overlap = std::max(0.0, std::min(b, t1) - std::max(a, t0));
+    if (overlap > 0.0 && b > a) {
+      work += res.interval_work[i] * (overlap / (b - a));
+    }
+  }
+  return work;
+}
+
+}  // namespace ratel

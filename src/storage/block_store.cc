@@ -1,0 +1,170 @@
+#include "storage/block_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& dir,
+                                                     int num_stripes,
+                                                     int64_t chunk_bytes) {
+  if (num_stripes <= 0) {
+    return Status::InvalidArgument("num_stripes must be positive");
+  }
+  if (chunk_bytes <= 0) {
+    return Status::InvalidArgument("chunk_bytes must be positive");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir " + dir);
+  }
+  std::vector<int> fds;
+  fds.reserve(num_stripes);
+  for (int i = 0; i < num_stripes; ++i) {
+    const std::string path = dir + "/stripe_" + std::to_string(i) + ".dat";
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      for (int f : fds) ::close(f);
+      return Errno("open " + path);
+    }
+    fds.push_back(fd);
+  }
+  return std::unique_ptr<BlockStore>(
+      new BlockStore(std::move(fds), chunk_bytes));
+}
+
+BlockStore::BlockStore(std::vector<int> fds, int64_t chunk_bytes)
+    : fds_(std::move(fds)),
+      chunk_bytes_(chunk_bytes),
+      file_tail_(fds_.size(), 0) {}
+
+BlockStore::~BlockStore() {
+  for (int fd : fds_) ::close(fd);
+}
+
+BlockStore::BlobMeta BlockStore::AllocateLocked(int64_t size) {
+  BlobMeta meta;
+  meta.size = size;
+  int64_t remaining = size;
+  int stripe = next_stripe_;
+  while (remaining > 0) {
+    const int64_t len = std::min(remaining, chunk_bytes_);
+    meta.extents.push_back(Extent{stripe, file_tail_[stripe], len});
+    file_tail_[stripe] += len;
+    remaining -= len;
+    stripe = (stripe + 1) % static_cast<int>(fds_.size());
+  }
+  next_stripe_ = stripe;
+  return meta;
+}
+
+Status BlockStore::WriteExtents(const BlobMeta& meta, const void* data) const {
+  const char* src = static_cast<const char*>(data);
+  for (const Extent& e : meta.extents) {
+    int64_t written = 0;
+    while (written < e.length) {
+      const ssize_t n = ::pwrite(fds_[e.file_index], src + written,
+                                 e.length - written, e.offset + written);
+      if (n < 0) return Errno("pwrite");
+      written += n;
+    }
+    src += e.length;
+  }
+  return Status::Ok();
+}
+
+Status BlockStore::Put(const std::string& key, const void* data,
+                       int64_t size) {
+  if (size < 0) return Status::InvalidArgument("negative blob size");
+  BlobMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(key);
+    if (it != blobs_.end() && it->second.size == size) {
+      meta = it->second;  // overwrite in place
+    } else {
+      meta = AllocateLocked(size);
+      blobs_[key] = meta;
+    }
+  }
+  return WriteExtents(meta, data);
+}
+
+Status BlockStore::Get(const std::string& key, void* out, int64_t size) const {
+  BlobMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(key);
+    if (it == blobs_.end()) {
+      return Status::NotFound("no blob '" + key + "'");
+    }
+    meta = it->second;
+  }
+  if (meta.size != size) {
+    return Status::InvalidArgument(
+        "blob '" + key + "' has size " + std::to_string(meta.size) +
+        ", caller expected " + std::to_string(size));
+  }
+  char* dst = static_cast<char*>(out);
+  for (const Extent& e : meta.extents) {
+    int64_t got = 0;
+    while (got < e.length) {
+      const ssize_t n = ::pread(fds_[e.file_index], dst + got,
+                                e.length - got, e.offset + got);
+      if (n < 0) return Errno("pread");
+      if (n == 0) return Status::IoError("short read on blob '" + key + "'");
+      got += n;
+    }
+    dst += e.length;
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> BlockStore::BlobSize(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return Status::NotFound("no blob '" + key + "'");
+  return it->second.size;
+}
+
+Status BlockStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (blobs_.erase(key) == 0) {
+    return Status::NotFound("no blob '" + key + "'");
+  }
+  return Status::Ok();
+}
+
+bool BlockStore::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blobs_.count(key) > 0;
+}
+
+int64_t BlockStore::num_blobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(blobs_.size());
+}
+
+int64_t BlockStore::allocated_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (int64_t tail : file_tail_) total += tail;
+  return total;
+}
+
+}  // namespace ratel

@@ -1,0 +1,91 @@
+#ifndef RATEL_STORAGE_BLOCK_STORE_H_
+#define RATEL_STORAGE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ratel {
+
+/// Durable key -> blob store striped across N backing files, standing in
+/// for the paper's RAID-0-style array of NVMe SSDs accessed through the
+/// POSIX file API (the GPUDirect-free path of Section V-A).
+///
+/// Blobs are split into fixed-size chunks laid out round-robin across the
+/// backing files, so a large tensor spill engages every "SSD" in parallel,
+/// exactly like the striped writes Ratel issues. Writes to an existing key
+/// of the same size are performed in place (the swap traffic of training is
+/// fixed-size per tensor); size-changing rewrites reallocate.
+///
+/// Thread-compatible: metadata is mutex-protected and chunk I/O uses
+/// pread/pwrite, so concurrent Reads/Writes of *different* keys are safe.
+class BlockStore {
+ public:
+  /// Creates/opens a store with `num_stripes` backing files in `dir`
+  /// (created if absent). `chunk_bytes` is the striping unit.
+  static Result<std::unique_ptr<BlockStore>> Open(const std::string& dir,
+                                                  int num_stripes,
+                                                  int64_t chunk_bytes);
+
+  ~BlockStore();
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  /// Writes `size` bytes under `key` (creating or overwriting).
+  Status Put(const std::string& key, const void* data, int64_t size);
+
+  /// Reads the blob under `key` into `out` (must hold `size` bytes, which
+  /// must equal the stored size).
+  Status Get(const std::string& key, void* out, int64_t size) const;
+
+  /// Size of the blob stored under `key`, or kNotFound.
+  Result<int64_t> BlobSize(const std::string& key) const;
+
+  /// Removes `key` (space is not reclaimed; the swap working set of
+  /// training reuses keys in place).
+  Status Delete(const std::string& key);
+
+  bool Contains(const std::string& key) const;
+  int64_t num_blobs() const;
+
+  /// Total bytes ever allocated across the stripe files.
+  int64_t allocated_bytes() const;
+
+  int num_stripes() const { return static_cast<int>(fds_.size()); }
+
+ private:
+  struct Extent {
+    int file_index;
+    int64_t offset;
+    int64_t length;
+  };
+  struct BlobMeta {
+    int64_t size = 0;
+    std::vector<Extent> extents;
+  };
+
+  BlockStore(std::vector<int> fds, int64_t chunk_bytes);
+
+  // Lays out `size` bytes as round-robin chunks starting at stripe
+  // `first_stripe`, appending to per-file tails. Caller holds mu_.
+  BlobMeta AllocateLocked(int64_t size);
+
+  Status WriteExtents(const BlobMeta& meta, const void* data) const;
+
+  std::vector<int> fds_;
+  int64_t chunk_bytes_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> file_tail_;  // next free offset per file
+  std::unordered_map<std::string, BlobMeta> blobs_;
+  int next_stripe_ = 0;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_STORAGE_BLOCK_STORE_H_

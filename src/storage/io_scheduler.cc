@@ -1,0 +1,140 @@
+#include "storage/io_scheduler.h"
+
+#include "common/logging.h"
+
+namespace ratel {
+
+IoScheduler::IoScheduler(BlockStore* store, int workers) : store_(store) {
+  RATEL_CHECK(store != nullptr);
+  RATEL_CHECK(workers > 0);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoScheduler::~IoScheduler() {
+  (void)Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+IoScheduler::Ticket IoScheduler::Enqueue(Request req) {
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RATEL_CHECK(!shutdown_);
+    ticket = next_ticket_++;
+    req.ticket = ticket;
+    if (req.priority == Priority::kLatencyCritical) {
+      critical_.push_back(std::move(req));
+    } else {
+      background_.push_back(std::move(req));
+    }
+  }
+  work_ready_.notify_one();
+  return ticket;
+}
+
+IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
+                                             const void* data, int64_t size,
+                                             Priority priority) {
+  Request req;
+  req.is_write = true;
+  req.key = key;
+  req.payload.assign(static_cast<const uint8_t*>(data),
+                     static_cast<const uint8_t*>(data) + size);
+  req.out = nullptr;
+  req.size = size;
+  req.priority = priority;
+  return Enqueue(std::move(req));
+}
+
+IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
+                                            std::vector<uint8_t>* out,
+                                            int64_t size, Priority priority) {
+  RATEL_CHECK(out != nullptr);
+  Request req;
+  req.is_write = false;
+  req.key = key;
+  req.out = out;
+  req.size = size;
+  req.priority = priority;
+  return Enqueue(std::move(req));
+}
+
+void IoScheduler::WorkerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] {
+        return shutdown_ || !critical_.empty() || !background_.empty();
+      });
+      if (critical_.empty() && background_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      // Strict priority: the latency-critical class always goes first.
+      std::deque<Request>& queue =
+          !critical_.empty() ? critical_ : background_;
+      req = std::move(queue.front());
+      queue.pop_front();
+      ++in_flight_;
+    }
+
+    Status status;
+    if (req.is_write) {
+      status = store_->Put(req.key, req.payload.data(), req.size);
+    } else {
+      req.out->resize(req.size);
+      status = store_->Get(req.key, req.out->data(), req.size);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_.emplace(req.ticket, status);
+      if (!status.ok() && first_error_.ok()) first_error_ = status;
+      if (req.priority == Priority::kLatencyCritical) {
+        ++served_critical_;
+      } else {
+        ++served_background_;
+      }
+      --in_flight_;
+    }
+    ticket_done_.notify_all();
+  }
+}
+
+Status IoScheduler::Wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ticket_done_.wait(lock, [&] { return done_.count(ticket) > 0; });
+  auto it = done_.find(ticket);
+  Status status = it->second;
+  done_.erase(it);
+  return status;
+}
+
+Status IoScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ticket_done_.wait(lock, [this] {
+    return critical_.empty() && background_.empty() && in_flight_ == 0;
+  });
+  return first_error_;
+}
+
+int64_t IoScheduler::completed_latency_critical() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_critical_;
+}
+
+int64_t IoScheduler::completed_background() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_background_;
+}
+
+}  // namespace ratel

@@ -1,0 +1,100 @@
+#ifndef RATEL_STORAGE_IO_SCHEDULER_H_
+#define RATEL_STORAGE_IO_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block_store.h"
+
+namespace ratel {
+
+/// Two-class asynchronous I/O scheduler over the block store: the SSD
+/// array serves *latency-critical* requests (parameter/activation
+/// prefetch the GPU is about to stall on) ahead of *background* ones
+/// (optimizer-state writeback that only has to finish before the same
+/// tensor's next update). This is the queueing discipline Ratel's
+/// holistic traffic management implies: swap-in traffic must not sit
+/// behind a burst of state writebacks.
+///
+/// Requests complete asynchronously; the caller either waits for an
+/// individual ticket or drains the whole queue.
+class IoScheduler {
+ public:
+  enum class Priority {
+    kLatencyCritical,  // served first, FIFO within class
+    kBackground,
+  };
+
+  using Ticket = int64_t;
+
+  /// `workers` I/O threads over `store` (not owned, must outlive this).
+  IoScheduler(BlockStore* store, int workers = 2);
+
+  /// Drains outstanding work, then stops the workers.
+  ~IoScheduler();
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  /// Asynchronous write: the data is copied; the ticket resolves when
+  /// the store confirms the write.
+  Ticket SubmitWrite(const std::string& key, const void* data, int64_t size,
+                     Priority priority);
+
+  /// Asynchronous read into `out` (must stay alive until the ticket
+  /// resolves; `out` is resized by the scheduler).
+  Ticket SubmitRead(const std::string& key, std::vector<uint8_t>* out,
+                    int64_t size, Priority priority);
+
+  /// Blocks until `ticket` finished; returns its I/O status.
+  Status Wait(Ticket ticket);
+
+  /// Blocks until every submitted request finished; returns the first
+  /// error encountered (if any).
+  Status Drain();
+
+  /// Requests served so far, per class (for tests/diagnostics).
+  int64_t completed_latency_critical() const;
+  int64_t completed_background() const;
+
+ private:
+  struct Request {
+    Ticket ticket;
+    bool is_write;
+    std::string key;
+    std::vector<uint8_t> payload;   // writes
+    std::vector<uint8_t>* out;      // reads, not owned
+    int64_t size;
+    Priority priority;
+  };
+
+  void WorkerLoop();
+  Ticket Enqueue(Request req);
+
+  BlockStore* store_;
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable ticket_done_;
+  std::deque<Request> critical_;
+  std::deque<Request> background_;
+  Ticket next_ticket_ = 1;
+  std::unordered_map<Ticket, Status> done_;
+  Status first_error_;
+  int64_t served_critical_ = 0;
+  int64_t served_background_ = 0;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_STORAGE_IO_SCHEDULER_H_

@@ -1,0 +1,39 @@
+#include "storage/throttled_channel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+ThrottledChannel::ThrottledChannel(std::string name, double bytes_per_second)
+    : name_(std::move(name)),
+      bytes_per_second_(bytes_per_second),
+      next_free_(Clock::now()) {
+  RATEL_CHECK(bytes_per_second > 0.0);
+}
+
+void ThrottledChannel::Consume(int64_t bytes) {
+  RATEL_CHECK(bytes >= 0);
+  Clock::time_point wait_until;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = Clock::now();
+    const auto start = std::max(now, next_free_);
+    const auto duration = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(static_cast<double>(bytes) /
+                                      bytes_per_second_));
+    next_free_ = start + duration;
+    total_bytes_ += bytes;
+    wait_until = next_free_;
+  }
+  std::this_thread::sleep_until(wait_until);
+}
+
+int64_t ThrottledChannel::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace ratel

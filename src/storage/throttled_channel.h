@@ -1,0 +1,45 @@
+#ifndef RATEL_STORAGE_THROTTLED_CHANNEL_H_
+#define RATEL_STORAGE_THROTTLED_CHANNEL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace ratel {
+
+/// Wall-clock bandwidth throttle standing in for a rate-limited device link
+/// (a PCIe direction or the SSD array bridge) in the *real* runtime.
+///
+/// Callers account each transfer with Consume(bytes); the channel sleeps
+/// just long enough that the long-run rate never exceeds `bytes_per_second`.
+/// A token-bucket with one-transfer burst keeps small transfers cheap.
+///
+/// Thread-safe: concurrent users share the configured bandwidth, like
+/// concurrent DMA engines sharing one link.
+class ThrottledChannel {
+ public:
+  ThrottledChannel(std::string name, double bytes_per_second);
+
+  /// Blocks until `bytes` may pass without exceeding the configured rate.
+  void Consume(int64_t bytes);
+
+  /// Total bytes accounted so far.
+  int64_t total_bytes() const;
+
+  const std::string& name() const { return name_; }
+  double bytes_per_second() const { return bytes_per_second_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::string name_;
+  double bytes_per_second_;
+  mutable std::mutex mu_;
+  Clock::time_point next_free_;  // earliest time the link is available
+  int64_t total_bytes_ = 0;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_STORAGE_THROTTLED_CHANNEL_H_

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+#include "autograd/transformer.h"
+#include "common/rng.h"
+
+namespace ratel::ag {
+namespace {
+
+std::vector<float> RandomVec(Rng& rng, int64_t n, float scale = 1.0f) {
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(rng.NextGaussian()) * scale;
+  return out;
+}
+
+/// Central-difference gradient check for a few random elements of one
+/// parameter tensor: `graph` rebuilds the scalar loss from the parameter.
+void CheckParamGrad(const std::function<Variable(Variable&)>& graph,
+                    std::vector<int64_t> shape, uint64_t seed,
+                    float tol = 5e-2f) {
+  Rng rng(seed);
+  std::vector<float> base = RandomVec(rng, [&] {
+    int64_t n = 1;
+    for (auto d : shape) n *= d;
+    return n;
+  }());
+  Variable param = Variable::Parameter(shape, base, "p");
+  Variable loss = graph(param);
+  ASSERT_EQ(loss.NumElements(), 1);
+  loss.Backward();
+  const std::vector<float> analytic = param.grad();
+  ASSERT_EQ(analytic.size(), base.size());
+
+  const float eps = 1e-2f;
+  Rng pick(seed ^ 0xABCD);
+  for (int probe = 0; probe < 6; ++probe) {
+    const size_t i = pick.NextBelow(base.size());
+    std::vector<float> plus = base, minus = base;
+    plus[i] += eps;
+    minus[i] -= eps;
+    Variable pp = Variable::Parameter(shape, plus, "p");
+    Variable pm = Variable::Parameter(shape, minus, "p");
+    const float lp = graph(pp).value()[0];
+    const float lm = graph(pm).value()[0];
+    const float numeric = (lp - lm) / (2.0f * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tol * std::max(1.0f, std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  Rng rng(1);
+  const std::vector<float> bdata = RandomVec(rng, 12);
+  CheckParamGrad(
+      [&](Variable& p) {
+        Variable b = Variable::Constant({4, 3}, bdata);
+        Variable c = MatMul(p, b);  // p is [2,4]
+        return MeanSquaredError(c, std::vector<float>(6, 0.5f));
+      },
+      {2, 4}, 11);
+}
+
+TEST(AutogradTest, MatMulNTGradient) {
+  Rng rng(2);
+  const std::vector<float> bdata = RandomVec(rng, 12);
+  CheckParamGrad(
+      [&](Variable& p) {
+        Variable b = Variable::Constant({3, 4}, bdata);  // b^T is [4,3]
+        Variable c = MatMulNT(p, b);                     // [2,3]
+        return MeanSquaredError(c, std::vector<float>(6, -0.2f));
+      },
+      {2, 4}, 12);
+}
+
+TEST(AutogradTest, MatMulNTWeightGradient) {
+  Rng rng(3);
+  const std::vector<float> adata = RandomVec(rng, 8);
+  CheckParamGrad(
+      [&](Variable& p) {  // p plays the [3,4] "embedding" role
+        Variable a = Variable::Constant({2, 4}, adata);
+        Variable c = MatMulNT(a, p);
+        return MeanSquaredError(c, std::vector<float>(6, 0.1f));
+      },
+      {3, 4}, 13);
+}
+
+TEST(AutogradTest, AddBiasGradient) {
+  Rng rng(4);
+  const std::vector<float> adata = RandomVec(rng, 10);
+  CheckParamGrad(
+      [&](Variable& p) {
+        Variable a = Variable::Constant({2, 5}, adata);
+        return MeanSquaredError(AddBias(a, p), std::vector<float>(10, 0.0f));
+      },
+      {5}, 14);
+}
+
+TEST(AutogradTest, GeluGradient) {
+  CheckParamGrad(
+      [&](Variable& p) {
+        return MeanSquaredError(Gelu(p), std::vector<float>(6, 0.3f));
+      },
+      {2, 3}, 15);
+}
+
+TEST(AutogradTest, LayerNormGradientWrtInput) {
+  Rng rng(6);
+  const std::vector<float> g = RandomVec(rng, 18, 0.5f);
+  CheckParamGrad(
+      [&](Variable& p) {
+        Variable gamma = Variable::Constant({6}, std::vector<float>(6, 1.2f));
+        Variable beta = Variable::Constant({6}, std::vector<float>(6, 0.1f));
+        return MeanSquaredError(LayerNorm(p, gamma, beta), g);
+      },
+      {3, 6}, 16, /*tol=*/8e-2f);
+}
+
+TEST(AutogradTest, LayerNormGradientWrtGain) {
+  Rng rng(7);
+  const std::vector<float> x = RandomVec(rng, 12);
+  CheckParamGrad(
+      [&](Variable& p) {
+        Variable xin = Variable::Constant({2, 6}, x);
+        Variable beta = Variable::Constant({6}, std::vector<float>(6, 0.0f));
+        return MeanSquaredError(LayerNorm(xin, p, beta),
+                                std::vector<float>(12, 0.2f));
+      },
+      {6}, 17);
+}
+
+TEST(AutogradTest, AttentionGradient) {
+  // qkv is [B*S, 3H] with B=1, S=4, H=6, heads=2.
+  CheckParamGrad(
+      [&](Variable& p) {
+        Variable out = CausalSelfAttention(p, 1, 4, 2);
+        return MeanSquaredError(out, std::vector<float>(24, 0.05f));
+      },
+      {4, 18}, 18, /*tol=*/8e-2f);
+}
+
+TEST(AutogradTest, AttentionIsCausal) {
+  // Changing a future token's k/v must not affect earlier outputs.
+  Rng rng(8);
+  std::vector<float> qkv = RandomVec(rng, 4 * 18);
+  Variable a = Variable::Constant({4, 18}, qkv);
+  Variable out_a = CausalSelfAttention(a, 1, 4, 2);
+  // Perturb everything belonging to the last token (row 3).
+  for (int j = 0; j < 18; ++j) qkv[3 * 18 + j] += 7.0f;
+  Variable b = Variable::Constant({4, 18}, qkv);
+  Variable out_b = CausalSelfAttention(b, 1, 4, 2);
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 6; ++col) {
+      EXPECT_FLOAT_EQ(out_a.value()[row * 6 + col],
+                      out_b.value()[row * 6 + col])
+          << row << "," << col;
+    }
+  }
+}
+
+TEST(AutogradTest, EmbeddingGradientScatters) {
+  std::vector<float> table(5 * 3, 0.0f);
+  Variable t = Variable::Parameter({5, 3}, table, "emb");
+  Variable out = Embedding({1, 3, 1}, t);
+  Variable loss = MeanSquaredError(out, std::vector<float>(9, 1.0f));
+  loss.Backward();
+  const auto& g = t.grad();
+  // Rows 1 and 3 must receive gradient; others zero. Row 1 twice.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NE(g[1 * 3 + j], 0.0f);
+    EXPECT_NE(g[3 * 3 + j], 0.0f);
+    EXPECT_EQ(g[0 * 3 + j], 0.0f);
+    EXPECT_EQ(g[2 * 3 + j], 0.0f);
+    EXPECT_EQ(g[4 * 3 + j], 0.0f);
+    EXPECT_FLOAT_EQ(g[1 * 3 + j], 2.0f * g[3 * 3 + j]);
+  }
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyGradient) {
+  CheckParamGrad(
+      [&](Variable& p) {  // logits [3, 4]
+        return SoftmaxCrossEntropy(p, {0, 2, 3});
+      },
+      {3, 4}, 19);
+}
+
+TEST(AutogradTest, CrossEntropyOfUniformLogitsIsLogV) {
+  Variable logits = Variable::Constant({2, 8}, std::vector<float>(16, 0.0f));
+  Variable loss = SoftmaxCrossEntropy(logits, {3, 5});
+  EXPECT_NEAR(loss.value()[0], std::log(8.0f), 1e-5f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  // y = p + p -> dy/dp = 2.
+  Variable p = Variable::Parameter({1}, {1.5f}, "p");
+  Variable loss = MeanSquaredError(Add(p, p), {0.0f});
+  loss.Backward();
+  // d/dp (2p)^2 = 8p = 12.
+  EXPECT_NEAR(p.grad()[0], 12.0f, 1e-4f);
+}
+
+// ---------- TinyGpt end-to-end ----------
+
+TEST(TinyGptTest, ParameterInventory) {
+  TinyGptConfig cfg;
+  cfg.vocab_size = 64;
+  cfg.seq_len = 8;
+  cfg.hidden_dim = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  TinyGpt model(cfg, 42);
+  EXPECT_GT(model.NumParameters(), 0);
+  EXPECT_EQ(model.BlockParameterNames(0).size(), 12u);
+  // Deterministic construction.
+  TinyGpt model2(cfg, 42);
+  EXPECT_EQ(model.parameters()[0].second.value(),
+            model2.parameters()[0].second.value());
+}
+
+TEST(TinyGptTest, LossIsFiniteAndNearLogV) {
+  TinyGptConfig cfg;
+  cfg.vocab_size = 32;
+  cfg.seq_len = 8;
+  cfg.hidden_dim = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  TinyGpt model(cfg, 7);
+  Rng rng(1);
+  std::vector<int64_t> ids(16), targets(16);
+  for (auto& v : ids) v = static_cast<int64_t>(rng.NextBelow(32));
+  for (auto& v : targets) v = static_cast<int64_t>(rng.NextBelow(32));
+  Variable loss = model.Loss(ids, targets, 2);
+  EXPECT_TRUE(std::isfinite(loss.value()[0]));
+  EXPECT_NEAR(loss.value()[0], std::log(32.0f), 1.0f);
+}
+
+TEST(TinyGptTest, SgdReducesLossOnFixedBatch) {
+  TinyGptConfig cfg;
+  cfg.vocab_size = 32;
+  cfg.seq_len = 8;
+  cfg.hidden_dim = 32;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  TinyGpt model(cfg, 9);
+  Rng rng(2);
+  std::vector<int64_t> ids(16), targets(16);
+  for (auto& v : ids) v = static_cast<int64_t>(rng.NextBelow(32));
+  for (auto& v : targets) v = static_cast<int64_t>(rng.NextBelow(32));
+
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    model.ZeroGrads();
+    Variable loss = model.Loss(ids, targets, 2);
+    loss.Backward();
+    if (step == 0) first = loss.value()[0];
+    last = loss.value()[0];
+    for (auto& [name, p] : model.parameters()) {
+      auto& val = p.mutable_value();
+      const auto& g = p.grad();
+      for (size_t i = 0; i < val.size(); ++i) val[i] -= 0.1f * g[i];
+    }
+  }
+  EXPECT_LT(last, first * 0.5f) << "loss " << first << " -> " << last;
+}
+
+}  // namespace
+}  // namespace ratel::ag

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/fp16.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+
+namespace ratel {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::OutOfMemory("pool full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(s.message(), "pool full");
+  EXPECT_EQ(s.ToString(), "OutOfMemory: pool full");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfMemory,
+        StatusCode::kOutOfRange, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kIoError,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  RATEL_ASSIGN_OR_RETURN(int half, Half(x));
+  *out = half;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseAssignOrReturn(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------- Units ----------
+
+TEST(UnitsTest, BinaryConstants) {
+  EXPECT_EQ(kKiB, 1024);
+  EXPECT_EQ(kGiB, int64_t{1} << 30);
+  EXPECT_EQ(kTiB, 1024 * kGiB);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2.5 * kGiB), "2.50 GiB");
+  EXPECT_EQ(FormatBytes(1.5 * kTiB), "1.50 TiB");
+}
+
+TEST(UnitsTest, FormatBandwidth) {
+  EXPECT_EQ(FormatBandwidth(21e9), "21.0 GB/s");
+  EXPECT_EQ(FormatBandwidth(3.5e6), "3.50 MB/s");
+}
+
+TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(12.0), "12.0 s");
+  EXPECT_EQ(FormatSeconds(0.215), "215 ms");
+  EXPECT_EQ(FormatSeconds(31e-6), "31.0 us");
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+// ---------- Fp16 ----------
+
+TEST(Fp16Test, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(HalfToFloat(FloatToHalf(v)), v) << v;
+  }
+}
+
+TEST(Fp16Test, RoundTripErrorBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.NextDouble(-100.0, 100.0));
+    const float r = HalfToFloat(FloatToHalf(v));
+    // Half has a 10-bit mantissa: relative error <= 2^-11.
+    EXPECT_LE(std::fabs(r - v), std::fabs(v) * (1.0f / 2048.0f) + 1e-7f) << v;
+  }
+}
+
+TEST(Fp16Test, OverflowSaturatesToInf) {
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(1e20f))));
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(-1e20f))));
+  EXPECT_LT(HalfToFloat(FloatToHalf(-1e20f)), 0.0f);
+}
+
+TEST(Fp16Test, SubnormalsPreserved) {
+  const float tiny = 1e-5f;  // subnormal in fp16 (below 2^-14)
+  const float r = HalfToFloat(FloatToHalf(tiny));
+  EXPECT_NEAR(r, tiny, 1e-6f);
+}
+
+TEST(Fp16Test, UnderflowToZero) {
+  EXPECT_EQ(HalfToFloat(FloatToHalf(1e-10f)), 0.0f);
+}
+
+TEST(Fp16Test, NanPropagates) {
+  EXPECT_TRUE(std::isnan(HalfToFloat(FloatToHalf(NAN))));
+}
+
+// ---------- TablePrinter ----------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"A", "BBBB"});
+  t.AddRow({"123", "4"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("A    BBBB"), std::string::npos);
+  EXPECT_NE(s.find("123  4"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, CellFormatting) {
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(int64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace ratel

@@ -1,0 +1,116 @@
+#include "autograd/dit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+
+namespace ratel::ag {
+namespace {
+
+TinyDitConfig SmallConfig() {
+  TinyDitConfig cfg;
+  cfg.patch_dim = 4;
+  cfg.seq_len = 6;
+  cfg.hidden_dim = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  return cfg;
+}
+
+TEST(FullAttentionTest, EveryTokenSeesEveryOther) {
+  // Unlike the causal op, perturbing the last token changes earlier
+  // outputs.
+  Rng rng(1);
+  std::vector<float> qkv(4 * 18);
+  for (auto& v : qkv) v = static_cast<float>(rng.NextGaussian());
+  Variable a = Variable::Constant({4, 18}, qkv);
+  Variable out_a = FullSelfAttention(a, 1, 4, 2);
+  for (int j = 0; j < 18; ++j) qkv[3 * 18 + j] += 5.0f;
+  Variable b = Variable::Constant({4, 18}, qkv);
+  Variable out_b = FullSelfAttention(b, 1, 4, 2);
+  bool any_changed = false;
+  for (int col = 0; col < 6; ++col) {
+    any_changed |= out_a.value()[col] != out_b.value()[col];  // row 0
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(FullAttentionTest, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  std::vector<float> base(3 * 12);
+  for (auto& v : base) v = static_cast<float>(rng.NextGaussian() * 0.5);
+  auto loss_of = [&](const std::vector<float>& data) {
+    Variable p = Variable::Parameter({3, 12}, data, "qkv");
+    Variable out = FullSelfAttention(p, 1, 3, 2);
+    return MeanSquaredError(out, std::vector<float>(12, 0.1f));
+  };
+  Variable p = Variable::Parameter({3, 12}, base, "qkv");
+  Variable loss = MeanSquaredError(FullSelfAttention(p, 1, 3, 2),
+                                   std::vector<float>(12, 0.1f));
+  loss.Backward();
+  const float eps = 1e-2f;
+  for (size_t i : {0u, 7u, 20u, 35u}) {
+    std::vector<float> plus = base, minus = base;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const float numeric =
+        (loss_of(plus).value()[0] - loss_of(minus).value()[0]) / (2 * eps);
+    EXPECT_NEAR(p.grad()[i], numeric,
+                0.08f * std::max(1.0f, std::fabs(numeric)))
+        << i;
+  }
+}
+
+TEST(TinyDitTest, DeterministicConstruction) {
+  TinyDit a(SmallConfig(), 5);
+  TinyDit b(SmallConfig(), 5);
+  EXPECT_EQ(a.NumParameters(), b.NumParameters());
+  EXPECT_EQ(a.parameters()[3].second.value(),
+            b.parameters()[3].second.value());
+  EXPECT_EQ(a.BlockParameterNames(0).size(), 12u);
+}
+
+TEST(TinyDitTest, PredictShapeMatchesInput) {
+  TinyDit model(SmallConfig(), 6);
+  const auto cfg = SmallConfig();
+  std::vector<float> in(2 * cfg.seq_len * cfg.patch_dim, 0.3f);
+  Variable out = model.Predict(in, 2);
+  EXPECT_EQ(out.shape(),
+            (std::vector<int64_t>{2 * cfg.seq_len, cfg.patch_dim}));
+}
+
+TEST(TinyDitTest, LearnsToDenoise) {
+  const auto cfg = SmallConfig();
+  TinyDit model(cfg, 7);
+  Rng rng(9);
+  const int64_t batch = 4;
+  const int64_t n = batch * cfg.seq_len * cfg.patch_dim;
+  std::vector<float> clean(n), noise(n), noisy(n);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t pos = (i / cfg.patch_dim) % cfg.seq_len;
+      clean[i] = std::sin(0.9f * pos + i % cfg.patch_dim);
+      noise[i] = static_cast<float>(rng.NextGaussian());
+      noisy[i] = clean[i] + 0.5f * noise[i];
+    }
+    model.ZeroGrads();
+    Variable loss = model.Loss(noisy, noise, batch);
+    loss.Backward();
+    if (step == 0) first = loss.value()[0];
+    last = loss.value()[0];
+    for (auto& [name, p] : model.parameters()) {
+      auto& val = p.mutable_value();
+      const auto& g = p.grad();
+      for (size_t i = 0; i < val.size(); ++i) val[i] -= 0.05f * g[i];
+    }
+  }
+  EXPECT_LT(last, first * 0.6f) << first << " -> " << last;
+}
+
+}  // namespace
+}  // namespace ratel::ag

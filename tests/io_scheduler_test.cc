@@ -1,0 +1,123 @@
+#include "storage/io_scheduler.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ratel {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  return ::testing::TempDir() + "/ratel_iosched_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(IoSchedulerTest, WriteThenReadRoundTrip) {
+  auto store = BlockStore::Open(TempDir("rt"), 2, 4096);
+  ASSERT_TRUE(store.ok());
+  IoScheduler sched(store->get(), 2);
+  Rng rng(1);
+  std::vector<uint8_t> data(5000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+  const auto wt = sched.SubmitWrite("blob", data.data(), data.size(),
+                                    IoScheduler::Priority::kBackground);
+  ASSERT_TRUE(sched.Wait(wt).ok());
+  std::vector<uint8_t> out;
+  const auto rt = sched.SubmitRead(
+      "blob", &out, data.size(), IoScheduler::Priority::kLatencyCritical);
+  ASSERT_TRUE(sched.Wait(rt).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(IoSchedulerTest, DrainWaitsForEverything) {
+  auto store = BlockStore::Open(TempDir("drain"), 2, 4096);
+  ASSERT_TRUE(store.ok());
+  IoScheduler sched(store->get(), 3);
+  std::vector<uint8_t> data(256, 0xAB);
+  for (int i = 0; i < 40; ++i) {
+    sched.SubmitWrite("k" + std::to_string(i), data.data(), data.size(),
+                      i % 2 ? IoScheduler::Priority::kBackground
+                            : IoScheduler::Priority::kLatencyCritical);
+  }
+  ASSERT_TRUE(sched.Drain().ok());
+  EXPECT_EQ(sched.completed_latency_critical() +
+                sched.completed_background(),
+            40);
+  EXPECT_EQ((*store)->num_blobs(), 40);
+}
+
+TEST(IoSchedulerTest, CriticalClassServedFirst) {
+  auto store = BlockStore::Open(TempDir("prio"), 2, 4096);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> data(512, 1);
+  // Single worker so the service order is observable.
+  IoScheduler sched(store->get(), 1);
+  // Fill the background queue, then submit critical work: the critical
+  // requests must overtake the still-queued background tail.
+  std::vector<IoScheduler::Ticket> background;
+  for (int i = 0; i < 30; ++i) {
+    background.push_back(
+        sched.SubmitWrite("bg" + std::to_string(i), data.data(), data.size(),
+                          IoScheduler::Priority::kBackground));
+  }
+  std::vector<uint8_t> out;
+  (void)sched.SubmitWrite("hot", data.data(), data.size(),
+                          IoScheduler::Priority::kLatencyCritical);
+  const auto hot_read = sched.SubmitRead(
+      "hot", &out, data.size(), IoScheduler::Priority::kLatencyCritical);
+  ASSERT_TRUE(sched.Wait(hot_read).ok());
+  // When the hot read finished, background must not all be done yet.
+  EXPECT_LT(sched.completed_background(), 30);
+  ASSERT_TRUE(sched.Drain().ok());
+  EXPECT_EQ(sched.completed_background(), 30);
+}
+
+TEST(IoSchedulerTest, ErrorsSurfaceThroughWaitAndDrain) {
+  auto store = BlockStore::Open(TempDir("err"), 2, 4096);
+  ASSERT_TRUE(store.ok());
+  IoScheduler sched(store->get(), 2);
+  std::vector<uint8_t> out;
+  const auto bad = sched.SubmitRead(
+      "missing", &out, 64, IoScheduler::Priority::kLatencyCritical);
+  EXPECT_EQ(sched.Wait(bad).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sched.Drain().code(), StatusCode::kNotFound);  // first error
+}
+
+TEST(IoSchedulerTest, ConcurrentMixedLoad) {
+  auto store = BlockStore::Open(TempDir("mixed"), 4, 4096);
+  ASSERT_TRUE(store.ok());
+  IoScheduler sched(store->get(), 4);
+  Rng rng(7);
+  std::vector<std::vector<uint8_t>> blobs(32);
+  std::vector<IoScheduler::Ticket> writes;
+  for (int i = 0; i < 32; ++i) {
+    blobs[i].resize(200 + rng.NextBelow(800));
+    for (auto& b : blobs[i]) b = static_cast<uint8_t>(rng.NextU64());
+    writes.push_back(sched.SubmitWrite(
+        "m" + std::to_string(i), blobs[i].data(),
+        static_cast<int64_t>(blobs[i].size()),
+        i % 3 ? IoScheduler::Priority::kBackground
+              : IoScheduler::Priority::kLatencyCritical));
+  }
+  for (auto t : writes) ASSERT_TRUE(sched.Wait(t).ok());
+  std::vector<std::vector<uint8_t>> outs(32);
+  std::vector<IoScheduler::Ticket> reads;
+  for (int i = 0; i < 32; ++i) {
+    reads.push_back(sched.SubmitRead(
+        "m" + std::to_string(i), &outs[i],
+        static_cast<int64_t>(blobs[i].size()),
+        IoScheduler::Priority::kLatencyCritical));
+  }
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(sched.Wait(reads[i]).ok());
+    EXPECT_EQ(outs[i], blobs[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ratel

@@ -1,0 +1,99 @@
+#include "core/lora.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/activation_planner.h"
+#include "core/hardware_profile.h"
+#include "hw/catalog.h"
+#include "model/tensor_inventory.h"
+#include "model/transformer_config.h"
+
+namespace ratel {
+namespace {
+
+TEST(LoraTest, TrainableParamsTinyFractionOfBase) {
+  auto cfg = LlmFromTableIV("70B");
+  ASSERT_TRUE(cfg.ok());
+  const LoraConfig lora{16};
+  const int64_t pl = LoraTrainableParams(*cfg, lora);
+  EXPECT_GT(pl, 0);
+  EXPECT_LT(pl, cfg->ParameterCount() / 100);  // < 1% of the base
+}
+
+TEST(LoraTest, ParamsScaleLinearlyWithRank) {
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  const int64_t r8 = LoraTrainableParams(*cfg, LoraConfig{8});
+  const int64_t r32 = LoraTrainableParams(*cfg, LoraConfig{32});
+  EXPECT_EQ(r32, 4 * r8);
+}
+
+TEST(LoraTest, StateBytesDominatedByFrozenBase) {
+  auto cfg = LlmFromTableIV("175B");
+  ASSERT_TRUE(cfg.ok());
+  const LoraConfig lora{16};
+  const int64_t bytes = LoraModelStateBytes(*cfg, lora);
+  const int64_t frozen = Params16Bytes(cfg->ParameterCount());
+  EXPECT_GT(bytes, frozen);
+  EXPECT_LT(bytes, frozen + frozen / 4);  // adapters are a sliver
+  // And ~6x smaller than full fine-tuning state.
+  EXPECT_LT(bytes, ModelStateBytes(cfg->ParameterCount()) / 5);
+}
+
+TEST(LoraTest, WriteTrafficCollapses) {
+  auto cfg = LlmFromTableIV("70B");
+  ASSERT_TRUE(cfg.ok());
+  const LoraIterTraffic t = LoraIterationTraffic(*cfg, LoraConfig{16}, 0);
+  const double full_writes = 14.0 * cfg->ParameterCount();
+  EXPECT_LT(t.ssd_write_bytes, full_writes / 100);
+  // Reads still stream the frozen base twice.
+  EXPECT_GE(t.ssd_read_bytes, 4.0 * cfg->ParameterCount());
+}
+
+TEST(LoraTest, IterTimeNeverWorseThanFullFineTune) {
+  const ServerConfig server =
+      catalog::EvaluationServer(catalog::Rtx4090(), 256 * kGiB, 12);
+  for (const char* model : {"13B", "70B", "175B"}) {
+    auto cfg = LlmFromTableIV(model);
+    ASSERT_TRUE(cfg.ok());
+    const int batch = model[0] == '1' && model[1] == '7' ? 8 : 16;
+    const WorkloadProfile wl = WorkloadProfile::Build(*cfg, batch);
+    auto hw = HardwareProfiler(server).Profile(wl);
+    ASSERT_TRUE(hw.ok());
+    const CostModel cm(*hw, wl);
+    const ActivationPlan plan = ActivationPlanner(cm).Plan();
+    const double full = plan.predicted_iter_time;
+    const double lora = LoraIterTime(*hw, wl, LoraConfig{16},
+                                     static_cast<double>(plan.a_g2m));
+    EXPECT_LE(lora, full * 1.001) << model;
+    EXPECT_GT(lora, 0.0);
+  }
+}
+
+TEST(LoraTest, AdvantageGrowsWithModelSize) {
+  // The bigger the model, the more the 26P state stream dominates, so
+  // LoRA's speedup must be monotone over the grid (at fixed batch).
+  const ServerConfig server =
+      catalog::EvaluationServer(catalog::Rtx4090(), 256 * kGiB, 12);
+  double prev_speedup = 0.0;
+  for (const char* model : {"13B", "30B", "70B"}) {
+    auto cfg = LlmFromTableIV(model);
+    ASSERT_TRUE(cfg.ok());
+    const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 16);
+    auto hw = HardwareProfiler(server).Profile(wl);
+    ASSERT_TRUE(hw.ok());
+    const CostModel cm(*hw, wl);
+    const ActivationPlan plan = ActivationPlanner(cm).Plan();
+    const double speedup =
+        plan.predicted_iter_time /
+        LoraIterTime(*hw, wl, LoraConfig{16},
+                     static_cast<double>(plan.a_g2m));
+    EXPECT_GE(speedup, prev_speedup - 0.02) << model;
+    prev_speedup = speedup;
+  }
+  EXPECT_GT(prev_speedup, 1.2);
+}
+
+}  // namespace
+}  // namespace ratel

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "mem/memory_pool.h"
+#include "storage/block_store.h"
+#include "storage/throttled_channel.h"
+
+namespace ratel {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  return ::testing::TempDir() + "/ratel_store_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+// ---------- MemoryPool ----------
+
+TEST(MemoryPoolTest, AllocateAndFree) {
+  MemoryPool pool("gpu", 100);
+  auto a = pool.Allocate(60, "weights");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(pool.used(), 60);
+  EXPECT_EQ(pool.available(), 40);
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_EQ(pool.used(), 0);
+}
+
+TEST(MemoryPoolTest, OomWhenOverCapacity) {
+  MemoryPool pool("gpu", 100);
+  ASSERT_TRUE(pool.Allocate(80, "a").ok());
+  auto b = pool.Allocate(30, "b");
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(pool.used(), 80);  // failed allocation does not leak budget
+}
+
+TEST(MemoryPoolTest, PeakTracksHighWatermark) {
+  MemoryPool pool("host", 1000);
+  auto a = pool.Allocate(400, "a");
+  auto b = pool.Allocate(500, "b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_EQ(pool.used(), 500);
+  EXPECT_EQ(pool.peak_used(), 900);
+  pool.ResetPeak();
+  EXPECT_EQ(pool.peak_used(), 500);
+}
+
+TEST(MemoryPoolTest, DoubleFreeIsNotFound) {
+  MemoryPool pool("p", 10);
+  auto a = pool.Allocate(5, "x");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_EQ(pool.Free(*a).code(), StatusCode::kNotFound);
+}
+
+TEST(MemoryPoolTest, FreeAllResets) {
+  MemoryPool pool("p", 100);
+  ASSERT_TRUE(pool.Allocate(10, "a").ok());
+  ASSERT_TRUE(pool.Allocate(20, "b").ok());
+  pool.FreeAll();
+  EXPECT_EQ(pool.used(), 0);
+  EXPECT_EQ(pool.num_live_allocations(), 0);
+  EXPECT_TRUE(pool.Allocate(100, "c").ok());
+}
+
+TEST(MemoryPoolTest, NegativeAllocationRejected) {
+  MemoryPool pool("p", 100);
+  EXPECT_EQ(pool.Allocate(-1, "bad").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MemoryPoolTest, ZeroCapacityPoolRejectsEverythingButZero) {
+  MemoryPool pool("empty", 0);
+  EXPECT_TRUE(pool.Allocate(0, "nothing").ok());
+  EXPECT_FALSE(pool.Allocate(1, "something").ok());
+}
+
+// ---------- BlockStore ----------
+
+TEST(BlockStoreTest, PutGetRoundTrip) {
+  auto store = BlockStore::Open(TempDir("rt"), 4, 1024);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  Rng rng(1);
+  std::vector<uint8_t> data(10000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+  ASSERT_TRUE((*store)->Put("t1", data.data(), data.size()).ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE((*store)->Get("t1", out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BlockStoreTest, StripesAcrossFiles) {
+  auto store = BlockStore::Open(TempDir("stripe"), 4, 100);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> data(1000, 0xAB);
+  ASSERT_TRUE((*store)->Put("big", data.data(), data.size()).ok());
+  EXPECT_EQ((*store)->allocated_bytes(), 1000);
+  EXPECT_EQ((*store)->num_stripes(), 4);
+}
+
+TEST(BlockStoreTest, OverwriteSameSizeInPlace) {
+  auto store = BlockStore::Open(TempDir("ow"), 2, 64);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> a(500, 1), b(500, 2);
+  ASSERT_TRUE((*store)->Put("k", a.data(), a.size()).ok());
+  const int64_t alloc1 = (*store)->allocated_bytes();
+  ASSERT_TRUE((*store)->Put("k", b.data(), b.size()).ok());
+  EXPECT_EQ((*store)->allocated_bytes(), alloc1);  // no new extents
+  std::vector<uint8_t> out(500);
+  ASSERT_TRUE((*store)->Get("k", out.data(), out.size()).ok());
+  EXPECT_EQ(out, b);
+}
+
+TEST(BlockStoreTest, SizeChangingRewriteReallocates) {
+  auto store = BlockStore::Open(TempDir("resize"), 2, 64);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> a(100, 1), b(300, 2);
+  ASSERT_TRUE((*store)->Put("k", a.data(), a.size()).ok());
+  ASSERT_TRUE((*store)->Put("k", b.data(), b.size()).ok());
+  auto size = (*store)->BlobSize("k");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 300);
+  std::vector<uint8_t> out(300);
+  ASSERT_TRUE((*store)->Get("k", out.data(), out.size()).ok());
+  EXPECT_EQ(out, b);
+}
+
+TEST(BlockStoreTest, GetMissingIsNotFound) {
+  auto store = BlockStore::Open(TempDir("miss"), 1, 64);
+  ASSERT_TRUE(store.ok());
+  uint8_t buf[8];
+  EXPECT_EQ((*store)->Get("nope", buf, 8).code(), StatusCode::kNotFound);
+  EXPECT_FALSE((*store)->Contains("nope"));
+}
+
+TEST(BlockStoreTest, GetWrongSizeRejected) {
+  auto store = BlockStore::Open(TempDir("size"), 1, 64);
+  ASSERT_TRUE(store.ok());
+  uint8_t data[16] = {0};
+  ASSERT_TRUE((*store)->Put("k", data, 16).ok());
+  uint8_t buf[8];
+  EXPECT_EQ((*store)->Get("k", buf, 8).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlockStoreTest, DeleteRemovesKey) {
+  auto store = BlockStore::Open(TempDir("del"), 1, 64);
+  ASSERT_TRUE(store.ok());
+  uint8_t data[4] = {1, 2, 3, 4};
+  ASSERT_TRUE((*store)->Put("k", data, 4).ok());
+  EXPECT_EQ((*store)->num_blobs(), 1);
+  ASSERT_TRUE((*store)->Delete("k").ok());
+  EXPECT_EQ((*store)->num_blobs(), 0);
+  EXPECT_EQ((*store)->Delete("k").code(), StatusCode::kNotFound);
+}
+
+TEST(BlockStoreTest, EmptyBlobAllowed) {
+  auto store = BlockStore::Open(TempDir("empty"), 2, 64);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("nil", nullptr, 0).ok());
+  EXPECT_TRUE((*store)->Contains("nil"));
+  ASSERT_TRUE((*store)->Get("nil", nullptr, 0).ok());
+}
+
+TEST(BlockStoreTest, ManyKeysSurviveInterleavedWrites) {
+  auto store = BlockStore::Open(TempDir("many"), 3, 128);
+  ASSERT_TRUE(store.ok());
+  Rng rng(9);
+  std::vector<std::vector<uint8_t>> blobs(50);
+  for (int i = 0; i < 50; ++i) {
+    blobs[i].resize(64 + rng.NextBelow(512));
+    for (auto& b : blobs[i]) b = static_cast<uint8_t>(rng.NextU64());
+    ASSERT_TRUE((*store)
+                    ->Put("k" + std::to_string(i), blobs[i].data(),
+                          static_cast<int64_t>(blobs[i].size()))
+                    .ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::vector<uint8_t> out(blobs[i].size());
+    ASSERT_TRUE((*store)
+                    ->Get("k" + std::to_string(i), out.data(),
+                          static_cast<int64_t>(out.size()))
+                    .ok());
+    EXPECT_EQ(out, blobs[i]) << i;
+  }
+}
+
+TEST(BlockStoreTest, ConcurrentDistinctKeys) {
+  auto store = BlockStore::Open(TempDir("conc"), 4, 256);
+  ASSERT_TRUE(store.ok());
+  constexpr int kThreads = 4, kKeysPerThread = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        std::vector<uint8_t> data(300 + rng.NextBelow(300));
+        for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+        const std::string key =
+            "t" + std::to_string(t) + "_k" + std::to_string(i);
+        if (!(*store)
+                 ->Put(key, data.data(), static_cast<int64_t>(data.size()))
+                 .ok()) {
+          ++failures;
+        }
+        std::vector<uint8_t> out(data.size());
+        if (!(*store)
+                 ->Get(key, out.data(), static_cast<int64_t>(out.size()))
+                 .ok()) {
+          ++failures;
+        }
+        if (out != data) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*store)->num_blobs(), kThreads * kKeysPerThread);
+}
+
+TEST(BlockStoreTest, InvalidConfigRejected) {
+  EXPECT_FALSE(BlockStore::Open(TempDir("bad1"), 0, 64).ok());
+  EXPECT_FALSE(BlockStore::Open(TempDir("bad2"), 2, 0).ok());
+}
+
+// ---------- ThrottledChannel ----------
+
+TEST(ThrottledChannelTest, EnforcesRate) {
+  // 10 MB at 100 MB/s should take >= ~100 ms.
+  ThrottledChannel ch("test", 100e6);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) ch.Consume(1'000'000);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.08);
+  EXPECT_EQ(ch.total_bytes(), 10'000'000);
+}
+
+TEST(ThrottledChannelTest, ZeroBytesFree) {
+  ThrottledChannel ch("test", 1.0);  // 1 byte/s
+  const auto t0 = std::chrono::steady_clock::now();
+  ch.Consume(0);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 0.05);
+}
+
+TEST(ThrottledChannelTest, ConcurrentConsumersShareBandwidth) {
+  ThrottledChannel ch("shared", 50e6);  // 50 MB/s
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread a([&] { ch.Consume(2'500'000); });
+  std::thread b([&] { ch.Consume(2'500'000); });
+  a.join();
+  b.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // 5 MB total at 50 MB/s >= ~100 ms regardless of interleaving.
+  EXPECT_GE(elapsed, 0.08);
+}
+
+}  // namespace
+}  // namespace ratel

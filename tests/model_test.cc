@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "model/tensor_inventory.h"
+#include "model/transformer_config.h"
+#include "model/workload.h"
+
+namespace ratel {
+namespace {
+
+double Billions(int64_t params) { return static_cast<double>(params) / 1e9; }
+
+// ---------- Table IV configurations ----------
+
+TEST(TransformerConfigTest, TableIVSizesMatchNames) {
+  // Parameter counts should land near the nominal size names.
+  struct Expected {
+    const char* name;
+    double billions;
+    double tolerance;
+  };
+  const Expected cases[] = {
+      {"6B", 6.0, 0.8},    {"13B", 13.0, 1.0},  {"30B", 30.0, 2.0},
+      {"70B", 70.0, 6.0},  {"135B", 135.0, 8.0}, {"175B", 175.0, 10.0},
+      {"276B", 276.0, 15.0}, {"412B", 412.0, 20.0},
+  };
+  for (const auto& c : cases) {
+    auto cfg = LlmFromTableIV(c.name);
+    ASSERT_TRUE(cfg.ok()) << c.name;
+    EXPECT_NEAR(Billions(cfg->ParameterCount()), c.billions, c.tolerance)
+        << c.name;
+  }
+}
+
+TEST(TransformerConfigTest, TableIVHyperparameters) {
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->num_layers, 40);
+  EXPECT_EQ(cfg->num_heads, 40);
+  EXPECT_EQ(cfg->hidden_dim, 5120);
+  EXPECT_EQ(cfg->seq_len, 1024);
+  EXPECT_EQ(cfg->vocab_size, 50257);
+}
+
+TEST(TransformerConfigTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(LlmFromTableIV("999B").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(DiTFromTableVI("7B").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TransformerConfigTest, AllTableIVSortedAscending) {
+  const auto models = AllTableIVModels();
+  ASSERT_EQ(models.size(), 8u);
+  for (size_t i = 1; i < models.size(); ++i) {
+    EXPECT_GT(models[i].ParameterCount(), models[i - 1].ParameterCount());
+  }
+}
+
+TEST(TransformerConfigTest, TableVIDiTSizes) {
+  auto dit = DiTFromTableVI("0.67B");
+  ASSERT_TRUE(dit.ok());
+  EXPECT_EQ(dit->kind, ModelKind::kDiffusionTransformer);
+  // DiT-XL/2 is ~675M parameters.
+  EXPECT_NEAR(Billions(dit->ParameterCount()), 0.67, 0.08);
+  const auto models = AllTableVIModels();
+  ASSERT_EQ(models.size(), 6u);
+  EXPECT_NEAR(Billions(models.back().ParameterCount()), 40.0, 5.0);
+}
+
+TEST(TransformerConfigTest, SyntheticLlmHitsTarget) {
+  for (double target : {2.0, 10.0, 42.0, 100.0, 250.0, 500.0}) {
+    const TransformerConfig cfg = SyntheticLlm(target);
+    EXPECT_NEAR(Billions(cfg.ParameterCount()), target, target * 0.15)
+        << target;
+  }
+}
+
+TEST(TransformerConfigTest, SyntheticLlmMonotone) {
+  int64_t prev = 0;
+  for (double b = 1.0; b < 400.0; b *= 1.3) {
+    const int64_t p = SyntheticLlm(b).ParameterCount();
+    EXPECT_GE(p, prev) << b;
+    prev = p;
+  }
+}
+
+// ---------- Table II tensor inventory ----------
+
+TEST(TensorInventoryTest, SizesFollowTableII) {
+  const int64_t p = 1000;
+  EXPECT_EQ(Params32Bytes(p), 4000);
+  EXPECT_EQ(OptimStates32Bytes(p), 8000);
+  EXPECT_EQ(Grads16Bytes(p), 2000);
+  EXPECT_EQ(Params16Bytes(p), 2000);
+  EXPECT_EQ(ModelStateBytes(p), 16000);
+}
+
+TEST(TensorInventoryTest, LifecyclesFollowTableII) {
+  auto cfg = LlmFromTableIV("6B");
+  ASSERT_TRUE(cfg.ok());
+  const auto rows = BuildTensorInventory(*cfg, 4);
+  ASSERT_EQ(rows.size(), 5u);
+  const int64_t p = cfg->ParameterCount();
+  for (const auto& row : rows) {
+    switch (row.cls) {
+      case TensorClass::kParams32:
+        EXPECT_EQ(row.bytes, 4 * p);
+        EXPECT_TRUE(row.produced_previous_iteration);
+        EXPECT_EQ(row.consumed_in, TrainStage::kOptimizer);
+        break;
+      case TensorClass::kOptimStates32:
+        EXPECT_EQ(row.bytes, 8 * p);
+        break;
+      case TensorClass::kGrads16:
+        EXPECT_EQ(row.bytes, 2 * p);
+        EXPECT_EQ(row.produced_in, TrainStage::kBackward);
+        EXPECT_EQ(row.consumed_in, TrainStage::kOptimizer);
+        EXPECT_FALSE(row.produced_previous_iteration);
+        break;
+      case TensorClass::kParams16:
+        EXPECT_EQ(row.bytes, 2 * p);
+        EXPECT_EQ(row.consumed_in, TrainStage::kForward);
+        break;
+      case TensorClass::kActivations16:
+        EXPECT_GT(row.bytes, 0);
+        EXPECT_EQ(row.produced_in, TrainStage::kForward);
+        EXPECT_EQ(row.consumed_in, TrainStage::kBackward);
+        break;
+    }
+  }
+}
+
+// ---------- Workload profile calibration (Section III numbers) ----------
+
+TEST(WorkloadProfileTest, Activations13BBatch32MatchPaper) {
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 32);
+  // "offloads almost all activations (213 GB when fine-tuning a 13B model
+  //  with a batch size of 32)" - Section III-C.
+  EXPECT_NEAR(wl.total_activation_bytes() / 1e9, 213.0, 15.0);
+  // "inter-transformer block activations (12.5 GB for a 13B model with a
+  //  batch size of 32)" - Section III-B.
+  EXPECT_NEAR(wl.inter_block_activation_bytes() / 1e9, 12.5, 1.5);
+  // Inter-block is ~6% of total activations (Section I).
+  const double frac =
+      static_cast<double>(wl.inter_block_activation_bytes()) /
+      static_cast<double>(wl.total_activation_bytes());
+  EXPECT_NEAR(frac, 0.06, 0.02);
+}
+
+TEST(WorkloadProfileTest, ForwardFlopsNearSixPDTokens) {
+  // FLOP_f ~ 2 * P * tokens for decoder LLMs (plus attention overhead).
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 32);
+  const double tokens = 32.0 * 1024.0;
+  const double ratio =
+      wl.forward_flops() / (2.0 * static_cast<double>(wl.param_count()) *
+                            tokens);
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(WorkloadProfileTest, ScalesLinearlyWithBatch) {
+  auto cfg = LlmFromTableIV("6B");
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile w1 = WorkloadProfile::Build(*cfg, 8);
+  const WorkloadProfile w2 = WorkloadProfile::Build(*cfg, 16);
+  EXPECT_EQ(w2.total_activation_bytes(), 2 * w1.total_activation_bytes());
+  EXPECT_EQ(w2.inter_block_activation_bytes(),
+            2 * w1.inter_block_activation_bytes());
+  EXPECT_NEAR(w2.forward_flops(), 2.0 * w1.forward_flops(),
+              1e-6 * w2.forward_flops());
+  EXPECT_EQ(w1.param_count(), w2.param_count());
+}
+
+TEST(WorkloadProfileTest, UnitsSumToBlockTotals) {
+  auto cfg = LlmFromTableIV("6B");
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 4);
+  int64_t unit_bytes = 0;
+  double unit_flops = 0.0;
+  for (const auto& u : wl.activation_units()) {
+    unit_bytes += u.bytes;
+    unit_flops += u.recompute_flops;
+  }
+  EXPECT_EQ(unit_bytes, wl.total_activation_bytes());
+  // Recomputable FLOPs cover the block forward cost (head excluded).
+  double block_flops = 0.0;
+  for (const auto& b : wl.blocks()) block_flops += b.forward_flops;
+  EXPECT_NEAR(unit_flops / block_flops, 1.0, 0.01);
+}
+
+TEST(WorkloadProfileTest, OffloadingBenefitOrderingMatchesEq6) {
+  // Matmul outputs (OB ~ hidden) should rank above attention context
+  // (OB ~ 2*seq) when hidden > 2*seq, and layernorms near zero.
+  auto cfg = LlmFromTableIV("13B");  // h=5120 > 2s=2048
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 2);
+  double ob_qkv = -1, ob_ctx = -1, ob_ln = -1;
+  for (const auto& u : wl.activation_units()) {
+    if (u.layer_index != 0) continue;
+    if (u.name.find("qkv") != std::string::npos) ob_qkv = u.OffloadingBenefit();
+    if (u.name.find("attn_ctx") != std::string::npos) {
+      ob_ctx = u.OffloadingBenefit();
+    }
+    if (u.name.find("ln1") != std::string::npos) ob_ln = u.OffloadingBenefit();
+  }
+  ASSERT_GT(ob_qkv, 0);
+  EXPECT_GT(ob_qkv, ob_ctx);
+  EXPECT_GT(ob_ctx, ob_ln);
+  EXPECT_NEAR(ob_qkv, cfg->hidden_dim, cfg->hidden_dim * 0.01);
+  EXPECT_NEAR(ob_ctx, 2.0 * cfg->seq_len, 2.0 * cfg->seq_len * 0.01);
+}
+
+TEST(WorkloadProfileTest, TokensPerIteration) {
+  auto llm = LlmFromTableIV("6B");
+  ASSERT_TRUE(llm.ok());
+  EXPECT_EQ(WorkloadProfile::Build(*llm, 8).tokens_per_iteration(), 8 * 1024);
+  auto dit = DiTFromTableVI("0.67B");
+  ASSERT_TRUE(dit.ok());
+  EXPECT_EQ(WorkloadProfile::Build(*dit, 8).tokens_per_iteration(), 8);
+}
+
+TEST(WorkloadProfileTest, MemoryFootprint175BMatchesIntro) {
+  // Section I: fine-tuning ~175B requires ~2.45 TB (model states +
+  // activations at batch 1 scale is dominated by 16P = 2.8 TB; the
+  // paper's 2.45 TB counts model states of 175B: 16 * 175e9 / 1e12).
+  auto cfg = LlmFromTableIV("175B");
+  ASSERT_TRUE(cfg.ok());
+  const double tb = ModelStateBytes(cfg->ParameterCount()) / 1e12;
+  EXPECT_NEAR(tb, 2.8, 0.3);
+}
+
+}  // namespace
+}  // namespace ratel

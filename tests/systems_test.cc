@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/colossal_ai.h"
+#include "baselines/deepspeed.h"
+#include "baselines/fast_dit.h"
+#include "baselines/flash_neuron.h"
+#include "baselines/megatron.h"
+#include "common/units.h"
+#include "core/ratel_system.h"
+#include "hw/catalog.h"
+#include "model/transformer_config.h"
+
+namespace ratel {
+namespace {
+
+ServerConfig Server4090(int64_t mem_gib, int ssds = 12) {
+  return catalog::EvaluationServer(catalog::Rtx4090(), mem_gib * kGiB, ssds);
+}
+
+// ---------- Maximum trainable model size (Figs. 2a, 6) ----------
+
+TEST(FeasibilityTest, FlashNeuronCapsNearOneAndAHalfBillion) {
+  // Section III-A: FlashNeuron fails even a 6B model on a 24 GB GPU;
+  // Fig. 2a marks its ceiling at ~1.55B.
+  FlashNeuronSystem fn;
+  const double max_b = fn.MaxTrainableBillions(Server4090(768), 1);
+  EXPECT_GT(max_b, 0.8);
+  EXPECT_LT(max_b, 2.5);
+  auto cfg6 = LlmFromTableIV("6B");
+  ASSERT_TRUE(cfg6.ok());
+  EXPECT_FALSE(fn.CanTrain(*cfg6, 1, Server4090(768)));
+}
+
+TEST(FeasibilityTest, ZeroInfinityCeilingNear135BAt768) {
+  // Section V-F: "the 135B model (the largest model ZeRO-Infinity can
+  // fine-tune)" on the 768 GB server.
+  ZeroInfinitySystem zi;
+  const double max_b = zi.MaxTrainableBillions(Server4090(768), 1);
+  EXPECT_NEAR(max_b, 135.0, 25.0);
+  auto cfg = LlmFromTableIV("175B");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(zi.CanTrain(*cfg, 1, Server4090(768)));
+}
+
+TEST(FeasibilityTest, ZeroOffloadBoundByHostMemory) {
+  ZeroOffloadSystem zo;
+  const double at768 = zo.MaxTrainableBillions(Server4090(768), 1);
+  const double at256 = zo.MaxTrainableBillions(Server4090(256), 1);
+  EXPECT_NEAR(at768, 47.0, 10.0);  // ~main_memory / 16 bytes per param
+  EXPECT_LT(at256, at768);
+  EXPECT_GT(at256, 5.0);
+}
+
+TEST(FeasibilityTest, Ratel175BOn4080With256GB) {
+  // Headline claim: "Ratel succeeds in training a 175B model even with
+  // only 256 GB main memory and RTX 4080".
+  RatelSystem ratel;
+  auto cfg = LlmFromTableIV("175B");
+  ASSERT_TRUE(cfg.ok());
+  const ServerConfig s4080 =
+      catalog::EvaluationServer(catalog::Rtx4080(), 256 * kGiB, 12);
+  std::string reason;
+  EXPECT_TRUE(ratel.CanTrain(*cfg, 1, s4080, &reason)) << reason;
+}
+
+TEST(FeasibilityTest, Ratel276BOn4090With768GBButNot412B) {
+  // Fig. 6a: Ratel reaches 276B under 768 GB (2.04x ZeRO-Infinity);
+  // 412B exceeds the GPU working set.
+  RatelSystem ratel;
+  auto c276 = LlmFromTableIV("276B");
+  auto c412 = LlmFromTableIV("412B");
+  ASSERT_TRUE(c276.ok() && c412.ok());
+  std::string reason;
+  EXPECT_TRUE(ratel.CanTrain(*c276, 1, Server4090(768), &reason)) << reason;
+  EXPECT_FALSE(ratel.CanTrain(*c412, 1, Server4090(768)));
+  // And 276B needs more host memory than 256 GB provides.
+  EXPECT_FALSE(ratel.CanTrain(*c276, 1, Server4090(256)));
+}
+
+TEST(FeasibilityTest, RatelDominatesBaselinesAcrossMemorySizes) {
+  RatelSystem ratel;
+  ZeroInfinitySystem zi;
+  ZeroOffloadSystem zo;
+  ColossalAiSystem ca;
+  for (int64_t mem : {128, 256, 512, 768}) {
+    const ServerConfig s = Server4090(mem);
+    const double r = ratel.MaxTrainableBillions(s, 1);
+    EXPECT_GT(r, zi.MaxTrainableBillions(s, 1)) << mem;
+    EXPECT_GT(r, zo.MaxTrainableBillions(s, 1)) << mem;
+    EXPECT_GT(r, ca.MaxTrainableBillions(s, 1)) << mem;
+  }
+}
+
+TEST(FeasibilityTest, MaxModelSizeMonotoneInMainMemory) {
+  for (TrainingSystem* sys :
+       std::initializer_list<TrainingSystem*>{}) {
+    (void)sys;
+  }
+  RatelSystem ratel;
+  ZeroInfinitySystem zi;
+  double prev_r = 0.0, prev_z = 0.0;
+  for (int64_t mem : {128, 256, 384, 512, 640, 768}) {
+    const ServerConfig s = Server4090(mem);
+    const double r = ratel.MaxTrainableBillions(s, 1);
+    const double z = zi.MaxTrainableBillions(s, 1);
+    EXPECT_GE(r, prev_r - 1e-6) << mem;
+    EXPECT_GE(z, prev_z - 1e-6) << mem;
+    prev_r = r;
+    prev_z = z;
+  }
+}
+
+TEST(FeasibilityTest, MaxMicroBatchMonotoneAndPositive) {
+  RatelSystem ratel;
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  const int b = ratel.MaxMicroBatch(*cfg, Server4090(768));
+  EXPECT_GE(b, 64);   // Fig. 5a sweeps 13B to batch 128
+  EXPECT_LE(b, 512);
+  auto big = LlmFromTableIV("175B");
+  ASSERT_TRUE(big.ok());
+  const int b_big = ratel.MaxMicroBatch(*big, Server4090(768));
+  EXPECT_GE(b_big, 1);
+  EXPECT_LT(b_big, b);
+}
+
+// ---------- Throughput ordering (Fig. 5) ----------
+
+TEST(ThroughputTest, RatelBeatsAllBaselinesOn13B) {
+  const ServerConfig s = Server4090(768);
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  RatelSystem ratel;
+  ZeroInfinitySystem zi;
+  ZeroOffloadSystem zo;
+  ColossalAiSystem ca;
+  auto r = ratel.Run(*cfg, 32, s);
+  auto z = zi.Run(*cfg, 32, s);
+  auto o = zo.Run(*cfg, 32, s);
+  auto c = ca.Run(*cfg, 32, s);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  // Fig. 5a ordering: Ratel > ZeRO-Offload > ZeRO-Infinity > Colossal-AI.
+  EXPECT_GT(r->tokens_per_s, o->tokens_per_s);
+  EXPECT_GT(o->tokens_per_s, z->tokens_per_s);
+  EXPECT_GT(z->tokens_per_s, c->tokens_per_s);
+  // Speedup magnitudes in the paper's neighbourhood (2.32x / 3.46x /
+  // 8.02x at the best batch; at a common batch we accept a wide band).
+  EXPECT_GT(r->tokens_per_s / z->tokens_per_s, 1.8);
+  EXPECT_GT(r->tokens_per_s / c->tokens_per_s, 3.0);
+}
+
+TEST(ThroughputTest, RatelNearPeakTflopsForMidSizes) {
+  // Fig. 5c: Ratel achieves 90-95% of measured peak below 70B.
+  const ServerConfig s = Server4090(768);
+  RatelSystem ratel;
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  const int batch = ratel.MaxMicroBatch(*cfg, s);
+  auto r = ratel.Run(*cfg, batch, s);
+  ASSERT_TRUE(r.ok());
+  const double frac = r->model_tflops * 1e12 / s.gpu.peak_fp16_flops;
+  EXPECT_GT(frac, 0.70);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(ThroughputTest, ZeroInfinityGpuBusyNearPaper) {
+  // Fig. 2b: ~36% GPU busy for 13B at batch 32.
+  const ServerConfig s = Server4090(768);
+  ZeroInfinitySystem zi;
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  auto r = zi.Run(*cfg, 32, s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->gpu_busy_frac, 0.2);
+  EXPECT_LT(r->gpu_busy_frac, 0.55);
+}
+
+TEST(ThroughputTest, ZeroInfinityOptimizerShareMatchesFig2c) {
+  // Fig. 2c: the optimizer stage is 30-60% of an iteration.
+  const ServerConfig s = Server4090(768);
+  ZeroInfinitySystem zi;
+  for (const char* model : {"13B", "30B"}) {
+    auto cfg = LlmFromTableIV(model);
+    ASSERT_TRUE(cfg.ok());
+    auto r = zi.Run(*cfg, 16, s);
+    ASSERT_TRUE(r.ok()) << model;
+    const double share = r->t_optimizer / r->t_iter;
+    EXPECT_GT(share, 0.20) << model;
+    EXPECT_LT(share, 0.65) << model;
+  }
+}
+
+TEST(ThroughputTest, ActiveOffloadAblationOrdering) {
+  // Fig. 7: Ratel Optimized > Ratel Naive > Ratel+ZeRO at large batch.
+  const ServerConfig s = Server4090(768);
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  RatelOptions opt;
+  RatelOptions naive;
+  naive.grad_mode = GradientOffloadMode::kNaiveActive;
+  RatelOptions zero;
+  zero.grad_mode = GradientOffloadMode::kSerializedPipelined;
+  auto t_opt = RatelSystem(opt).Run(*cfg, 64, s);
+  auto t_naive = RatelSystem(naive).Run(*cfg, 64, s);
+  auto t_zero = RatelSystem(zero).Run(*cfg, 64, s);
+  ASSERT_TRUE(t_opt.ok() && t_naive.ok() && t_zero.ok());
+  EXPECT_GE(t_opt->tokens_per_s, t_naive->tokens_per_s * 0.999);
+  EXPECT_GT(t_opt->tokens_per_s, t_zero->tokens_per_s);
+}
+
+TEST(ThroughputTest, ActivationStrategyHolisticWins) {
+  // Fig. 9a: at the same batch, the holistic planner beats the ablated
+  // strategies on the Ratel substrate.
+  const ServerConfig s = Server4090(512);
+  auto cfg = LlmFromTableIV("70B");
+  ASSERT_TRUE(cfg.ok());
+  const int batch = 32;
+  auto best = RatelSystem().Run(*cfg, batch, s);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  for (ActivationStrategy strat :
+       {ActivationStrategy::kStaticInterBlock, ActivationStrategy::kCapuchin,
+        ActivationStrategy::kG10InactiveTime,
+        ActivationStrategy::kCheckmate}) {
+    RatelOptions o;
+    o.act_strategy = strat;
+    auto r = RatelSystem(o).Run(*cfg, batch, s);
+    ASSERT_TRUE(r.ok()) << ActivationStrategyName(strat) << ": "
+                        << r.status().ToString();
+    // The holistic planner optimizes the closed-form T_iter; the DES adds
+    // pipeline-fill effects, so ablations may land within ~2% of it (the
+    // paper's Fig. 9a gaps at 512 GB are similarly thin).
+    EXPECT_GE(best->tokens_per_s, r->tokens_per_s * 0.98)
+        << ActivationStrategyName(strat);
+  }
+}
+
+TEST(ThroughputTest, CheckmateFailsAt128GBFor70B) {
+  // Table V: Ratel+CM "Failed" with 128 GB main memory.
+  RatelOptions o;
+  o.act_strategy = ActivationStrategy::kCheckmate;
+  RatelSystem cm(o);
+  auto cfg = LlmFromTableIV("70B");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(cm.CanTrain(*cfg, 16, Server4090(128)));
+  EXPECT_TRUE(cm.CanTrain(*cfg, 16, Server4090(512)));
+}
+
+TEST(ThroughputTest, CpuActLimitsModelSizeVsRatel) {
+  // Fig. 8: swapping activations only to main memory trains 2-5x smaller
+  // models at 128 GB.
+  RatelSystem ratel;
+  RatelOptions o;
+  o.act_strategy = ActivationStrategy::kMainMemoryOnly;
+  RatelSystem cpu_act(o);
+  const ServerConfig s = Server4090(128);
+  const double r = ratel.MaxTrainableBillions(s, 60);
+  const double c = cpu_act.MaxTrainableBillions(s, 60);
+  EXPECT_GT(r, c * 1.8);
+}
+
+// ---------- G10 (Fig. 1b) ----------
+
+TEST(G10Test, RequiresGpuDirectUnlessAssumed) {
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  G10System strict(/*assume_gpudirect=*/false);
+  std::string reason;
+  EXPECT_FALSE(strict.CanTrain(*cfg, 32, Server4090(768), &reason));
+  EXPECT_NE(reason.find("GPUDirect"), std::string::npos);
+  G10System simulated(/*assume_gpudirect=*/true);
+  EXPECT_TRUE(simulated.CanTrain(*cfg, 32, Server4090(768)));
+}
+
+TEST(G10Test, OptimizerStageDominatedByStateTransfer) {
+  // Fig. 1b: ~13 s optimizer stage for 13B/bsz32 (GPU compute ~0.1 s).
+  G10System g10;
+  auto cfg = LlmFromTableIV("13B");
+  ASSERT_TRUE(cfg.ok());
+  auto r = g10.Run(*cfg, 32, Server4090(768));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->t_optimizer, 13.0, 5.0);
+  // Ratel beats G10 end-to-end at the same batch.
+  auto ratel = RatelSystem().Run(*cfg, 32, Server4090(768));
+  ASSERT_TRUE(ratel.ok());
+  EXPECT_GT(ratel->tokens_per_s, r->tokens_per_s);
+}
+
+// ---------- Fast-DiT / Megatron ----------
+
+TEST(FastDiTTest, OomAtTenBillionOn24GB) {
+  FastDiTSystem fd;
+  auto small = DiTFromTableVI("0.67B");
+  auto big = DiTFromTableVI("10B");
+  ASSERT_TRUE(small.ok() && big.ok());
+  EXPECT_TRUE(fd.CanTrain(*small, 4, Server4090(768)));
+  std::string reason;
+  EXPECT_FALSE(fd.CanTrain(*big, 1, Server4090(768), &reason));
+  EXPECT_NE(reason.find("OOM"), std::string::npos);
+}
+
+TEST(FastDiTTest, RatelBeatsFastDiTOnSameModel) {
+  // Fig. 12: Ratel sustains higher image/s because it trains at a much
+  // larger batch.
+  const ServerConfig s = Server4090(768);
+  auto dit = DiTFromTableVI("1.4B");
+  ASSERT_TRUE(dit.ok());
+  FastDiTSystem fd;
+  RatelSystem ratel;
+  const int fd_batch = fd.MaxMicroBatch(*dit, s, 256);
+  ASSERT_GE(fd_batch, 1);
+  const int ratel_batch = ratel.MaxMicroBatch(*dit, s, 256);
+  EXPECT_GT(ratel_batch, fd_batch);
+  auto fr = fd.Run(*dit, fd_batch, s);
+  auto rr = ratel.Run(*dit, ratel_batch, s);
+  ASSERT_TRUE(fr.ok() && rr.ok());
+  EXPECT_GT(rr->tokens_per_s, fr->tokens_per_s);  // images/s for DiT
+}
+
+TEST(MegatronTest, ThirtyBillionFitsButLargerDoesNot) {
+  MegatronDgxBaseline mega(catalog::DgxA100());
+  auto c30 = LlmFromTableIV("30B");
+  auto c70 = LlmFromTableIV("70B");
+  ASSERT_TRUE(c30.ok() && c70.ok());
+  EXPECT_TRUE(mega.CanTrain(*c30, 8));
+  EXPECT_FALSE(mega.CanTrain(*c70, 8));  // "largest model Megatron-LM can
+                                         //  fine-tune on the DGX machine"
+}
+
+TEST(MegatronTest, CostEffectivenessComputed) {
+  MegatronDgxBaseline mega(catalog::DgxA100());
+  auto c30 = LlmFromTableIV("30B");
+  ASSERT_TRUE(c30.ok());
+  auto tps = mega.TokensPerSecond(*c30, 8);
+  ASSERT_TRUE(tps.ok());
+  EXPECT_GT(*tps, 1000.0);
+  auto ce = mega.TokensPerSecondPerKiloDollar(*c30, 8);
+  ASSERT_TRUE(ce.ok());
+  EXPECT_NEAR(*ce, *tps / 200.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ratel

@@ -1,0 +1,58 @@
+#include "tools/flag_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ratel::tools {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()),
+                    const_cast<char**>(args.data()));
+}
+
+TEST(FlagParserTest, EqualsAndSpaceSyntax) {
+  const FlagParser f = Parse({"--model=13B", "--mem", "256"});
+  EXPECT_EQ(f.GetString("model"), "13B");
+  EXPECT_EQ(f.GetInt("mem"), 256);
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  const FlagParser f = Parse({});
+  EXPECT_EQ(f.GetString("model", "6B"), "6B");
+  EXPECT_EQ(f.GetInt("mem", 128), 128);
+  EXPECT_FALSE(f.GetBool("json"));
+  EXPECT_FALSE(f.Has("anything"));
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  const FlagParser f = Parse({"--json", "--trace"});
+  EXPECT_TRUE(f.GetBool("json"));
+  EXPECT_TRUE(f.GetBool("trace"));
+  EXPECT_TRUE(f.Has("json"));
+}
+
+TEST(FlagParserTest, ExplicitFalse) {
+  const FlagParser f = Parse({"--json=false", "--trace=0"});
+  EXPECT_FALSE(f.GetBool("json", true));
+  EXPECT_FALSE(f.GetBool("trace", true));
+}
+
+TEST(FlagParserTest, BareFlagBeforeAnotherFlag) {
+  // "--json --mem 64": --json must not swallow "--mem".
+  const FlagParser f = Parse({"--json", "--mem", "64"});
+  EXPECT_TRUE(f.GetBool("json"));
+  EXPECT_EQ(f.GetInt("mem"), 64);
+}
+
+TEST(FlagParserTest, PositionalArgumentsPreserved) {
+  const FlagParser f = Parse({"input.txt", "--mem=1", "other"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "other");
+}
+
+}  // namespace
+}  // namespace ratel::tools

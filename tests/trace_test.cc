@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/json_writer.h"
+#include "common/units.h"
+#include "core/activation_planner.h"
+#include "core/hardware_profile.h"
+#include "core/iteration_sim.h"
+#include "core/schedule_trace.h"
+#include "hw/catalog.h"
+#include "model/transformer_config.h"
+#include "sim/engine.h"
+
+namespace ratel {
+namespace {
+
+// ---------- JsonWriter ----------
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), "{}");
+  w.BeginArray();
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("name", std::string("ratel"));
+  w.KeyValue("count", int64_t{3});
+  w.KeyValue("ratio", 0.5);
+  w.Key("flag");
+  w.Bool(true);
+  w.Key("nothing");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            R"({"name":"ratel","count":3,"ratio":0.5,"flag":true,)"
+            R"("nothing":null})");
+}
+
+TEST(JsonWriterTest, NestedArraysCommaPlacement) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(int64_t{1});
+  w.BeginArray();
+  w.Number(int64_t{2});
+  w.Number(int64_t{3});
+  w.EndArray();
+  w.BeginObject();
+  w.KeyValue("k", int64_t{4});
+  w.EndObject();
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), R"([1,[2,3],{"k":4}])");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(std::numeric_limits<double>::infinity());
+  w.Number(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[null,null]");
+}
+
+// ---------- ScheduleTrace ----------
+
+ScheduleTrace SmallTrace() {
+  SimEngine eng;
+  const ResourceId gpu = eng.AddResource("gpu", 1.0);
+  const ResourceId link = eng.AddResource("link", 2.0);
+  const TaskId a = eng.AddTask("compute", gpu, 2.0);
+  eng.AddTask("xfer", link, 4.0, {a});
+  eng.AddTask("marker", gpu, 0.0, {a});  // barrier: excluded from spans
+  EXPECT_TRUE(eng.Run().ok());
+  return ScheduleTrace::FromEngine(eng);
+}
+
+TEST(ScheduleTraceTest, CapturesSpansAndMakespan) {
+  const ScheduleTrace trace = SmallTrace();
+  ASSERT_EQ(trace.spans().size(), 2u);  // barrier excluded
+  EXPECT_NEAR(trace.makespan(), 4.0, 1e-9);
+  EXPECT_EQ(trace.spans()[0].name, "compute");
+  EXPECT_EQ(trace.spans()[0].track, "gpu");
+  EXPECT_NEAR(trace.spans()[1].start, 2.0, 1e-9);
+  EXPECT_NEAR(trace.spans()[1].duration, 2.0, 1e-9);
+}
+
+TEST(ScheduleTraceTest, ChromeJsonShape) {
+  const std::string json = SmallTrace().ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2000000"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ScheduleTraceTest, TextTimelineHasOneRowPerTrack) {
+  const std::string timeline = SmallTrace().ToTextTimeline(40);
+  EXPECT_NE(timeline.find("gpu"), std::string::npos);
+  EXPECT_NE(timeline.find("link"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(timeline.begin(), timeline.end(), '\n'), 2);
+}
+
+TEST(ScheduleTraceTest, SpansWithPrefixFilters) {
+  const ScheduleTrace trace = SmallTrace();
+  EXPECT_EQ(trace.SpansWithPrefix("comp").size(), 1u);
+  EXPECT_EQ(trace.SpansWithPrefix("x").size(), 1u);
+  EXPECT_EQ(trace.SpansWithPrefix("nope").size(), 0u);
+}
+
+TEST(ScheduleTraceTest, IterationSimulatorTraceCoversIteration) {
+  auto cfg = LlmFromTableIV("6B");
+  ASSERT_TRUE(cfg.ok());
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, 8);
+  const ServerConfig server =
+      catalog::EvaluationServer(catalog::Rtx4090(), 256 * kGiB, 12);
+  auto hw = HardwareProfiler(server).Profile(wl);
+  ASSERT_TRUE(hw.ok());
+  const CostModel cm(*hw, wl);
+  const ActivationPlan plan = ActivationPlanner(cm).Plan();
+  IterationKnobs k;
+  ScheduleTrace trace;
+  auto r = IterationSimulator(*hw, wl, plan, k).Simulate(&trace);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(trace.makespan(), r->t_iter, 1e-6);
+  EXPECT_GT(trace.spans().size(), 100u);  // per-block task structure
+  // The optimizer pipeline appears on the trace.
+  EXPECT_EQ(trace.SpansWithPrefix("o_cpu").size(),
+            static_cast<size_t>(cfg->num_layers));
+  EXPECT_EQ(trace.SpansWithPrefix("o_read").size(),
+            static_cast<size_t>(cfg->num_layers));
+}
+
+}  // namespace
+}  // namespace ratel

@@ -1,0 +1,61 @@
+#ifndef RATEL_TOOLS_FLAG_PARSER_H_
+#define RATEL_TOOLS_FLAG_PARSER_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ratel::tools {
+
+/// Tiny --key=value / --key value command-line parser for the CLI tools.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[arg] = argv[++i];
+      } else {
+        flags_[arg] = "true";
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const {
+    auto it = flags_.find(key);
+    return it != flags_.end() ? it->second : def;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t def = 0) const {
+    auto it = flags_.find(key);
+    return it != flags_.end() ? std::atoll(it->second.c_str()) : def;
+  }
+
+  bool GetBool(const std::string& key, bool def = false) const {
+    auto it = flags_.find(key);
+    if (it == flags_.end()) return def;
+    return it->second != "false" && it->second != "0";
+  }
+
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ratel::tools
+
+#endif  // RATEL_TOOLS_FLAG_PARSER_H_

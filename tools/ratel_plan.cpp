@@ -1,0 +1,140 @@
+// ratel_plan: command-line planner for one fine-tuning job.
+//
+//   ratel_plan --model 13B --gpu 4090 --mem 256 --ssds 12 --batch 32
+//   ratel_plan --model 175B --gpu 4080 --mem 256 --ssds 12 --batch 1 --json
+//
+// Prints the hardware profile, the holistic activation-swapping plan,
+// and the simulated iteration; --json emits a machine-readable report,
+// --trace additionally writes a Chrome trace next to the output.
+
+#include <fstream>
+#include <iostream>
+
+#include "common/json_writer.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/hardware_profile.h"
+#include "core/profile_io.h"
+#include "core/ratel_system.h"
+#include "hw/catalog.h"
+#include "model/transformer_config.h"
+#include "tools/flag_parser.h"
+
+namespace {
+
+using namespace ratel;
+
+GpuSpec GpuByName(const std::string& name) {
+  if (name == "3090") return catalog::Rtx3090();
+  if (name == "4080") return catalog::Rtx4080();
+  if (name == "a100") return catalog::A100_80G();
+  return catalog::Rtx4090();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ratel::tools::FlagParser;
+  FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::cout << "usage: ratel_plan --model 13B --gpu 4090|3090|4080 "
+                 "--mem <GiB> --ssds <n> --batch <b> [--json] [--trace]\n"
+                 "       [--save-profile <path>] (persist the hardware "
+                 "profile for later runs)\n";
+    return 0;
+  }
+
+  const std::string model_name = flags.GetString("model", "13B");
+  const ServerConfig server = catalog::EvaluationServer(
+      GpuByName(flags.GetString("gpu", "4090")),
+      flags.GetInt("mem", 256) * kGiB, static_cast<int>(flags.GetInt("ssds", 12)));
+  const int batch = static_cast<int>(flags.GetInt("batch", 32));
+
+  auto config = LlmFromTableIV(model_name);
+  if (!config.ok()) {
+    auto dit = DiTFromTableVI(model_name);
+    if (!dit.ok()) {
+      std::cerr << "unknown model '" << model_name << "'\n";
+      return 1;
+    }
+    config = dit;
+  }
+
+  RatelSystem ratel_sys;
+  std::string reason;
+  if (!ratel_sys.CanTrain(*config, batch, server, &reason)) {
+    std::cerr << "infeasible: " << reason << "\n";
+    return 2;
+  }
+  const WorkloadProfile wl = WorkloadProfile::Build(*config, batch);
+  auto hw = HardwareProfiler(server).Profile(wl);
+  auto plan = ratel_sys.PlanActivations(*config, batch, server);
+  ScheduleTrace trace;
+  auto result = ratel_sys.RunWithTrace(*config, batch, server, &trace);
+  if (!hw.ok() || !plan.ok() || !result.ok()) {
+    std::cerr << "planning failed\n";
+    return 3;
+  }
+
+  if (flags.GetBool("json")) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KeyValue("model", config->name);
+    w.KeyValue("params", config->ParameterCount());
+    w.KeyValue("batch", int64_t{batch});
+    w.KeyValue("gpu", server.gpu.name);
+    w.KeyValue("main_memory_bytes", server.main_memory_bytes);
+    w.KeyValue("ssds", int64_t{server.ssds.count});
+    w.Key("plan");
+    w.BeginObject();
+    w.KeyValue("a_g2m_bytes", plan->a_g2m);
+    w.KeyValue("ssd_bytes", plan->ssd_bytes);
+    w.KeyValue("flop_r", plan->flop_r);
+    w.KeyValue("case", std::string(SwapCaseName(plan->swap_case)));
+    w.KeyValue("predicted_iter_s", plan->predicted_iter_time);
+    w.EndObject();
+    w.Key("simulation");
+    w.BeginObject();
+    w.KeyValue("t_forward_s", result->t_forward);
+    w.KeyValue("t_backward_s", result->t_backward);
+    w.KeyValue("t_optimizer_s", result->t_optimizer);
+    w.KeyValue("t_iter_s", result->t_iter);
+    w.KeyValue("tokens_per_s", result->tokens_per_s);
+    w.KeyValue("model_tflops", result->model_tflops);
+    w.KeyValue("gpu_busy_frac", result->gpu_busy_frac);
+    w.EndObject();
+    w.EndObject();
+    std::cout << w.TakeString() << "\n";
+  } else {
+    std::cout << "Model " << config->name << " (" << config->ParameterCount()
+              << " params), batch " << batch << " on " << server.gpu.name
+              << " / " << FormatBytes(server.main_memory_bytes) << " / "
+              << server.ssds.count << " SSDs\n";
+    std::cout << "Plan: swap " << FormatBytes(plan->a_g2m) << " ("
+              << FormatBytes(plan->ssd_bytes) << " to SSD), "
+              << SwapCaseName(plan->swap_case) << "\n";
+    std::cout << "Iteration " << FormatSeconds(result->t_iter) << " -> "
+              << TablePrinter::Cell(result->tokens_per_s, 0) << " token/s, "
+              << TablePrinter::Cell(result->model_tflops, 1)
+              << " model-TFLOPS, GPU busy "
+              << TablePrinter::Cell(100 * result->gpu_busy_frac, 0) << "%\n";
+  }
+
+  if (flags.Has("save-profile")) {
+    const Status saved =
+        profile_io::Save(*hw, flags.GetString("save-profile"));
+    if (!saved.ok()) {
+      std::cerr << "profile save failed: " << saved.ToString() << "\n";
+    } else {
+      std::cerr << "hardware profile saved to "
+                << flags.GetString("save-profile") << "\n";
+    }
+  }
+  if (flags.GetBool("trace")) {
+    const std::string path = "ratel_plan_trace.json";
+    std::ofstream out(path);
+    out << trace.ToChromeJson();
+    std::cerr << "trace written to ./" << path << "\n";
+  }
+  return 0;
+}

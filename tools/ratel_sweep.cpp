@@ -1,0 +1,135 @@
+// ratel_sweep: CSV sweeps for plotting the paper's figures externally.
+//
+//   ratel_sweep --mode throughput --model 13B --gpu 4090 --mem 768
+//   ratel_sweep --mode maxsize --gpu 4090
+//   ratel_sweep --mode ssds --model 135B
+//   ratel_sweep --mode swapped --model 13B --batch 48
+//
+// Output is CSV on stdout (header + rows), ready for any plotting tool.
+
+#include <iostream>
+
+#include "baselines/colossal_ai.h"
+#include "baselines/deepspeed.h"
+#include "baselines/flash_neuron.h"
+#include "common/units.h"
+#include "core/ratel_system.h"
+#include "hw/catalog.h"
+#include "model/transformer_config.h"
+#include "tools/flag_parser.h"
+
+namespace {
+
+using namespace ratel;
+using ratel::tools::FlagParser;
+
+GpuSpec GpuByName(const std::string& name) {
+  if (name == "3090") return catalog::Rtx3090();
+  if (name == "4080") return catalog::Rtx4080();
+  return catalog::Rtx4090();
+}
+
+std::string Cell(const Result<IterationResult>& r) {
+  return r.ok() ? std::to_string(r->tokens_per_s) : "";
+}
+
+int SweepThroughput(const FlagParser& flags) {
+  auto cfg = LlmFromTableIV(flags.GetString("model", "13B"));
+  if (!cfg.ok()) return 1;
+  const ServerConfig s = catalog::EvaluationServer(
+      GpuByName(flags.GetString("gpu", "4090")),
+      flags.GetInt("mem", 768) * kGiB,
+      static_cast<int>(flags.GetInt("ssds", 12)));
+  RatelSystem ratel_sys;
+  ZeroInfinitySystem zi;
+  ZeroOffloadSystem zo;
+  ColossalAiSystem ca;
+  std::cout << "batch,ratel,zero_infinity,zero_offload,colossal_ai\n";
+  for (int b = 8; b <= 128; b *= 2) {
+    std::cout << b << "," << Cell(ratel_sys.Run(*cfg, b, s)) << ","
+              << Cell(zi.Run(*cfg, b, s)) << "," << Cell(zo.Run(*cfg, b, s))
+              << "," << Cell(ca.Run(*cfg, b, s)) << "\n";
+  }
+  return 0;
+}
+
+int SweepMaxSize(const FlagParser& flags) {
+  const GpuSpec gpu = GpuByName(flags.GetString("gpu", "4090"));
+  RatelSystem ratel_sys;
+  ZeroInfinitySystem zi;
+  ZeroOffloadSystem zo;
+  ColossalAiSystem ca;
+  FlashNeuronSystem fn;
+  std::cout << "main_mem_gib,ratel,zero_infinity,zero_offload,colossal_ai,"
+               "flash_neuron\n";
+  for (int mem = 128; mem <= 768; mem += 64) {
+    const ServerConfig s = catalog::EvaluationServer(gpu, mem * kGiB, 12);
+    std::cout << mem << "," << ratel_sys.MaxTrainableBillions(s, 1) << ","
+              << zi.MaxTrainableBillions(s, 1) << ","
+              << zo.MaxTrainableBillions(s, 1) << ","
+              << ca.MaxTrainableBillions(s, 1) << ","
+              << fn.MaxTrainableBillions(s, 1) << "\n";
+  }
+  return 0;
+}
+
+int SweepSsds(const FlagParser& flags) {
+  auto cfg = LlmFromTableIV(flags.GetString("model", "135B"));
+  if (!cfg.ok()) return 1;
+  RatelSystem ratel_sys;
+  ZeroInfinitySystem zi;
+  std::cout << "ssds,ratel,zero_infinity\n";
+  for (int n = 1; n <= 12; ++n) {
+    const ServerConfig s = catalog::EvaluationServer(
+        GpuByName(flags.GetString("gpu", "4090")),
+        flags.GetInt("mem", 768) * kGiB, n);
+    auto best = [&](const TrainingSystem& sys) -> std::string {
+      const int b = sys.MaxMicroBatch(*cfg, s, 64);
+      if (b < 1) return "";
+      auto r = sys.Run(*cfg, b, s);
+      return r.ok() ? std::to_string(r->tokens_per_s) : "";
+    };
+    std::cout << n << "," << best(ratel_sys) << "," << best(zi) << "\n";
+  }
+  return 0;
+}
+
+int SweepSwapped(const FlagParser& flags) {
+  auto cfg = LlmFromTableIV(flags.GetString("model", "13B"));
+  if (!cfg.ok()) return 1;
+  const int batch = static_cast<int>(flags.GetInt("batch", 48));
+  const ServerConfig s = catalog::EvaluationServer(
+      GpuByName(flags.GetString("gpu", "4090")),
+      flags.GetInt("mem", 768) * kGiB,
+      static_cast<int>(flags.GetInt("ssds", 12)));
+  RatelSystem ratel_sys;
+  const WorkloadProfile wl = WorkloadProfile::Build(*cfg, batch);
+  const int64_t lo = wl.inter_block_activation_bytes();
+  const int64_t hi = wl.total_activation_bytes();
+  auto plan = ratel_sys.PlanActivations(*cfg, batch, s);
+  std::cout << "swapped_gb,iter_s,is_predicted_optimum\n";
+  for (int step = 0; step <= 24; ++step) {
+    const int64_t a = lo + (hi - lo) * step / 24;
+    auto r = ratel_sys.RunWithSwappedBytes(*cfg, batch, s, a);
+    if (!r.ok()) continue;
+    const bool star =
+        plan.ok() && std::llabs(a - plan->a_g2m) <= (hi - lo) / 48;
+    std::cout << a / 1e9 << "," << r->t_iter << "," << (star ? 1 : 0)
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ratel::tools::FlagParser flags(argc, argv);
+  const std::string mode = flags.GetString("mode", "throughput");
+  if (mode == "throughput") return SweepThroughput(flags);
+  if (mode == "maxsize") return SweepMaxSize(flags);
+  if (mode == "ssds") return SweepSsds(flags);
+  if (mode == "swapped") return SweepSwapped(flags);
+  std::cerr << "unknown --mode '" << mode
+            << "' (throughput|maxsize|ssds|swapped)\n";
+  return 1;
+}
