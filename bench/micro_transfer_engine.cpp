@@ -1,0 +1,145 @@
+// Microbenchmark: transfer-engine throughput by flow class and priority
+// mix. Measures (a) per-flow write/read bandwidth through the full
+// facade (accounting + scheduler + store), (b) the DRAM-tier fast path
+// against the store path, and (c) a mixed critical/background drain that
+// mirrors one training step's competing flows (P16 fetch vs P32/OS32
+// writeback, §IV-C).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "xfer/transfer_engine.h"
+
+namespace {
+
+using ratel::FlowClass;
+using ratel::FlowClassName;
+using ratel::Rng;
+using ratel::TransferEngine;
+using ratel::TransferOptions;
+
+std::string Dir(const std::string& tag) {
+  return "/tmp/ratel_bench_xfer_" + tag + "_" + std::to_string(::getpid());
+}
+
+std::unique_ptr<TransferEngine> OpenOrDie(const std::string& tag,
+                                          int64_t cache_bytes,
+                                          benchmark::State& state) {
+  TransferOptions opts;
+  opts.dir = Dir(tag);
+  opts.num_stripes = 4;
+  opts.chunk_bytes = 1 << 20;
+  opts.host_cache_bytes = cache_bytes;
+  opts.io_workers = 2;
+  auto engine = TransferEngine::Open(opts);
+  if (!engine.ok()) {
+    state.SkipWithError("open failed");
+    return nullptr;
+  }
+  return std::move(*engine);
+}
+
+// Write + read round trips of one flow class; range(0) selects the flow
+// so the four classes (two priorities) appear side by side in the report.
+void BM_EngineRoundTripByFlow(benchmark::State& state) {
+  const auto flow = static_cast<FlowClass>(state.range(0));
+  const int64_t blob_size = 256 << 10;
+  auto engine = OpenOrDie(std::string("flow_") + FlowClassName(flow),
+                          /*cache_bytes=*/0, state);
+  if (!engine) return;
+  Rng rng(7);
+  std::vector<uint8_t> data(blob_size);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+  std::vector<uint8_t> out(blob_size);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 8);
+    benchmark::DoNotOptimize(
+        engine->Write(flow, key, data.data(), blob_size).ok());
+    benchmark::DoNotOptimize(
+        engine->Read(flow, key, out.data(), blob_size).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * blob_size);
+  state.SetLabel(FlowClassName(flow));
+}
+BENCHMARK(BM_EngineRoundTripByFlow)->DenseRange(0, ratel::kNumFlowClasses - 1);
+
+// Hot reads served by the DRAM tier vs the same reads against the store:
+// the facade's cache fast path resolves tickets at submit time.
+void BM_EngineCachedRead(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  const int64_t blob_size = 256 << 10;
+  auto engine = OpenOrDie(cached ? "hot" : "cold",
+                          cached ? int64_t{64} << 20 : 0, state);
+  if (!engine) return;
+  std::vector<uint8_t> data(blob_size, 0x5A);
+  for (int i = 0; i < 8; ++i) {
+    (void)engine->Write(FlowClass::kParamFetch, "k" + std::to_string(i),
+                        data.data(), blob_size);
+  }
+  std::vector<uint8_t> out(blob_size);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(i++ % 8);
+    benchmark::DoNotOptimize(
+        engine->Read(FlowClass::kParamFetch, key, out.data(), blob_size)
+            .ok());
+  }
+  state.SetBytesProcessed(state.iterations() * blob_size);
+  state.SetLabel(cached ? "dram_tier" : "store");
+}
+BENCHMARK(BM_EngineCachedRead)->Arg(0)->Arg(1);
+
+// One training step's mixed load: range(0) critical param fetches racing
+// range(1) background state writebacks, submitted interleaved and then
+// drained — the scenario the flow->priority mapping and the aging bound
+// exist for.
+void BM_EngineMixedPriorityDrain(benchmark::State& state) {
+  const int fetches = static_cast<int>(state.range(0));
+  const int writebacks = static_cast<int>(state.range(1));
+  const int64_t blob_size = 64 << 10;
+  auto engine = OpenOrDie("mixed", /*cache_bytes=*/0, state);
+  if (!engine) return;
+  std::vector<uint8_t> data(blob_size, 0x3C);
+  const int keys = fetches > writebacks ? fetches : writebacks;
+  for (int i = 0; i < keys; ++i) {
+    (void)engine->Write(FlowClass::kParamFetch, "p" + std::to_string(i),
+                        data.data(), blob_size);
+  }
+  std::vector<std::vector<uint8_t>> outs(fetches);
+  for (auto _ : state) {
+    for (int i = 0; i < keys; ++i) {
+      if (i < writebacks) {
+        (void)engine->SubmitWrite(FlowClass::kGradState,
+                                  "s" + std::to_string(i), data.data(),
+                                  blob_size);
+      }
+      if (i < fetches) {
+        (void)engine->SubmitRead(FlowClass::kParamFetch,
+                                 "p" + std::to_string(i), &outs[i],
+                                 blob_size);
+      }
+    }
+    if (!engine->Drain().ok()) {
+      state.SkipWithError("drain failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(fetches + writebacks) *
+                          blob_size);
+}
+BENCHMARK(BM_EngineMixedPriorityDrain)
+    ->Args({16, 0})    // pure fetch
+    ->Args({0, 16})    // pure writeback
+    ->Args({16, 16})   // balanced contention
+    ->Args({32, 8});   // fetch-heavy (the starvation-prone regime)
+
+}  // namespace
+
+BENCHMARK_MAIN();

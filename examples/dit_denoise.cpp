@@ -17,7 +17,7 @@
 #include "common/units.h"
 #include "runtime/out_of_core_adam.h"
 #include "runtime/thread_pool.h"
-#include "storage/block_store.h"
+#include "xfer/transfer_engine.h"
 
 int main(int argc, char** argv) {
   using namespace ratel;
@@ -35,14 +35,18 @@ int main(int argc, char** argv) {
   std::cout << "TinyDiT: " << model.NumParameters()
             << " parameters, full (non-causal) attention\n";
 
-  auto store = BlockStore::Open("/tmp/ratel_dit_store", 4, 1 << 20);
-  if (!store.ok()) {
-    std::cerr << store.status().ToString() << "\n";
+  TransferOptions xfer;
+  xfer.dir = "/tmp/ratel_dit_store";
+  xfer.num_stripes = 4;
+  xfer.chunk_bytes = 1 << 20;
+  auto engine = TransferEngine::Open(xfer);
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
     return 1;
   }
   AdamConfig adam_cfg;
   adam_cfg.lr = 2e-3;
-  OutOfCoreAdam adam(adam_cfg, store->get(), nullptr, nullptr);
+  OutOfCoreAdam adam(adam_cfg, engine->get());
   for (auto& [name, var] : model.parameters()) {
     RATEL_CHECK_OK(adam.Register(name, var.value()));
   }
@@ -108,9 +112,12 @@ int main(int argc, char** argv) {
                   step, loss.value()[0]);
     }
   }
-  std::cout << "\nOut-of-core traffic: " << FormatBytes(adam.bytes_read())
-            << " read, " << FormatBytes(adam.bytes_written())
-            << " written through " << (*store)->num_stripes()
-            << " stripes\n";
+  const TransferStats stats = (*engine)->stats();
+  std::cout << "\nOut-of-core traffic: "
+            << FormatBytes(stats.TotalBytesRead()) << " read, "
+            << FormatBytes(stats.TotalBytesWritten()) << " written through "
+            << (*engine)->store().num_stripes() << " stripes ("
+            << FormatBytes(stats.Flow(FlowClass::kGradState).bytes_written)
+            << " on the model-state flow)\n";
   return 0;
 }

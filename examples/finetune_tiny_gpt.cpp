@@ -75,22 +75,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "\nStorage after training: "
-            << (*trainer)->store().num_blobs() << " blobs across "
-            << (*trainer)->store().num_stripes() << " stripes, "
-            << FormatBytes((*trainer)->store().allocated_bytes())
-            << " allocated\n";
-  std::cout << "Out-of-core traffic: "
-            << FormatBytes((*trainer)->optimizer().bytes_read()) << " read, "
-            << FormatBytes((*trainer)->optimizer().bytes_written())
-            << " written";
-  if ((*trainer)->host_cache() != nullptr) {
-    const TierCache::Stats cs = (*trainer)->host_cache()->stats();
-    std::printf(" (DRAM tier hit rate %.0f%%, %lld evictions)",
-                100.0 * cs.HitRate(),
-                static_cast<long long>(cs.evictions));
+  const auto& store = (*trainer)->engine().store();
+  std::cout << "\nStorage after training: " << store.num_blobs()
+            << " blobs across " << store.num_stripes() << " stripes, "
+            << FormatBytes(store.allocated_bytes()) << " allocated\n";
+  const TransferStats xfer = (*trainer)->transfer_stats();
+  std::cout << "Transfer engine traffic by flow:\n";
+  for (int i = 0; i < kNumFlowClasses; ++i) {
+    const FlowClass flow = static_cast<FlowClass>(i);
+    const FlowCounters& c = xfer.Flow(flow);
+    if (c.reads + c.writes == 0) continue;
+    std::printf("  %-16s %9s read (%s from DRAM), %9s written\n",
+                FlowClassName(flow), FormatBytes(c.bytes_read).c_str(),
+                FormatBytes(c.bytes_from_cache).c_str(),
+                FormatBytes(c.bytes_written).c_str());
   }
-  std::cout << "\n";
+  std::printf("DRAM tier hit rate %.0f%%, %lld evictions\n",
+              100.0 * xfer.DramHitRate(),
+              static_cast<long long>(xfer.cache.evictions));
 
   // Keep the fine-tuned master weights.
   std::vector<std::string> names;

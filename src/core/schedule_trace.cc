@@ -29,6 +29,12 @@ ScheduleTrace ScheduleTrace::FromEngine(const SimEngine& engine) {
   return trace;
 }
 
+void ScheduleTrace::AddCounter(const std::string& name, double time_s,
+                               double value) {
+  counters_.push_back(CounterSample{name, time_s, value});
+  makespan_ = std::max(makespan_, time_s);
+}
+
 std::vector<std::pair<std::string, double>>
 ScheduleTrace::CriticalPathByTrack() const {
   std::map<std::string, double> by_track;
@@ -71,6 +77,18 @@ std::string ScheduleTrace::ToChromeJson() const {
     w.KeyValue("tid", int64_t{track_ids.at(s.track)});
     w.KeyValue("ts", s.start * 1e6);       // microseconds
     w.KeyValue("dur", s.duration * 1e6);
+    w.EndObject();
+  }
+  for (const CounterSample& c : counters_) {
+    w.BeginObject();
+    w.KeyValue("ph", std::string("C"));
+    w.KeyValue("name", c.name);
+    w.KeyValue("pid", int64_t{1});
+    w.KeyValue("ts", c.time * 1e6);
+    w.Key("args");
+    w.BeginObject();
+    w.KeyValue("value", c.value);
+    w.EndObject();
     w.EndObject();
   }
   w.EndArray();

@@ -16,6 +16,14 @@ struct TraceSpan {
   double duration = 0.0;
 };
 
+/// One sample of a named counter track (e.g. cumulative bytes moved by
+/// a traffic flow), rendered by Chrome tracing as a stacked area chart.
+struct CounterSample {
+  std::string name;
+  double time = 0.0;  // seconds
+  double value = 0.0;
+};
+
 /// A full iteration schedule captured from the discrete-event engine,
 /// exportable as a Chrome trace (load in chrome://tracing or Perfetto)
 /// or rendered as an ASCII timeline — the executable counterpart of the
@@ -27,7 +35,13 @@ class ScheduleTrace {
   /// Captures every task of a completed engine run.
   static ScheduleTrace FromEngine(const SimEngine& engine);
 
+  /// Appends a counter sample (monotonic `time_s` per name expected).
+  /// Counters coexist with spans: the real-execution trainer samples
+  /// its per-flow transfer counters here once per step.
+  void AddCounter(const std::string& name, double time_s, double value);
+
   const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<CounterSample>& counters() const { return counters_; }
   double makespan() const { return makespan_; }
 
   /// Chrome trace-event JSON ("X" complete events, microsecond units,
@@ -55,6 +69,7 @@ class ScheduleTrace {
 
  private:
   std::vector<TraceSpan> spans_;
+  std::vector<CounterSample> counters_;
   std::vector<TraceSpan> critical_path_;
   double makespan_ = 0.0;
 };

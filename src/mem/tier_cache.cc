@@ -66,14 +66,39 @@ Status TierCache::Get(const std::string& key, void* out, int64_t size) {
       lru_.push_front(key);
       it->second.lru_it = lru_.begin();
       ++stats_.hits;
+      stats_.hit_bytes += size;
       return Status::Ok();
     }
     ++stats_.misses;
+    stats_.miss_bytes += size;
   }
   RATEL_RETURN_IF_ERROR(backing_->Get(key, out, size));
   std::lock_guard<std::mutex> lock(mu_);
   InsertLocked(key, out, size);
   return Status::Ok();
+}
+
+bool TierCache::TryGet(const std::string& key, void* out, int64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() ||
+      static_cast<int64_t>(it->second.data.size()) != size) {
+    ++stats_.misses;
+    stats_.miss_bytes += size;
+    return false;
+  }
+  std::memcpy(out, it->second.data.data(), size);
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  ++stats_.hits;
+  stats_.hit_bytes += size;
+  return true;
+}
+
+void TierCache::Admit(const std::string& key, const void* data, int64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, data, size);
 }
 
 void TierCache::Invalidate(const std::string& key) {

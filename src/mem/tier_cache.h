@@ -34,6 +34,18 @@ class TierCache {
   /// promotes the blob.
   Status Get(const std::string& key, void* out, int64_t size);
 
+  /// Hit-only probe: copies the blob into `out` and returns true on a
+  /// DRAM hit of exactly `size` bytes; returns false (counted as a
+  /// miss) without touching the backing store otherwise. Lets a caller
+  /// that owns the store-level I/O path (the transfer engine) split the
+  /// hit and miss legs itself.
+  bool TryGet(const std::string& key, void* out, int64_t size);
+
+  /// Inserts/overwrites the DRAM copy without writing the backing store
+  /// — promotion after a caller-performed store read, or the DRAM leg
+  /// of a write the caller sends to the store asynchronously.
+  void Admit(const std::string& key, const void* data, int64_t size);
+
   /// Drops a key from the DRAM tier (the store copy is untouched).
   void Invalidate(const std::string& key);
 
@@ -42,6 +54,10 @@ class TierCache {
     int64_t misses = 0;
     int64_t evictions = 0;
     int64_t bytes_cached = 0;
+    /// Bytes served from DRAM / bytes that fell through to the store;
+    /// hit_bytes + miss_bytes equals the bytes of all issued reads.
+    int64_t hit_bytes = 0;
+    int64_t miss_bytes = 0;
     double HitRate() const {
       const int64_t total = hits + misses;
       return total > 0 ? static_cast<double>(hits) / total : 0.0;

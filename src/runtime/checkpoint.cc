@@ -38,6 +38,9 @@ Status ReadBytes(std::FILE* f, void* data, size_t n) {
 
 Status Save(OutOfCoreAdam& adam, const std::vector<std::string>& names,
             const std::string& path) {
+  // Barrier: any state writeback still queued behind the engine must
+  // land before the master copies are read out.
+  RATEL_RETURN_IF_ERROR(adam.engine().Drain());
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IoError("cannot open '" + path + "' for writing");
   RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), kMagic, sizeof(kMagic)));

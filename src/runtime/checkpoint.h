@@ -9,9 +9,9 @@
 
 namespace ratel {
 
-/// Binary checkpoint of the fp32 master parameters (P32), written from
-/// the out-of-core optimizer's block store to a single file — what a
-/// user keeps after fine-tuning.
+/// Binary checkpoint of the fp32 master parameters (P32), drained and
+/// read out of the optimizer's transfer engine (FlowClass::kCheckpoint
+/// traffic) into a single file — what a user keeps after fine-tuning.
 ///
 /// Format (little-endian):
 ///   magic "RATELCKP" (8 bytes) | version u32 | tensor count u32

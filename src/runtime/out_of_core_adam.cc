@@ -1,5 +1,8 @@
 #include "runtime/out_of_core_adam.h"
 
+#include <array>
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace ratel {
@@ -13,26 +16,13 @@ std::string P16Key(const std::string& name) { return "p16/" + name; }
 
 }  // namespace
 
-Status OutOfCoreAdam::PutBlob(const std::string& key, const void* data,
-                              int64_t size) {
-  if (cache_ != nullptr) return cache_->Put(key, data, size);
-  return store_->Put(key, data, size);
+std::string OutOfCoreAdam::Params16Key(const std::string& name) {
+  return P16Key(name);
 }
 
-Status OutOfCoreAdam::GetBlob(const std::string& key, void* out,
-                              int64_t size) const {
-  if (cache_ != nullptr) return cache_->Get(key, out, size);
-  return store_->Get(key, out, size);
-}
-
-OutOfCoreAdam::OutOfCoreAdam(const AdamConfig& config, BlockStore* store,
-                             ThrottledChannel* read_channel,
-                             ThrottledChannel* write_channel)
-    : kernel_(config),
-      store_(store),
-      read_channel_(read_channel),
-      write_channel_(write_channel) {
-  RATEL_CHECK(store != nullptr);
+OutOfCoreAdam::OutOfCoreAdam(const AdamConfig& config, TransferEngine* engine)
+    : kernel_(config), engine_(engine) {
+  RATEL_CHECK(engine != nullptr);
 }
 
 Status OutOfCoreAdam::Register(const std::string& name,
@@ -48,16 +38,22 @@ Status OutOfCoreAdam::Register(const std::string& name,
   const std::vector<float> zeros(initial_params.size(), 0.0f);
   std::vector<Fp16> p16(initial_params.size());
   for (int64_t i = 0; i < n; ++i) p16[i] = FloatToHalf(initial_params[i]);
-  RATEL_RETURN_IF_ERROR(
-      PutBlob(P32Key(name), initial_params.data(), 4 * n));
-  RATEL_RETURN_IF_ERROR(PutBlob(MomKey(name), zeros.data(), 4 * n));
-  RATEL_RETURN_IF_ERROR(PutBlob(VarKey(name), zeros.data(), 4 * n));
-  RATEL_RETURN_IF_ERROR(PutBlob(P16Key(name), p16.data(), 2 * n));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    bytes_written_ += 14 * n;
+  std::array<TransferEngine::Ticket, 4> tickets = {
+      engine_->SubmitWrite(FlowClass::kGradState, P32Key(name),
+                           initial_params.data(), 4 * n),
+      engine_->SubmitWrite(FlowClass::kGradState, MomKey(name), zeros.data(),
+                           4 * n),
+      engine_->SubmitWrite(FlowClass::kGradState, VarKey(name), zeros.data(),
+                           4 * n),
+      engine_->SubmitWrite(FlowClass::kGradState, P16Key(name), p16.data(),
+                           2 * n),
+  };
+  Status first_error;
+  for (TransferEngine::Ticket t : tickets) {
+    Status s = engine_->Wait(t);
+    if (!s.ok() && first_error.ok()) first_error = s;
   }
-  return Status::Ok();
+  return first_error;
 }
 
 Status OutOfCoreAdam::StepTensor(const std::string& name,
@@ -79,30 +75,48 @@ Status OutOfCoreAdam::StepTensor(const std::string& name,
   }
   const int64_t n = meta.size;
 
-  // SSD -> Main: stream P32 + OS32 (12 bytes/param) into staging buffers.
-  std::vector<float> params(n), m(n), v(n);
-  if (read_channel_ != nullptr) read_channel_->Consume(12 * n);
-  RATEL_RETURN_IF_ERROR(GetBlob(P32Key(name), params.data(), 4 * n));
-  RATEL_RETURN_IF_ERROR(GetBlob(MomKey(name), m.data(), 4 * n));
-  RATEL_RETURN_IF_ERROR(GetBlob(VarKey(name), v.data(), 4 * n));
+  // SSD -> Main: stream P32 + OS32 (12 bytes/param) into staging
+  // buffers concurrently; the three reads hit independent stripes.
+  std::vector<uint8_t> params_raw, m_raw, v_raw;
+  std::array<TransferEngine::Ticket, 3> reads = {
+      engine_->SubmitRead(FlowClass::kGradState, P32Key(name), &params_raw,
+                          4 * n),
+      engine_->SubmitRead(FlowClass::kGradState, MomKey(name), &m_raw, 4 * n),
+      engine_->SubmitRead(FlowClass::kGradState, VarKey(name), &v_raw, 4 * n),
+  };
+  Status first_error;
+  for (TransferEngine::Ticket t : reads) {
+    // Wait every ticket even after an error: the buffers must outlive
+    // any in-flight read.
+    Status s = engine_->Wait(t);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  RATEL_RETURN_IF_ERROR(first_error);
 
   // CPU compute: the Adam handler, emitting the fresh P16 copy.
+  float* params = reinterpret_cast<float*>(params_raw.data());
+  float* m = reinterpret_cast<float*>(m_raw.data());
+  float* v = reinterpret_cast<float*>(v_raw.data());
   std::vector<Fp16> p16(n);
-  kernel_.StepFp16Grads(meta.step, n, grads16.data(), params.data(), m.data(),
-                        v.data(), p16.data(), grad_unscale);
+  kernel_.StepFp16Grads(meta.step, n, grads16.data(), params, m, v, p16.data(),
+                        grad_unscale);
 
-  // Main -> SSD: write back P32 + OS32 + P16 (14 bytes/param).
-  if (write_channel_ != nullptr) write_channel_->Consume(14 * n);
-  RATEL_RETURN_IF_ERROR(PutBlob(P32Key(name), params.data(), 4 * n));
-  RATEL_RETURN_IF_ERROR(PutBlob(MomKey(name), m.data(), 4 * n));
-  RATEL_RETURN_IF_ERROR(PutBlob(VarKey(name), v.data(), 4 * n));
-  RATEL_RETURN_IF_ERROR(PutBlob(P16Key(name), p16.data(), 2 * n));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    bytes_read_ += 12 * n;
-    bytes_written_ += 14 * n;
+  // Main -> SSD: write back P32 + OS32 + P16 (14 bytes/param). Waited
+  // here so the tensor's next fetch/step cannot overtake the writeback
+  // (P16 reads travel in the latency-critical class, which would pass
+  // these background writes in the scheduler).
+  std::array<TransferEngine::Ticket, 4> writes = {
+      engine_->SubmitWrite(FlowClass::kGradState, P32Key(name), params, 4 * n),
+      engine_->SubmitWrite(FlowClass::kGradState, MomKey(name), m, 4 * n),
+      engine_->SubmitWrite(FlowClass::kGradState, VarKey(name), v, 4 * n),
+      engine_->SubmitWrite(FlowClass::kGradState, P16Key(name), p16.data(),
+                           2 * n),
+  };
+  for (TransferEngine::Ticket t : writes) {
+    Status s = engine_->Wait(t);
+    if (!s.ok() && first_error.ok()) first_error = s;
   }
-  return Status::Ok();
+  return first_error;
 }
 
 Status OutOfCoreAdam::FetchParams16(const std::string& name,
@@ -117,13 +131,8 @@ Status OutOfCoreAdam::FetchParams16(const std::string& name,
     n = it->second.size;
   }
   out->resize(n);
-  if (read_channel_ != nullptr) read_channel_->Consume(2 * n);
-  RATEL_RETURN_IF_ERROR(GetBlob(P16Key(name), out->data(), 2 * n));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    bytes_read_ += 2 * n;
-  }
-  return Status::Ok();
+  return engine_->Read(FlowClass::kParamFetch, P16Key(name), out->data(),
+                       2 * n);
 }
 
 Status OutOfCoreAdam::FetchMasterParams(const std::string& name,
@@ -138,18 +147,8 @@ Status OutOfCoreAdam::FetchMasterParams(const std::string& name,
     n = it->second.size;
   }
   out->resize(n);
-  RATEL_RETURN_IF_ERROR(GetBlob(P32Key(name), out->data(), 4 * n));
-  return Status::Ok();
-}
-
-int64_t OutOfCoreAdam::bytes_read() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return bytes_read_;
-}
-
-int64_t OutOfCoreAdam::bytes_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return bytes_written_;
+  return engine_->Read(FlowClass::kCheckpoint, P32Key(name), out->data(),
+                       4 * n);
 }
 
 }  // namespace ratel

@@ -2,7 +2,6 @@
 #define RATEL_RUNTIME_OUT_OF_CORE_ADAM_H_
 
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -10,56 +9,56 @@
 
 #include "common/fp16.h"
 #include "common/status.h"
-#include "mem/tier_cache.h"
 #include "optim/cpu_adam.h"
-#include "storage/block_store.h"
-#include "storage/throttled_channel.h"
+#include "xfer/transfer_engine.h"
 
 namespace ratel {
 
 /// The out-of-core CPU optimizer of Section IV-C with its model states
-/// truly out of core: P32 and OS32 live in the BlockStore ("SSDs") and
-/// are streamed through main memory per tensor — SSD->Main, CPU compute,
-/// Main->SSD — exactly the three handler steps of Fig. 3. The refreshed
-/// fp16 parameter copy (P16) is written back alongside, where the next
-/// iteration's forward pass fetches it.
+/// truly out of core: P32 and OS32 live behind the TransferEngine
+/// ("SSDs" fronted by the DRAM tier) and are streamed through main
+/// memory per tensor — SSD->Main, CPU compute, Main->SSD — exactly the
+/// three handler steps of Fig. 3. The refreshed fp16 parameter copy
+/// (P16) is written back alongside, where the next iteration's forward
+/// pass fetches it.
+///
+/// All traffic is tagged: the state stream (P32/OS32 reads, all
+/// writebacks) is FlowClass::kGradState (background class), the P16
+/// fetch is FlowClass::kParamFetch (latency-critical), master-param
+/// reads are FlowClass::kCheckpoint.
 ///
 /// Thread-compatible per tensor: different tensors may be stepped from
 /// different pipeline threads concurrently (the optimized schedule);
 /// stepping the same tensor concurrently is a caller error.
 class OutOfCoreAdam {
  public:
-  /// `read_channel`/`write_channel` throttle the store traffic to the
-  /// emulated SSD bandwidths; either may be null for full speed.
-  OutOfCoreAdam(const AdamConfig& config, BlockStore* store,
-                ThrottledChannel* read_channel,
-                ThrottledChannel* write_channel);
-
-  /// Routes blob traffic through a DRAM tier cache (the main-memory
-  /// level of the hierarchy). Optional; must outlive the optimizer.
-  void SetCache(TierCache* cache) { cache_ = cache; }
+  /// `engine` is not owned and must outlive the optimizer.
+  OutOfCoreAdam(const AdamConfig& config, TransferEngine* engine);
 
   /// Registers a tensor: writes initial P32 (from fp32 values), zeroed
-  /// moments, and the initial P16 copy to the store.
+  /// moments, and the initial P16 copy through the engine.
   Status Register(const std::string& name,
                   const std::vector<float>& initial_params);
 
   /// One active-gradient-offloading handler invocation: consumes fp16
   /// gradients for `name`, updates its out-of-core states, and leaves a
-  /// fresh P16 blob in the store. `grad_unscale` undoes the trainer's
-  /// mixed-precision loss scaling.
+  /// fresh P16 blob behind the engine. `grad_unscale` undoes the
+  /// trainer's mixed-precision loss scaling.
   Status StepTensor(const std::string& name, const std::vector<Fp16>& grads16,
                     float grad_unscale = 1.0f);
 
   /// Reads the current P16 copy of `name` (the forward-pass fetch path).
   Status FetchParams16(const std::string& name, std::vector<Fp16>* out) const;
 
+  /// Engine key of the P16 blob of `name` — lets the trainer drive the
+  /// forward-stage fetch directly through the engine's prefetch path.
+  static std::string Params16Key(const std::string& name);
+
   /// Reads the fp32 master copy (checkpointing/tests).
   Status FetchMasterParams(const std::string& name,
                            std::vector<float>* out) const;
 
-  int64_t bytes_read() const;
-  int64_t bytes_written() const;
+  TransferEngine& engine() const { return *engine_; }
 
  private:
   struct TensorMeta {
@@ -67,19 +66,10 @@ class OutOfCoreAdam {
     int64_t step = 0;
   };
 
-  // Serves Put/Get via the cache tier when configured, else the store.
-  Status PutBlob(const std::string& key, const void* data, int64_t size);
-  Status GetBlob(const std::string& key, void* out, int64_t size) const;
-
   CpuAdamKernel kernel_;
-  BlockStore* store_;                // not owned
-  TierCache* cache_ = nullptr;       // not owned, may be null
-  ThrottledChannel* read_channel_;   // not owned, may be null
-  ThrottledChannel* write_channel_;  // not owned, may be null
-  mutable std::mutex mu_;            // guards meta_ and counters
+  TransferEngine* engine_;  // not owned
+  mutable std::mutex mu_;   // guards meta_
   std::unordered_map<std::string, TensorMeta> meta_;
-  mutable int64_t bytes_read_ = 0;
-  int64_t bytes_written_ = 0;
 };
 
 }  // namespace ratel

@@ -6,22 +6,52 @@
 
 namespace ratel {
 
-Prefetcher::Prefetcher(std::vector<std::string> keys, int depth,
-                       FetchFn fetch)
+Prefetcher::Prefetcher(TransferEngine* engine, FlowClass flow,
+                       std::vector<Request> requests, int depth)
+    : engine_(engine),
+      flow_(flow),
+      requests_(std::move(requests)),
+      depth_(static_cast<size_t>(std::max(1, depth))),
+      total_(0) {
+  RATEL_CHECK(engine != nullptr);
+  total_ = requests_.size();
+  std::lock_guard<std::mutex> lock(mu_);
+  while (submitted_ < requests_.size() && pending_.size() < depth_) {
+    SubmitNextLocked();
+  }
+}
+
+Prefetcher::Prefetcher(std::vector<std::string> keys, int depth, FetchFn fetch)
     : keys_(std::move(keys)),
       depth_(static_cast<size_t>(std::max(1, depth))),
       fetch_(std::move(fetch)) {
   RATEL_CHECK(fetch_ != nullptr);
+  total_ = keys_.size();
   worker_ = std::thread([this] { Worker(); });
 }
 
 Prefetcher::~Prefetcher() {
+  if (engine_ != nullptr) {
+    // The in-flight reads target pending_'s buffers; resolve them
+    // before the buffers die.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Pending& p : pending_) (void)engine_->Wait(p.ticket);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   slot_free_.notify_all();
   worker_.join();
+}
+
+void Prefetcher::SubmitNextLocked() {
+  const Request& req = requests_[submitted_++];
+  pending_.emplace_back();
+  Pending& p = pending_.back();  // deque: address stable across growth
+  p.item.key = req.key;
+  p.ticket = engine_->SubmitRead(flow_, req.key, &p.item.data, req.size);
 }
 
 void Prefetcher::Worker() {
@@ -49,8 +79,26 @@ void Prefetcher::Worker() {
 }
 
 Prefetcher::Item Prefetcher::Next() {
+  if (engine_ != nullptr) {
+    TransferEngine::Ticket ticket;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      RATEL_CHECK(consumed_ < total_) << "Next() called past the end";
+      RATEL_CHECK(!pending_.empty());
+      ticket = pending_.front().ticket;
+    }
+    // Wait outside the lock; only Next() pops, so the front is stable.
+    Status status = engine_->Wait(ticket);
+    std::lock_guard<std::mutex> lock(mu_);
+    Item item = std::move(pending_.front().item);
+    item.status = status;
+    pending_.pop_front();
+    ++consumed_;
+    if (submitted_ < requests_.size()) SubmitNextLocked();
+    return item;
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  RATEL_CHECK(consumed_ < keys_.size()) << "Next() called past the end";
+  RATEL_CHECK(consumed_ < total_) << "Next() called past the end";
   item_ready_.wait(lock, [this] { return !window_.empty(); });
   Item item = std::move(window_.front());
   window_.pop_front();
@@ -61,7 +109,7 @@ Prefetcher::Item Prefetcher::Next() {
 
 int64_t Prefetcher::remaining() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(keys_.size() - consumed_);
+  return static_cast<int64_t>(total_ - consumed_);
 }
 
 }  // namespace ratel

@@ -11,21 +11,26 @@
 #include <vector>
 
 #include "common/status.h"
+#include "xfer/transfer_engine.h"
 
 namespace ratel {
 
-/// Bounded-lookahead asynchronous prefetcher: a background thread walks
-/// an ordered key list, loading each blob through a caller-supplied
-/// fetch function into a bounded window of buffers the consumer drains
-/// in order — the software analogue of the M->G parameter prefetch
-/// stream of the forward stage (Section IV-A), where compute on block i
-/// overlaps the fetch of blocks i+1..i+depth.
+/// Bounded-lookahead asynchronous prefetcher walking an ordered key
+/// list, loading each blob into a bounded window of buffers the
+/// consumer drains in order — the software analogue of the M->G
+/// parameter prefetch stream of the forward stage (Section IV-A), where
+/// compute on block i overlaps the fetch of blocks i+1..i+depth.
 ///
-/// Usage:
-///   Prefetcher pf(keys, depth, [&](const std::string& k,
-///                                  std::vector<uint8_t>* out) {
-///     return LoadBlob(k, out);
-///   });
+/// Two modes:
+///  - *Engine mode* (preferred): up to `depth` asynchronous reads are
+///    kept in flight on a TransferEngine under a given flow class; no
+///    extra thread — the engine's I/O workers provide the overlap.
+///  - *Legacy thread mode*: a background thread calls a caller-supplied
+///    fetch function per key (for sources that are not engine blobs).
+///
+/// Usage (engine mode):
+///   Prefetcher pf(&engine, FlowClass::kParamFetch,
+///                 {{key0, size0}, {key1, size1}, ...}, depth);
 ///   for (...) { auto item = pf.Next(); /* item.data */ }
 class Prefetcher {
  public:
@@ -36,14 +41,27 @@ class Prefetcher {
     Status status;  // non-OK if this key's fetch failed
   };
 
+  /// Engine-mode unit of work: a blob key and its exact size.
+  struct Request {
+    std::string key;
+    int64_t size = 0;
+  };
+
   using FetchFn =
       std::function<Status(const std::string& key, std::vector<uint8_t>* out)>;
 
-  /// Starts fetching immediately. `depth` bounds the number of undrained
-  /// items in flight (backpressure: the window is the "GPU buffer").
+  /// Engine mode: starts fetching immediately, keeping at most `depth`
+  /// reads in flight on `engine` (not owned). All reads are tagged
+  /// `flow` and ride the engine's DRAM tier and priority classes.
+  Prefetcher(TransferEngine* engine, FlowClass flow,
+             std::vector<Request> requests, int depth);
+
+  /// Legacy thread mode: starts fetching immediately. `depth` bounds
+  /// the number of undrained items in flight (backpressure: the window
+  /// is the "GPU buffer").
   Prefetcher(std::vector<std::string> keys, int depth, FetchFn fetch);
 
-  /// Joins the background thread; undrained items are discarded.
+  /// Joins/waits outstanding work; undrained items are discarded.
   ~Prefetcher();
 
   Prefetcher(const Prefetcher&) = delete;
@@ -57,20 +75,35 @@ class Prefetcher {
   int64_t remaining() const;
 
  private:
+  struct Pending {
+    Item item;
+    TransferEngine::Ticket ticket = 0;
+  };
+
   void Worker();
+  void SubmitNextLocked();
 
+  // Engine mode.
+  TransferEngine* engine_ = nullptr;  // null in thread mode
+  FlowClass flow_ = FlowClass::kParamFetch;
+  std::vector<Request> requests_;
+  std::deque<Pending> pending_;  // deque: stable buffer addresses
+  size_t submitted_ = 0;
+
+  // Thread mode.
   std::vector<std::string> keys_;
-  size_t depth_;
+  size_t depth_ = 1;
   FetchFn fetch_;
-
-  mutable std::mutex mu_;
   std::condition_variable item_ready_;
   std::condition_variable slot_free_;
   std::deque<Item> window_;
   size_t produced_ = 0;
-  size_t consumed_ = 0;
   bool shutdown_ = false;
   std::thread worker_;
+
+  mutable std::mutex mu_;
+  size_t consumed_ = 0;
+  size_t total_ = 0;
 };
 
 }  // namespace ratel

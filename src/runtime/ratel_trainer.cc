@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <mutex>
 
 #include "common/logging.h"
@@ -33,25 +34,17 @@ Result<std::unique_ptr<RatelTrainer>> RatelTrainer::Create(
 }
 
 Status RatelTrainer::Initialize() {
-  RATEL_ASSIGN_OR_RETURN(
-      store_, BlockStore::Open(options_.store_dir, options_.num_stripes,
-                               options_.stripe_chunk_bytes));
-  if (options_.ssd_read_bandwidth > 0.0) {
-    read_channel_ = std::make_unique<ThrottledChannel>(
-        "ssd_read", options_.ssd_read_bandwidth);
-  }
-  if (options_.ssd_write_bandwidth > 0.0) {
-    write_channel_ = std::make_unique<ThrottledChannel>(
-        "ssd_write", options_.ssd_write_bandwidth);
-  }
-  adam_ = std::make_unique<OutOfCoreAdam>(options_.adam, store_.get(),
-                                          read_channel_.get(),
-                                          write_channel_.get());
-  if (options_.host_cache_bytes > 0) {
-    cache_ = std::make_unique<TierCache>(store_.get(),
-                                         options_.host_cache_bytes);
-    adam_->SetCache(cache_.get());
-  }
+  TransferOptions xfer;
+  xfer.dir = options_.store_dir;
+  xfer.num_stripes = options_.num_stripes;
+  xfer.chunk_bytes = options_.stripe_chunk_bytes;
+  xfer.host_cache_bytes = options_.host_cache_bytes;
+  xfer.io_workers = options_.io_workers;
+  xfer.background_aging_limit = options_.background_aging_limit;
+  xfer.read_bandwidth = options_.ssd_read_bandwidth;
+  xfer.write_bandwidth = options_.ssd_write_bandwidth;
+  RATEL_ASSIGN_OR_RETURN(engine_, TransferEngine::Open(xfer));
+  adam_ = std::make_unique<OutOfCoreAdam>(options_.adam, engine_.get());
   for (auto& [name, var] : model_->parameters()) {
     RATEL_RETURN_IF_ERROR(adam_->Register(name, var.value()));
   }
@@ -78,31 +71,26 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
                                       const std::vector<int64_t>& targets,
                                       int64_t batch) {
   StepStats stats;
-  const int64_t read0 = adam_->bytes_read();
-  const int64_t written0 = adam_->bytes_written();
+  const TransferStats xfer0 = engine_->stats();
   const double t0 = NowSeconds();
 
   // --- Swap in the current P16 copies (the forward-stage M->G fetch),
-  // prefetched a few tensors ahead so storage reads overlap the fp16 ->
-  // fp32 conversion (the M->G / compute pipeline of Section IV-A). ---
+  // prefetched a few tensors ahead through the engine so the
+  // latency-critical reads overlap the fp16 -> fp32 conversion (the
+  // M->G / compute pipeline of Section IV-A). ---
   {
-    std::vector<std::string> names;
-    names.reserve(model_->parameters().size());
+    std::vector<Prefetcher::Request> requests;
+    requests.reserve(model_->parameters().size());
     for (const auto& [name, var] : model_->parameters()) {
-      names.push_back(name);
+      requests.push_back(Prefetcher::Request{
+          OutOfCoreAdam::Params16Key(name),
+          2 * static_cast<int64_t>(var.value().size())});
     }
-    Prefetcher prefetcher(
-        names, /*depth=*/4,
-        [this](const std::string& key, std::vector<uint8_t>* out) {
-          std::vector<Fp16> p16;
-          RATEL_RETURN_IF_ERROR(adam_->FetchParams16(key, &p16));
-          out->resize(2 * p16.size());
-          std::memcpy(out->data(), p16.data(), out->size());
-          return Status::Ok();
-        });
+    Prefetcher prefetcher(engine_.get(), FlowClass::kParamFetch,
+                          std::move(requests), /*depth=*/4);
     for (auto& [name, var] : model_->parameters()) {
       Prefetcher::Item item = prefetcher.Next();
-      RATEL_CHECK(item.key == name);
+      RATEL_CHECK(item.key == OutOfCoreAdam::Params16Key(name));
       RATEL_RETURN_IF_ERROR(item.status);
       std::vector<float>& dst = var.mutable_value();
       RATEL_CHECK(item.data.size() == 2 * dst.size());
@@ -133,27 +121,54 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
     ag::Variable loss = model_->Loss(micro_ids, micro_targets, micro);
 
     if (options_.spill_activations) {
-      // Swap the saved activations out to the store after forward, then
-      // back in before backward (A16 of Table II). Values round-trip
-      // bit-exactly, so numerics are unchanged (tested).
+      // Swap the saved activations out through the engine after
+      // forward, then back in before backward (A16 of Table II). The
+      // swap-outs are submitted asynchronously and waited as a group
+      // before read-back (the engine orders only resolved writes).
+      // Values round-trip bit-exactly, so numerics are unchanged
+      // (tested).
       std::vector<ag::NodePtr> acts = ag::CollectIntermediateNodes(loss);
       int64_t spilled = 0;
+      std::vector<TransferEngine::Ticket> spill_writes;
+      spill_writes.reserve(acts.size());
       for (size_t i = 0; i < acts.size(); ++i) {
         ag::Node& node = *acts[i];
         const int64_t bytes = 4 * node.NumElements();
-        if (write_channel_ != nullptr) write_channel_->Consume(bytes);
-        RATEL_RETURN_IF_ERROR(store_->Put("act/" + std::to_string(i),
-                                          node.value.data(), bytes));
-        std::vector<float>().swap(node.value);  // release "GPU memory"
+        spill_writes.push_back(
+            engine_->SubmitWrite(FlowClass::kActivationSpill,
+                                 "act/" + std::to_string(i), node.value.data(),
+                                 bytes));
         spilled += bytes;
       }
+      Status first_spill_error;
+      for (TransferEngine::Ticket t : spill_writes) {
+        Status s = engine_->Wait(t);
+        if (!s.ok() && first_spill_error.ok()) first_spill_error = s;
+      }
+      RATEL_RETURN_IF_ERROR(first_spill_error);
+      // All swap-outs durable: release the "GPU memory".
+      for (ag::NodePtr& act : acts) std::vector<float>().swap(act->value);
+
+      // Swap back in: all reads in flight at once, drained in order.
+      std::deque<std::vector<uint8_t>> buffers;
+      std::vector<TransferEngine::Ticket> spill_reads;
+      spill_reads.reserve(acts.size());
+      for (size_t i = 0; i < acts.size(); ++i) {
+        buffers.emplace_back();
+        spill_reads.push_back(engine_->SubmitRead(
+            FlowClass::kActivationSpill, "act/" + std::to_string(i),
+            &buffers.back(), 4 * acts[i]->NumElements()));
+      }
+      for (size_t i = 0; i < acts.size(); ++i) {
+        Status s = engine_->Wait(spill_reads[i]);
+        if (!s.ok() && first_spill_error.ok()) first_spill_error = s;
+      }
+      RATEL_RETURN_IF_ERROR(first_spill_error);
       for (size_t i = 0; i < acts.size(); ++i) {
         ag::Node& node = *acts[i];
-        const int64_t bytes = 4 * node.NumElements();
         node.value.resize(node.NumElements());
-        if (read_channel_ != nullptr) read_channel_->Consume(bytes);
-        RATEL_RETURN_IF_ERROR(store_->Get("act/" + std::to_string(i),
-                                          node.value.data(), bytes));
+        std::memcpy(node.value.data(), buffers[i].data(),
+                    4 * node.NumElements());
       }
       stats.activation_bytes_spilled += spilled;
     }
@@ -243,10 +258,30 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
   stats.compute_s = t_compute - t_fetch;
   stats.optimizer_s = t_opt - t_compute;
   stats.total_s = t_opt - t0;
-  stats.bytes_read = adam_->bytes_read() - read0;
-  stats.bytes_written = adam_->bytes_written() - written0;
+  stats.xfer = Delta(engine_->stats(), xfer0);
+  // Legacy totals: the parameter + model-state legs (activation traffic
+  // is reported via activation_bytes_spilled and the xfer breakdown).
+  stats.bytes_read = stats.xfer.Flow(FlowClass::kParamFetch).bytes_read +
+                     stats.xfer.Flow(FlowClass::kGradState).bytes_read;
+  stats.bytes_written =
+      stats.xfer.Flow(FlowClass::kParamFetch).bytes_written +
+      stats.xfer.Flow(FlowClass::kGradState).bytes_written;
   stats.loss = mean_loss;
   last_stats_ = stats;
+
+  if (options_.capture_flow_trace) {
+    trained_seconds_ += stats.total_s;
+    const TransferStats cumulative = engine_->stats();
+    for (int i = 0; i < kNumFlowClasses; ++i) {
+      const FlowClass flow = static_cast<FlowClass>(i);
+      const FlowCounters& c = cumulative.Flow(flow);
+      const std::string prefix = std::string("xfer/") + FlowClassName(flow);
+      flow_trace_.AddCounter(prefix + "/bytes_read", trained_seconds_,
+                             static_cast<double>(c.bytes_read));
+      flow_trace_.AddCounter(prefix + "/bytes_written", trained_seconds_,
+                             static_cast<double>(c.bytes_written));
+    }
+  }
   return stats.loss;
 }
 

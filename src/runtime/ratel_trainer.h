@@ -9,11 +9,10 @@
 #include "autograd/transformer.h"
 #include "common/status.h"
 #include "core/iteration_sim.h"
-#include "mem/tier_cache.h"
+#include "core/schedule_trace.h"
 #include "runtime/out_of_core_adam.h"
 #include "runtime/thread_pool.h"
-#include "storage/block_store.h"
-#include "storage/throttled_channel.h"
+#include "xfer/transfer_engine.h"
 
 namespace ratel {
 
@@ -31,12 +30,18 @@ struct TrainerOptions {
   double ssd_write_bandwidth = 0.0;
   /// Worker threads of the optimized offload pipeline.
   int pipeline_threads = 3;
-  /// DRAM tier-cache capacity in front of the block store (the main
+  /// Worker threads of the transfer engine's I/O scheduler.
+  int io_workers = 2;
+  /// Starvation bound of the engine's background class: a queued state
+  /// writeback is promoted after this many latency-critical requests
+  /// completed while it waited (<= 0 restores strict priority).
+  int background_aging_limit = 64;
+  /// DRAM tier-cache capacity in front of the SSD tier (the main
   /// memory level of the hierarchy); 0 disables caching. Hot P16 blocks
   /// and model-state chunks are then served from DRAM.
   int64_t host_cache_bytes = 0;
-  /// True swaps the tape's saved activations (A16) out to the block
-  /// store after forward and back in before backward — the activation
+  /// True swaps the tape's saved activations (A16) out through the
+  /// engine after forward and back in before backward — the activation
   /// leg of the paper's holistic movement, executed with real bytes.
   bool spill_activations = false;
   /// Micro-batches accumulated per optimizer step (global batch =
@@ -47,6 +52,11 @@ struct TrainerOptions {
   /// unscaled inside the optimizer handler, protecting small gradients
   /// from fp16 underflow. 1.0 disables scaling.
   float loss_scale = 1.0f;
+  /// True samples the cumulative per-flow byte counters into a
+  /// ScheduleTrace counter track after every step (flow_trace());
+  /// exported Chrome traces then show the three traffic legs stacking
+  /// over the run.
+  bool capture_flow_trace = false;
 };
 
 /// Wall-clock / traffic breakdown of one training step.
@@ -55,26 +65,34 @@ struct StepStats {
   double fetch_s = 0.0;       // P16 swap-in before forward
   double compute_s = 0.0;     // forward + backward autograd
   double optimizer_s = 0.0;   // time until the last handler drained
-  int64_t bytes_read = 0;     // cumulative store reads
-  int64_t bytes_written = 0;  // cumulative store writes
+  /// Parameter + model-state traffic of this step (P16 fetch and the
+  /// optimizer stream; activation traffic is reported separately).
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
   int64_t activation_bytes_spilled = 0;  // A16 swapped out and back
+  /// Full per-flow transfer delta of this step: every byte the engine
+  /// moved, keyed by FlowClass, plus DRAM-tier hit/miss counts.
+  TransferStats xfer;
   float loss = 0.0f;
 };
 
 /// The runnable counterpart of the paper's framework integration
 /// (Fig. 4): wraps a real TinyGpt model so that
-///   - fp16 parameter copies (P16) are fetched from the block store
-///     before each forward pass,
+///   - fp16 parameter copies (P16) are fetched through the transfer
+///     engine before each forward pass,
 ///   - gradients are consumed per parameter group as they "arrive" in
 ///     backward order, driving the out-of-core Adam handler
 ///     (active gradient offloading, Section IV-C), and
 ///   - the handler pipeline runs serialized / naive / optimized per
 ///     TrainerOptions::grad_mode, with measurably different step times
 ///     under throttled storage.
+///
+/// All data movement goes through one TransferEngine, so every byte of
+/// the step is attributed to a FlowClass (StepStats::xfer).
 class RatelTrainer {
  public:
-  /// Builds the store, registers every model parameter with the
-  /// out-of-core optimizer, and seeds the initial P16 copies.
+  /// Opens the transfer engine, registers every model parameter with
+  /// the out-of-core optimizer, and seeds the initial P16 copies.
   /// `model` must outlive the trainer.
   static Result<std::unique_ptr<RatelTrainer>> Create(
       ag::TinyGpt* model, const TrainerOptions& options);
@@ -90,9 +108,12 @@ class RatelTrainer {
 
   const StepStats& last_step_stats() const { return last_stats_; }
   OutOfCoreAdam& optimizer() { return *adam_; }
-  BlockStore& store() { return *store_; }
-  /// Null when host_cache_bytes == 0.
-  const TierCache* host_cache() const { return cache_.get(); }
+  /// The unified data-movement layer under this trainer.
+  TransferEngine& engine() { return *engine_; }
+  /// Cumulative per-flow / cache / store accounting since Create.
+  TransferStats transfer_stats() const { return engine_->stats(); }
+  /// Per-step flow counter samples (empty unless capture_flow_trace).
+  const ScheduleTrace& flow_trace() const { return flow_trace_; }
 
  private:
   RatelTrainer(ag::TinyGpt* model, const TrainerOptions& options);
@@ -105,13 +126,12 @@ class RatelTrainer {
 
   ag::TinyGpt* model_;  // not owned
   TrainerOptions options_;
-  std::unique_ptr<BlockStore> store_;
-  std::unique_ptr<TierCache> cache_;
-  std::unique_ptr<ThrottledChannel> read_channel_;
-  std::unique_ptr<ThrottledChannel> write_channel_;
+  std::unique_ptr<TransferEngine> engine_;
   std::unique_ptr<OutOfCoreAdam> adam_;
-  std::unique_ptr<ThreadPool> pipeline_;
+  std::unique_ptr<ThreadPool> pipeline_;  // declared last: joins first
   StepStats last_stats_;
+  ScheduleTrace flow_trace_;
+  double trained_seconds_ = 0.0;  // flow-trace time axis
 };
 
 }  // namespace ratel

@@ -102,7 +102,9 @@ Status BlockStore::Put(const std::string& key, const void* data,
       blobs_[key] = meta;
     }
   }
-  return WriteExtents(meta, data);
+  RATEL_RETURN_IF_ERROR(WriteExtents(meta, data));
+  bytes_written_.fetch_add(size, std::memory_order_relaxed);
+  return Status::Ok();
 }
 
 Status BlockStore::Get(const std::string& key, void* out, int64_t size) const {
@@ -132,6 +134,7 @@ Status BlockStore::Get(const std::string& key, void* out, int64_t size) const {
     }
     dst += e.length;
   }
+  bytes_read_.fetch_add(size, std::memory_order_relaxed);
   return Status::Ok();
 }
 

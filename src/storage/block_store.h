@@ -1,6 +1,7 @@
 #ifndef RATEL_STORAGE_BLOCK_STORE_H_
 #define RATEL_STORAGE_BLOCK_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,16 @@ class BlockStore {
   /// Total bytes ever allocated across the stripe files.
   int64_t allocated_bytes() const;
 
+  /// Bytes served by successful Get / Put calls since Open — the
+  /// device-level ground truth that higher tiers (cache, transfer
+  /// engine) reconcile their per-flow accounting against.
+  int64_t total_bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  int64_t total_bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
   int num_stripes() const { return static_cast<int>(fds_.size()); }
 
  private:
@@ -84,6 +95,8 @@ class BlockStore {
   std::vector<int64_t> file_tail_;  // next free offset per file
   std::unordered_map<std::string, BlobMeta> blobs_;
   int next_stripe_ = 0;
+  mutable std::atomic<int64_t> bytes_read_{0};  // Get() is const
+  std::atomic<int64_t> bytes_written_{0};
 };
 
 }  // namespace ratel

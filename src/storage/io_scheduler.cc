@@ -4,7 +4,11 @@
 
 namespace ratel {
 
-IoScheduler::IoScheduler(BlockStore* store, int workers) : store_(store) {
+IoScheduler::IoScheduler(BlockStore* store, int workers)
+    : IoScheduler(store, workers, Tuning()) {}
+
+IoScheduler::IoScheduler(BlockStore* store, int workers, const Tuning& tuning)
+    : store_(store), tuning_(tuning) {
   RATEL_CHECK(store != nullptr);
   RATEL_CHECK(workers > 0);
   workers_.reserve(workers);
@@ -30,6 +34,7 @@ IoScheduler::Ticket IoScheduler::Enqueue(Request req) {
     RATEL_CHECK(!shutdown_);
     ticket = next_ticket_++;
     req.ticket = ticket;
+    req.critical_at_enqueue = served_critical_;
     if (req.priority == Priority::kLatencyCritical) {
       critical_.push_back(std::move(req));
     } else {
@@ -42,7 +47,8 @@ IoScheduler::Ticket IoScheduler::Enqueue(Request req) {
 
 IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
                                              const void* data, int64_t size,
-                                             Priority priority) {
+                                             Priority priority,
+                                             CompletionFn on_complete) {
   Request req;
   req.is_write = true;
   req.key = key;
@@ -51,12 +57,14 @@ IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
   req.out = nullptr;
   req.size = size;
   req.priority = priority;
+  req.on_complete = std::move(on_complete);
   return Enqueue(std::move(req));
 }
 
 IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
                                             std::vector<uint8_t>* out,
-                                            int64_t size, Priority priority) {
+                                            int64_t size, Priority priority,
+                                            CompletionFn on_complete) {
   RATEL_CHECK(out != nullptr);
   Request req;
   req.is_write = false;
@@ -64,6 +72,7 @@ IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
   req.out = out;
   req.size = size;
   req.priority = priority;
+  req.on_complete = std::move(on_complete);
   return Enqueue(std::move(req));
 }
 
@@ -79,9 +88,18 @@ void IoScheduler::WorkerLoop() {
         if (shutdown_) return;
         continue;
       }
-      // Strict priority: the latency-critical class always goes first.
-      std::deque<Request>& queue =
-          !critical_.empty() ? critical_ : background_;
+      // Priority with aging: latency-critical first, but a background
+      // request that waited through `background_aging_limit` critical
+      // completions is served next (the FIFO front is the oldest).
+      bool take_background = critical_.empty();
+      if (!take_background && !background_.empty() &&
+          tuning_.background_aging_limit > 0 &&
+          served_critical_ - background_.front().critical_at_enqueue >=
+              tuning_.background_aging_limit) {
+        take_background = true;
+        ++promoted_background_;
+      }
+      std::deque<Request>& queue = take_background ? background_ : critical_;
       req = std::move(queue.front());
       queue.pop_front();
       ++in_flight_;
@@ -89,11 +107,18 @@ void IoScheduler::WorkerLoop() {
 
     Status status;
     if (req.is_write) {
+      if (tuning_.write_channel != nullptr) {
+        tuning_.write_channel->Consume(req.size);
+      }
       status = store_->Put(req.key, req.payload.data(), req.size);
     } else {
+      if (tuning_.read_channel != nullptr) {
+        tuning_.read_channel->Consume(req.size);
+      }
       req.out->resize(req.size);
       status = store_->Get(req.key, req.out->data(), req.size);
     }
+    if (req.on_complete) req.on_complete(status);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -135,6 +160,11 @@ int64_t IoScheduler::completed_latency_critical() const {
 int64_t IoScheduler::completed_background() const {
   std::lock_guard<std::mutex> lock(mu_);
   return served_background_;
+}
+
+int64_t IoScheduler::promoted_background() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return promoted_background_;
 }
 
 }  // namespace ratel

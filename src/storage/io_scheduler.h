@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "storage/block_store.h"
+#include "storage/throttled_channel.h"
 
 namespace ratel {
 
@@ -24,8 +25,17 @@ namespace ratel {
 /// holistic traffic management implies: swap-in traffic must not sit
 /// behind a burst of state writebacks.
 ///
+/// Strict priority alone starves the background class under sustained
+/// latency-critical load, so background requests age: once
+/// `background_aging_limit` latency-critical requests have completed
+/// while a background request waited, it is served next regardless of
+/// class. FIFO order holds within each class.
+///
 /// Requests complete asynchronously; the caller either waits for an
-/// individual ticket or drains the whole queue.
+/// individual ticket or drains the whole queue. An optional completion
+/// callback runs on the worker thread after the store operation and
+/// before the ticket resolves (used by the transfer engine for cache
+/// promotion and per-flow accounting).
 class IoScheduler {
  public:
   enum class Priority {
@@ -34,9 +44,24 @@ class IoScheduler {
   };
 
   using Ticket = int64_t;
+  using CompletionFn = std::function<void(const Status&)>;
+
+  /// Device-level knobs shared by every request.
+  struct Tuning {
+    /// A background request is promoted past the latency-critical queue
+    /// after this many latency-critical completions occurred while it
+    /// waited; <= 0 restores strict (starvation-prone) priority.
+    int background_aging_limit = 64;
+    /// Optional wall-clock bandwidth throttles applied by the workers
+    /// around each store operation (emulated device rates); not owned,
+    /// may be null for full speed.
+    ThrottledChannel* read_channel = nullptr;
+    ThrottledChannel* write_channel = nullptr;
+  };
 
   /// `workers` I/O threads over `store` (not owned, must outlive this).
-  IoScheduler(BlockStore* store, int workers = 2);
+  explicit IoScheduler(BlockStore* store, int workers = 2);
+  IoScheduler(BlockStore* store, int workers, const Tuning& tuning);
 
   /// Drains outstanding work, then stops the workers.
   ~IoScheduler();
@@ -47,12 +72,13 @@ class IoScheduler {
   /// Asynchronous write: the data is copied; the ticket resolves when
   /// the store confirms the write.
   Ticket SubmitWrite(const std::string& key, const void* data, int64_t size,
-                     Priority priority);
+                     Priority priority, CompletionFn on_complete = nullptr);
 
   /// Asynchronous read into `out` (must stay alive until the ticket
   /// resolves; `out` is resized by the scheduler).
   Ticket SubmitRead(const std::string& key, std::vector<uint8_t>* out,
-                    int64_t size, Priority priority);
+                    int64_t size, Priority priority,
+                    CompletionFn on_complete = nullptr);
 
   /// Blocks until `ticket` finished; returns its I/O status.
   Status Wait(Ticket ticket);
@@ -64,6 +90,9 @@ class IoScheduler {
   /// Requests served so far, per class (for tests/diagnostics).
   int64_t completed_latency_critical() const;
   int64_t completed_background() const;
+  /// Background requests served ahead of waiting latency-critical work
+  /// because they exceeded the aging limit.
+  int64_t promoted_background() const;
 
  private:
   struct Request {
@@ -74,12 +103,16 @@ class IoScheduler {
     std::vector<uint8_t>* out;      // reads, not owned
     int64_t size;
     Priority priority;
+    CompletionFn on_complete;
+    // served_critical_ at enqueue time; age = completions since then.
+    int64_t critical_at_enqueue = 0;
   };
 
   void WorkerLoop();
   Ticket Enqueue(Request req);
 
   BlockStore* store_;
+  Tuning tuning_;
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable ticket_done_;
@@ -90,6 +123,7 @@ class IoScheduler {
   Status first_error_;
   int64_t served_critical_ = 0;
   int64_t served_background_ = 0;
+  int64_t promoted_background_ = 0;
   int in_flight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;

@@ -1,0 +1,276 @@
+#include "xfer/transfer_engine.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ratel {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+const char* FlowClassName(FlowClass flow) {
+  switch (flow) {
+    case FlowClass::kParamFetch:
+      return "param_fetch";
+    case FlowClass::kGradState:
+      return "grad_state";
+    case FlowClass::kActivationSpill:
+      return "activation_spill";
+    case FlowClass::kCheckpoint:
+      return "checkpoint";
+  }
+  return "unknown";
+}
+
+IoScheduler::Priority FlowPriority(FlowClass flow) {
+  switch (flow) {
+    case FlowClass::kParamFetch:
+    case FlowClass::kActivationSpill:
+      return IoScheduler::Priority::kLatencyCritical;
+    case FlowClass::kGradState:
+    case FlowClass::kCheckpoint:
+      return IoScheduler::Priority::kBackground;
+  }
+  return IoScheduler::Priority::kBackground;
+}
+
+int64_t TransferStats::TotalBytesRead() const {
+  int64_t total = 0;
+  for (const FlowCounters& c : flow) total += c.bytes_read;
+  return total;
+}
+
+int64_t TransferStats::TotalBytesWritten() const {
+  int64_t total = 0;
+  for (const FlowCounters& c : flow) total += c.bytes_written;
+  return total;
+}
+
+TransferStats Delta(const TransferStats& later, const TransferStats& earlier) {
+  TransferStats d;
+  for (int i = 0; i < kNumFlowClasses; ++i) {
+    const FlowCounters& a = later.flow[i];
+    const FlowCounters& b = earlier.flow[i];
+    FlowCounters& out = d.flow[i];
+    out.reads = a.reads - b.reads;
+    out.writes = a.writes - b.writes;
+    out.bytes_read = a.bytes_read - b.bytes_read;
+    out.bytes_written = a.bytes_written - b.bytes_written;
+    out.bytes_from_cache = a.bytes_from_cache - b.bytes_from_cache;
+    out.cache_hits = a.cache_hits - b.cache_hits;
+    out.cache_misses = a.cache_misses - b.cache_misses;
+    out.read_seconds = a.read_seconds - b.read_seconds;
+    out.write_seconds = a.write_seconds - b.write_seconds;
+    out.errors = a.errors - b.errors;
+  }
+  d.cache.hits = later.cache.hits - earlier.cache.hits;
+  d.cache.misses = later.cache.misses - earlier.cache.misses;
+  d.cache.evictions = later.cache.evictions - earlier.cache.evictions;
+  d.cache.bytes_cached = later.cache.bytes_cached;  // a level, not a rate
+  d.cache.hit_bytes = later.cache.hit_bytes - earlier.cache.hit_bytes;
+  d.cache.miss_bytes = later.cache.miss_bytes - earlier.cache.miss_bytes;
+  d.store_bytes_read = later.store_bytes_read - earlier.store_bytes_read;
+  d.store_bytes_written =
+      later.store_bytes_written - earlier.store_bytes_written;
+  return d;
+}
+
+TransferEngine::TransferEngine(const TransferOptions& options)
+    : options_(options) {}
+
+Result<std::unique_ptr<TransferEngine>> TransferEngine::Open(
+    const TransferOptions& options) {
+  if (options.io_workers <= 0) {
+    return Status::InvalidArgument("TransferOptions.io_workers must be > 0");
+  }
+  std::unique_ptr<TransferEngine> engine(new TransferEngine(options));
+  RATEL_ASSIGN_OR_RETURN(
+      engine->store_,
+      BlockStore::Open(options.dir, options.num_stripes, options.chunk_bytes));
+  if (options.read_bandwidth > 0) {
+    engine->read_channel_ = std::make_unique<ThrottledChannel>(
+        "ssd-read", options.read_bandwidth);
+  }
+  if (options.write_bandwidth > 0) {
+    engine->write_channel_ = std::make_unique<ThrottledChannel>(
+        "ssd-write", options.write_bandwidth);
+  }
+  if (options.host_cache_bytes > 0) {
+    engine->cache_ = std::make_unique<TierCache>(engine->store_.get(),
+                                                 options.host_cache_bytes);
+  }
+  IoScheduler::Tuning tuning;
+  tuning.background_aging_limit = options.background_aging_limit;
+  tuning.read_channel = engine->read_channel_.get();
+  tuning.write_channel = engine->write_channel_.get();
+  engine->sched_ = std::make_unique<IoScheduler>(engine->store_.get(),
+                                                 options.io_workers, tuning);
+  return engine;
+}
+
+TransferEngine::~TransferEngine() {
+  // The scheduler's destructor drains in-flight work whose completion
+  // callbacks touch counters_ and cache_; destroy it before them.
+  sched_.reset();
+}
+
+TransferEngine::Ticket TransferEngine::SubmitWrite(FlowClass flow,
+                                                   const std::string& key,
+                                                   const void* data,
+                                                   int64_t size) {
+  // Write-through: the DRAM copy is visible to same-key reads
+  // immediately, the store write completes asynchronously.
+  if (cache_ != nullptr) cache_->Admit(key, data, size);
+  const auto start = std::chrono::steady_clock::now();
+  IoScheduler::Ticket io_ticket = sched_->SubmitWrite(
+      key, data, size, FlowPriority(flow),
+      [this, flow, size, start](const Status& status) {
+        std::lock_guard<std::mutex> lock(mu_);
+        FlowCounters& c = CountersFor(flow);
+        ++c.writes;
+        c.write_seconds += SecondsSince(start);
+        if (status.ok()) {
+          c.bytes_written += size;
+        } else {
+          ++c.errors;
+        }
+      });
+  std::lock_guard<std::mutex> lock(mu_);
+  Ticket ticket = next_ticket_++;
+  inflight_.emplace(ticket, io_ticket);
+  return ticket;
+}
+
+TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
+                                                  const std::string& key,
+                                                  std::vector<uint8_t>* out,
+                                                  int64_t size) {
+  RATEL_CHECK(out != nullptr);
+  if (cache_ != nullptr) {
+    out->resize(size);
+    if (cache_->TryGet(key, out->data(), size)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      FlowCounters& c = CountersFor(flow);
+      ++c.reads;
+      ++c.cache_hits;
+      c.bytes_read += size;
+      c.bytes_from_cache += size;
+      Ticket ticket = next_ticket_++;
+      resolved_.emplace(ticket, Status::Ok());
+      return ticket;
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const bool count_miss = cache_ != nullptr;
+  IoScheduler::Ticket io_ticket = sched_->SubmitRead(
+      key, out, size, FlowPriority(flow),
+      [this, flow, key, out, size, start,
+       count_miss](const Status& status) {
+        if (status.ok() && cache_ != nullptr) {
+          // Promote the cold blob into the DRAM tier.
+          cache_->Admit(key, out->data(), size);
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        FlowCounters& c = CountersFor(flow);
+        ++c.reads;
+        if (count_miss) ++c.cache_misses;
+        c.read_seconds += SecondsSince(start);
+        if (status.ok()) {
+          c.bytes_read += size;
+        } else {
+          ++c.errors;
+        }
+      });
+  std::lock_guard<std::mutex> lock(mu_);
+  Ticket ticket = next_ticket_++;
+  inflight_.emplace(ticket, io_ticket);
+  return ticket;
+}
+
+Status TransferEngine::Wait(Ticket ticket) {
+  IoScheduler::Ticket io_ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto res = resolved_.find(ticket);
+    if (res != resolved_.end()) {
+      Status status = res->second;
+      resolved_.erase(res);
+      return status;
+    }
+    auto it = inflight_.find(ticket);
+    if (it == inflight_.end()) {
+      return Status::NotFound("unknown or already-waited transfer ticket");
+    }
+    io_ticket = it->second;
+    inflight_.erase(it);
+  }
+  return sched_->Wait(io_ticket);
+}
+
+Status TransferEngine::Drain() {
+  Status status = sched_->Drain();
+  std::vector<IoScheduler::Ticket> io_tickets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    io_tickets.reserve(inflight_.size());
+    for (const auto& [ticket, io_ticket] : inflight_) {
+      io_tickets.push_back(io_ticket);
+    }
+    inflight_.clear();
+    resolved_.clear();
+  }
+  // Everything has completed; consume the scheduler-side ticket results
+  // so abandoned tickets do not accumulate (errors already folded into
+  // the scheduler's first-error, returned above).
+  for (IoScheduler::Ticket t : io_tickets) (void)sched_->Wait(t);
+  return status;
+}
+
+Status TransferEngine::Write(FlowClass flow, const std::string& key,
+                             const void* data, int64_t size) {
+  return Wait(SubmitWrite(flow, key, data, size));
+}
+
+Status TransferEngine::Read(FlowClass flow, const std::string& key, void* out,
+                            int64_t size) {
+  std::vector<uint8_t> buffer;
+  Status status = Wait(SubmitRead(flow, key, &buffer, size));
+  if (status.ok()) std::memcpy(out, buffer.data(), size);
+  return status;
+}
+
+Status TransferEngine::Delete(const std::string& key) {
+  if (cache_ != nullptr) cache_->Invalidate(key);
+  return store_->Delete(key);
+}
+
+Result<int64_t> TransferEngine::BlobSize(const std::string& key) const {
+  return store_->BlobSize(key);
+}
+
+bool TransferEngine::Contains(const std::string& key) const {
+  return store_->Contains(key);
+}
+
+TransferStats TransferEngine::stats() const {
+  TransferStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.flow = counters_;
+  }
+  if (cache_ != nullptr) snapshot.cache = cache_->stats();
+  snapshot.store_bytes_read = store_->total_bytes_read();
+  snapshot.store_bytes_written = store_->total_bytes_written();
+  return snapshot;
+}
+
+}  // namespace ratel

@@ -1,0 +1,184 @@
+#ifndef RATEL_XFER_TRANSFER_ENGINE_H_
+#define RATEL_XFER_TRANSFER_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "mem/tier_cache.h"
+#include "storage/block_store.h"
+#include "storage/io_scheduler.h"
+#include "storage/throttled_channel.h"
+
+namespace ratel {
+
+/// Traffic class of a transfer — the paper's holistic view (§IV-C/IV-D)
+/// made an enforced runtime boundary: every byte the training loop moves
+/// between host and the SSD array is tagged with the leg it belongs to,
+/// so one component can arbitrate and account competing flows.
+enum class FlowClass {
+  kParamFetch = 0,      // P16 swap-in before forward (M->G, §IV-A)
+  kGradState,           // P32/OS32 stream of the out-of-core Adam (§IV-C)
+  kActivationSpill,     // A16 swap-out/swap-in around backward (§IV-D)
+  kCheckpoint,          // master-weight snapshots (beyond-paper traffic)
+};
+
+inline constexpr int kNumFlowClasses = 4;
+
+/// Stable lowercase name, e.g. "param_fetch".
+const char* FlowClassName(FlowClass flow);
+
+/// Scheduling class a flow maps to: fetch/spill traffic stalls the
+/// "GPU", state and checkpoint traffic only has to finish eventually.
+IoScheduler::Priority FlowPriority(FlowClass flow);
+
+/// Cumulative counters of one flow class.
+struct FlowCounters {
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  /// Portion of bytes_read served by the DRAM tier (no store I/O).
+  int64_t bytes_from_cache = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  /// Summed submit-to-completion latency (queueing + service).
+  double read_seconds = 0.0;
+  double write_seconds = 0.0;
+  int64_t errors = 0;
+};
+
+/// Point-in-time snapshot of the engine's accounting: per-flow counters
+/// plus the DRAM-tier and store-level totals they reconcile against
+/// (sum of flow write bytes == store writes; sum of flow read bytes ==
+/// store reads + cache-served bytes, when all traffic uses the engine).
+struct TransferStats {
+  std::array<FlowCounters, kNumFlowClasses> flow{};
+  TierCache::Stats cache;  // zero-valued when the DRAM tier is disabled
+  int64_t store_bytes_read = 0;
+  int64_t store_bytes_written = 0;
+
+  const FlowCounters& Flow(FlowClass f) const {
+    return flow[static_cast<size_t>(f)];
+  }
+  int64_t TotalBytesRead() const;
+  int64_t TotalBytesWritten() const;
+  double DramHitRate() const { return cache.HitRate(); }
+};
+
+/// Per-flow difference `later - earlier` (per-step breakdowns).
+TransferStats Delta(const TransferStats& later, const TransferStats& earlier);
+
+struct TransferOptions {
+  /// Backing directory and stripe count of the emulated SSD array.
+  std::string dir = "/tmp/ratel_xfer";
+  int num_stripes = 4;
+  int64_t chunk_bytes = 1 << 20;
+  /// DRAM tier capacity in front of the store; 0 disables caching.
+  int64_t host_cache_bytes = 0;
+  /// Worker threads of the I/O scheduler.
+  int io_workers = 2;
+  /// Background aging limit forwarded to the scheduler (starvation
+  /// bound for state writebacks under sustained fetch load).
+  int background_aging_limit = 64;
+  /// Optional bandwidth throttles (bytes/s) emulating slow devices; 0
+  /// disables throttling.
+  double read_bandwidth = 0.0;
+  double write_bandwidth = 0.0;
+};
+
+/// The single tiered facade over the Host <-> SSD hierarchy: owns the
+/// striped BlockStore, the DRAM TierCache, and the priority IoScheduler,
+/// and is the only component the runtime layer talks to for data
+/// movement. Every operation is tagged with a FlowClass that decides its
+/// scheduling priority and its accounting bucket; reads are served from
+/// the DRAM tier when hot and promoted into it when cold; writes go
+/// write-through (DRAM copy immediately, store write asynchronously).
+///
+/// Thread-safe. Ordering contract: operations on *different* keys are
+/// unordered; a read of a key observes a prior write of that key once
+/// the write's ticket has resolved (callers serialize per key, which the
+/// runtime's per-tensor handler discipline already guarantees).
+class TransferEngine {
+ public:
+  /// Waitable handle of an asynchronous transfer. Wait exactly once.
+  using Ticket = int64_t;
+
+  static Result<std::unique_ptr<TransferEngine>> Open(
+      const TransferOptions& options);
+
+  ~TransferEngine();
+
+  TransferEngine(const TransferEngine&) = delete;
+  TransferEngine& operator=(const TransferEngine&) = delete;
+
+  /// Asynchronous write (data copied before return). A DRAM-tier copy
+  /// is admitted immediately so same-key reads are coherent.
+  Ticket SubmitWrite(FlowClass flow, const std::string& key, const void* data,
+                     int64_t size);
+
+  /// Asynchronous read into `out` (resized; must stay alive until the
+  /// ticket resolves). DRAM hits resolve immediately.
+  Ticket SubmitRead(FlowClass flow, const std::string& key,
+                    std::vector<uint8_t>* out, int64_t size);
+
+  /// Blocks until `ticket` resolved; returns its I/O status.
+  Status Wait(Ticket ticket);
+
+  /// Blocks until every submitted transfer resolved; returns the first
+  /// store-level error encountered (if any).
+  Status Drain();
+
+  /// Synchronous conveniences (submit + wait).
+  Status Write(FlowClass flow, const std::string& key, const void* data,
+               int64_t size);
+  Status Read(FlowClass flow, const std::string& key, void* out, int64_t size);
+
+  /// Removes `key` from both tiers.
+  Status Delete(const std::string& key);
+
+  Result<int64_t> BlobSize(const std::string& key) const;
+  bool Contains(const std::string& key) const;
+
+  /// Consistent snapshot of the per-flow / cache / store accounting.
+  TransferStats stats() const;
+
+  /// The owned store, for capacity diagnostics (num_blobs, stripes,
+  /// allocated bytes) — data movement must go through the engine.
+  const BlockStore& store() const { return *store_; }
+
+  int64_t host_cache_capacity() const {
+    return cache_ != nullptr ? cache_->capacity_bytes() : 0;
+  }
+
+ private:
+  explicit TransferEngine(const TransferOptions& options);
+
+  FlowCounters& CountersFor(FlowClass flow) {
+    return counters_[static_cast<size_t>(flow)];
+  }
+
+  TransferOptions options_;
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<ThrottledChannel> read_channel_;   // null when unthrottled
+  std::unique_ptr<ThrottledChannel> write_channel_;  // null when unthrottled
+  std::unique_ptr<TierCache> cache_;                 // null when disabled
+  std::unique_ptr<IoScheduler> sched_;               // destroyed first
+
+  mutable std::mutex mu_;  // guards counters_ and ticket maps
+  std::array<FlowCounters, kNumFlowClasses> counters_{};
+  Ticket next_ticket_ = 1;
+  // Tickets resolved at submit time (DRAM hits) await their single Wait.
+  std::unordered_map<Ticket, Status> resolved_;
+  // In-flight tickets map to the scheduler ticket doing the store I/O.
+  std::unordered_map<Ticket, IoScheduler::Ticket> inflight_;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_XFER_TRANSFER_ENGINE_H_

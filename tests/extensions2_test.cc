@@ -253,10 +253,19 @@ TEST(TrainerCacheTest, CacheServesHotModelStates) {
     const TokenBatch b = ds.NextBatch(2);
     ASSERT_TRUE((*trainer)->TrainStep(b.ids, b.targets, 2).ok());
   }
-  ASSERT_NE((*trainer)->host_cache(), nullptr);
-  const TierCache::Stats stats = (*trainer)->host_cache()->stats();
-  EXPECT_GT(stats.hits, 0);
-  EXPECT_GT(stats.HitRate(), 0.9);  // everything hot after warmup
+  const TransferStats xfer = (*trainer)->transfer_stats();
+  EXPECT_GT(xfer.cache.hits, 0);
+  EXPECT_GT(xfer.DramHitRate(), 0.9);  // everything hot after warmup
+  // Per-flow view: with the whole model cached, almost every read was
+  // served from DRAM rather than the store.
+  int64_t from_cache = 0, read = 0;
+  for (int i = 0; i < kNumFlowClasses; ++i) {
+    from_cache += xfer.flow[i].bytes_from_cache;
+    read += xfer.flow[i].bytes_read;
+  }
+  EXPECT_GT(from_cache, read / 2);
+  // Reconciliation: reads not served by DRAM are exactly the store's.
+  EXPECT_EQ(read - from_cache, xfer.store_bytes_read);
 }
 
 TEST(TrainerCacheTest, TrainingNumericsUnchangedByCache) {

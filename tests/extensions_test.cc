@@ -79,9 +79,13 @@ TEST(SyntheticDatasetTest, EvalBatchStableTrainStreamAdvances) {
 // ---------- Checkpoint ----------
 
 TEST(CheckpointTest, SaveLoadRoundTrip) {
-  auto store = BlockStore::Open(TempPath("ckpt_store"), 2, 4096);
-  ASSERT_TRUE(store.ok());
-  OutOfCoreAdam adam(AdamConfig{}, store->get(), nullptr, nullptr);
+  TransferOptions xfer;
+  xfer.dir = TempPath("ckpt_store");
+  xfer.num_stripes = 2;
+  xfer.chunk_bytes = 4096;
+  auto engine = TransferEngine::Open(xfer);
+  ASSERT_TRUE(engine.ok());
+  OutOfCoreAdam adam(AdamConfig{}, engine->get());
   Rng rng(1);
   std::vector<float> w1(100), w2(37);
   for (auto& x : w1) x = static_cast<float>(rng.NextGaussian());
@@ -91,6 +95,9 @@ TEST(CheckpointTest, SaveLoadRoundTrip) {
 
   const std::string path = TempPath("model.ckpt");
   ASSERT_TRUE(checkpoint::Save(adam, {"blk0/w", "blk1/w"}, path).ok());
+  // The master-copy readout travels on the checkpoint flow.
+  EXPECT_EQ((*engine)->stats().Flow(FlowClass::kCheckpoint).bytes_read,
+            4 * (100 + 37));
   auto entries = checkpoint::Load(path);
   ASSERT_TRUE(entries.ok()) << entries.status().ToString();
   ASSERT_EQ(entries->size(), 2u);

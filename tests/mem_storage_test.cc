@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "mem/memory_pool.h"
+#include "mem/tier_cache.h"
 #include "storage/block_store.h"
 #include "storage/throttled_channel.h"
 
@@ -230,6 +231,79 @@ TEST(BlockStoreTest, ConcurrentDistinctKeys) {
 TEST(BlockStoreTest, InvalidConfigRejected) {
   EXPECT_FALSE(BlockStore::Open(TempDir("bad1"), 0, 64).ok());
   EXPECT_FALSE(BlockStore::Open(TempDir("bad2"), 2, 0).ok());
+}
+
+TEST(BlockStoreTest, ByteCountersTrackSuccessfulOps) {
+  auto store = BlockStore::Open(TempDir("bytes"), 2, 64);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->total_bytes_read(), 0);
+  EXPECT_EQ((*store)->total_bytes_written(), 0);
+  std::vector<uint8_t> data(300, 0x42);
+  ASSERT_TRUE((*store)->Put("a", data.data(), 300).ok());
+  ASSERT_TRUE((*store)->Put("b", data.data(), 200).ok());
+  EXPECT_EQ((*store)->total_bytes_written(), 500);
+  std::vector<uint8_t> out(300);
+  ASSERT_TRUE((*store)->Get("a", out.data(), 300).ok());
+  EXPECT_EQ((*store)->total_bytes_read(), 300);
+  // Failed operations do not count.
+  EXPECT_FALSE((*store)->Get("missing", out.data(), 300).ok());
+  EXPECT_FALSE((*store)->Get("a", out.data(), 7).ok());  // wrong size
+  EXPECT_EQ((*store)->total_bytes_read(), 300);
+  EXPECT_EQ((*store)->total_bytes_written(), 500);
+}
+
+// ---------- TierCache counters / engine-facing probes ----------
+
+TEST(TierCacheTest, CountersReconcileWithStoreTraffic) {
+  auto store = BlockStore::Open(TempDir("tc_recon"), 2, 64);
+  ASSERT_TRUE(store.ok());
+  TierCache cache(store->get(), 1 << 20);
+  std::vector<uint8_t> data(400, 0x11);
+  std::vector<uint8_t> out(400);
+  int64_t issued_read_bytes = 0;
+  ASSERT_TRUE(cache.Put("a", data.data(), 400).ok());
+  ASSERT_TRUE(cache.Put("b", data.data(), 400).ok());
+  ASSERT_TRUE(cache.Get("a", out.data(), 400).ok());  // hit
+  issued_read_bytes += 400;
+  cache.Invalidate("b");
+  ASSERT_TRUE(cache.Get("b", out.data(), 400).ok());  // miss -> store
+  issued_read_bytes += 400;
+  ASSERT_TRUE(cache.Get("b", out.data(), 400).ok());  // promoted: hit
+  issued_read_bytes += 400;
+  const TierCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 1);
+  // Reconciliation invariants: hit + miss bytes cover every issued
+  // read; when all reads go through the cache, the store served
+  // exactly the miss bytes.
+  EXPECT_EQ(stats.hit_bytes + stats.miss_bytes, issued_read_bytes);
+  EXPECT_EQ(stats.miss_bytes, (*store)->total_bytes_read());
+  EXPECT_EQ(stats.hit_bytes, 2 * 400);
+}
+
+TEST(TierCacheTest, TryGetProbesWithoutStoreIo) {
+  auto store = BlockStore::Open(TempDir("tc_try"), 2, 64);
+  ASSERT_TRUE(store.ok());
+  TierCache cache(store->get(), 1 << 20);
+  std::vector<uint8_t> data(128, 0x77);
+  // Blob only in the store: TryGet must miss and must NOT touch it.
+  ASSERT_TRUE((*store)->Put("cold", data.data(), 128).ok());
+  std::vector<uint8_t> out(128, 0);
+  EXPECT_FALSE(cache.TryGet("cold", out.data(), 128));
+  EXPECT_EQ((*store)->total_bytes_read(), 0);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().miss_bytes, 128);
+  // Admit inserts the DRAM copy without writing the store.
+  const int64_t written_before = (*store)->total_bytes_written();
+  cache.Admit("cold", data.data(), 128);
+  EXPECT_EQ((*store)->total_bytes_written(), written_before);
+  EXPECT_TRUE(cache.TryGet("cold", out.data(), 128));
+  EXPECT_EQ(out, data);
+  EXPECT_EQ((*store)->total_bytes_read(), 0);  // hit: still no store I/O
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().hit_bytes, 128);
+  // A size mismatch is a miss, not an error.
+  EXPECT_FALSE(cache.TryGet("cold", out.data(), 64));
 }
 
 // ---------- ThrottledChannel ----------

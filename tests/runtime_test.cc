@@ -19,6 +19,14 @@ std::string TempDir(const std::string& tag) {
          std::to_string(::getpid());
 }
 
+Result<std::unique_ptr<TransferEngine>> OpenEngine(const std::string& tag) {
+  TransferOptions opts;
+  opts.dir = TempDir(tag);
+  opts.num_stripes = 2;
+  opts.chunk_bytes = 4096;
+  return TransferEngine::Open(opts);
+}
+
 // ---------- ThreadPool ----------
 
 TEST(ThreadPoolTest, ExecutesAllTasks) {
@@ -52,11 +60,11 @@ TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
 // ---------- OutOfCoreAdam ----------
 
 TEST(OutOfCoreAdamTest, MatchesInMemoryChunkedAdam) {
-  auto store = BlockStore::Open(TempDir("ooc"), 2, 4096);
-  ASSERT_TRUE(store.ok());
+  auto engine = OpenEngine("ooc");
+  ASSERT_TRUE(engine.ok());
   AdamConfig cfg;
   cfg.lr = 1e-2;
-  OutOfCoreAdam ooc(cfg, store->get(), nullptr, nullptr);
+  OutOfCoreAdam ooc(cfg, engine->get());
   ChunkedCpuAdam ram(cfg);
 
   Rng rng(3);
@@ -83,9 +91,9 @@ TEST(OutOfCoreAdamTest, MatchesInMemoryChunkedAdam) {
 }
 
 TEST(OutOfCoreAdamTest, P16CopyTracksMaster) {
-  auto store = BlockStore::Open(TempDir("p16"), 2, 4096);
-  ASSERT_TRUE(store.ok());
-  OutOfCoreAdam ooc(AdamConfig{}, store->get(), nullptr, nullptr);
+  auto engine = OpenEngine("p16");
+  ASSERT_TRUE(engine.ok());
+  OutOfCoreAdam ooc(AdamConfig{}, engine->get());
   ASSERT_TRUE(ooc.Register("w", {0.25f, -0.75f}).ok());
   std::vector<Fp16> p16;
   ASSERT_TRUE(ooc.FetchParams16("w", &p16).ok());
@@ -101,24 +109,35 @@ TEST(OutOfCoreAdamTest, P16CopyTracksMaster) {
 }
 
 TEST(OutOfCoreAdamTest, TrafficAccountingMatchesTableII) {
-  auto store = BlockStore::Open(TempDir("traffic"), 2, 4096);
-  ASSERT_TRUE(store.ok());
-  OutOfCoreAdam ooc(AdamConfig{}, store->get(), nullptr, nullptr);
+  auto engine = OpenEngine("traffic");
+  ASSERT_TRUE(engine.ok());
+  OutOfCoreAdam ooc(AdamConfig{}, engine->get());
   constexpr int64_t kN = 1000;
   ASSERT_TRUE(ooc.Register("w", std::vector<float>(kN, 0.1f)).ok());
-  const int64_t written_init = ooc.bytes_written();
-  EXPECT_EQ(written_init, 14 * kN);  // P32 + OS32 + P16 seed
+  const TransferStats after_register = (*engine)->stats();
+  // P32 + OS32 + P16 seed, all on the model-state flow.
+  EXPECT_EQ(after_register.Flow(FlowClass::kGradState).bytes_written, 14 * kN);
   std::vector<Fp16> g(kN, FloatToHalf(0.01f));
   ASSERT_TRUE(ooc.StepTensor("w", g).ok());
+  const TransferStats step =
+      Delta((*engine)->stats(), after_register);
   // Per step: read 12 bytes/param (P32+OS32), write 14 (P32+OS32+P16).
-  EXPECT_EQ(ooc.bytes_read(), 12 * kN);
-  EXPECT_EQ(ooc.bytes_written() - written_init, 14 * kN);
+  EXPECT_EQ(step.Flow(FlowClass::kGradState).bytes_read, 12 * kN);
+  EXPECT_EQ(step.Flow(FlowClass::kGradState).bytes_written, 14 * kN);
+  // The P16 forward fetch travels on its own flow: 2 bytes/param.
+  std::vector<Fp16> p16;
+  ASSERT_TRUE(ooc.FetchParams16("w", &p16).ok());
+  const TransferStats fetched = (*engine)->stats();
+  EXPECT_EQ(fetched.Flow(FlowClass::kParamFetch).bytes_read, 2 * kN);
+  // No DRAM tier configured: per-flow totals reconcile with the store.
+  EXPECT_EQ(fetched.TotalBytesWritten(), fetched.store_bytes_written);
+  EXPECT_EQ(fetched.TotalBytesRead(), fetched.store_bytes_read);
 }
 
 TEST(OutOfCoreAdamTest, ErrorsSurface) {
-  auto store = BlockStore::Open(TempDir("err"), 1, 4096);
-  ASSERT_TRUE(store.ok());
-  OutOfCoreAdam ooc(AdamConfig{}, store->get(), nullptr, nullptr);
+  auto engine = OpenEngine("err");
+  ASSERT_TRUE(engine.ok());
+  OutOfCoreAdam ooc(AdamConfig{}, engine->get());
   ASSERT_TRUE(ooc.Register("w", {1.0f}).ok());
   EXPECT_EQ(ooc.Register("w", {1.0f}).code(), StatusCode::kAlreadyExists);
   std::vector<Fp16> wrong(3);
@@ -215,6 +234,13 @@ TEST(RatelTrainerTest, StepStatsAccountTraffic) {
   // Reads: 2P of P16 fetch + 12P of optimizer state per step.
   EXPECT_EQ(s.bytes_read, 14 * p);
   EXPECT_EQ(s.bytes_written, 14 * p);
+  // The same traffic, broken down by flow class.
+  EXPECT_EQ(s.xfer.Flow(FlowClass::kParamFetch).bytes_read, 2 * p);
+  EXPECT_EQ(s.xfer.Flow(FlowClass::kParamFetch).bytes_written, 0);
+  EXPECT_EQ(s.xfer.Flow(FlowClass::kGradState).bytes_read, 12 * p);
+  EXPECT_EQ(s.xfer.Flow(FlowClass::kGradState).bytes_written, 14 * p);
+  EXPECT_EQ(s.xfer.Flow(FlowClass::kActivationSpill).bytes_read, 0);
+  EXPECT_EQ(s.xfer.Flow(FlowClass::kCheckpoint).bytes_read, 0);
   EXPECT_GT(s.total_s, 0.0);
   EXPECT_GE(s.total_s + 1e-9, s.fetch_s + s.compute_s + s.optimizer_s - 1e-6);
 }

@@ -129,6 +129,29 @@ TEST(ScheduleTraceTest, SpansWithPrefixFilters) {
   EXPECT_EQ(trace.SpansWithPrefix("nope").size(), 0u);
 }
 
+TEST(ScheduleTraceTest, CounterSamplesEmitChromeCounterEvents) {
+  ScheduleTrace trace;
+  trace.AddCounter("xfer/param_fetch/bytes_read", 0.5, 1024.0);
+  trace.AddCounter("xfer/param_fetch/bytes_read", 1.5, 4096.0);
+  trace.AddCounter("xfer/grad_state/bytes_written", 2.0, 512.0);
+  ASSERT_EQ(trace.counters().size(), 3u);
+  EXPECT_EQ(trace.counters()[1].value, 4096.0);
+  EXPECT_NEAR(trace.makespan(), 2.0, 1e-9);  // counters extend the span
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"xfer/param_fetch/bytes_read\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos);  // 1.5 s in us
+  EXPECT_NE(json.find("\"value\":4096"), std::string::npos);
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
 TEST(ScheduleTraceTest, IterationSimulatorTraceCoversIteration) {
   auto cfg = LlmFromTableIV("6B");
   ASSERT_TRUE(cfg.ok());

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,61 @@ ag::TinyGptConfig SmallConfig() {
   cfg.num_heads = 2;
   cfg.num_layers = 2;
   return cfg;
+}
+
+// ---------- Flow trace capture ----------
+
+TEST(FlowTraceTest, CapturesMonotonicPerFlowCounters) {
+  ag::TinyGpt model(SmallConfig(), 61);
+  TrainerOptions opts;
+  opts.store_dir = TempPath("flowtrace");
+  opts.capture_flow_trace = true;
+  opts.spill_activations = true;
+  auto trainer = RatelTrainer::Create(&model, opts);
+  ASSERT_TRUE(trainer.ok());
+  SyntheticDataset ds(SyntheticTask::kAffineMap, 32, 8, 12);
+  const int kSteps = 3;
+  for (int i = 0; i < kSteps; ++i) {
+    const TokenBatch b = ds.NextBatch(2);
+    ASSERT_TRUE((*trainer)->TrainStep(b.ids, b.targets, 2).ok());
+  }
+  const ScheduleTrace& trace = (*trainer)->flow_trace();
+  ASSERT_FALSE(trace.counters().empty());
+  // Two series (bytes_read, bytes_written) per flow class per step.
+  EXPECT_EQ(trace.counters().size(),
+            static_cast<size_t>(kSteps * kNumFlowClasses * 2));
+  // Cumulative counters never decrease and timestamps advance.
+  std::map<std::string, double> last_value;
+  double last_time = -1.0;
+  for (const auto& c : trace.counters()) {
+    auto [it, inserted] = last_value.emplace(c.name, c.value);
+    if (!inserted) {
+      EXPECT_GE(c.value, it->second) << c.name;
+      it->second = c.value;
+    }
+    EXPECT_GE(c.time, last_time - 1e-12);
+    last_time = std::max(last_time, c.time);
+  }
+  // The param-fetch and grad-state flows moved real bytes.
+  EXPECT_GT(last_value["xfer/param_fetch/bytes_read"], 0.0);
+  EXPECT_GT(last_value["xfer/grad_state/bytes_written"], 0.0);
+  EXPECT_GT(last_value["xfer/activation_spill/bytes_written"], 0.0);
+  // The trace exports as valid Chrome JSON with counter events.
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("xfer/param_fetch/bytes_read"), std::string::npos);
+}
+
+TEST(FlowTraceTest, DisabledByDefault) {
+  ag::TinyGpt model(SmallConfig(), 62);
+  TrainerOptions opts;
+  opts.store_dir = TempPath("noflowtrace");
+  auto trainer = RatelTrainer::Create(&model, opts);
+  ASSERT_TRUE(trainer.ok());
+  SyntheticDataset ds(SyntheticTask::kAffineMap, 32, 8, 12);
+  const TokenBatch b = ds.NextBatch(2);
+  ASSERT_TRUE((*trainer)->TrainStep(b.ids, b.targets, 2).ok());
+  EXPECT_TRUE((*trainer)->flow_trace().counters().empty());
 }
 
 // ---------- Gradient accumulation ----------
