@@ -1,0 +1,166 @@
+// Kernel benchmark report: times the tiled parallel compute kernels
+// against the seed's serial reference and emits BENCH_kernels.json (plus
+// a human-readable table). The headline entry is the 256x256x256 matmul
+// forward+backward — `matmul256/speedup_vs_seed` is the acceptance
+// metric for the parallel compute layer (>= 3x at 4 threads).
+//
+// Usage: bench_report [output.json]   (default: BENCH_kernels.json)
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/transformer.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "optim/cpu_adam.h"
+#include "runtime/compute_pool.h"
+
+namespace {
+
+using namespace ratel;
+
+std::vector<float> RandomVec(Rng& rng, int64_t n) {
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(rng.NextGaussian());
+  return out;
+}
+
+// Median-of-reps wall time of fn(), in seconds.
+template <typename Fn>
+double TimeIt(Fn&& fn, int reps = 7) {
+  fn();  // warm-up
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  bench::BenchReport report("kernels");
+
+  const int64_t n = 256;
+  Rng rng(1);
+  const std::vector<float> a = RandomVec(rng, n * n);
+  const std::vector<float> b = RandomVec(rng, n * n);
+  const double matmul_flops = 6.0 * n * n * n;  // fwd + two bwd GEMMs
+
+  // Seed-serial reference: the pre-parallel-layer kernels, serial by
+  // construction (thread count does not apply).
+  std::vector<float> out(n * n), da(n * n), db(n * n), g(n * n, 1.0f);
+  const double seed_s = TimeIt([&] {
+    std::fill(out.begin(), out.end(), 0.0f);
+    std::fill(da.begin(), da.end(), 0.0f);
+    std::fill(db.begin(), db.end(), 0.0f);
+    bench::SeedGemmAccum(a.data(), b.data(), out.data(), n, n, n);
+    bench::SeedGemmNTAccum(g.data(), b.data(), da.data(), n, n, n);
+    bench::SeedGemmTNAccum(a.data(), g.data(), db.data(), n, n, n);
+  });
+  report.Add("matmul256/seed_serial", 1, 1e3 * seed_s, "ms");
+  report.Add("matmul256/seed_serial_gflops", 1, matmul_flops / seed_s / 1e9,
+             "GF/s");
+
+  // Tiled kernels through the real graph (fwd + bwd), thread sweep.
+  double tiled_t4_s = 0.0;
+  for (int threads : {1, 2, 4}) {
+    SetComputeThreads(threads);
+    const double s = TimeIt([&] {
+      ag::Variable pa = ag::Variable::Parameter({n, n}, a, "a");
+      ag::Variable pb = ag::Variable::Parameter({n, n}, b, "b");
+      ag::Variable loss = ag::MeanSquaredError(
+          ag::MatMul(pa, pb), std::vector<float>(n * n, 0.0f));
+      loss.Backward();
+    });
+    report.Add("matmul256/tiled_fwd_bwd", threads, 1e3 * s, "ms");
+    report.Add("matmul256/tiled_gflops", threads, matmul_flops / s / 1e9,
+               "GF/s");
+    if (threads == 4) tiled_t4_s = s;
+  }
+  report.Add("matmul256/speedup_vs_seed", 4, seed_s / tiled_t4_s, "x");
+
+  // Fused attention fwd + bwd (seq 64, hidden 64, 4 heads, batch 2).
+  {
+    const int64_t s = 64, h = 64, heads = 4, batch = 2;
+    Rng arng(2);
+    const std::vector<float> qkv = RandomVec(arng, batch * s * 3 * h);
+    for (int threads : {1, 4}) {
+      SetComputeThreads(threads);
+      const double secs = TimeIt([&] {
+        ag::Variable p =
+            ag::Variable::Parameter({batch * s, 3 * h}, qkv, "qkv");
+        ag::Variable att = ag::CausalSelfAttention(p, batch, s, heads);
+        ag::Variable loss = ag::MeanSquaredError(
+            att, std::vector<float>(batch * s * h, 0.0f));
+        loss.Backward();
+      });
+      report.Add("attention64/fwd_bwd", threads, 1e3 * secs, "ms");
+    }
+  }
+
+  // Chunk-parallel CPU Adam over 1M params (fp16 grads + P16 out).
+  {
+    const int64_t np = 1 << 20;
+    CpuAdamKernel kernel{AdamConfig{}};
+    Rng prng(3);
+    std::vector<float> params = RandomVec(prng, np), m(np, 0.0f), v(np, 0.0f);
+    std::vector<Fp16> g16(np), p16(np);
+    for (int64_t i = 0; i < np; ++i) {
+      g16[i] = FloatToHalf(static_cast<float>(prng.NextGaussian()));
+    }
+    int64_t step = 0;
+    for (int threads : {1, 4}) {
+      SetComputeThreads(threads);
+      const double secs = TimeIt([&] {
+        kernel.StepFp16Grads(++step, np, g16.data(), params.data(), m.data(),
+                             v.data(), p16.data());
+      });
+      report.Add("adam1m/params_per_s", threads, np / secs / 1e6, "Mparam/s");
+    }
+  }
+
+  // Whole TinyGpt train step (graph only, no I/O).
+  {
+    ag::TinyGptConfig cfg;
+    cfg.vocab_size = 64;
+    cfg.seq_len = 16;
+    cfg.hidden_dim = 48;
+    cfg.num_heads = 4;
+    cfg.num_layers = 4;
+    ag::TinyGpt model(cfg, 1);
+    Rng trng(4);
+    std::vector<int64_t> ids(2 * cfg.seq_len), targets(2 * cfg.seq_len);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = static_cast<int64_t>(trng.NextBelow(cfg.vocab_size));
+      targets[i] = static_cast<int64_t>(trng.NextBelow(cfg.vocab_size));
+    }
+    for (int threads : {1, 4}) {
+      SetComputeThreads(threads);
+      const double secs = TimeIt([&] {
+        model.ZeroGrads();
+        ag::Variable loss = model.Loss(ids, targets, 2);
+        loss.Backward();
+      });
+      report.Add("tinygpt4/tokens_per_s", threads, ids.size() / secs, "tok/s");
+    }
+  }
+  SetComputeThreads(1);
+
+  report.PrintTable(std::cout);
+  const Status st = report.WriteJson(out_path);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -1,5 +1,8 @@
 // Microbenchmark: the real autograd substrate (forward+backward cost of
-// the ops the runtime trains with).
+// the ops the runtime trains with). Two-argument benchmarks sweep
+// {size, compute threads}; BM_SeedSerialMatMul is the pre-parallel-layer
+// reference kernel (naive loops, this TU's default -O2) that the tiled
+// kernels are measured against.
 
 #include <benchmark/benchmark.h>
 
@@ -7,12 +10,18 @@
 
 #include "autograd/ops.h"
 #include "autograd/transformer.h"
+#include "bench/bench_util.h"
 #include "common/rng.h"
+#include "runtime/compute_pool.h"
 
 namespace {
 
 using namespace ratel::ag;
 using ratel::Rng;
+using ratel::SetComputeThreads;
+using ratel::bench::SeedGemmAccum;
+using ratel::bench::SeedGemmNTAccum;
+using ratel::bench::SeedGemmTNAccum;
 
 std::vector<float> RandomVec(Rng& rng, int64_t n) {
   std::vector<float> out(n);
@@ -20,8 +29,29 @@ std::vector<float> RandomVec(Rng& rng, int64_t n) {
   return out;
 }
 
+void BM_SeedSerialMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const std::vector<float> a = RandomVec(rng, n * n);
+  const std::vector<float> b = RandomVec(rng, n * n);
+  std::vector<float> out(n * n), da(n * n), db(n * n), g(n * n, 1.0f);
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    std::fill(da.begin(), da.end(), 0.0f);
+    std::fill(db.begin(), db.end(), 0.0f);
+    SeedGemmAccum(a.data(), b.data(), out.data(), n, n, n);
+    SeedGemmNTAccum(g.data(), b.data(), da.data(), n, n, n);
+    SeedGemmTNAccum(a.data(), g.data(), db.data(), n, n, n);
+    benchmark::DoNotOptimize(da.data());
+  }
+  // Same flop accounting as BM_MatMulForwardBackward: fwd + two bwd GEMMs.
+  state.SetItemsProcessed(state.iterations() * 6 * n * n * n);
+}
+BENCHMARK(BM_SeedSerialMatMul)->Arg(128)->Arg(256);
+
 void BM_MatMulForwardBackward(benchmark::State& state) {
   const int64_t n = state.range(0);
+  SetComputeThreads(static_cast<int>(state.range(1)));
   Rng rng(1);
   const std::vector<float> a = RandomVec(rng, n * n);
   const std::vector<float> b = RandomVec(rng, n * n);
@@ -35,11 +65,19 @@ void BM_MatMulForwardBackward(benchmark::State& state) {
   }
   // fwd 2n^3 + bwd 2x2n^3.
   state.SetItemsProcessed(state.iterations() * 6 * n * n * n);
+  SetComputeThreads(1);
 }
-BENCHMARK(BM_MatMulForwardBackward)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMulForwardBackward)
+    ->Args({32, 1})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
 
 void BM_AttentionForwardBackward(benchmark::State& state) {
   const int64_t s = state.range(0);
+  SetComputeThreads(static_cast<int>(state.range(1)));
   const int64_t h = 64, heads = 4, batch = 2;
   Rng rng(2);
   const std::vector<float> qkv = RandomVec(rng, batch * s * 3 * h);
@@ -52,10 +90,15 @@ void BM_AttentionForwardBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(p.grad().data());
   }
   state.SetItemsProcessed(state.iterations() * batch * s * s * h);
+  SetComputeThreads(1);
 }
-BENCHMARK(BM_AttentionForwardBackward)->Arg(16)->Arg(64);
+BENCHMARK(BM_AttentionForwardBackward)
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({64, 4});
 
 void BM_TinyGptTrainStepGraph(benchmark::State& state) {
+  SetComputeThreads(static_cast<int>(state.range(1)));
   TinyGptConfig cfg;
   cfg.vocab_size = 64;
   cfg.seq_len = 16;
@@ -76,8 +119,12 @@ void BM_TinyGptTrainStepGraph(benchmark::State& state) {
     benchmark::DoNotOptimize(loss.value()[0]);
   }
   state.SetItemsProcessed(state.iterations() * ids.size());
+  SetComputeThreads(1);
 }
-BENCHMARK(BM_TinyGptTrainStepGraph)->Arg(1)->Arg(4);
+BENCHMARK(BM_TinyGptTrainStepGraph)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 4});
 
 }  // namespace
 

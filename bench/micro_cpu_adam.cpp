@@ -9,6 +9,7 @@
 #include "common/fp16.h"
 #include "common/rng.h"
 #include "optim/cpu_adam.h"
+#include "runtime/compute_pool.h"
 
 namespace {
 
@@ -17,9 +18,13 @@ using ratel::CpuAdamKernel;
 using ratel::Fp16;
 using ratel::FloatToHalf;
 using ratel::Rng;
+using ratel::SetComputeThreads;
 
+// Two-argument variants sweep {n, compute threads}: the kernel fans its
+// fixed 4096-element chunk grid out on the shared ComputePool.
 void BM_AdamStepFp32(benchmark::State& state) {
   const int64_t n = state.range(0);
+  SetComputeThreads(static_cast<int>(state.range(1)));
   CpuAdamKernel kernel(AdamConfig{});
   Rng rng(1);
   std::vector<float> grads(n), params(n), m(n, 0.0f), v(n, 0.0f);
@@ -34,11 +39,18 @@ void BM_AdamStepFp32(benchmark::State& state) {
     benchmark::DoNotOptimize(params.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
+  SetComputeThreads(1);
 }
-BENCHMARK(BM_AdamStepFp32)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_AdamStepFp32)
+    ->Args({1 << 12, 1})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 4});
 
 void BM_AdamStepFp16GradsWithP16(benchmark::State& state) {
   const int64_t n = state.range(0);
+  SetComputeThreads(static_cast<int>(state.range(1)));
   CpuAdamKernel kernel(AdamConfig{});
   Rng rng(2);
   std::vector<Fp16> grads(n), p16(n);
@@ -54,8 +66,12 @@ void BM_AdamStepFp16GradsWithP16(benchmark::State& state) {
     benchmark::DoNotOptimize(p16.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
+  SetComputeThreads(1);
 }
-BENCHMARK(BM_AdamStepFp16GradsWithP16)->Arg(1 << 12)->Arg(1 << 20);
+BENCHMARK(BM_AdamStepFp16GradsWithP16)
+    ->Args({1 << 12, 1})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4});
 
 void BM_Fp16Conversion(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -11,7 +11,9 @@
 // reports loss, held-out accuracy, storage traffic and cache hit rate,
 // then writes a checkpoint of the fp32 master weights.
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -19,14 +21,23 @@
 #include "autograd/transformer.h"
 #include "common/units.h"
 #include "runtime/checkpoint.h"
+#include "runtime/compute_pool.h"
 #include "runtime/dataset.h"
 #include "runtime/ratel_trainer.h"
 
 int main(int argc, char** argv) {
   using namespace ratel;
 
+  // Usage: finetune_tiny_gpt [steps] [--threads N]
   int steps = 120;
-  if (argc > 1) steps = std::atoi(argv[1]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      SetComputeThreads(std::atoi(argv[++i]));
+    } else {
+      steps = std::atoi(argv[i]);
+    }
+  }
+  std::cout << "Compute threads: " << ComputeThreads() << "\n";
 
   ag::TinyGptConfig cfg;
   cfg.vocab_size = 64;
@@ -54,6 +65,7 @@ int main(int argc, char** argv) {
   SyntheticDataset dataset(SyntheticTask::kAffineMap, cfg.vocab_size,
                            cfg.seq_len, /*seed=*/7);
   const int64_t batch = 4;
+  const auto train_t0 = std::chrono::steady_clock::now();
   for (int step = 1; step <= steps; ++step) {
     const TokenBatch b = dataset.NextBatch(batch);
     auto loss = (*trainer)->TrainStep(b.ids, b.targets, batch);
@@ -74,6 +86,14 @@ int main(int argc, char** argv) {
               .c_str());
     }
   }
+
+  const double train_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    train_t0)
+          .count();
+  std::printf("\nTrained %d steps in %.2f s: %.0f tokens/s (%d threads)\n",
+              steps, train_s, steps * batch * cfg.seq_len / train_s,
+              ComputeThreads());
 
   const auto& store = (*trainer)->engine().store();
   std::cout << "\nStorage after training: " << store.num_blobs()

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "runtime/compute_pool.h"
 
 namespace ratel::ag {
 
@@ -20,49 +21,131 @@ NodePtr MakeOutput(std::vector<int64_t> shape,
   return node;
 }
 
-// out(MxN) += a(MxK) * b(KxN); plain ikj loop the compiler vectorizes.
+// ---------------------------------------------------------------------
+// Tiled parallel kernels.
+//
+// Every kernel fans out on the shared ComputePool with *fixed* chunk
+// boundaries (constants below, never derived from the thread count) and
+// a fixed accumulation order inside each chunk, so results are bitwise
+// identical at any RATEL_THREADS. Chunks write disjoint output ranges;
+// cross-chunk reductions (layernorm dgamma/dbeta, the cross-entropy
+// loss) go through per-tile partials combined serially in tile order.
+// ---------------------------------------------------------------------
+
+// Output rows per GEMM task (multiple of the 4-row register block).
+constexpr int64_t kGemmRowTile = 32;
+// k-panel kept hot in cache inside the GEMM micro-kernel.
+constexpr int64_t kGemmKBlock = 128;
+// Rows per task for row-wise kernels (layernorm, softmax, embedding).
+constexpr int64_t kRowTile = 8;
+// Elements per task for elementwise kernels.
+constexpr int64_t kEltTile = 1 << 15;
+// Output columns per task for column-reduction kernels.
+constexpr int64_t kColTile = 64;
+
+// out rows [i0, i1) += a * b for a(MxK) row-major against b(KxN): the
+// 4-row register block shares each loaded b row across four output
+// rows; per output element the k index always ascends, matching the
+// single-row tail path bit-for-bit.
+void GemmRowsBlocked(const float* a, const float* b, float* out, int64_t i0,
+                     int64_t i1, int64_t k, int64_t n) {
+  int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* o0 = out + i * n;
+    float* o1 = o0 + n;
+    float* o2 = o1 + n;
+    float* o3 = o2 + n;
+    for (int64_t p0 = 0; p0 < k; p0 += kGemmKBlock) {
+      const int64_t p1 = std::min(k, p0 + kGemmKBlock);
+      for (int64_t p = p0; p < p1; ++p) {
+        const float* brow = b + p * n;
+        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+        for (int64_t j = 0; j < n; ++j) {
+          const float bv = brow[j];
+          o0[j] += v0 * bv;
+          o1[j] += v1 * bv;
+          o2[j] += v2 * bv;
+          o3[j] += v3 * bv;
+        }
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t p0 = 0; p0 < k; p0 += kGemmKBlock) {
+      const int64_t p1 = std::min(k, p0 + kGemmKBlock);
+      for (int64_t p = p0; p < p1; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// out(MxN) += a(MxK) * b(KxN), parallel over row tiles.
 void GemmAccum(const float* a, const float* b, float* out, int64_t m,
                int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  ComputeParallelFor(0, m, kGemmRowTile, [=](int64_t i0, int64_t i1) {
+    GemmRowsBlocked(a, b, out, i0, i1, k, n);
+  });
 }
 
-// out(MxN) += a(MxK) * b(NxK)^T.
+// out(MxN) += a(MxK) * b(NxK)^T. b is transposed into a (KxN) panel
+// once (O(K*N) copies against O(M*K*N) flops) so the product streams
+// through the same row-blocked kernel instead of strided dot products.
 void GemmNTAccum(const float* a, const float* b, float* out, int64_t m,
                  int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
+  std::vector<float> bt(k * n);
+  float* btp = bt.data();
+  ComputeParallelFor(0, k, kColTile, [=](int64_t p0, int64_t p1) {
     for (int64_t j = 0; j < n; ++j) {
       const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] += acc;
+      for (int64_t p = p0; p < p1; ++p) btp[p * n + j] = brow[p];
     }
-  }
+  });
+  GemmAccum(a, btp, out, m, k, n);
 }
 
-// out(KxN) += a(MxK)^T * b(MxN).
+// out(KxN) += a(MxK)^T * b(MxN), parallel over output row tiles (the k
+// dimension). The reduction index i ascends in 4-blocks with a scalar
+// tail — a fixed order per output element for any task partition.
 void GemmTNAccum(const float* a, const float* b, float* out, int64_t m,
                  int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* orow = out + p * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  ComputeParallelFor(0, k, kGemmRowTile, [=](int64_t pb, int64_t pe) {
+    int64_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = a + i * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      const float* b0 = b + i * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      for (int64_t p = pb; p < pe; ++p) {
+        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+        float* orow = out + p * n;
+        for (int64_t j = 0; j < n; ++j) {
+          orow[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+        }
+      }
     }
-  }
+    for (; i < m; ++i) {
+      const float* arow = a + i * k;
+      const float* brow = b + i * n;
+      for (int64_t p = pb; p < pe; ++p) {
+        const float av = arow[p];
+        float* orow = out + p * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  });
 }
 
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
@@ -121,9 +204,12 @@ Variable Add(const Variable& a, const Variable& b) {
   RATEL_CHECK(a.shape() == b.shape()) << "Add shape mismatch";
   NodePtr out = MakeOutput(a.shape(), {a.node(), b.node()});
   const int64_t n = out->NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    out->value[i] = a.value()[i] + b.value()[i];
-  }
+  const float* av = a.value().data();
+  const float* bv = b.value().data();
+  float* ov = out->value.data();
+  ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) ov[i] = av[i] + bv[i];
+  });
   out->backward_fn = [n](Node& self) {
     for (int input = 0; input < 2; ++input) {
       Node& ni = *self.inputs[input];
@@ -138,20 +224,32 @@ Variable AddBias(const Variable& a, const Variable& bias) {
   const int64_t m = a.shape()[0], n = a.shape()[1];
   RATEL_CHECK(bias.shape()[0] == n) << "AddBias width mismatch";
   NodePtr out = MakeOutput({m, n}, {a.node(), bias.node()});
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      out->value[i * n + j] = a.value()[i * n + j] + bias.value()[j];
-    }
+  {
+    const float* av = a.value().data();
+    const float* bv = bias.value().data();
+    float* ov = out->value.data();
+    ComputeParallelFor(0, m, kRowTile, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t j = 0; j < n; ++j) ov[i * n + j] = av[i * n + j] + bv[j];
+      }
+    });
   }
   out->backward_fn = [m, n](Node& self) {
     Node& na = *self.inputs[0];
     Node& nb = *self.inputs[1];
     if (na.requires_grad()) na.AccumulateGrad(self.grad.data(), m * n);
     if (nb.requires_grad()) {
+      // Column reduction, parallel over disjoint column tiles; the row
+      // index ascends inside each tile, independent of the partition.
       std::vector<float> db(n, 0.0f);
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = 0; j < n; ++j) db[j] += self.grad[i * n + j];
-      }
+      const float* g = self.grad.data();
+      float* dbp = db.data();
+      ComputeParallelFor(0, n, kColTile, [=](int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < m; ++i) {
+          const float* grow = g + i * n;
+          for (int64_t j = j0; j < j1; ++j) dbp[j] += grow[j];
+        }
+      });
       nb.AccumulateGrad(db.data(), n);
     }
   };
@@ -161,12 +259,20 @@ Variable AddBias(const Variable& a, const Variable& bias) {
 Variable Scale(const Variable& a, float factor) {
   NodePtr out = MakeOutput(a.shape(), {a.node()});
   const int64_t n = out->NumElements();
-  for (int64_t i = 0; i < n; ++i) out->value[i] = a.value()[i] * factor;
+  const float* av = a.value().data();
+  float* ov = out->value.data();
+  ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) ov[i] = av[i] * factor;
+  });
   out->backward_fn = [n, factor](Node& self) {
     Node& na = *self.inputs[0];
     if (!na.requires_grad()) return;
     std::vector<float> da(n);
-    for (int64_t i = 0; i < n; ++i) da[i] = self.grad[i] * factor;
+    const float* g = self.grad.data();
+    float* dap = da.data();
+    ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) dap[i] = g[i] * factor;
+    });
     na.AccumulateGrad(da.data(), n);
   };
   return Variable(out);
@@ -175,23 +281,32 @@ Variable Scale(const Variable& a, float factor) {
 Variable Gelu(const Variable& a) {
   NodePtr out = MakeOutput(a.shape(), {a.node()});
   const int64_t n = out->NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    const float x = a.value()[i];
-    const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
-    out->value[i] = 0.5f * x * (1.0f + t);
-  }
+  const float* av = a.value().data();
+  float* ov = out->value.data();
+  ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float x = av[i];
+      const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+      ov[i] = 0.5f * x * (1.0f + t);
+    }
+  });
   out->backward_fn = [n](Node& self) {
     Node& na = *self.inputs[0];
     if (!na.requires_grad()) return;
     std::vector<float> da(n);
-    for (int64_t i = 0; i < n; ++i) {
-      const float x = na.value[i];
-      const float u = kGeluC * (x + 0.044715f * x * x * x);
-      const float t = std::tanh(u);
-      const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
-      const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-      da[i] = self.grad[i] * d;
-    }
+    const float* xv = na.value.data();
+    const float* g = self.grad.data();
+    float* dap = da.data();
+    ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float x = xv[i];
+        const float u = kGeluC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+        const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+        dap[i] = g[i] * d;
+      }
+    });
     na.AccumulateGrad(da.data(), n);
   };
   return Variable(out);
@@ -206,52 +321,84 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   NodePtr out = MakeOutput({m, n}, {x.node(), gamma.node(), beta.node()});
   // Cache per-row mean and inverse stddev for backward.
   auto stats = std::make_shared<std::vector<float>>(2 * m);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = x.value().data() + i * n;
-    float mean = 0.0f;
-    for (int64_t j = 0; j < n; ++j) mean += row[j];
-    mean /= n;
-    float var = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      const float d = row[j] - mean;
-      var += d * d;
-    }
-    var /= n;
-    const float inv_std = 1.0f / std::sqrt(var + eps);
-    (*stats)[2 * i] = mean;
-    (*stats)[2 * i + 1] = inv_std;
-    for (int64_t j = 0; j < n; ++j) {
-      const float xhat = (row[j] - mean) * inv_std;
-      out->value[i * n + j] = xhat * gamma.value()[j] + beta.value()[j];
-    }
+  {
+    const float* xv = x.value().data();
+    const float* gv = gamma.value().data();
+    const float* bv = beta.value().data();
+    float* ov = out->value.data();
+    float* st = stats->data();
+    ComputeParallelFor(0, m, kRowTile, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* row = xv + i * n;
+        float mean = 0.0f;
+        for (int64_t j = 0; j < n; ++j) mean += row[j];
+        mean /= n;
+        float var = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+          const float d = row[j] - mean;
+          var += d * d;
+        }
+        var /= n;
+        const float inv_std = 1.0f / std::sqrt(var + eps);
+        st[2 * i] = mean;
+        st[2 * i + 1] = inv_std;
+        for (int64_t j = 0; j < n; ++j) {
+          const float xhat = (row[j] - mean) * inv_std;
+          ov[i * n + j] = xhat * gv[j] + bv[j];
+        }
+      }
+    });
   }
   out->backward_fn = [m, n, stats](Node& self) {
     Node& nx = *self.inputs[0];
     Node& ng = *self.inputs[1];
     Node& nb = *self.inputs[2];
     std::vector<float> dx(nx.requires_grad() ? m * n : 0, 0.0f);
-    std::vector<float> dgamma(n, 0.0f), dbeta(n, 0.0f);
-    for (int64_t i = 0; i < m; ++i) {
-      const float mean = (*stats)[2 * i];
-      const float inv_std = (*stats)[2 * i + 1];
-      const float* xrow = nx.value.data() + i * n;
-      const float* grow = self.grad.data() + i * n;
-      float sum_dy_xhat = 0.0f, sum_dy = 0.0f;
-      for (int64_t j = 0; j < n; ++j) {
-        const float xhat = (xrow[j] - mean) * inv_std;
-        const float dy = grow[j] * ng.value[j];
-        sum_dy_xhat += dy * xhat;
-        sum_dy += dy;
-        dgamma[j] += grow[j] * xhat;
-        dbeta[j] += grow[j];
-      }
-      if (nx.requires_grad()) {
+    // dgamma/dbeta reduce over rows: each row tile accumulates into its
+    // own partial slice, combined serially in tile order below.
+    const int64_t tiles = (m + kRowTile - 1) / kRowTile;
+    std::vector<float> partial(tiles * 2 * n, 0.0f);
+    const bool need_dx = nx.requires_grad();
+    const float* st = stats->data();
+    const float* xv = nx.value.data();
+    const float* gv = ng.value.data();
+    const float* g = self.grad.data();
+    float* dxp = dx.data();
+    float* pp = partial.data();
+    ComputeParallelFor(0, m, kRowTile, [=](int64_t i0, int64_t i1) {
+      float* dgamma = pp + (i0 / kRowTile) * 2 * n;
+      float* dbeta = dgamma + n;
+      for (int64_t i = i0; i < i1; ++i) {
+        const float mean = st[2 * i];
+        const float inv_std = st[2 * i + 1];
+        const float* xrow = xv + i * n;
+        const float* grow = g + i * n;
+        float sum_dy_xhat = 0.0f, sum_dy = 0.0f;
         for (int64_t j = 0; j < n; ++j) {
           const float xhat = (xrow[j] - mean) * inv_std;
-          const float dy = grow[j] * ng.value[j];
-          dx[i * n + j] =
-              inv_std * (dy - sum_dy / n - xhat * sum_dy_xhat / n);
+          const float dy = grow[j] * gv[j];
+          sum_dy_xhat += dy * xhat;
+          sum_dy += dy;
+          dgamma[j] += grow[j] * xhat;
+          dbeta[j] += grow[j];
         }
+        if (need_dx) {
+          for (int64_t j = 0; j < n; ++j) {
+            const float xhat = (xrow[j] - mean) * inv_std;
+            const float dy = grow[j] * gv[j];
+            dxp[i * n + j] =
+                inv_std * (dy - sum_dy / n - xhat * sum_dy_xhat / n);
+          }
+        }
+      }
+    });
+    std::vector<float> dgamma(n, 0.0f), dbeta(n, 0.0f);
+    for (int64_t t = 0; t < tiles; ++t) {
+      const float* pg = partial.data() + t * 2 * n;
+      const float* pb = pg + n;
+      for (int64_t j = 0; j < n; ++j) {
+        dgamma[j] += pg[j];
+        dbeta[j] += pb[j];
       }
     }
     if (nx.requires_grad()) nx.AccumulateGrad(dx.data(), m * n);
@@ -279,53 +426,60 @@ Variable SelfAttentionImpl(const Variable& qkv, int64_t batch,
   auto probs = std::make_shared<std::vector<float>>(
       batch * num_heads * seq_len * seq_len, 0.0f);
 
-  const float* in = qkv.value().data();
-  const int64_t in_stride = 3 * hidden;
-  auto q_at = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
-    return in[(b * seq_len + t) * in_stride + h * dh + d];
-  };
-  auto k_at = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
-    return in[(b * seq_len + t) * in_stride + hidden + h * dh + d];
-  };
-  auto v_at = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
-    return in[(b * seq_len + t) * in_stride + 2 * hidden + h * dh + d];
-  };
-
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t h = 0; h < num_heads; ++h) {
-      float* p = probs->data() + ((b * num_heads + h) * seq_len) * seq_len;
-      for (int64_t i = 0; i < seq_len; ++i) {
-        // Scores over the visible window (causal prefix or full row),
-        // then a numerically stable softmax.
-        const int64_t limit = causal ? i : seq_len - 1;
-        float maxv = -1e30f;
-        for (int64_t j = 0; j <= limit; ++j) {
-          float s = 0.0f;
-          for (int64_t d = 0; d < dh; ++d) {
-            s += q_at(b, i, h, d) * k_at(b, j, h, d);
+  // Each (batch, head) pair owns disjoint slices of probs and out, so
+  // the heads fan out with one task per pair and untouched numerics.
+  {
+    const float* in = qkv.value().data();
+    const int64_t in_stride = 3 * hidden;
+    float* pr = probs->data();
+    float* ov = out->value.data();
+    ComputeParallelFor(
+        0, batch * num_heads, 1, [=](int64_t bh0, int64_t bh1) {
+          for (int64_t bh = bh0; bh < bh1; ++bh) {
+            const int64_t b = bh / num_heads;
+            const int64_t h = bh % num_heads;
+            auto q_at = [&](int64_t t, int64_t d) {
+              return in[(b * seq_len + t) * in_stride + h * dh + d];
+            };
+            auto k_at = [&](int64_t t, int64_t d) {
+              return in[(b * seq_len + t) * in_stride + hidden + h * dh + d];
+            };
+            auto v_at = [&](int64_t t, int64_t d) {
+              return in[(b * seq_len + t) * in_stride + 2 * hidden + h * dh +
+                        d];
+            };
+            float* p = pr + (bh * seq_len) * seq_len;
+            for (int64_t i = 0; i < seq_len; ++i) {
+              // Scores over the visible window (causal prefix or full
+              // row), then a numerically stable softmax.
+              const int64_t limit = causal ? i : seq_len - 1;
+              float maxv = -1e30f;
+              for (int64_t j = 0; j <= limit; ++j) {
+                float s = 0.0f;
+                for (int64_t d = 0; d < dh; ++d) s += q_at(i, d) * k_at(j, d);
+                s *= scale;
+                p[i * seq_len + j] = s;
+                maxv = std::max(maxv, s);
+              }
+              float denom = 0.0f;
+              for (int64_t j = 0; j <= limit; ++j) {
+                const float e = std::exp(p[i * seq_len + j] - maxv);
+                p[i * seq_len + j] = e;
+                denom += e;
+              }
+              for (int64_t j = 0; j <= limit; ++j) p[i * seq_len + j] /= denom;
+              // Context = probs . V.
+              float* orow = ov + (b * seq_len + i) * hidden + h * dh;
+              for (int64_t d = 0; d < dh; ++d) {
+                float acc = 0.0f;
+                for (int64_t j = 0; j <= limit; ++j) {
+                  acc += p[i * seq_len + j] * v_at(j, d);
+                }
+                orow[d] = acc;
+              }
+            }
           }
-          s *= scale;
-          p[i * seq_len + j] = s;
-          maxv = std::max(maxv, s);
-        }
-        float denom = 0.0f;
-        for (int64_t j = 0; j <= limit; ++j) {
-          const float e = std::exp(p[i * seq_len + j] - maxv);
-          p[i * seq_len + j] = e;
-          denom += e;
-        }
-        for (int64_t j = 0; j <= limit; ++j) p[i * seq_len + j] /= denom;
-        // Context = probs . V.
-        float* orow = out->value.data() + (b * seq_len + i) * hidden + h * dh;
-        for (int64_t d = 0; d < dh; ++d) {
-          float acc = 0.0f;
-          for (int64_t j = 0; j <= limit; ++j) {
-            acc += p[i * seq_len + j] * v_at(b, j, h, d);
-          }
-          orow[d] = acc;
-        }
-      }
-    }
+        });
   }
 
   out->backward_fn = [batch, seq_len, num_heads, hidden, dh, scale,
@@ -335,47 +489,55 @@ Variable SelfAttentionImpl(const Variable& qkv, int64_t batch,
     const int64_t in_stride = 3 * hidden;
     const float* in = nqkv.value.data();
     std::vector<float> din(nqkv.NumElements(), 0.0f);
-    auto idx_q = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
-      return (b * seq_len + t) * in_stride + h * dh + d;
-    };
-    auto idx_k = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
-      return (b * seq_len + t) * in_stride + hidden + h * dh + d;
-    };
-    auto idx_v = [&](int64_t b, int64_t t, int64_t h, int64_t d) {
-      return (b * seq_len + t) * in_stride + 2 * hidden + h * dh + d;
-    };
-    std::vector<float> dp(seq_len, 0.0f);
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t h = 0; h < num_heads; ++h) {
-        const float* p =
-            probs->data() + ((b * num_heads + h) * seq_len) * seq_len;
-        for (int64_t i = 0; i < seq_len; ++i) {
-          const int64_t limit = causal ? i : seq_len - 1;
-          const float* dout =
-              self.grad.data() + (b * seq_len + i) * hidden + h * dh;
-          // dV[j] += p[i][j] * dOut[i]; dP[i][j] = dOut[i] . V[j].
-          float dot_dp_p = 0.0f;
-          for (int64_t j = 0; j <= limit; ++j) {
-            float acc = 0.0f;
-            for (int64_t d = 0; d < dh; ++d) {
-              din[idx_v(b, j, h, d)] += p[i * seq_len + j] * dout[d];
-              acc += dout[d] * in[idx_v(b, j, h, d)];
+    const float* pr = probs->data();
+    const float* g = self.grad.data();
+    float* dinp = din.data();
+    // din's q/k/v slices for head h are only written by task (b, h):
+    // disjoint across tasks.
+    ComputeParallelFor(
+        0, batch * num_heads, 1, [=](int64_t bh0, int64_t bh1) {
+          std::vector<float> dp(seq_len, 0.0f);
+          for (int64_t bh = bh0; bh < bh1; ++bh) {
+            const int64_t b = bh / num_heads;
+            const int64_t h = bh % num_heads;
+            auto idx_q = [&](int64_t t, int64_t d) {
+              return (b * seq_len + t) * in_stride + h * dh + d;
+            };
+            auto idx_k = [&](int64_t t, int64_t d) {
+              return (b * seq_len + t) * in_stride + hidden + h * dh + d;
+            };
+            auto idx_v = [&](int64_t t, int64_t d) {
+              return (b * seq_len + t) * in_stride + 2 * hidden + h * dh + d;
+            };
+            const float* p = pr + (bh * seq_len) * seq_len;
+            for (int64_t i = 0; i < seq_len; ++i) {
+              const int64_t limit = causal ? i : seq_len - 1;
+              const float* dout = g + (b * seq_len + i) * hidden + h * dh;
+              // dV[j] += p[i][j] * dOut[i]; dP[i][j] = dOut[i] . V[j].
+              float dot_dp_p = 0.0f;
+              for (int64_t j = 0; j <= limit; ++j) {
+                float acc = 0.0f;
+                for (int64_t d = 0; d < dh; ++d) {
+                  dinp[idx_v(j, d)] += p[i * seq_len + j] * dout[d];
+                  acc += dout[d] * in[idx_v(j, d)];
+                }
+                dp[j] = acc;
+                dot_dp_p += acc * p[i * seq_len + j];
+              }
+              // Softmax backward: dS = P o (dP - sum(dP o P)); then Q/K
+              // grads.
+              for (int64_t j = 0; j <= limit; ++j) {
+                const float ds =
+                    p[i * seq_len + j] * (dp[j] - dot_dp_p) * scale;
+                if (ds == 0.0f) continue;
+                for (int64_t d = 0; d < dh; ++d) {
+                  dinp[idx_q(i, d)] += ds * in[idx_k(j, d)];
+                  dinp[idx_k(j, d)] += ds * in[idx_q(i, d)];
+                }
+              }
             }
-            dp[j] = acc;
-            dot_dp_p += acc * p[i * seq_len + j];
           }
-          // Softmax backward: dS = P o (dP - sum(dP o P)); then Q/K grads.
-          for (int64_t j = 0; j <= limit; ++j) {
-            const float ds = p[i * seq_len + j] * (dp[j] - dot_dp_p) * scale;
-            if (ds == 0.0f) continue;
-            for (int64_t d = 0; d < dh; ++d) {
-              din[idx_q(b, i, h, d)] += ds * in[idx_k(b, j, h, d)];
-              din[idx_k(b, j, h, d)] += ds * in[idx_q(b, i, h, d)];
-            }
-          }
-        }
-      }
-    }
+        });
     nqkv.AccumulateGrad(din.data(), nqkv.NumElements());
   };
   return Variable(out);
@@ -399,20 +561,35 @@ Variable Embedding(const std::vector<int64_t>& ids, const Variable& table) {
   const int64_t n = static_cast<int64_t>(ids.size());
   for (int64_t id : ids) RATEL_CHECK(id >= 0 && id < vocab);
   NodePtr out = MakeOutput({n, hidden}, {table.node()});
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = table.value().data() + ids[i] * hidden;
-    std::copy(row, row + hidden, out->value.data() + i * hidden);
-  }
   auto ids_copy = std::make_shared<std::vector<int64_t>>(ids);
+  {
+    const float* tv = table.value().data();
+    const int64_t* idp = ids_copy->data();
+    float* ov = out->value.data();
+    ComputeParallelFor(0, n, kRowTile, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* row = tv + idp[i] * hidden;
+        std::copy(row, row + hidden, ov + i * hidden);
+      }
+    });
+  }
   out->backward_fn = [n, hidden, vocab, ids_copy](Node& self) {
     Node& nt = *self.inputs[0];
     if (!nt.requires_grad()) return;
     std::vector<float> dt(vocab * hidden, 0.0f);
-    for (int64_t i = 0; i < n; ++i) {
-      const float* grow = self.grad.data() + i * hidden;
-      float* trow = dt.data() + (*ids_copy)[i] * hidden;
-      for (int64_t j = 0; j < hidden; ++j) trow[j] += grow[j];
-    }
+    // Rows sharing a token id scatter into the same table row, so the
+    // fan-out is over disjoint column tiles instead; the row index
+    // ascends inside each tile for any partition.
+    const float* g = self.grad.data();
+    const int64_t* idp = ids_copy->data();
+    float* dtp = dt.data();
+    ComputeParallelFor(0, hidden, kColTile, [=](int64_t j0, int64_t j1) {
+      for (int64_t i = 0; i < n; ++i) {
+        const float* grow = g + i * hidden;
+        float* trow = dtp + idp[i] * hidden;
+        for (int64_t j = j0; j < j1; ++j) trow[j] += grow[j];
+      }
+    });
     nt.AccumulateGrad(dt.data(), vocab * hidden);
   };
   return Variable(out);
@@ -423,40 +600,62 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
   RATEL_CHECK(logits.shape().size() == 2);
   const int64_t n = logits.shape()[0], vocab = logits.shape()[1];
   RATEL_CHECK(static_cast<int64_t>(targets.size()) == n);
+  for (int64_t i = 0; i < n; ++i) {
+    RATEL_CHECK(targets[i] >= 0 && targets[i] < vocab);
+  }
   NodePtr out = MakeOutput({1}, {logits.node()});
   auto probs = std::make_shared<std::vector<float>>(n * vocab);
-  double loss = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = logits.value().data() + i * vocab;
-    float maxv = row[0];
-    for (int64_t j = 1; j < vocab; ++j) maxv = std::max(maxv, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < vocab; ++j) {
-      const float e = std::exp(row[j] - maxv);
-      (*probs)[i * vocab + j] = e;
-      denom += e;
-    }
-    for (int64_t j = 0; j < vocab; ++j) {
-      (*probs)[i * vocab + j] /= static_cast<float>(denom);
-    }
-    RATEL_CHECK(targets[i] >= 0 && targets[i] < vocab);
-    loss -= std::log(
-        std::max(1e-30, static_cast<double>((*probs)[i * vocab + targets[i]])));
-  }
-  out->value[0] = static_cast<float>(loss / n);
   auto targets_copy = std::make_shared<std::vector<int64_t>>(targets);
+  // Row-parallel softmax; the scalar loss reduces through fixed
+  // per-tile partials summed in tile order.
+  const int64_t tiles = (n + kRowTile - 1) / kRowTile;
+  std::vector<double> partial(tiles, 0.0);
+  {
+    const float* lv = logits.value().data();
+    const int64_t* tg = targets_copy->data();
+    float* pv = probs->data();
+    double* pl = partial.data();
+    ComputeParallelFor(0, n, kRowTile, [=](int64_t i0, int64_t i1) {
+      double local = 0.0;
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* row = lv + i * vocab;
+        float maxv = row[0];
+        for (int64_t j = 1; j < vocab; ++j) maxv = std::max(maxv, row[j]);
+        double denom = 0.0;
+        for (int64_t j = 0; j < vocab; ++j) {
+          const float e = std::exp(row[j] - maxv);
+          pv[i * vocab + j] = e;
+          denom += e;
+        }
+        for (int64_t j = 0; j < vocab; ++j) {
+          pv[i * vocab + j] /= static_cast<float>(denom);
+        }
+        local -= std::log(std::max(
+            1e-30, static_cast<double>(pv[i * vocab + tg[i]])));
+      }
+      pl[i0 / kRowTile] = local;
+    });
+  }
+  double loss = 0.0;
+  for (int64_t t = 0; t < tiles; ++t) loss += partial[t];
+  out->value[0] = static_cast<float>(loss / n);
   out->backward_fn = [n, vocab, probs, targets_copy](Node& self) {
     Node& nl = *self.inputs[0];
     if (!nl.requires_grad()) return;
     const float g = self.grad[0] / static_cast<float>(n);
     std::vector<float> dl(n * vocab);
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = 0; j < vocab; ++j) {
-        float d = (*probs)[i * vocab + j];
-        if (j == (*targets_copy)[i]) d -= 1.0f;
-        dl[i * vocab + j] = d * g;
+    const float* pv = probs->data();
+    const int64_t* tg = targets_copy->data();
+    float* dlp = dl.data();
+    ComputeParallelFor(0, n, kRowTile, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t j = 0; j < vocab; ++j) {
+          float d = pv[i * vocab + j];
+          if (j == tg[i]) d -= 1.0f;
+          dlp[i * vocab + j] = d * g;
+        }
       }
-    }
+    });
     nl.AccumulateGrad(dl.data(), n * vocab);
   };
   return Variable(out);
@@ -479,9 +678,12 @@ Variable MeanSquaredError(const Variable& pred,
     if (!np.requires_grad()) return;
     const float g = self.grad[0] * 2.0f / static_cast<float>(n);
     std::vector<float> dp(n);
-    for (int64_t i = 0; i < n; ++i) {
-      dp[i] = (np.value[i] - (*targets_copy)[i]) * g;
-    }
+    const float* pv = np.value.data();
+    const float* tv = targets_copy->data();
+    float* dpp = dp.data();
+    ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) dpp[i] = (pv[i] - tv[i]) * g;
+    });
     np.AccumulateGrad(dp.data(), n);
   };
   return Variable(out);
@@ -546,6 +748,8 @@ Variable Dropout(const Variable& a, float rate, uint64_t seed) {
   const float keep = 1.0f - rate;
   const float scale = 1.0f / keep;
   auto mask = std::make_shared<std::vector<float>>(n);
+  // The mask stream stays serial: it must consume the Rng sequence in
+  // element order to be reproducible for a given seed.
   Rng rng(seed);
   for (int64_t i = 0; i < n; ++i) {
     (*mask)[i] = rng.NextDouble() < keep ? scale : 0.0f;
@@ -555,7 +759,12 @@ Variable Dropout(const Variable& a, float rate, uint64_t seed) {
     Node& na = *self.inputs[0];
     if (!na.requires_grad()) return;
     std::vector<float> da(n);
-    for (int64_t i = 0; i < n; ++i) da[i] = self.grad[i] * (*mask)[i];
+    const float* g = self.grad.data();
+    const float* mk = mask->data();
+    float* dap = da.data();
+    ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) dap[i] = g[i] * mk[i];
+    });
     na.AccumulateGrad(da.data(), n);
   };
   return Variable(out);

@@ -4,12 +4,24 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "runtime/compute_pool.h"
 
 namespace ratel {
 
 void CpuAdamKernel::Step(int64_t step, int64_t n, const float* grads,
                          float* params, float* exp_avg, float* exp_avg_sq,
                          Fp16* params16_out) const {
+  // Elementwise update over disjoint kChunk ranges: trivially bitwise
+  // identical to the serial reference for any thread count.
+  ComputeParallelFor(0, n, kChunk, [&](int64_t b, int64_t e) {
+    StepSerial(step, e - b, grads + b, params + b, exp_avg + b, exp_avg_sq + b,
+               params16_out != nullptr ? params16_out + b : nullptr);
+  });
+}
+
+void CpuAdamKernel::StepSerial(int64_t step, int64_t n, const float* grads,
+                               float* params, float* exp_avg,
+                               float* exp_avg_sq, Fp16* params16_out) const {
   RATEL_CHECK(step >= 1);
   const float beta1 = static_cast<float>(config_.beta1);
   const float beta2 = static_cast<float>(config_.beta2);
@@ -45,17 +57,18 @@ void CpuAdamKernel::StepFp16Grads(int64_t step, int64_t n, const Fp16* grads16,
                                   float* params, float* exp_avg,
                                   float* exp_avg_sq, Fp16* params16_out,
                                   float grad_unscale) const {
-  // Convert in cache-friendly tiles, then run the fp32 kernel per tile.
-  constexpr int64_t kTile = 4096;
-  float buf[kTile];
-  for (int64_t off = 0; off < n; off += kTile) {
-    const int64_t len = std::min(kTile, n - off);
+  // Each kChunk range converts its gradients into a task-local tile and
+  // runs the fp32 reference kernel on it; the chunk grid matches Step's
+  // so fp16-grad updates are deterministic the same way.
+  ComputeParallelFor(0, n, kChunk, [&](int64_t b, int64_t e) {
+    float buf[kChunk];
+    const int64_t len = e - b;
     for (int64_t i = 0; i < len; ++i) {
-      buf[i] = HalfToFloat(grads16[off + i]) * grad_unscale;
+      buf[i] = HalfToFloat(grads16[b + i]) * grad_unscale;
     }
-    Step(step, len, buf, params + off, exp_avg + off, exp_avg_sq + off,
-         params16_out != nullptr ? params16_out + off : nullptr);
-  }
+    StepSerial(step, len, buf, params + b, exp_avg + b, exp_avg_sq + b,
+               params16_out != nullptr ? params16_out + b : nullptr);
+  });
 }
 
 Status ChunkedCpuAdam::Register(const std::string& name,

@@ -27,17 +27,30 @@ struct AdamConfig {
 /// exact producer/consumer contract of Table II. The kernel is plain
 /// loop code that the compiler auto-vectorizes; it is deliberately
 /// chunk-oriented so the active gradient offloading pipeline (Section
-/// IV-C) can invoke it per arriving gradient tensor.
+/// IV-C) can invoke it per arriving gradient tensor. `Step` fans the
+/// update out over the shared ComputePool in fixed 4096-element chunks;
+/// because the update is purely elementwise the result is bitwise
+/// identical to `StepSerial` at any thread count.
 class CpuAdamKernel {
  public:
+  /// Elements per parallel chunk. Chunk boundaries depend only on `n`,
+  /// never on the thread count, so fp32 results are reproducible.
+  static constexpr int64_t kChunk = 4096;
+
   explicit CpuAdamKernel(const AdamConfig& config) : config_(config) {}
 
-  /// One Adam step over a contiguous chunk.
-  /// `step` is the 1-based global step count used for bias correction.
-  /// All arrays hold `n` elements. `params16_out` may be null when no
-  /// fp16 copy is needed.
+  /// One Adam step over a contiguous chunk, parallel over the kChunk
+  /// grid. `step` is the 1-based global step count used for bias
+  /// correction. All arrays hold `n` elements. `params16_out` may be
+  /// null when no fp16 copy is needed.
   void Step(int64_t step, int64_t n, const float* grads, float* params,
             float* exp_avg, float* exp_avg_sq, Fp16* params16_out) const;
+
+  /// Single-threaded reference implementation of `Step`; the
+  /// determinism suite asserts the parallel path matches it bitwise.
+  void StepSerial(int64_t step, int64_t n, const float* grads, float* params,
+                  float* exp_avg, float* exp_avg_sq,
+                  Fp16* params16_out) const;
 
   /// Same, with fp16 gradients (the G16 tensors arriving from the GPU).
   /// `grad_unscale` multiplies each gradient after conversion — the

@@ -1,0 +1,80 @@
+#include "runtime/compute_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "runtime/thread_pool.h"
+
+namespace ratel {
+
+namespace {
+
+constexpr int kMaxComputeThreads = 16;
+
+int ResolveThreadsFromEnv() {
+  if (const char* env = std::getenv("RATEL_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return std::min(n, kMaxComputeThreads);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw), 1, kMaxComputeThreads);
+}
+
+std::mutex g_mu;
+int g_threads = 0;  // 0 = not yet resolved
+// The pool holds g_threads - 1 workers (the ParallelFor caller is the
+// remaining executor); null when single-threaded.
+std::shared_ptr<ThreadPool> g_pool;
+
+// Resolves lazily and returns the pool share for this call. Holding a
+// shared_ptr keeps the workers alive across a concurrent
+// SetComputeThreads; the old pool joins when its last user drops it.
+std::shared_ptr<ThreadPool> PoolShare() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_threads == 0) {
+    g_threads = ResolveThreadsFromEnv();
+    if (g_threads > 1) g_pool = std::make_shared<ThreadPool>(g_threads - 1);
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+int ComputeThreads() {
+  PoolShare();
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_threads;
+}
+
+void SetComputeThreads(int n) {
+  n = std::clamp(n, 1, kMaxComputeThreads);
+  std::shared_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (n == g_threads) return;
+    old = std::move(g_pool);
+    g_threads = n;
+    g_pool = n > 1 ? std::make_shared<ThreadPool>(n - 1) : nullptr;
+  }
+  // Joins the previous workers outside the lock (unless still in use).
+}
+
+void ComputeParallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  std::shared_ptr<ThreadPool> pool = PoolShare();
+  if (pool == nullptr) {
+    // Single-threaded: run the chunks inline, in ascending order.
+    grain = std::max<int64_t>(grain, 1);
+    for (int64_t b = begin; b < end; b += grain) {
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+  pool->ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace ratel

@@ -1,0 +1,45 @@
+#ifndef RATEL_RUNTIME_COMPUTE_POOL_H_
+#define RATEL_RUNTIME_COMPUTE_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace ratel {
+
+/// Process-wide compute parallelism for the CPU kernels (tiled autograd
+/// ops, chunk-parallel Adam). Distinct from I/O parallelism: the
+/// TransferEngine's io_workers and the trainer's pipeline threads keep
+/// their own pools, so a kernel fanning out here never steals an I/O
+/// thread (and vice versa — no oversubscription between the stages of
+/// the Fig. 3b pipeline).
+///
+/// The pool is sized once, lazily, from the RATEL_THREADS environment
+/// variable (total compute threads including the caller; default:
+/// hardware concurrency, clamped to [1, 16]). RATEL_THREADS=1 disables
+/// worker threads entirely — every kernel then runs inline.
+///
+/// Determinism contract: ComputeParallelFor partitions work into chunks
+/// whose boundaries depend only on (begin, end, grain). Kernels keep a
+/// fixed accumulation order inside each chunk and write disjoint
+/// outputs, so results are bitwise identical for every thread count.
+
+/// Resolved compute thread count (>= 1, includes the calling thread).
+int ComputeThreads();
+
+/// Overrides the compute thread count, recreating the shared pool
+/// (tests and thread-sweep benchmarks). Must not be called while
+/// kernels are in flight. `n` < 1 is clamped to 1.
+void SetComputeThreads(int n);
+
+/// ThreadPool::ParallelFor on the shared compute pool: runs
+/// `fn(chunk_begin, chunk_end)` over [begin, end) in fixed chunks of
+/// `grain`, using up to ComputeThreads() threads (caller included), and
+/// blocks until done. Runs inline when the pool is single-threaded or
+/// the range fits one chunk. Safe to call concurrently from multiple
+/// threads; `fn` must not throw.
+void ComputeParallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace ratel
+
+#endif  // RATEL_RUNTIME_COMPUTE_POOL_H_

@@ -93,7 +93,10 @@ Status OutOfCoreAdam::StepTensor(const std::string& name,
   }
   RATEL_RETURN_IF_ERROR(first_error);
 
-  // CPU compute: the Adam handler, emitting the fresh P16 copy.
+  // CPU compute: the Adam handler, emitting the fresh P16 copy. The
+  // kernel fans its chunk grid out on the shared ComputePool; the SSD
+  // read/writeback stages above and below stay on the TransferEngine's
+  // own I/O workers, so compute and I/O threads never compete.
   float* params = reinterpret_cast<float*>(params_raw.data());
   float* m = reinterpret_cast<float*>(m_raw.data());
   float* v = reinterpret_cast<float*>(v_raw.data());

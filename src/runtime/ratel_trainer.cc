@@ -196,6 +196,11 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
   // concurrently, but only after "backward" fully finished).
   std::vector<std::pair<std::string, std::vector<Fp16>>> deferred;
 
+  // Scope this step's handler tasks: the group's Wait covers exactly
+  // the tasks submitted through it, independent of anything else that
+  // may share the pipeline pool.
+  TaskGroup group(pipeline_.get());
+
   for (const std::string& name : ArrivalOrder()) {
     // Locate the parameter and convert its gradient to G16.
     ag::Variable var;
@@ -223,7 +228,7 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       case GradientOffloadMode::kOptimizedActive:
         // Handlers pipeline across tensors on the worker pool while the
         // arrival loop keeps producing G16 (Fig. 3b).
-        pipeline_->Submit(
+        group.Submit(
             [&handler, name, g = std::move(g16)]() mutable {
               handler(name, std::move(g));
             });
@@ -235,10 +240,10 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
         break;
       case GradientOffloadMode::kSerializedOptimizer:
         // Defer everything to a separate optimizer stage below.
-        pipeline_->Submit([&handler, name, g = std::move(g16)]() mutable {
+        group.Submit([&handler, name, g = std::move(g16)]() mutable {
           handler(name, std::move(g));
         });
-        pipeline_->Wait();  // strictly one at a time, after "backward"
+        group.Wait();  // strictly one at a time, after "backward"
         break;
       case GradientOffloadMode::kSerializedPipelined:
         deferred.emplace_back(name, std::move(g16));
@@ -246,11 +251,11 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
     }
   }
   for (auto& [name, g16] : deferred) {
-    pipeline_->Submit([&handler, name = name, g = std::move(g16)]() mutable {
+    group.Submit([&handler, name = name, g = std::move(g16)]() mutable {
       handler(name, std::move(g));
     });
   }
-  pipeline_->Wait();
+  group.Wait();
   RATEL_RETURN_IF_ERROR(first_error);
   const double t_opt = NowSeconds();
 

@@ -1,5 +1,9 @@
 #include "runtime/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
 #include "common/logging.h"
 
 namespace ratel {
@@ -12,19 +16,24 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return;  // idempotent
     shutting_down_ = true;
   }
   work_available_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    RATEL_CHECK(!shutting_down_);
+    RATEL_CHECK(!shutting_down_)
+        << "ThreadPool::Submit after Shutdown began";
     queue_.push_back(std::move(fn));
     ++in_flight_;
   }
@@ -36,6 +45,59 @@ void ThreadPool::Wait() {
   all_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  if (num_chunks == 1) {
+    fn(begin, end);
+    return;
+  }
+
+  // Chunks are claimed from a shared counter: the assignment of chunks
+  // to threads is dynamic (load-balanced), but the chunk *boundaries*
+  // are static, which is all determinism needs.
+  struct State {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t begin = 0, end = 0, grain = 0, num_chunks = 0;
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int64_t done = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = &fn;  // the caller blocks below, so `fn` outlives all tasks
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+
+  auto run_chunks = [state] {
+    int64_t finished = 0;
+    for (;;) {
+      const int64_t c = state->next.fetch_add(1);
+      if (c >= state->num_chunks) break;
+      const int64_t b = state->begin + c * state->grain;
+      (*state->fn)(b, std::min(state->end, b + state->grain));
+      ++finished;
+    }
+    if (finished > 0) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done += finished;
+      if (state->done == state->num_chunks) state->done_cv.notify_all();
+    }
+  };
+
+  const int helpers = static_cast<int>(
+      std::min<int64_t>(num_threads(), num_chunks - 1));
+  for (int i = 0; i < helpers; ++i) Submit(run_chunks);
+  run_chunks();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock,
+                      [&] { return state->done == state->num_chunks; });
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -43,7 +105,7 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(
           lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down
+      if (queue_.empty()) return;  // shutting down and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -54,6 +116,29 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) all_idle_.notify_all();
     }
   }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  RATEL_CHECK(pool != nullptr);
+}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) idle_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
 }
 
 }  // namespace ratel

@@ -2,6 +2,7 @@
 #define RATEL_RUNTIME_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -13,7 +14,13 @@ namespace ratel {
 /// Fixed-size worker pool executing submitted closures in FIFO order per
 /// worker pickup. Used by the runtime's offload pipeline stages (state
 /// reader / Adam updater / writeback), mirroring the three overlapped
-/// steps of optimized active gradient offloading (Fig. 3b).
+/// steps of optimized active gradient offloading (Fig. 3b), and — via
+/// ParallelFor — by the tiled compute kernels.
+///
+/// Lifecycle: the pool accepts work until Shutdown() (called implicitly
+/// by the destructor). Shutdown drains every already-queued task, then
+/// joins the workers; it is idempotent. Submitting after shutdown began
+/// is a checked failure (RATEL_CHECK), never a silent race.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -22,11 +29,35 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `fn`; returns immediately.
+  /// Enqueues `fn`; returns immediately. CHECK-fails once Shutdown()
+  /// has begun.
   void Submit(std::function<void()> fn);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until the pool is idle: the queue is empty and no task is
+  /// running. Tasks submitted concurrently with Wait() — from other
+  /// threads or from inside running tasks — extend the wait; Wait()
+  /// returns only at a moment when nothing is queued or in flight. Use
+  /// a TaskGroup to wait for a specific subset instead.
   void Wait();
+
+  /// Drains all queued tasks and joins the workers. Idempotent; called
+  /// by the destructor. After this returns, Submit() CHECK-fails and
+  /// Wait() returns immediately.
+  void Shutdown();
+
+  /// Runs `fn(chunk_begin, chunk_end)` over every chunk of [begin, end)
+  /// split into fixed chunks of `grain` (the last chunk may be short),
+  /// blocking until all chunks finished. Chunk boundaries depend only
+  /// on (begin, end, grain) — never on the thread count — so a kernel
+  /// whose chunks write disjoint outputs in a fixed per-chunk order
+  /// produces bitwise-identical results at any parallelism.
+  ///
+  /// The calling thread participates (up to num_threads() workers help),
+  /// so the call makes progress even when every worker is busy, and
+  /// nested/concurrent ParallelFor calls cannot deadlock. `fn` must not
+  /// throw.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -40,6 +71,33 @@ class ThreadPool {
   int in_flight_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// A set of tasks submitted to a shared ThreadPool that can be awaited
+/// independently of other users of the pool: Wait() blocks until exactly
+/// the tasks submitted through *this* group finished, regardless of what
+/// other threads keep submitting. The destructor waits, so tasks never
+/// outlive the state they capture by reference.
+class TaskGroup {
+ public:
+  /// `pool` is not owned and must outlive the group.
+  explicit TaskGroup(ThreadPool* pool);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `fn` on the pool, tracked by this group.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted through this group has finished.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable idle_;
+  int64_t pending_ = 0;
 };
 
 }  // namespace ratel

@@ -2,7 +2,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "autograd/transformer.h"
@@ -55,6 +59,105 @@ TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
   ThreadPool pool(1);
   pool.Wait();  // must not hang
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksAndIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 50);  // queued work ran, not dropped
+  pool.Shutdown();                // second call is a no-op
+  pool.Wait();                    // post-shutdown Wait returns immediately
+}
+
+TEST(ThreadPoolDeathTest, SubmitAfterShutdownIsCheckedFailure) {
+  ThreadPool pool(2);
+  pool.Shutdown();  // workers joined: death-test fork below is safe
+  EXPECT_DEATH(pool.Submit([] {}), "after Shutdown");
+}
+
+TEST(ThreadPoolTest, WaitCoversTasksSubmittedWhileWaiting) {
+  // Pinned semantics: a task submitted *from inside a running task*
+  // extends Wait(); Wait returns only once the pool is fully idle.
+  ThreadPool pool(2);
+  std::atomic<bool> follow_up_ran{false};
+  pool.Submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pool.Submit([&] { follow_up_ran.store(true); });
+  });
+  pool.Wait();
+  EXPECT_TRUE(follow_up_ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, 7, [&](int64_t b, int64_t e) {
+    EXPECT_LT(b, e);
+    EXPECT_LE(e - b, 7);
+    for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  pool.ParallelFor(5, 5, 4, [&](int64_t, int64_t) { FAIL(); });  // empty
+}
+
+TEST(ThreadPoolTest, ParallelForProgressesWhenAllWorkersAreBusy) {
+  // The caller claims chunks itself, so a ParallelFor issued while every
+  // worker is blocked still completes (the nested/concurrent case hit by
+  // Adam handlers running on the trainer pipeline).
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 64, 8, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+}
+
+TEST(TaskGroupTest, WaitCoversOnlyThisGroupsTasks) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> outsider_done{false};
+  // An unrelated long-running task on the shared pool...
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    outsider_done.store(true);
+  });
+  // ...must not block the group's Wait.
+  TaskGroup group(&pool);
+  std::atomic<int> group_ran{0};
+  group.Submit([&] { group_ran.fetch_add(1); });
+  group.Submit([&] { group_ran.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(group_ran.load(), 2);
+  EXPECT_FALSE(outsider_done.load());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_TRUE(outsider_done.load());
 }
 
 // ---------- OutOfCoreAdam ----------
