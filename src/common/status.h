@@ -21,6 +21,14 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kInternal,
+  /// Transient device-level failure (a failed NVMe command, an injected
+  /// fault): the operation may succeed if retried. The I/O scheduler's
+  /// retry loop treats this code (and kIoError) as retryable.
+  kUnavailable,
+  /// Persisted bytes fail integrity verification (torn write, corrupt
+  /// checkpoint shard). Never retryable — the caller must fall back to
+  /// a previous consistent copy.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -63,6 +71,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

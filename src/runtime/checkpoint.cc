@@ -1,9 +1,20 @@
 #include "runtime/checkpoint.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+
+#include "common/checksum.h"
+#include "common/logging.h"
 
 namespace ratel {
 namespace checkpoint {
@@ -99,6 +110,232 @@ Result<std::vector<Entry>> Load(const std::string& path) {
     entries.push_back(std::move(e));
   }
   return entries;
+}
+
+// ----- Crash-consistent training state (format v2) -----
+
+namespace {
+
+constexpr uint32_t kVersion2 = 2;
+
+// A writer that checksums everything it emits; each shard's CRC is
+// flushed right behind the shard's bytes.
+class ChecksummedWriter {
+ public:
+  explicit ChecksummedWriter(std::FILE* f) : f_(f) {}
+
+  Status Write(const void* data, size_t n) {
+    crc_.Update(data, n);
+    return WriteBytes(f_, data, n);
+  }
+
+  /// Emits the CRC of everything written since the last FlushCrc and
+  /// resets the accumulator.
+  Status FlushCrc() {
+    const uint32_t crc = crc_.value();
+    crc_.Reset();
+    return WriteBytes(f_, &crc, sizeof(crc));
+  }
+
+ private:
+  std::FILE* f_;
+  Crc32cAccumulator crc_;
+};
+
+// Read side: truncation and checksum mismatch are both kDataLoss — the
+// caller treats either as a torn checkpoint and falls back.
+class ChecksummedReader {
+ public:
+  ChecksummedReader(std::FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
+
+  Status Read(void* data, size_t n) {
+    if (std::fread(data, 1, n, f_) != n) {
+      return Status::DataLoss("checkpoint '" + path_ + "' truncated (torn)");
+    }
+    crc_.Update(data, n);
+    return Status::Ok();
+  }
+
+  /// Reads the stored CRC and checks it against everything read since
+  /// the last VerifyCrc.
+  Status VerifyCrc(const char* what) {
+    const uint32_t expected = crc_.value();
+    crc_.Reset();
+    uint32_t stored = 0;
+    if (std::fread(&stored, 1, sizeof(stored), f_) != sizeof(stored)) {
+      return Status::DataLoss("checkpoint '" + path_ + "' truncated (torn)");
+    }
+    if (stored != expected) {
+      return Status::DataLoss("checkpoint '" + path_ + "': " +
+                              std::string(what) + " checksum mismatch");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::FILE* f_;
+  std::string path_;
+  Crc32cAccumulator crc_;
+};
+
+Status FsyncFile(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) {
+    return Status::IoError("flush '" + path + "' failed");
+  }
+  if (::fsync(::fileno(f)) != 0) {
+    return Status::IoError("fsync '" + path + "': " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+// fsync the directory so the rename itself is durable.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." :
+                          path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+Status SaveState(const TrainState& state, const std::string& path) {
+  // Shadow write + atomic publish: the published name never refers to a
+  // partially written file.
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return Status::IoError("cannot open '" + tmp + "' for writing");
+    ChecksummedWriter w(f.get());
+    RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
+    RATEL_RETURN_IF_ERROR(w.Write(&kVersion2, sizeof(kVersion2)));
+    const uint64_t step = static_cast<uint64_t>(state.step);
+    RATEL_RETURN_IF_ERROR(w.Write(&step, sizeof(step)));
+    const uint32_t count = static_cast<uint32_t>(state.tensors.size());
+    RATEL_RETURN_IF_ERROR(w.Write(&count, sizeof(count)));
+    RATEL_RETURN_IF_ERROR(w.FlushCrc());
+    for (const TensorState& t : state.tensors) {
+      if (t.m.size() != t.p32.size() || t.v.size() != t.p32.size()) {
+        return Status::InvalidArgument("tensor '" + t.name +
+                                       "' has mismatched state sizes");
+      }
+      const uint32_t name_len = static_cast<uint32_t>(t.name.size());
+      RATEL_RETURN_IF_ERROR(w.Write(&name_len, sizeof(name_len)));
+      RATEL_RETURN_IF_ERROR(w.Write(t.name.data(), t.name.size()));
+      const uint64_t n = t.p32.size();
+      RATEL_RETURN_IF_ERROR(w.Write(&n, sizeof(n)));
+      const uint64_t adam_step = static_cast<uint64_t>(t.adam_step);
+      RATEL_RETURN_IF_ERROR(w.Write(&adam_step, sizeof(adam_step)));
+      RATEL_RETURN_IF_ERROR(w.Write(t.p32.data(), 4 * n));
+      RATEL_RETURN_IF_ERROR(w.Write(t.m.data(), 4 * n));
+      RATEL_RETURN_IF_ERROR(w.Write(t.v.data(), 4 * n));
+      RATEL_RETURN_IF_ERROR(w.FlushCrc());
+    }
+    RATEL_RETURN_IF_ERROR(FsyncFile(f.get(), tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename '" + tmp + "' -> '" + path +
+                           "': " + std::strerror(errno));
+  }
+  FsyncParentDir(path);
+  return Status::Ok();
+}
+
+Result<TrainState> LoadState(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open '" + path + "'");
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("'" + path + "' is not a Ratel checkpoint");
+  }
+  ChecksummedReader r(f.get(), path);
+  uint32_t version = 0;
+  RATEL_RETURN_IF_ERROR(r.Read(&version, sizeof(version)));
+  if (version != kVersion2) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  uint64_t step = 0;
+  RATEL_RETURN_IF_ERROR(r.Read(&step, sizeof(step)));
+  uint32_t count = 0;
+  RATEL_RETURN_IF_ERROR(r.Read(&count, sizeof(count)));
+  RATEL_RETURN_IF_ERROR(r.VerifyCrc("header"));
+  TrainState state;
+  state.step = static_cast<int64_t>(step);
+  state.tensors.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    RATEL_RETURN_IF_ERROR(r.Read(&name_len, sizeof(name_len)));
+    if (name_len > 4096) {
+      return Status::DataLoss("checkpoint '" + path + "': name too long");
+    }
+    TensorState t;
+    t.name.resize(name_len);
+    RATEL_RETURN_IF_ERROR(r.Read(t.name.data(), name_len));
+    uint64_t n = 0;
+    RATEL_RETURN_IF_ERROR(r.Read(&n, sizeof(n)));
+    if (n > (uint64_t{1} << 34)) {
+      return Status::DataLoss("checkpoint '" + path + "': tensor too large");
+    }
+    uint64_t adam_step = 0;
+    RATEL_RETURN_IF_ERROR(r.Read(&adam_step, sizeof(adam_step)));
+    t.adam_step = static_cast<int64_t>(adam_step);
+    t.p32.resize(n);
+    t.m.resize(n);
+    t.v.resize(n);
+    RATEL_RETURN_IF_ERROR(r.Read(t.p32.data(), 4 * n));
+    RATEL_RETURN_IF_ERROR(r.Read(t.m.data(), 4 * n));
+    RATEL_RETURN_IF_ERROR(r.Read(t.v.data(), 4 * n));
+    RATEL_RETURN_IF_ERROR(r.VerifyCrc("shard"));
+    state.tensors.push_back(std::move(t));
+  }
+  return state;
+}
+
+std::string VersionedPath(const std::string& dir, int64_t step) {
+  return dir + "/step_" + std::to_string(step) + ".ckpt";
+}
+
+Status SaveVersioned(const std::string& dir, const TrainState& state) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir '" + dir + "': " + std::strerror(errno));
+  }
+  return SaveState(state, VersionedPath(dir, state.step));
+}
+
+Result<TrainState> LoadLatest(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("no checkpoint directory '" + dir + "'");
+  }
+  std::vector<int64_t> steps;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 10 && name.compare(0, 5, "step_") == 0 &&
+        name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+      char* end = nullptr;
+      const long long step = std::strtoll(name.c_str() + 5, &end, 10);
+      if (end != nullptr && std::string(end) == ".ckpt") {
+        steps.push_back(step);
+      }
+    }
+  }
+  ::closedir(d);
+  std::sort(steps.rbegin(), steps.rend());
+  for (int64_t step : steps) {
+    const std::string path = VersionedPath(dir, step);
+    Result<TrainState> state = LoadState(path);
+    if (state.ok()) return state;
+    // Torn or corrupt — fall back to the previous epoch.
+    RATEL_LOG(Warning) << "skipping invalid checkpoint " << path << ": "
+                       << state.status().ToString();
+  }
+  return Status::NotFound("no valid checkpoint in '" + dir + "'");
 }
 
 }  // namespace checkpoint

@@ -154,4 +154,67 @@ Status OutOfCoreAdam::FetchMasterParams(const std::string& name,
                        4 * n);
 }
 
+Status OutOfCoreAdam::ExportState(const std::string& name, int64_t* step,
+                                  std::vector<float>* p32,
+                                  std::vector<float>* m,
+                                  std::vector<float>* v) const {
+  int64_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = meta_.find(name);
+    if (it == meta_.end()) {
+      return Status::NotFound("tensor '" + name + "' not registered");
+    }
+    n = it->second.size;
+    *step = it->second.step;
+  }
+  p32->resize(n);
+  m->resize(n);
+  v->resize(n);
+  RATEL_RETURN_IF_ERROR(
+      engine_->Read(FlowClass::kCheckpoint, P32Key(name), p32->data(), 4 * n));
+  RATEL_RETURN_IF_ERROR(
+      engine_->Read(FlowClass::kCheckpoint, MomKey(name), m->data(), 4 * n));
+  return engine_->Read(FlowClass::kCheckpoint, VarKey(name), v->data(), 4 * n);
+}
+
+Status OutOfCoreAdam::ImportState(const std::string& name, int64_t step,
+                                  const std::vector<float>& p32,
+                                  const std::vector<float>& m,
+                                  const std::vector<float>& v) {
+  const int64_t n = static_cast<int64_t>(p32.size());
+  if (static_cast<int64_t>(m.size()) != n ||
+      static_cast<int64_t>(v.size()) != n) {
+    return Status::InvalidArgument("optimizer state size mismatch for '" +
+                                   name + "'");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = meta_.find(name);
+    if (it != meta_.end() && it->second.size != n) {
+      return Status::InvalidArgument("tensor '" + name +
+                                     "' registered with a different size");
+    }
+    meta_[name] = TensorMeta{n, step};
+  }
+  std::vector<Fp16> p16(p32.size());
+  for (int64_t i = 0; i < n; ++i) p16[i] = FloatToHalf(p32[i]);
+  std::array<TransferEngine::Ticket, 4> tickets = {
+      engine_->SubmitWrite(FlowClass::kCheckpoint, P32Key(name), p32.data(),
+                           4 * n),
+      engine_->SubmitWrite(FlowClass::kCheckpoint, MomKey(name), m.data(),
+                           4 * n),
+      engine_->SubmitWrite(FlowClass::kCheckpoint, VarKey(name), v.data(),
+                           4 * n),
+      engine_->SubmitWrite(FlowClass::kCheckpoint, P16Key(name), p16.data(),
+                           2 * n),
+  };
+  Status first_error;
+  for (TransferEngine::Ticket t : tickets) {
+    Status s = engine_->Wait(t);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
 }  // namespace ratel

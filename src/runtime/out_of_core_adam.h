@@ -58,6 +58,22 @@ class OutOfCoreAdam {
   Status FetchMasterParams(const std::string& name,
                            std::vector<float>* out) const;
 
+  /// Reads the complete optimizer state of `name` — P32, both moment
+  /// buffers, and the per-tensor Adam step — as FlowClass::kCheckpoint
+  /// traffic. The crash-consistent checkpoint read path.
+  Status ExportState(const std::string& name, int64_t* step,
+                     std::vector<float>* p32, std::vector<float>* m,
+                     std::vector<float>* v) const;
+
+  /// Restores the complete optimizer state of `name`, registering the
+  /// tensor if missing: rewrites P32/moments, regenerates the P16 copy
+  /// from P32 (bitwise what StepTensor would have left behind), and sets
+  /// the per-tensor step. The checkpoint resume path.
+  Status ImportState(const std::string& name, int64_t step,
+                     const std::vector<float>& p32,
+                     const std::vector<float>& m,
+                     const std::vector<float>& v);
+
   TransferEngine& engine() const { return *engine_; }
 
  private:

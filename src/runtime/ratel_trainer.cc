@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "runtime/checkpoint.h"
 #include "runtime/prefetcher.h"
 
 namespace ratel {
@@ -43,6 +44,11 @@ Status RatelTrainer::Initialize() {
   xfer.background_aging_limit = options_.background_aging_limit;
   xfer.read_bandwidth = options_.ssd_read_bandwidth;
   xfer.write_bandwidth = options_.ssd_write_bandwidth;
+  // Environment knobs overlay the programmatic fault config, so any
+  // trainer binary can be chaos-tested without code changes.
+  xfer.fault = FaultConfig::FromEnv(options_.fault);
+  xfer.retry = options_.io_retry;
+  xfer.stripe_death_threshold = options_.stripe_death_threshold;
   RATEL_ASSIGN_OR_RETURN(engine_, TransferEngine::Open(xfer));
   adam_ = std::make_unique<OutOfCoreAdam>(options_.adam, engine_.get());
   for (auto& [name, var] : model_->parameters()) {
@@ -273,6 +279,7 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       stats.xfer.Flow(FlowClass::kGradState).bytes_written;
   stats.loss = mean_loss;
   last_stats_ = stats;
+  ++global_step_;
 
   if (options_.capture_flow_trace) {
     trained_seconds_ += stats.total_s;
@@ -288,6 +295,37 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
     }
   }
   return stats.loss;
+}
+
+Status RatelTrainer::SaveCheckpoint(const std::string& dir) {
+  // Barrier: every queued writeback must land before state is read out,
+  // or the snapshot would mix step N and step N-1 tensors.
+  RATEL_RETURN_IF_ERROR(engine_->Drain());
+  checkpoint::TrainState state;
+  state.step = global_step_;
+  state.tensors.reserve(model_->parameters().size());
+  for (const auto& [name, var] : model_->parameters()) {
+    checkpoint::TensorState t;
+    t.name = name;
+    RATEL_RETURN_IF_ERROR(
+        adam_->ExportState(name, &t.adam_step, &t.p32, &t.m, &t.v));
+    state.tensors.push_back(std::move(t));
+  }
+  return checkpoint::SaveVersioned(dir, state);
+}
+
+Result<int64_t> RatelTrainer::RestoreLatestCheckpoint(const std::string& dir) {
+  RATEL_ASSIGN_OR_RETURN(checkpoint::TrainState state,
+                         checkpoint::LoadLatest(dir));
+  for (const checkpoint::TensorState& t : state.tensors) {
+    RATEL_RETURN_IF_ERROR(
+        adam_->ImportState(t.name, t.adam_step, t.p32, t.m, t.v));
+  }
+  // The imported P16 copies must be durable before the next step's
+  // fetch can observe them.
+  RATEL_RETURN_IF_ERROR(engine_->Drain());
+  global_step_ = state.step;
+  return global_step_;
 }
 
 }  // namespace ratel

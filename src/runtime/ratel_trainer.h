@@ -57,6 +57,16 @@ struct TrainerOptions {
   /// exported Chrome traces then show the three traffic legs stacking
   /// over the run.
   bool capture_flow_trace = false;
+  /// Failure model of the emulated SSD array (chaos/testing). The
+  /// RATEL_FAULT_* environment knobs are overlaid on top of this at
+  /// Create, so a binary can be fault-injected without code changes.
+  FaultConfig fault;
+  /// Retry discipline the I/O scheduler applies to transient store
+  /// failures.
+  RetryPolicy io_retry;
+  /// Consecutive write failures before the store declares a stripe dead
+  /// and re-stripes around it.
+  int stripe_death_threshold = 3;
 };
 
 /// Wall-clock / traffic breakdown of one training step.
@@ -106,6 +116,23 @@ class RatelTrainer {
   Result<float> TrainStep(const std::vector<int64_t>& ids,
                           const std::vector<int64_t>& targets, int64_t batch);
 
+  /// Writes a crash-consistent checkpoint `dir/step_<N>.ckpt` holding
+  /// the full optimizer state (P32 + moments + per-tensor steps) and the
+  /// global step: engine drained first, shard-checksummed, written to a
+  /// shadow file and atomically published (see checkpoint::SaveState).
+  Status SaveCheckpoint(const std::string& dir);
+
+  /// Resumes from the newest *valid* checkpoint in `dir` — a torn
+  /// latest file (detected by its checksums) falls back to the previous
+  /// epoch. Restores optimizer state and the global step; returns the
+  /// step resumed at. Training from there is bitwise-identical to a run
+  /// that never crashed. kNotFound when no valid checkpoint exists.
+  Result<int64_t> RestoreLatestCheckpoint(const std::string& dir);
+
+  /// Optimizer steps completed since Create (or since the restored
+  /// checkpoint).
+  int64_t global_step() const { return global_step_; }
+
   const StepStats& last_step_stats() const { return last_stats_; }
   OutOfCoreAdam& optimizer() { return *adam_; }
   /// The unified data-movement layer under this trainer.
@@ -129,6 +156,7 @@ class RatelTrainer {
   std::unique_ptr<TransferEngine> engine_;
   std::unique_ptr<OutOfCoreAdam> adam_;
   std::unique_ptr<ThreadPool> pipeline_;  // declared last: joins first
+  int64_t global_step_ = 0;
   StepStats last_stats_;
   ScheduleTrace flow_trace_;
   double trained_seconds_ = 0.0;  // flow-trace time axis

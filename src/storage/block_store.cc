@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "storage/fault_injector.h"
 
 namespace ratel {
 
@@ -24,11 +25,21 @@ Status Errno(const std::string& what) {
 Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& dir,
                                                      int num_stripes,
                                                      int64_t chunk_bytes) {
+  return Open(dir, num_stripes, chunk_bytes, Tuning());
+}
+
+Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& dir,
+                                                     int num_stripes,
+                                                     int64_t chunk_bytes,
+                                                     const Tuning& tuning) {
   if (num_stripes <= 0) {
     return Status::InvalidArgument("num_stripes must be positive");
   }
   if (chunk_bytes <= 0) {
     return Status::InvalidArgument("chunk_bytes must be positive");
+  }
+  if (tuning.stripe_death_threshold <= 0) {
+    return Status::InvalidArgument("stripe_death_threshold must be positive");
   }
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return Errno("mkdir " + dir);
@@ -45,13 +56,17 @@ Result<std::unique_ptr<BlockStore>> BlockStore::Open(const std::string& dir,
     fds.push_back(fd);
   }
   return std::unique_ptr<BlockStore>(
-      new BlockStore(std::move(fds), chunk_bytes));
+      new BlockStore(std::move(fds), chunk_bytes, tuning));
 }
 
-BlockStore::BlockStore(std::vector<int> fds, int64_t chunk_bytes)
+BlockStore::BlockStore(std::vector<int> fds, int64_t chunk_bytes,
+                       const Tuning& tuning)
     : fds_(std::move(fds)),
       chunk_bytes_(chunk_bytes),
-      file_tail_(fds_.size(), 0) {}
+      tuning_(tuning),
+      file_tail_(fds_.size(), 0),
+      stripe_fail_streak_(fds_.size(), 0),
+      stripe_dead_(fds_.size(), 0) {}
 
 BlockStore::~BlockStore() {
   for (int fd : fds_) ::close(fd);
@@ -63,6 +78,9 @@ BlockStore::BlobMeta BlockStore::AllocateLocked(int64_t size) {
   int64_t remaining = size;
   int stripe = next_stripe_;
   while (remaining > 0) {
+    while (stripe_dead_[stripe]) {
+      stripe = (stripe + 1) % static_cast<int>(fds_.size());
+    }
     const int64_t len = std::min(remaining, chunk_bytes_);
     meta.extents.push_back(Extent{stripe, file_tail_[stripe], len});
     file_tail_[stripe] += len;
@@ -73,17 +91,75 @@ BlockStore::BlobMeta BlockStore::AllocateLocked(int64_t size) {
   return meta;
 }
 
-Status BlockStore::WriteExtents(const BlobMeta& meta, const void* data) const {
-  const char* src = static_cast<const char*>(data);
+bool BlockStore::TouchesDeadLocked(const BlobMeta& meta) const {
   for (const Extent& e : meta.extents) {
+    if (stripe_dead_[e.file_index]) return true;
+  }
+  return false;
+}
+
+bool BlockStore::AllStripesDeadLocked() const {
+  for (char dead : stripe_dead_) {
+    if (!dead) return false;
+  }
+  return true;
+}
+
+Status BlockStore::StripeWriteFailure(int stripe, bool* declared_dead) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stripe_fail_streak_[stripe];
+  if (!stripe_dead_[stripe] &&
+      stripe_fail_streak_[stripe] >= tuning_.stripe_death_threshold) {
+    stripe_dead_[stripe] = 1;
+    *declared_dead = true;
+    RATEL_LOG(Warning) << "stripe " << stripe << " declared dead after "
+                       << stripe_fail_streak_[stripe]
+                       << " consecutive write failures; re-striping around it";
+  }
+  return Status::Unavailable("write to stripe " + std::to_string(stripe) +
+                             " failed (device wear-out)");
+}
+
+Status BlockStore::WriteExtents(const std::string& key, const BlobMeta& meta,
+                                const void* data, bool* declared_dead) {
+  *declared_dead = false;
+  int64_t limit = meta.size;  // bytes the device will actually persist
+  Status injected = Status::Ok();
+  if (tuning_.injector != nullptr) {
+    int64_t torn_prefix = -1;
+    injected = tuning_.injector->OnBlobWrite(key, meta.size, &torn_prefix);
+    if (!injected.ok()) {
+      if (torn_prefix < 0) return injected;  // fail before any byte lands
+      limit = torn_prefix;  // torn write: persist a prefix, then fail
+    }
+  }
+  const char* src = static_cast<const char*>(data);
+  int64_t pos = 0;
+  for (const Extent& e : meta.extents) {
+    if (pos >= limit) break;
+    if (tuning_.injector != nullptr &&
+        tuning_.injector->FailsStripeWrite(e.file_index)) {
+      return StripeWriteFailure(e.file_index, declared_dead);
+    }
+    const int64_t len = std::min(e.length, limit - pos);
     int64_t written = 0;
-    while (written < e.length) {
+    while (written < len) {
       const ssize_t n = ::pwrite(fds_[e.file_index], src + written,
-                                 e.length - written, e.offset + written);
+                                 len - written, e.offset + written);
       if (n < 0) return Errno("pwrite");
       written += n;
     }
     src += e.length;
+    pos += e.length;
+  }
+  if (!injected.ok()) return injected;
+  if (tuning_.injector != nullptr) {
+    // A full write succeeded: the touched stripes are demonstrably live,
+    // so their consecutive-failure streaks reset.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Extent& e : meta.extents) {
+      if (!stripe_dead_[e.file_index]) stripe_fail_streak_[e.file_index] = 0;
+    }
   }
   return Status::Ok();
 }
@@ -91,20 +167,40 @@ Status BlockStore::WriteExtents(const BlobMeta& meta, const void* data) const {
 Status BlockStore::Put(const std::string& key, const void* data,
                        int64_t size) {
   if (size < 0) return Status::InvalidArgument("negative blob size");
-  BlobMeta meta;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = blobs_.find(key);
-    if (it != blobs_.end() && it->second.size == size) {
-      meta = it->second;  // overwrite in place
-    } else {
-      meta = AllocateLocked(size);
-      blobs_[key] = meta;
+  // Bounded by stripe deaths: each iteration after the first requires a
+  // stripe to have just been declared dead, which happens at most once
+  // per stripe.
+  for (int attempt = 0; attempt <= num_stripes(); ++attempt) {
+    BlobMeta meta;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = blobs_.find(key);
+      if (it != blobs_.end() && it->second.size == size &&
+          !TouchesDeadLocked(it->second)) {
+        meta = it->second;  // overwrite in place
+      } else {
+        if (AllStripesDeadLocked()) {
+          return Status::IoError("all stripes dead; cannot place blob '" +
+                                 key + "'");
+        }
+        if (it != blobs_.end() && TouchesDeadLocked(it->second)) {
+          ++relocations_;  // move the blob off the dead stripe
+        }
+        meta = AllocateLocked(size);
+        blobs_[key] = meta;
+      }
     }
+    bool declared_dead = false;
+    Status s = WriteExtents(key, meta, data, &declared_dead);
+    if (s.ok()) {
+      bytes_written_.fetch_add(size, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    // A freshly dead stripe is permanent: retrying the same placement is
+    // futile, so re-stripe now instead of bubbling up to the scheduler.
+    if (!declared_dead) return s;
   }
-  RATEL_RETURN_IF_ERROR(WriteExtents(meta, data));
-  bytes_written_.fetch_add(size, std::memory_order_relaxed);
-  return Status::Ok();
+  return Status::IoError("blob '" + key + "' unplaceable: stripes kept dying");
 }
 
 Status BlockStore::Get(const std::string& key, void* out, int64_t size) const {
@@ -121,6 +217,9 @@ Status BlockStore::Get(const std::string& key, void* out, int64_t size) const {
     return Status::InvalidArgument(
         "blob '" + key + "' has size " + std::to_string(meta.size) +
         ", caller expected " + std::to_string(size));
+  }
+  if (tuning_.injector != nullptr) {
+    RATEL_RETURN_IF_ERROR(tuning_.injector->OnBlobRead(key));
   }
   char* dst = static_cast<char*>(out);
   for (const Extent& e : meta.extents) {
@@ -168,6 +267,26 @@ int64_t BlockStore::allocated_bytes() const {
   int64_t total = 0;
   for (int64_t tail : file_tail_) total += tail;
   return total;
+}
+
+int BlockStore::num_dead_stripes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (char dead : stripe_dead_) n += dead ? 1 : 0;
+  return n;
+}
+
+bool BlockStore::stripe_dead(int stripe) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stripe < 0 || stripe >= static_cast<int>(stripe_dead_.size())) {
+    return false;
+  }
+  return stripe_dead_[stripe] != 0;
+}
+
+int64_t BlockStore::relocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return relocations_;
 }
 
 }  // namespace ratel

@@ -13,6 +13,8 @@
 
 namespace ratel {
 
+class FaultInjector;
+
 /// Durable key -> blob store striped across N backing files, standing in
 /// for the paper's RAID-0-style array of NVMe SSDs accessed through the
 /// POSIX file API (the GPUDirect-free path of Section V-A).
@@ -23,22 +25,48 @@ namespace ratel {
 /// of the same size are performed in place (the swap traffic of training is
 /// fixed-size per tensor); size-changing rewrites reallocate.
 ///
+/// Failure model: an optional FaultInjector is consulted per blob
+/// operation (transient errors, latency spikes, torn writes) and per
+/// stripe write (wear-out). A stripe whose writes fail
+/// `stripe_death_threshold` consecutive times is declared dead =
+/// read-only: the store re-stripes around it — new allocations skip it
+/// and in-place overwrites whose extents touch it are relocated — while
+/// previously written chunks remain readable, so no data is lost.
+///
 /// Thread-compatible: metadata is mutex-protected and chunk I/O uses
 /// pread/pwrite, so concurrent Reads/Writes of *different* keys are safe.
 class BlockStore {
  public:
+  /// Failure-handling knobs. `injector` is a non-owning test/chaos seam
+  /// (may be null); the store consults it on every Get/Put and every
+  /// stripe write.
+  struct Tuning {
+    FaultInjector* injector = nullptr;
+    /// Consecutive write failures after which a stripe is declared dead
+    /// and re-striped around.
+    int stripe_death_threshold = 3;
+  };
+
   /// Creates/opens a store with `num_stripes` backing files in `dir`
   /// (created if absent). `chunk_bytes` is the striping unit.
   static Result<std::unique_ptr<BlockStore>> Open(const std::string& dir,
                                                   int num_stripes,
                                                   int64_t chunk_bytes);
+  static Result<std::unique_ptr<BlockStore>> Open(const std::string& dir,
+                                                  int num_stripes,
+                                                  int64_t chunk_bytes,
+                                                  const Tuning& tuning);
 
   ~BlockStore();
 
   BlockStore(const BlockStore&) = delete;
   BlockStore& operator=(const BlockStore&) = delete;
 
-  /// Writes `size` bytes under `key` (creating or overwriting).
+  /// Writes `size` bytes under `key` (creating or overwriting). A write
+  /// that trips the dead-stripe threshold relocates the blob onto the
+  /// surviving stripes and retries internally; transient injected
+  /// failures surface as kUnavailable for the caller (the IoScheduler)
+  /// to retry.
   Status Put(const std::string& key, const void* data, int64_t size);
 
   /// Reads the blob under `key` into `out` (must hold `size` bytes, which
@@ -70,6 +98,12 @@ class BlockStore {
 
   int num_stripes() const { return static_cast<int>(fds_.size()); }
 
+  /// Stripes currently declared dead (write-failed past the threshold).
+  int num_dead_stripes() const;
+  bool stripe_dead(int stripe) const;
+  /// Blobs moved off a dead stripe by an in-place overwrite.
+  int64_t relocations() const;
+
  private:
   struct Extent {
     int file_index;
@@ -81,20 +115,38 @@ class BlockStore {
     std::vector<Extent> extents;
   };
 
-  BlockStore(std::vector<int> fds, int64_t chunk_bytes);
+  BlockStore(std::vector<int> fds, int64_t chunk_bytes,
+             const Tuning& tuning);
 
   // Lays out `size` bytes as round-robin chunks starting at stripe
-  // `first_stripe`, appending to per-file tails. Caller holds mu_.
+  // `first_stripe`, appending to per-file tails; dead stripes are
+  // skipped. Caller holds mu_ and has checked that a live stripe exists.
   BlobMeta AllocateLocked(int64_t size);
 
-  Status WriteExtents(const BlobMeta& meta, const void* data) const;
+  bool TouchesDeadLocked(const BlobMeta& meta) const;
+  bool AllStripesDeadLocked() const;
+
+  // Performs the chunk writes of one Put attempt, consulting the
+  // injector at blob and stripe level. Sets `*declared_dead` when this
+  // attempt's failure tripped the death threshold (the caller then
+  // relocates and retries).
+  Status WriteExtents(const std::string& key, const BlobMeta& meta,
+                      const void* data, bool* declared_dead);
+
+  // Records one injected write failure of `stripe`; declares it dead at
+  // the threshold.
+  Status StripeWriteFailure(int stripe, bool* declared_dead);
 
   std::vector<int> fds_;
   int64_t chunk_bytes_;
+  Tuning tuning_;
   mutable std::mutex mu_;
   std::vector<int64_t> file_tail_;  // next free offset per file
   std::unordered_map<std::string, BlobMeta> blobs_;
   int next_stripe_ = 0;
+  std::vector<int> stripe_fail_streak_;
+  std::vector<char> stripe_dead_;
+  int64_t relocations_ = 0;
   mutable std::atomic<int64_t> bytes_read_{0};  // Get() is const
   std::atomic<int64_t> bytes_written_{0};
 };

@@ -1,0 +1,237 @@
+#include "storage/fault_injector.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+namespace {
+
+// Flow scope of the current thread (-1 = unscoped). Set by the I/O
+// workers around each store operation via FaultInjector::ScopedFlow.
+thread_local int tls_flow_scope = -1;
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  // splitmix64 finalizer: avalanche so nearby seeds decorrelate.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+uint64_t HashKey(uint64_t seed, int kind, const std::string& key) {
+  uint64_t h = HashCombine(seed, static_cast<uint64_t>(kind) + 1);
+  for (char c : key) h = HashCombine(h, static_cast<uint8_t>(c));
+  return h;
+}
+
+bool EnvInt(const char* name, int* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  *out = std::atoi(v);
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kReadError:
+      return "read_error";
+    case FaultKind::kWriteError:
+      return "write_error";
+    case FaultKind::kLatencySpike:
+      return "latency_spike";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kDeadStripe:
+      return "dead_stripe";
+  }
+  return "unknown";
+}
+
+FaultConfig FaultConfig::FromEnv() { return FromEnv(FaultConfig()); }
+
+FaultConfig FaultConfig::FromEnv(FaultConfig base) {
+  if (const char* v = std::getenv("RATEL_FAULT_SEED"); v != nullptr) {
+    base.seed = std::strtoull(v, nullptr, 10);
+  }
+  EnvInt("RATEL_FAULT_READ_ERROR_EVERY", &base.read_error_every);
+  EnvInt("RATEL_FAULT_WRITE_ERROR_EVERY", &base.write_error_every);
+  EnvInt("RATEL_FAULT_LATENCY_SPIKE_EVERY", &base.latency_spike_every);
+  if (const char* v = std::getenv("RATEL_FAULT_LATENCY_SPIKE_MS");
+      v != nullptr && *v != '\0') {
+    base.latency_spike_s = std::atof(v) / 1e3;
+  }
+  EnvInt("RATEL_FAULT_TORN_WRITE_EVERY", &base.torn_write_every);
+  EnvInt("RATEL_FAULT_DEAD_STRIPE", &base.dead_stripe);
+  if (const char* v = std::getenv("RATEL_FAULT_FLOWS");
+      v != nullptr && *v != '\0') {
+    const std::string flows(v);
+    if (flows == "all") {
+      base.flow_mask = 0xFFFFFFFFu;
+    } else {
+      // Canonical FlowClass names, in enum order (see src/xfer). The
+      // storage layer only treats them as bit labels.
+      static constexpr const char* kFlowNames[] = {
+          "param_fetch", "grad_state", "activation_spill", "checkpoint"};
+      uint32_t mask = 0;
+      size_t pos = 0;
+      while (pos <= flows.size()) {
+        const size_t comma = flows.find(',', pos);
+        const std::string name =
+            flows.substr(pos, comma == std::string::npos ? std::string::npos
+                                                         : comma - pos);
+        for (int i = 0; i < 4; ++i) {
+          if (name == kFlowNames[i]) mask |= 1u << i;
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      base.flow_mask = mask;
+    }
+  }
+  return base;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), sleep_fn_([](double seconds) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      }) {}
+
+bool FaultInjector::FlowEnabled() const {
+  const int flow = tls_flow_scope;
+  if (flow < 0 || flow >= 32) return true;  // unscoped direct store use
+  return ((config_.flow_mask >> flow) & 1u) != 0;
+}
+
+int FaultInjector::Phase(FaultKind kind, const std::string& key,
+                         int every) const {
+  return static_cast<int>(HashKey(config_.seed, static_cast<int>(kind), key) %
+                          static_cast<uint64_t>(every));
+}
+
+bool FaultInjector::TickLocked(FaultKind kind, const std::string& key,
+                               int every) {
+  if (every <= 0) return false;
+  const int64_t n = ++seq_[static_cast<int>(kind)][key];
+  return (n + Phase(kind, key, every)) % every == 0;
+}
+
+void FaultInjector::StallAndSpikeLocked(std::unique_lock<std::mutex>& lock,
+                                        const std::string& key) {
+  if (!stall_released_ && stall_keys_.count(key) > 0) {
+    ++counts_.stalls;
+    ++stalled_now_;
+    stall_cv_.notify_all();
+    stall_cv_.wait(lock, [this] { return stall_released_; });
+    --stalled_now_;
+    stall_cv_.notify_all();
+  }
+  if (config_.latency_spike_every > 0 &&
+      TickLocked(FaultKind::kLatencySpike, key,
+                 config_.latency_spike_every)) {
+    ++counts_.latency_spikes;
+    const auto sleep_fn = sleep_fn_;
+    const double seconds = config_.latency_spike_s;
+    lock.unlock();
+    if (seconds > 0.0) sleep_fn(seconds);
+    lock.lock();
+  }
+}
+
+Status FaultInjector::OnBlobRead(const std::string& key) {
+  if (!FlowEnabled()) return Status::Ok();
+  std::unique_lock<std::mutex> lock(mu_);
+  StallAndSpikeLocked(lock, key);
+  if (TickLocked(FaultKind::kReadError, key, config_.read_error_every)) {
+    ++counts_.read_errors;
+    return Status::Unavailable("injected transient read error on '" + key +
+                               "'");
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::OnBlobWrite(const std::string& key, int64_t size,
+                                  int64_t* torn_prefix_bytes) {
+  *torn_prefix_bytes = -1;
+  if (!FlowEnabled()) return Status::Ok();
+  std::unique_lock<std::mutex> lock(mu_);
+  StallAndSpikeLocked(lock, key);
+  if (TickLocked(FaultKind::kWriteError, key, config_.write_error_every)) {
+    ++counts_.write_errors;
+    return Status::Unavailable("injected transient write error on '" + key +
+                               "'");
+  }
+  if (TickLocked(FaultKind::kTornWrite, key, config_.torn_write_every)) {
+    ++counts_.torn_writes;
+    *torn_prefix_bytes = size / 2;
+    return Status::Unavailable("injected torn write on '" + key + "' (" +
+                               std::to_string(*torn_prefix_bytes) + " of " +
+                               std::to_string(size) + " bytes persisted)");
+  }
+  return Status::Ok();
+}
+
+bool FaultInjector::FailsStripeWrite(int stripe) {
+  if (config_.dead_stripe < 0 || stripe != config_.dead_stripe) return false;
+  if (!FlowEnabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_.stripe_write_failures;
+  return true;
+}
+
+void FaultInjector::OnChannelTransfer(const std::string& channel,
+                                      int64_t bytes) {
+  (void)bytes;
+  if (!FlowEnabled()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  StallAndSpikeLocked(lock, "channel/" + channel);
+}
+
+FaultInjector::ScopedFlow::ScopedFlow(int flow) : previous_(tls_flow_scope) {
+  tls_flow_scope = flow;
+}
+
+FaultInjector::ScopedFlow::~ScopedFlow() { tls_flow_scope = previous_; }
+
+void FaultInjector::SetSleepFn(std::function<void(double)> sleep_fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RATEL_CHECK(sleep_fn != nullptr);
+  sleep_fn_ = std::move(sleep_fn);
+}
+
+void FaultInjector::StallOpsOn(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_released_ = false;
+  stall_keys_.insert(key);
+}
+
+void FaultInjector::WaitForStalled(int n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stall_cv_.wait(lock, [this, n] { return stalled_now_ >= n; });
+}
+
+void FaultInjector::ReleaseStalled() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stall_released_ = true;
+    stall_keys_.clear();
+  }
+  stall_cv_.notify_all();
+}
+
+FaultInjector::Counts FaultInjector::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+}  // namespace ratel

@@ -1,8 +1,59 @@
 #include "storage/io_scheduler.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/logging.h"
+#include "storage/fault_injector.h"
 
 namespace ratel {
+
+namespace {
+
+// Deterministic jitter factor in [0.75, 1.0): decorrelates concurrent
+// retry storms without making the schedule seed-dependent at runtime.
+double JitterFactor(uint64_t seed, int failed_attempts) {
+  uint64_t h = seed + 0x9E3779B97F4A7C15ULL *
+                          static_cast<uint64_t>(failed_attempts + 1);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  const double unit = static_cast<double>(h >> 11) / 9007199254740992.0;
+  return 0.75 + 0.25 * unit;
+}
+
+}  // namespace
+
+double RetryBackoffSeconds(const RetryPolicy& policy, int failed_attempts) {
+  RATEL_CHECK(failed_attempts >= 1);
+  double backoff = policy.base_backoff_s;
+  for (int k = 1; k < failed_attempts; ++k) {
+    backoff *= policy.backoff_multiplier;
+  }
+  backoff = std::min(backoff, policy.max_backoff_s);
+  backoff *= JitterFactor(policy.jitter_seed, failed_attempts);
+  return std::max(backoff, 0.0);
+}
+
+std::vector<double> BackoffSchedule(const RetryPolicy& policy) {
+  std::vector<double> schedule;
+  double total = 0.0;
+  for (int failed = 1; failed < policy.max_attempts; ++failed) {
+    const double backoff = RetryBackoffSeconds(policy, failed);
+    if (total + backoff > policy.backoff_deadline_s) break;
+    total += backoff;
+    schedule.push_back(backoff);
+  }
+  return schedule;
+}
+
+bool IsRetryableIoError(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
+}
 
 IoScheduler::IoScheduler(BlockStore* store, int workers)
     : IoScheduler(store, workers, Tuning()) {}
@@ -48,7 +99,8 @@ IoScheduler::Ticket IoScheduler::Enqueue(Request req) {
 IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
                                              const void* data, int64_t size,
                                              Priority priority,
-                                             CompletionFn on_complete) {
+                                             CompletionFn on_complete,
+                                             int flow_tag) {
   Request req;
   req.is_write = true;
   req.key = key;
@@ -58,13 +110,15 @@ IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
   req.size = size;
   req.priority = priority;
   req.on_complete = std::move(on_complete);
+  req.flow_tag = flow_tag;
   return Enqueue(std::move(req));
 }
 
 IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
                                             std::vector<uint8_t>* out,
                                             int64_t size, Priority priority,
-                                            CompletionFn on_complete) {
+                                            CompletionFn on_complete,
+                                            int flow_tag) {
   RATEL_CHECK(out != nullptr);
   Request req;
   req.is_write = false;
@@ -73,7 +127,54 @@ IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
   req.size = size;
   req.priority = priority;
   req.on_complete = std::move(on_complete);
+  req.flow_tag = flow_tag;
   return Enqueue(std::move(req));
+}
+
+IoResult IoScheduler::Execute(Request& req) {
+  // Scope fault decisions (and any injected latency) to the request's
+  // flow class for the whole attempt loop, channel time included.
+  FaultInjector::ScopedFlow flow_scope(req.flow_tag);
+  const RetryPolicy& retry = tuning_.retry;
+  const int max_attempts = std::max(1, retry.max_attempts);
+  IoResult result;
+  for (int attempt = 1;; ++attempt) {
+    Status status;
+    if (req.is_write) {
+      if (tuning_.write_channel != nullptr) {
+        tuning_.write_channel->Consume(req.size);
+      }
+      status = store_->Put(req.key, req.payload.data(), req.size);
+    } else {
+      if (tuning_.read_channel != nullptr) {
+        tuning_.read_channel->Consume(req.size);
+      }
+      req.out->resize(req.size);
+      status = store_->Get(req.key, req.out->data(), req.size);
+    }
+    result.status = status;
+    result.attempts = attempt;
+    if (status.ok() || !IsRetryableIoError(status)) return result;
+    if (attempt >= max_attempts) {
+      result.gave_up = true;
+      return result;
+    }
+    const double backoff = RetryBackoffSeconds(retry, attempt);
+    if (result.backoff_seconds + backoff > retry.backoff_deadline_s) {
+      // Sleeping again would bust the per-request latency deadline:
+      // better to surface the failure than to stall the pipeline.
+      result.gave_up = true;
+      return result;
+    }
+    result.backoff_seconds += backoff;
+    if (backoff > 0.0) {
+      if (tuning_.backoff_sleep_fn) {
+        tuning_.backoff_sleep_fn(backoff);
+      } else {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+  }
 }
 
 void IoScheduler::WorkerLoop() {
@@ -105,30 +206,22 @@ void IoScheduler::WorkerLoop() {
       ++in_flight_;
     }
 
-    Status status;
-    if (req.is_write) {
-      if (tuning_.write_channel != nullptr) {
-        tuning_.write_channel->Consume(req.size);
-      }
-      status = store_->Put(req.key, req.payload.data(), req.size);
-    } else {
-      if (tuning_.read_channel != nullptr) {
-        tuning_.read_channel->Consume(req.size);
-      }
-      req.out->resize(req.size);
-      status = store_->Get(req.key, req.out->data(), req.size);
-    }
-    if (req.on_complete) req.on_complete(status);
+    const IoResult result = Execute(req);
+    if (req.on_complete) req.on_complete(result);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
-      done_.emplace(req.ticket, status);
-      if (!status.ok() && first_error_.ok()) first_error_ = status;
+      done_.emplace(req.ticket, result.status);
+      if (!result.status.ok() && first_error_.ok()) {
+        first_error_ = result.status;
+      }
       if (req.priority == Priority::kLatencyCritical) {
         ++served_critical_;
       } else {
         ++served_background_;
       }
+      total_retries_ += result.attempts - 1;
+      if (result.gave_up) ++total_giveups_;
       --in_flight_;
     }
     ticket_done_.notify_all();
@@ -165,6 +258,16 @@ int64_t IoScheduler::completed_background() const {
 int64_t IoScheduler::promoted_background() const {
   std::lock_guard<std::mutex> lock(mu_);
   return promoted_background_;
+}
+
+int64_t IoScheduler::total_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_retries_;
+}
+
+int64_t IoScheduler::total_giveups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_giveups_;
 }
 
 }  // namespace ratel

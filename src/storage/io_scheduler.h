@@ -17,6 +17,49 @@
 
 namespace ratel {
 
+/// Bounded exponential-backoff retry for transient device errors
+/// (kIoError, kUnavailable). A request is retried up to `max_attempts`
+/// total attempts, sleeping base * multiplier^(k-1) (clamped to
+/// `max_backoff_s`, scaled by a deterministic jitter factor in
+/// [0.75, 1.0)) after its k-th failure — and gives up early once the
+/// *cumulative* backoff would exceed `backoff_deadline_s`, so a request
+/// can never stall the pipeline longer than the deadline.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double base_backoff_s = 1e-3;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 50e-3;
+  double backoff_deadline_s = 250e-3;
+  /// Seeds the jitter factor; fixed seed => fixed schedule.
+  uint64_t jitter_seed = 0;
+};
+
+/// Backoff slept after the `failed_attempts`-th consecutive failure
+/// (1-based). Pure and deterministic in (policy, failed_attempts).
+double RetryBackoffSeconds(const RetryPolicy& policy, int failed_attempts);
+
+/// The full sleep schedule a request can traverse: one entry per retry
+/// (max_attempts - 1 at most), truncated where the cumulative sum would
+/// cross backoff_deadline_s. Exactly the schedule the scheduler's
+/// workers follow; exposed for property tests.
+std::vector<double> BackoffSchedule(const RetryPolicy& policy);
+
+/// True for status codes worth retrying (transient device failures).
+bool IsRetryableIoError(const Status& status);
+
+/// Outcome of one scheduled request, delivered to completion callbacks
+/// and used for per-flow retry accounting.
+struct IoResult {
+  Status status;
+  /// Store attempts performed (1 = first try succeeded).
+  int attempts = 1;
+  /// Total injected backoff sleep, seconds.
+  double backoff_seconds = 0.0;
+  /// True when the request exhausted its retry budget (attempts or
+  /// deadline) and still failed.
+  bool gave_up = false;
+};
+
 /// Two-class asynchronous I/O scheduler over the block store: the SSD
 /// array serves *latency-critical* requests (parameter/activation
 /// prefetch the GPU is about to stall on) ahead of *background* ones
@@ -31,6 +74,12 @@ namespace ratel {
 /// while a background request waited, it is served next regardless of
 /// class. FIFO order holds within each class.
 ///
+/// Transient store failures are absorbed here: each request runs under
+/// the RetryPolicy (see above) before its failure is surfaced, and the
+/// per-request outcome (attempts, backoff, gave_up) is reported through
+/// the completion callback so the transfer engine can keep per-flow
+/// retry/giveup counters.
+///
 /// Requests complete asynchronously; the caller either waits for an
 /// individual ticket or drains the whole queue. An optional completion
 /// callback runs on the worker thread after the store operation and
@@ -44,7 +93,7 @@ class IoScheduler {
   };
 
   using Ticket = int64_t;
-  using CompletionFn = std::function<void(const Status&)>;
+  using CompletionFn = std::function<void(const IoResult&)>;
 
   /// Device-level knobs shared by every request.
   struct Tuning {
@@ -57,6 +106,11 @@ class IoScheduler {
     /// may be null for full speed.
     ThrottledChannel* read_channel = nullptr;
     ThrottledChannel* write_channel = nullptr;
+    /// Retry discipline for transient store failures.
+    RetryPolicy retry;
+    /// Test seam: replaces the wall-clock backoff sleep (e.g. with a
+    /// virtual-clock recorder). Null = real sleep.
+    std::function<void(double seconds)> backoff_sleep_fn;
   };
 
   /// `workers` I/O threads over `store` (not owned, must outlive this).
@@ -70,15 +124,17 @@ class IoScheduler {
   IoScheduler& operator=(const IoScheduler&) = delete;
 
   /// Asynchronous write: the data is copied; the ticket resolves when
-  /// the store confirms the write.
+  /// the store confirms the write. `flow_tag` scopes fault injection and
+  /// accounting to a flow class (-1 = unscoped).
   Ticket SubmitWrite(const std::string& key, const void* data, int64_t size,
-                     Priority priority, CompletionFn on_complete = nullptr);
+                     Priority priority, CompletionFn on_complete = nullptr,
+                     int flow_tag = -1);
 
   /// Asynchronous read into `out` (must stay alive until the ticket
   /// resolves; `out` is resized by the scheduler).
   Ticket SubmitRead(const std::string& key, std::vector<uint8_t>* out,
                     int64_t size, Priority priority,
-                    CompletionFn on_complete = nullptr);
+                    CompletionFn on_complete = nullptr, int flow_tag = -1);
 
   /// Blocks until `ticket` finished; returns its I/O status.
   Status Wait(Ticket ticket);
@@ -93,6 +149,10 @@ class IoScheduler {
   /// Background requests served ahead of waiting latency-critical work
   /// because they exceeded the aging limit.
   int64_t promoted_background() const;
+  /// Extra store attempts performed beyond each request's first.
+  int64_t total_retries() const;
+  /// Requests that failed after exhausting their retry budget.
+  int64_t total_giveups() const;
 
  private:
   struct Request {
@@ -104,11 +164,15 @@ class IoScheduler {
     int64_t size;
     Priority priority;
     CompletionFn on_complete;
+    int flow_tag = -1;
     // served_critical_ at enqueue time; age = completions since then.
     int64_t critical_at_enqueue = 0;
   };
 
   void WorkerLoop();
+  /// One attempt-with-retries execution of `req` (runs on a worker, no
+  /// lock held).
+  IoResult Execute(Request& req);
   Ticket Enqueue(Request req);
 
   BlockStore* store_;
@@ -124,6 +188,8 @@ class IoScheduler {
   int64_t served_critical_ = 0;
   int64_t served_background_ = 0;
   int64_t promoted_background_ = 0;
+  int64_t total_retries_ = 0;
+  int64_t total_giveups_ = 0;
   int in_flight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;

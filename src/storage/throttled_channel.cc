@@ -4,18 +4,22 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "storage/fault_injector.h"
 
 namespace ratel {
 
-ThrottledChannel::ThrottledChannel(std::string name, double bytes_per_second)
+ThrottledChannel::ThrottledChannel(std::string name, double bytes_per_second,
+                                   FaultInjector* injector)
     : name_(std::move(name)),
       bytes_per_second_(bytes_per_second),
+      injector_(injector),
       next_free_(Clock::now()) {
   RATEL_CHECK(bytes_per_second > 0.0);
 }
 
 void ThrottledChannel::Consume(int64_t bytes) {
   RATEL_CHECK(bytes >= 0);
+  if (injector_ != nullptr) injector_->OnChannelTransfer(name_, bytes);
   Clock::time_point wait_until;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -8,6 +8,8 @@
 
 namespace ratel {
 
+class FaultInjector;
+
 /// Wall-clock bandwidth throttle standing in for a rate-limited device link
 /// (a PCIe direction or the SSD array bridge) in the *real* runtime.
 ///
@@ -19,7 +21,10 @@ namespace ratel {
 /// concurrent DMA engines sharing one link.
 class ThrottledChannel {
  public:
-  ThrottledChannel(std::string name, double bytes_per_second);
+  /// `injector` (optional, non-owning) injects per-link latency spikes —
+  /// the device-internal GC pauses of the failure model — into Consume.
+  ThrottledChannel(std::string name, double bytes_per_second,
+                   FaultInjector* injector = nullptr);
 
   /// Blocks until `bytes` may pass without exceeding the configured rate.
   void Consume(int64_t bytes);
@@ -35,6 +40,7 @@ class ThrottledChannel {
 
   std::string name_;
   double bytes_per_second_;
+  FaultInjector* injector_;  // not owned; may be null
   mutable std::mutex mu_;
   Clock::time_point next_free_;  // earliest time the link is available
   int64_t total_bytes_ = 0;

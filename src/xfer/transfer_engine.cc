@@ -71,6 +71,9 @@ TransferStats Delta(const TransferStats& later, const TransferStats& earlier) {
     out.read_seconds = a.read_seconds - b.read_seconds;
     out.write_seconds = a.write_seconds - b.write_seconds;
     out.errors = a.errors - b.errors;
+    out.retries = a.retries - b.retries;
+    out.giveups = a.giveups - b.giveups;
+    out.backoff_seconds = a.backoff_seconds - b.backoff_seconds;
   }
   d.cache.hits = later.cache.hits - earlier.cache.hits;
   d.cache.misses = later.cache.misses - earlier.cache.misses;
@@ -93,16 +96,28 @@ Result<std::unique_ptr<TransferEngine>> TransferEngine::Open(
     return Status::InvalidArgument("TransferOptions.io_workers must be > 0");
   }
   std::unique_ptr<TransferEngine> engine(new TransferEngine(options));
+  // The injector seam: an external one (test-owned) wins; otherwise the
+  // engine owns one whenever the failure model is enabled.
+  if (options.fault_injector != nullptr) {
+    engine->injector_ = options.fault_injector;
+  } else if (options.fault.enabled()) {
+    engine->owned_injector_ = std::make_unique<FaultInjector>(options.fault);
+    engine->injector_ = engine->owned_injector_.get();
+  }
+  BlockStore::Tuning store_tuning;
+  store_tuning.injector = engine->injector_;
+  store_tuning.stripe_death_threshold = options.stripe_death_threshold;
   RATEL_ASSIGN_OR_RETURN(
       engine->store_,
-      BlockStore::Open(options.dir, options.num_stripes, options.chunk_bytes));
+      BlockStore::Open(options.dir, options.num_stripes, options.chunk_bytes,
+                       store_tuning));
   if (options.read_bandwidth > 0) {
     engine->read_channel_ = std::make_unique<ThrottledChannel>(
-        "ssd-read", options.read_bandwidth);
+        "ssd-read", options.read_bandwidth, engine->injector_);
   }
   if (options.write_bandwidth > 0) {
     engine->write_channel_ = std::make_unique<ThrottledChannel>(
-        "ssd-write", options.write_bandwidth);
+        "ssd-write", options.write_bandwidth, engine->injector_);
   }
   if (options.host_cache_bytes > 0) {
     engine->cache_ = std::make_unique<TierCache>(engine->store_.get(),
@@ -112,6 +127,7 @@ Result<std::unique_ptr<TransferEngine>> TransferEngine::Open(
   tuning.background_aging_limit = options.background_aging_limit;
   tuning.read_channel = engine->read_channel_.get();
   tuning.write_channel = engine->write_channel_.get();
+  tuning.retry = options.retry;
   engine->sched_ = std::make_unique<IoScheduler>(engine->store_.get(),
                                                  options.io_workers, tuning);
   return engine;
@@ -133,17 +149,21 @@ TransferEngine::Ticket TransferEngine::SubmitWrite(FlowClass flow,
   const auto start = std::chrono::steady_clock::now();
   IoScheduler::Ticket io_ticket = sched_->SubmitWrite(
       key, data, size, FlowPriority(flow),
-      [this, flow, size, start](const Status& status) {
+      [this, flow, size, start](const IoResult& result) {
         std::lock_guard<std::mutex> lock(mu_);
         FlowCounters& c = CountersFor(flow);
         ++c.writes;
         c.write_seconds += SecondsSince(start);
-        if (status.ok()) {
+        c.retries += result.attempts - 1;
+        c.backoff_seconds += result.backoff_seconds;
+        if (result.gave_up) ++c.giveups;
+        if (result.status.ok()) {
           c.bytes_written += size;
         } else {
           ++c.errors;
         }
-      });
+      },
+      static_cast<int>(flow));
   std::lock_guard<std::mutex> lock(mu_);
   Ticket ticket = next_ticket_++;
   inflight_.emplace(ticket, io_ticket);
@@ -174,8 +194,8 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
   IoScheduler::Ticket io_ticket = sched_->SubmitRead(
       key, out, size, FlowPriority(flow),
       [this, flow, key, out, size, start,
-       count_miss](const Status& status) {
-        if (status.ok() && cache_ != nullptr) {
+       count_miss](const IoResult& result) {
+        if (result.status.ok() && cache_ != nullptr) {
           // Promote the cold blob into the DRAM tier.
           cache_->Admit(key, out->data(), size);
         }
@@ -184,12 +204,16 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
         ++c.reads;
         if (count_miss) ++c.cache_misses;
         c.read_seconds += SecondsSince(start);
-        if (status.ok()) {
+        c.retries += result.attempts - 1;
+        c.backoff_seconds += result.backoff_seconds;
+        if (result.gave_up) ++c.giveups;
+        if (result.status.ok()) {
           c.bytes_read += size;
         } else {
           ++c.errors;
         }
-      });
+      },
+      static_cast<int>(flow));
   std::lock_guard<std::mutex> lock(mu_);
   Ticket ticket = next_ticket_++;
   inflight_.emplace(ticket, io_ticket);

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "mem/tier_cache.h"
 #include "storage/block_store.h"
+#include "storage/fault_injector.h"
 #include "storage/io_scheduler.h"
 #include "storage/throttled_channel.h"
 
@@ -51,6 +52,13 @@ struct FlowCounters {
   double read_seconds = 0.0;
   double write_seconds = 0.0;
   int64_t errors = 0;
+  /// Store attempts beyond each request's first (transient-failure
+  /// recovery work attributed to this flow).
+  int64_t retries = 0;
+  /// Requests that still failed after exhausting their retry budget.
+  int64_t giveups = 0;
+  /// Total backoff sleep spent recovering this flow's requests.
+  double backoff_seconds = 0.0;
 };
 
 /// Point-in-time snapshot of the engine's accounting: per-flow counters
@@ -90,6 +98,18 @@ struct TransferOptions {
   /// disables throttling.
   double read_bandwidth = 0.0;
   double write_bandwidth = 0.0;
+  /// Failure model of the emulated array. When enabled() the engine
+  /// owns a FaultInjector wired into the store, both channels, and the
+  /// scheduler's workers (flow-scoped). Disabled by default.
+  FaultConfig fault;
+  /// Retry discipline the scheduler applies to transient store failures.
+  RetryPolicy retry;
+  /// External injector (not owned) overriding `fault` — for tests that
+  /// need the injector's stall / virtual-clock seams.
+  FaultInjector* fault_injector = nullptr;
+  /// Consecutive write failures before the store declares a stripe dead
+  /// and re-stripes around it.
+  int stripe_death_threshold = 3;
 };
 
 /// The single tiered facade over the Host <-> SSD hierarchy: owns the
@@ -156,6 +176,10 @@ class TransferEngine {
     return cache_ != nullptr ? cache_->capacity_bytes() : 0;
   }
 
+  /// The active fault injector (owned or external); null when the
+  /// failure model is disabled.
+  FaultInjector* fault_injector() const { return injector_; }
+
  private:
   explicit TransferEngine(const TransferOptions& options);
 
@@ -164,6 +188,8 @@ class TransferEngine {
   }
 
   TransferOptions options_;
+  std::unique_ptr<FaultInjector> owned_injector_;  // outlives store/sched
+  FaultInjector* injector_ = nullptr;  // active injector; may be external
   std::unique_ptr<BlockStore> store_;
   std::unique_ptr<ThrottledChannel> read_channel_;   // null when unthrottled
   std::unique_ptr<ThrottledChannel> write_channel_;  // null when unthrottled

@@ -1,0 +1,312 @@
+// Fault-matrix suite (ctest label: fault).
+//
+// Sweeps every injected fault kind against every FlowClass through a
+// real TransferEngine: {transient read error, transient write error,
+// latency spike, torn write, dead stripe} x {param_fetch, grad_state,
+// activation_spill, checkpoint}. Each cell must *complete* — correct
+// bytes round-tripped, no giveups — while the injector and the engine's
+// per-flow retry counters prove the fault actually fired and was
+// recovered, not skipped. The schedule is deterministic (seeded,
+// period-based), so these are not flaky "usually retries" tests: a
+// fixed seed yields a fixed fault pattern on every run and thread
+// interleaving.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/fault_injector.h"
+#include "xfer/transfer_engine.h"
+
+namespace ratel {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  return ::testing::TempDir() + "/ratel_fault_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+constexpr FaultKind kAllKinds[] = {
+    FaultKind::kReadError, FaultKind::kWriteError, FaultKind::kLatencySpike,
+    FaultKind::kTornWrite, FaultKind::kDeadStripe,
+};
+
+constexpr FlowClass kAllFlows[] = {
+    FlowClass::kParamFetch, FlowClass::kGradState, FlowClass::kActivationSpill,
+    FlowClass::kCheckpoint,
+};
+
+// Period 2 everywhere: a faulted attempt's immediate retry passes, so
+// every cell converges within the default 3-attempt budget.
+FaultConfig ConfigFor(FaultKind kind, uint64_t seed) {
+  FaultConfig fault;
+  fault.seed = seed;
+  switch (kind) {
+    case FaultKind::kReadError:
+      fault.read_error_every = 2;
+      break;
+    case FaultKind::kWriteError:
+      fault.write_error_every = 2;
+      break;
+    case FaultKind::kLatencySpike:
+      fault.latency_spike_every = 2;
+      fault.latency_spike_s = 1e-4;
+      break;
+    case FaultKind::kTornWrite:
+      fault.torn_write_every = 2;
+      break;
+    case FaultKind::kDeadStripe:
+      fault.dead_stripe = 0;
+      break;
+  }
+  return fault;
+}
+
+TransferOptions FastRetryOptions(const std::string& dir) {
+  TransferOptions opts;
+  opts.dir = dir;
+  opts.num_stripes = 4;
+  opts.chunk_bytes = 4096;
+  opts.io_workers = 2;
+  // Keep the backoff discipline (exponential, jittered, deadline) but
+  // at microsecond scale so the full matrix runs in well under a second.
+  opts.retry.base_backoff_s = 1e-5;
+  opts.retry.max_backoff_s = 1e-4;
+  opts.retry.backoff_deadline_s = 1.0;
+  return opts;
+}
+
+// Blobs span all four stripes (5 chunks of 4096), so the dead-stripe
+// cell cannot dodge the failing device by allocation luck.
+constexpr int kNumBlobs = 8;
+constexpr int64_t kBlobBytes = 5 * 4096;
+
+std::vector<uint8_t> BlobData(int index) {
+  Rng rng(1000 + index);
+  std::vector<uint8_t> data(kBlobBytes);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+  return data;
+}
+
+TEST(FaultMatrixTest, EveryFaultKindRecoversOnEveryFlowClass) {
+  int cell = 0;
+  for (FaultKind kind : kAllKinds) {
+    for (FlowClass flow : kAllFlows) {
+      SCOPED_TRACE(std::string(FaultKindName(kind)) + " x " +
+                   FlowClassName(flow));
+      TransferOptions opts = FastRetryOptions(
+          TempDir(std::string("mx_") + FaultKindName(kind) + "_" +
+                  FlowClassName(flow)));
+      opts.fault = ConfigFor(kind, /*seed=*/0xFA17u + cell);
+      opts.fault.flow_mask = 1u << static_cast<int>(flow);
+      auto engine = TransferEngine::Open(opts);
+      ASSERT_TRUE(engine.ok()) << engine.status().message();
+      FaultInjector* injector = (*engine)->fault_injector();
+      ASSERT_NE(injector, nullptr);
+      // Latency spikes run against a virtual clock: behaviour stays
+      // observable through counts() without wall-clock waits.
+      injector->SetSleepFn([](double) {});
+
+      for (int i = 0; i < kNumBlobs; ++i) {
+        const std::vector<uint8_t> data = BlobData(i);
+        const std::string key = "t/" + std::to_string(i);
+        ASSERT_TRUE(
+            (*engine)->Write(flow, key, data.data(), kBlobBytes).ok());
+        std::vector<uint8_t> out(kBlobBytes);
+        ASSERT_TRUE((*engine)->Read(flow, key, out.data(), kBlobBytes).ok());
+        EXPECT_EQ(out, data) << "blob " << i << " corrupted";
+      }
+
+      const TransferStats stats = (*engine)->stats();
+      const FlowCounters& c = stats.Flow(flow);
+      EXPECT_EQ(c.bytes_written, kNumBlobs * kBlobBytes);
+      EXPECT_EQ(c.bytes_read, kNumBlobs * kBlobBytes);
+      EXPECT_EQ(c.errors, 0);
+      EXPECT_EQ(c.giveups, 0);
+
+      const FaultInjector::Counts counts = injector->counts();
+      switch (kind) {
+        case FaultKind::kReadError:
+          EXPECT_GT(counts.read_errors, 0);
+          EXPECT_GT(c.retries, 0);
+          break;
+        case FaultKind::kWriteError:
+          EXPECT_GT(counts.write_errors, 0);
+          EXPECT_GT(c.retries, 0);
+          break;
+        case FaultKind::kLatencySpike:
+          // Spikes delay but never fail: all latency, no retries.
+          EXPECT_GT(counts.latency_spikes, 0);
+          EXPECT_EQ(c.retries, 0);
+          break;
+        case FaultKind::kTornWrite:
+          EXPECT_GT(counts.torn_writes, 0);
+          EXPECT_GT(c.retries, 0);
+          break;
+        case FaultKind::kDeadStripe:
+          // The wear-out killed stripe 0; the store re-striped around
+          // it and every blob still round-trips.
+          EXPECT_GE(counts.stripe_write_failures,
+                    opts.stripe_death_threshold);
+          EXPECT_EQ((*engine)->store().num_dead_stripes(), 1);
+          EXPECT_TRUE((*engine)->store().stripe_dead(0));
+          break;
+      }
+      ++cell;
+    }
+  }
+}
+
+TEST(FaultMatrixTest, FlowMaskScopesFaultsToTheMaskedClass) {
+  TransferOptions opts = FastRetryOptions(TempDir("scope"));
+  opts.fault.seed = 0x5C0FEu;
+  opts.fault.read_error_every = 2;
+  opts.fault.flow_mask = 1u << static_cast<int>(FlowClass::kParamFetch);
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+
+  for (int i = 0; i < kNumBlobs; ++i) {
+    const std::vector<uint8_t> data = BlobData(i);
+    const std::string key = "t/" + std::to_string(i);
+    ASSERT_TRUE((*engine)
+                    ->Write(FlowClass::kGradState, key, data.data(), kBlobBytes)
+                    .ok());
+  }
+  // Same keys, two flows: grad_state reads pass untouched (masked out),
+  // param_fetch reads hit the schedule and recover via retries.
+  std::vector<uint8_t> out(kBlobBytes);
+  for (int i = 0; i < kNumBlobs; ++i) {
+    const std::string key = "t/" + std::to_string(i);
+    ASSERT_TRUE(
+        (*engine)->Read(FlowClass::kGradState, key, out.data(), kBlobBytes)
+            .ok());
+  }
+  EXPECT_EQ((*engine)->fault_injector()->counts().read_errors, 0);
+  EXPECT_EQ((*engine)->stats().Flow(FlowClass::kGradState).retries, 0);
+
+  for (int i = 0; i < kNumBlobs; ++i) {
+    const std::string key = "t/" + std::to_string(i);
+    ASSERT_TRUE(
+        (*engine)->Read(FlowClass::kParamFetch, key, out.data(), kBlobBytes)
+            .ok());
+    EXPECT_EQ(out, BlobData(i));
+  }
+  EXPECT_GT((*engine)->fault_injector()->counts().read_errors, 0);
+  EXPECT_GT((*engine)->stats().Flow(FlowClass::kParamFetch).retries, 0);
+}
+
+TEST(FaultMatrixTest, DeadStripeRelocatesExistingBlobsWithoutDataLoss) {
+  TransferOptions opts = FastRetryOptions(TempDir("restripe"));
+  opts.fault.seed = 0xDEADu;
+  opts.fault.dead_stripe = 0;
+  // Wear-out only bites checkpoint traffic; param_fetch seeds the blobs
+  // onto the healthy array first (including stripe 0).
+  opts.fault.flow_mask = 1u << static_cast<int>(FlowClass::kCheckpoint);
+  opts.stripe_death_threshold = 1;
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+
+  const std::vector<uint8_t> v1 = BlobData(0);
+  ASSERT_TRUE(
+      (*engine)->Write(FlowClass::kParamFetch, "blob", v1.data(), kBlobBytes)
+          .ok());
+  ASSERT_EQ((*engine)->store().num_dead_stripes(), 0);
+
+  // Same-size overwrite would normally reuse the extents in place — but
+  // they touch stripe 0, whose first failure now trips the threshold.
+  // The store declares the stripe dead, relocates the blob onto the
+  // survivors, and completes the write in the same Put.
+  const std::vector<uint8_t> v2 = BlobData(1);
+  ASSERT_TRUE(
+      (*engine)->Write(FlowClass::kCheckpoint, "blob", v2.data(), kBlobBytes)
+          .ok());
+  EXPECT_EQ((*engine)->store().num_dead_stripes(), 1);
+  EXPECT_TRUE((*engine)->store().stripe_dead(0));
+  EXPECT_GE((*engine)->store().relocations(), 1);
+
+  std::vector<uint8_t> out(kBlobBytes);
+  ASSERT_TRUE(
+      (*engine)->Read(FlowClass::kCheckpoint, "blob", out.data(), kBlobBytes)
+          .ok());
+  EXPECT_EQ(out, v2);
+  EXPECT_EQ((*engine)->stats().Flow(FlowClass::kCheckpoint).giveups, 0);
+}
+
+TEST(FaultMatrixTest, UnrecoverableFaultGivesUpAndCountsIt) {
+  TransferOptions opts = FastRetryOptions(TempDir("giveup"));
+  opts.fault.seed = 7;
+  opts.fault.write_error_every = 1;  // every attempt fails
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+
+  const std::vector<uint8_t> data = BlobData(0);
+  const Status s =
+      (*engine)->Write(FlowClass::kGradState, "doomed", data.data(),
+                       kBlobBytes);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  const TransferStats stats = (*engine)->stats();
+  const FlowCounters& c = stats.Flow(FlowClass::kGradState);
+  EXPECT_EQ(c.giveups, 1);
+  EXPECT_EQ(c.errors, 1);
+  EXPECT_EQ(c.retries, opts.retry.max_attempts - 1);
+}
+
+TEST(FaultMatrixTest, ZeroFaultConfigRunsCleanWithoutAnInjector) {
+  TransferOptions opts = FastRetryOptions(TempDir("clean"));
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+  // enabled() is false: no injector is allocated, so the hot path pays
+  // nothing for the fault seam.
+  EXPECT_EQ((*engine)->fault_injector(), nullptr);
+  for (int i = 0; i < kNumBlobs; ++i) {
+    const std::vector<uint8_t> data = BlobData(i);
+    const std::string key = "t/" + std::to_string(i);
+    ASSERT_TRUE((*engine)
+                    ->Write(FlowClass::kActivationSpill, key, data.data(),
+                            kBlobBytes)
+                    .ok());
+    std::vector<uint8_t> out(kBlobBytes);
+    ASSERT_TRUE(
+        (*engine)->Read(FlowClass::kActivationSpill, key, out.data(),
+                        kBlobBytes)
+            .ok());
+    EXPECT_EQ(out, data);
+  }
+  const TransferStats stats = (*engine)->stats();
+  const FlowCounters& c = stats.Flow(FlowClass::kActivationSpill);
+  EXPECT_EQ(c.retries, 0);
+  EXPECT_EQ(c.giveups, 0);
+  EXPECT_EQ(c.backoff_seconds, 0.0);
+}
+
+TEST(FaultMatrixTest, EnvKnobsOverlayOntoBaseConfig) {
+  ::setenv("RATEL_FAULT_SEED", "99", 1);
+  ::setenv("RATEL_FAULT_READ_ERROR_EVERY", "3", 1);
+  ::setenv("RATEL_FAULT_LATENCY_SPIKE_MS", "2.5", 1);
+  ::setenv("RATEL_FAULT_FLOWS", "param_fetch,checkpoint", 1);
+  FaultConfig base;
+  base.torn_write_every = 7;  // not overridden by any knob: must survive
+  const FaultConfig cfg = FaultConfig::FromEnv(base);
+  ::unsetenv("RATEL_FAULT_SEED");
+  ::unsetenv("RATEL_FAULT_READ_ERROR_EVERY");
+  ::unsetenv("RATEL_FAULT_LATENCY_SPIKE_MS");
+  ::unsetenv("RATEL_FAULT_FLOWS");
+
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.read_error_every, 3);
+  EXPECT_DOUBLE_EQ(cfg.latency_spike_s, 2.5e-3);
+  EXPECT_EQ(cfg.torn_write_every, 7);
+  const uint32_t want_mask =
+      (1u << static_cast<int>(FlowClass::kParamFetch)) |
+      (1u << static_cast<int>(FlowClass::kCheckpoint));
+  EXPECT_EQ(cfg.flow_mask, want_mask);
+  EXPECT_TRUE(cfg.enabled());
+}
+
+}  // namespace
+}  // namespace ratel

@@ -5,12 +5,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "storage/fault_injector.h"
 
 namespace ratel {
 namespace {
@@ -54,77 +54,71 @@ TEST(IoSchedulerTest, DrainWaitsForEverything) {
   EXPECT_EQ((*store)->num_blobs(), 40);
 }
 
-// Harness for service-order tests: a single worker is parked inside the
-// completion callback of a "gate" request, so every later submission is
-// queued while the worker is provably busy; the recorded callback order
-// is then the exact (deterministic) service order.
+// Harness for service-order tests, built on the fault seam's injected
+// stall hook: the worker is deterministically parked *inside* the store
+// operation of a "gate" request (FaultInjector::StallOpsOn), so every
+// later submission is queued while the worker is provably busy; the
+// recorded completion order is then the exact (deterministic) service
+// order. No wall-clock sleeps, no completion-callback gating.
 class StarvationHarness {
  public:
-  explicit StarvationHarness(IoScheduler* sched) : sched_(sched) {
+  explicit StarvationHarness(const std::string& tag, int workers = 1,
+                             IoScheduler::Tuning tuning = {}) {
+    auto store_or = BlockStore::Open(TempDir(tag), 2, 4096,
+                                     BlockStore::Tuning{&injector_, 3});
+    EXPECT_TRUE(store_or.ok());
+    store_ = std::move(store_or).value();
+    sched_ = std::make_unique<IoScheduler>(store_.get(), workers, tuning);
+    injector_.StallOpsOn("gate");
     sched_->SubmitWrite("gate", byte_.data(), 1,
-                        IoScheduler::Priority::kLatencyCritical,
-                        [this](const Status&) {
-                          std::unique_lock<std::mutex> lock(mu_);
-                          gate_entered_ = true;
-                          entered_.notify_all();
-                          released_.wait(lock, [this] { return release_; });
-                        });
-    std::unique_lock<std::mutex> lock(mu_);
-    entered_.wait(lock, [this] { return gate_entered_; });
+                        IoScheduler::Priority::kLatencyCritical);
+    injector_.WaitForStalled(1);  // the worker is now held busy
   }
 
   void SubmitTagged(const std::string& key, IoScheduler::Priority priority) {
     sched_->SubmitWrite(key, byte_.data(), 1, priority,
-                        [this, key](const Status&) {
+                        [this, key](const IoResult&) {
                           std::lock_guard<std::mutex> lock(mu_);
                           order_.push_back(key);
                         });
   }
 
-  void ReleaseGate() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      release_ = true;
-    }
-    released_.notify_all();
-  }
+  void ReleaseGate() { injector_.ReleaseStalled(); }
 
   std::vector<std::string> order() {
     std::lock_guard<std::mutex> lock(mu_);
     return order_;
   }
 
+  IoScheduler& sched() { return *sched_; }
+
  private:
-  IoScheduler* sched_;
+  FaultInjector injector_{FaultConfig{}};
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<IoScheduler> sched_;
   std::vector<uint8_t> byte_ = {0x01};
   std::mutex mu_;
-  std::condition_variable entered_, released_;
-  bool gate_entered_ = false;
-  bool release_ = false;
   std::vector<std::string> order_;
 };
 
 TEST(IoSchedulerTest, CriticalClassServedFirst) {
-  auto store = BlockStore::Open(TempDir("prio"), 2, 4096);
-  ASSERT_TRUE(store.ok());
   // Single worker, parked while we fill the queues: the critical
   // request must overtake the whole queued background tail.
-  IoScheduler sched(store->get(), 1);
-  StarvationHarness harness(&sched);
+  StarvationHarness harness("prio");
   for (int i = 0; i < 30; ++i) {
     harness.SubmitTagged("bg" + std::to_string(i),
                          IoScheduler::Priority::kBackground);
   }
   harness.SubmitTagged("hot", IoScheduler::Priority::kLatencyCritical);
   harness.ReleaseGate();
-  ASSERT_TRUE(sched.Drain().ok());
+  ASSERT_TRUE(harness.sched().Drain().ok());
   const std::vector<std::string> order = harness.order();
   ASSERT_EQ(order.size(), 31u);
   EXPECT_EQ(order.front(), "hot");
   // Background requests keep FIFO order among themselves.
   EXPECT_EQ(order[1], "bg0");
   EXPECT_EQ(order.back(), "bg29");
-  EXPECT_EQ(sched.completed_background(), 30);
+  EXPECT_EQ(harness.sched().completed_background(), 30);
 }
 
 TEST(IoSchedulerTest, ErrorsSurfaceThroughWaitAndDrain) {
@@ -146,30 +140,32 @@ TEST(IoSchedulerTest, CompletionCallbackRunsBeforeTicketResolves) {
   std::atomic<bool> write_cb{false};
   const auto wt = sched.SubmitWrite(
       "k", data.data(), data.size(), IoScheduler::Priority::kBackground,
-      [&](const Status& s) {
-        EXPECT_TRUE(s.ok());
+      [&](const IoResult& r) {
+        EXPECT_TRUE(r.status.ok());
+        EXPECT_EQ(r.attempts, 1);
+        EXPECT_FALSE(r.gave_up);
         write_cb.store(true);
       });
   ASSERT_TRUE(sched.Wait(wt).ok());
   EXPECT_TRUE(write_cb.load());  // callback effects visible by Wait-return
-  // Errors reach the callback too.
+  // Errors reach the callback too. kNotFound is not transient, so no
+  // retries are burned on it.
   std::vector<uint8_t> out;
   std::atomic<bool> saw_not_found{false};
   const auto bad = sched.SubmitRead(
       "missing", &out, 64, IoScheduler::Priority::kLatencyCritical,
-      [&](const Status& s) { saw_not_found.store(s.code() ==
-                                                 StatusCode::kNotFound); });
+      [&](const IoResult& r) {
+        saw_not_found.store(r.status.code() == StatusCode::kNotFound &&
+                            r.attempts == 1 && !r.gave_up);
+      });
   EXPECT_EQ(sched.Wait(bad).code(), StatusCode::kNotFound);
   EXPECT_TRUE(saw_not_found.load());
 }
 
 TEST(IoSchedulerTest, AgingPromotesStarvedBackgroundRequest) {
-  auto store = BlockStore::Open(TempDir("aging"), 2, 4096);
-  ASSERT_TRUE(store.ok());
   IoScheduler::Tuning tuning;
   tuning.background_aging_limit = 8;
-  IoScheduler sched(store->get(), 1, tuning);
-  StarvationHarness harness(&sched);
+  StarvationHarness harness("aging", 1, tuning);
   // One background request, then a long run of latency-critical work —
   // the sustained-fetch pattern that starves writebacks under strict
   // priority.
@@ -179,7 +175,7 @@ TEST(IoSchedulerTest, AgingPromotesStarvedBackgroundRequest) {
                          IoScheduler::Priority::kLatencyCritical);
   }
   harness.ReleaseGate();
-  ASSERT_TRUE(sched.Drain().ok());
+  ASSERT_TRUE(harness.sched().Drain().ok());
   const std::vector<std::string> order = harness.order();
   ASSERT_EQ(order.size(), 33u);
   // The gate completion counts as 1 critical; once 8 critical requests
@@ -188,28 +184,25 @@ TEST(IoSchedulerTest, AgingPromotesStarvedBackgroundRequest) {
   EXPECT_EQ(order[7], "bg") << "bg served at position "
                             << (std::find(order.begin(), order.end(), "bg") -
                                 order.begin());
-  EXPECT_EQ(sched.promoted_background(), 1);
+  EXPECT_EQ(harness.sched().promoted_background(), 1);
 }
 
 TEST(IoSchedulerTest, StrictPriorityStarvesBackgroundRegression) {
-  auto store = BlockStore::Open(TempDir("strict"), 2, 4096);
-  ASSERT_TRUE(store.ok());
   IoScheduler::Tuning tuning;
   tuning.background_aging_limit = 0;  // strict priority, no aging
-  IoScheduler sched(store->get(), 1, tuning);
-  StarvationHarness harness(&sched);
+  StarvationHarness harness("strict", 1, tuning);
   harness.SubmitTagged("bg", IoScheduler::Priority::kBackground);
   for (int i = 0; i < 32; ++i) {
     harness.SubmitTagged("c" + std::to_string(i),
                          IoScheduler::Priority::kLatencyCritical);
   }
   harness.ReleaseGate();
-  ASSERT_TRUE(sched.Drain().ok());
+  ASSERT_TRUE(harness.sched().Drain().ok());
   const std::vector<std::string> order = harness.order();
   ASSERT_EQ(order.size(), 33u);
   // Without aging the background request is served dead last.
   EXPECT_EQ(order.back(), "bg");
-  EXPECT_EQ(sched.promoted_background(), 0);
+  EXPECT_EQ(harness.sched().promoted_background(), 0);
 }
 
 TEST(IoSchedulerTest, ConcurrentMixedLoad) {
@@ -241,6 +234,97 @@ TEST(IoSchedulerTest, ConcurrentMixedLoad) {
     ASSERT_TRUE(sched.Wait(reads[i]).ok());
     EXPECT_EQ(outs[i], blobs[i]) << i;
   }
+}
+
+TEST(IoSchedulerTest, TransientReadErrorsRetriedToSuccess) {
+  FaultConfig fault;
+  fault.seed = 11;
+  fault.read_error_every = 2;  // every 2nd read attempt of a key fails
+  FaultInjector injector(fault);
+  auto store = BlockStore::Open(TempDir("retry"), 2, 4096,
+                                BlockStore::Tuning{&injector, 3});
+  ASSERT_TRUE(store.ok());
+  IoScheduler::Tuning tuning;
+  tuning.backoff_sleep_fn = [](double) {};  // virtual clock: no waiting
+  IoScheduler sched(store->get(), 2, tuning);
+  std::vector<uint8_t> data(512, 0x3C);
+  for (int i = 0; i < 8; ++i) {
+    sched.SubmitWrite("r" + std::to_string(i), data.data(), data.size(),
+                      IoScheduler::Priority::kBackground);
+  }
+  ASSERT_TRUE(sched.Drain().ok());
+  std::vector<std::vector<uint8_t>> outs(8);
+  for (int i = 0; i < 8; ++i) {
+    const auto t = sched.SubmitRead("r" + std::to_string(i), &outs[i], 512,
+                                    IoScheduler::Priority::kLatencyCritical);
+    ASSERT_TRUE(sched.Wait(t).ok()) << i;
+    EXPECT_EQ(outs[i], data) << i;
+  }
+  // With period 2, each key loses exactly one of its first two attempts.
+  EXPECT_GT(sched.total_retries(), 0);
+  EXPECT_EQ(sched.total_giveups(), 0);
+  EXPECT_GT(injector.counts().read_errors, 0);
+}
+
+TEST(IoSchedulerTest, PermanentFailureGivesUpAfterMaxAttempts) {
+  FaultConfig fault;
+  fault.seed = 5;
+  fault.write_error_every = 1;  // every write attempt fails
+  FaultInjector injector(fault);
+  auto store = BlockStore::Open(TempDir("giveup"), 2, 4096,
+                                BlockStore::Tuning{&injector, 1 << 20});
+  ASSERT_TRUE(store.ok());
+  IoScheduler::Tuning tuning;
+  tuning.retry.max_attempts = 3;
+  tuning.backoff_sleep_fn = [](double) {};
+  IoScheduler sched(store->get(), 1, tuning);
+  std::vector<uint8_t> data(64, 0x77);
+  std::atomic<int> attempts{0};
+  std::atomic<bool> gave_up{false};
+  const auto t = sched.SubmitWrite(
+      "doomed", data.data(), data.size(), IoScheduler::Priority::kBackground,
+      [&](const IoResult& r) {
+        attempts.store(r.attempts);
+        gave_up.store(r.gave_up);
+      });
+  EXPECT_EQ(sched.Wait(t).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_TRUE(gave_up.load());
+  EXPECT_EQ(sched.total_retries(), 2);
+  EXPECT_EQ(sched.total_giveups(), 1);
+}
+
+TEST(IoSchedulerTest, BackoffDeadlineCapsRetrySleep) {
+  FaultConfig fault;
+  fault.seed = 5;
+  fault.write_error_every = 1;
+  FaultInjector injector(fault);
+  auto store = BlockStore::Open(TempDir("deadline"), 2, 4096,
+                                BlockStore::Tuning{&injector, 1 << 20});
+  ASSERT_TRUE(store.ok());
+  IoScheduler::Tuning tuning;
+  tuning.retry.max_attempts = 10;
+  tuning.retry.base_backoff_s = 1.0;        // any sleep would be huge...
+  tuning.retry.max_backoff_s = 1.0;
+  tuning.retry.backoff_deadline_s = 0.5;    // ...but the deadline forbids it
+  std::vector<double> slept;
+  std::mutex slept_mu;
+  tuning.backoff_sleep_fn = [&](double s) {
+    std::lock_guard<std::mutex> lock(slept_mu);
+    slept.push_back(s);
+  };
+  IoScheduler sched(store->get(), 1, tuning);
+  std::vector<uint8_t> data(64, 0x11);
+  std::atomic<bool> gave_up{false};
+  const auto t = sched.SubmitWrite(
+      "doomed", data.data(), data.size(), IoScheduler::Priority::kBackground,
+      [&](const IoResult& r) { gave_up.store(r.gave_up); });
+  EXPECT_EQ(sched.Wait(t).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(gave_up.load());
+  // The first backoff (>= 0.75 s after jitter) already busts the 0.5 s
+  // deadline, so the request gives up without sleeping at all.
+  EXPECT_TRUE(slept.empty());
+  EXPECT_EQ(sched.total_giveups(), 1);
 }
 
 }  // namespace

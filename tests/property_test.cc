@@ -9,6 +9,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/fp16.h"
 #include "common/rng.h"
 #include "common/units.h"
@@ -18,6 +19,8 @@
 #include "hw/catalog.h"
 #include "model/transformer_config.h"
 #include "sim/engine.h"
+#include "storage/fault_injector.h"
+#include "storage/io_scheduler.h"
 
 namespace ratel {
 namespace {
@@ -254,6 +257,171 @@ TEST(CostModelSensitivityTest, MoreSpareMemoryNeverSlower) {
     const double t = ActivationPlanner(cm).Plan().predicted_iter_time;
     EXPECT_LE(t, prev + 1e-9) << extra;
     prev = t;
+  }
+}
+
+// ---------- Retry/backoff schedule invariants ----------
+
+TEST(RetryPolicyPropertyTest, ScheduleIsDeterministicForAFixedSeed) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    RetryPolicy p;
+    p.max_attempts = 1 + static_cast<int>(rng.NextBelow(10));
+    p.base_backoff_s = 1e-5 * (1.0 + static_cast<double>(rng.NextBelow(100)));
+    p.backoff_multiplier = 1.0 + 0.25 * static_cast<double>(rng.NextBelow(12));
+    p.max_backoff_s = p.base_backoff_s * (1 + rng.NextBelow(64));
+    p.backoff_deadline_s =
+        p.base_backoff_s * (1 + static_cast<double>(rng.NextBelow(256)));
+    p.jitter_seed = rng.NextU64();
+    // Same policy, same seed: bit-for-bit the same schedule. The
+    // scheduler's recovery behaviour is replayable, not "roughly so".
+    EXPECT_EQ(BackoffSchedule(p), BackoffSchedule(p));
+    for (int k = 1; k < p.max_attempts; ++k) {
+      EXPECT_EQ(RetryBackoffSeconds(p, k), RetryBackoffSeconds(p, k));
+    }
+  }
+}
+
+TEST(RetryPolicyPropertyTest, EverySleepIsJitteredClampedExponential) {
+  Rng rng(32);
+  for (int trial = 0; trial < 200; ++trial) {
+    RetryPolicy p;
+    p.max_attempts = 2 + static_cast<int>(rng.NextBelow(8));
+    p.base_backoff_s = 1e-5 * (1.0 + static_cast<double>(rng.NextBelow(100)));
+    p.backoff_multiplier = 1.0 + 0.5 * static_cast<double>(rng.NextBelow(6));
+    p.max_backoff_s = p.base_backoff_s * (1 + rng.NextBelow(64));
+    p.backoff_deadline_s = 1e9;  // no truncation in this sweep
+    p.jitter_seed = rng.NextU64();
+    for (int k = 1; k < p.max_attempts; ++k) {
+      double ideal = p.base_backoff_s;
+      for (int i = 1; i < k; ++i) ideal *= p.backoff_multiplier;
+      const double clamped = std::min(ideal, p.max_backoff_s);
+      const double slept = RetryBackoffSeconds(p, k);
+      // Jitter shrinks, never grows, and never below 75% of nominal.
+      EXPECT_GE(slept, 0.75 * clamped - 1e-15) << "retry " << k;
+      EXPECT_LT(slept, clamped + 1e-15) << "retry " << k;
+    }
+  }
+}
+
+TEST(RetryPolicyPropertyTest, CumulativeBackoffNeverExceedsTheDeadline) {
+  Rng rng(33);
+  for (int trial = 0; trial < 500; ++trial) {
+    RetryPolicy p;
+    p.max_attempts = 1 + static_cast<int>(rng.NextBelow(12));
+    p.base_backoff_s = 1e-5 * (1.0 + static_cast<double>(rng.NextBelow(500)));
+    p.backoff_multiplier = 1.0 + 0.25 * static_cast<double>(rng.NextBelow(12));
+    p.max_backoff_s = p.base_backoff_s * (1 + rng.NextBelow(64));
+    // Deadlines from "tighter than one sleep" to "covers everything".
+    p.backoff_deadline_s =
+        p.base_backoff_s * 0.5 * (1 + static_cast<double>(rng.NextBelow(128)));
+    p.jitter_seed = rng.NextU64();
+    const std::vector<double> sched = BackoffSchedule(p);
+    EXPECT_LE(sched.size(), static_cast<size_t>(p.max_attempts - 1));
+    double total = 0.0;
+    for (size_t k = 0; k < sched.size(); ++k) {
+      EXPECT_EQ(sched[k], RetryBackoffSeconds(p, static_cast<int>(k) + 1));
+      total += sched[k];
+    }
+    // The bound the pipeline relies on: a request can never sit in
+    // backoff longer than the configured deadline.
+    EXPECT_LE(total, p.backoff_deadline_s + 1e-12);
+  }
+}
+
+TEST(RetryPolicyPropertyTest, OnlyTransientCodesAreRetryable) {
+  EXPECT_TRUE(IsRetryableIoError(Status::Unavailable("transient")));
+  EXPECT_TRUE(IsRetryableIoError(Status::IoError("transient")));
+  EXPECT_FALSE(IsRetryableIoError(Status::Ok()));
+  EXPECT_FALSE(IsRetryableIoError(Status::DataLoss("checksum mismatch")));
+  EXPECT_FALSE(IsRetryableIoError(Status::NotFound("gone")));
+  EXPECT_FALSE(IsRetryableIoError(Status::InvalidArgument("bad size")));
+}
+
+// ---------- Fault-injection schedule invariants ----------
+
+TEST(FaultSchedulePropertyTest, ReadFaultsFireExactlyEveryKthOperation) {
+  for (int k : {2, 3, 5, 8}) {
+    FaultConfig cfg;
+    cfg.seed = 0xABCDEFull + k;
+    cfg.read_error_every = k;
+    FaultInjector a(cfg), b(cfg);
+    for (const std::string key : {"p16/wte", "m/block0", "chan"}) {
+      std::vector<int> fault_ops;
+      for (int n = 1; n <= 6 * k; ++n) {
+        const bool faulted_a = !a.OnBlobRead(key).ok();
+        const bool faulted_b = !b.OnBlobRead(key).ok();
+        // Same seed => identical decisions, op for op.
+        EXPECT_EQ(faulted_a, faulted_b) << key << " op " << n;
+        if (faulted_a) fault_ops.push_back(n);
+      }
+      // Exactly every k-th op of the key faults: 6 faults in 6k ops,
+      // consecutive faults exactly k apart, first within the first k.
+      ASSERT_EQ(fault_ops.size(), 6u) << key;
+      EXPECT_LE(fault_ops[0], k);
+      for (size_t i = 1; i < fault_ops.size(); ++i) {
+        EXPECT_EQ(fault_ops[i] - fault_ops[i - 1], k) << key;
+      }
+    }
+  }
+}
+
+TEST(FaultSchedulePropertyTest, RetryAfterAFaultDeterministicallyPasses) {
+  // The contract the retry loop leans on: with every >= 2, the op right
+  // after a fault never faults, so max_attempts = 2 already converges.
+  FaultConfig cfg;
+  cfg.seed = 77;
+  cfg.write_error_every = 2;
+  FaultInjector inj(cfg);
+  int64_t torn = -1;
+  bool prev_faulted = false;
+  for (int n = 0; n < 40; ++n) {
+    const bool faulted = !inj.OnBlobWrite("p32/w", 1024, &torn).ok();
+    if (prev_faulted) {
+      EXPECT_FALSE(faulted) << "op " << n;
+    }
+    prev_faulted = faulted;
+  }
+}
+
+// ---------- CRC-32C ----------
+
+TEST(ChecksumPropertyTest, MatchesTheCastagnoliCheckValue) {
+  // The standard CRC-32C check vector: crc of "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(ChecksumPropertyTest, ChainingEqualsOneShotOverTheConcatenation) {
+  Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<uint8_t> buf(1 + rng.NextBelow(512));
+    for (auto& c : buf) c = static_cast<uint8_t>(rng.NextU64());
+    const uint32_t whole = Crc32c(buf.data(), buf.size());
+    const size_t cut = rng.NextBelow(buf.size() + 1);
+    const uint32_t part = Crc32c(buf.data() + cut, buf.size() - cut,
+                                 Crc32c(buf.data(), cut));
+    EXPECT_EQ(part, whole);
+    Crc32cAccumulator acc;
+    for (size_t i = 0; i < buf.size(); ++i) acc.Update(&buf[i], 1);
+    EXPECT_EQ(acc.value(), whole);
+  }
+}
+
+TEST(ChecksumPropertyTest, SingleBitFlipsAlwaysChangeTheChecksum) {
+  // CRC-32C detects every single-bit error — the torn-write /
+  // bit-rot class the checkpoint shards guard against.
+  Rng rng(42);
+  std::vector<uint8_t> buf(64);
+  for (auto& c : buf) c = static_cast<uint8_t>(rng.NextU64());
+  const uint32_t base = Crc32c(buf.data(), buf.size());
+  for (size_t byte = 0; byte < buf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= (1u << bit);
+      EXPECT_NE(Crc32c(buf.data(), buf.size()), base)
+          << "byte " << byte << " bit " << bit;
+      buf[byte] ^= (1u << bit);
+    }
   }
 }
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ThreadSanitizer and
+# AddressSanitizer, in separate build trees so sanitized objects never
+# mix with the regular build.
+#
+# Usage:
+#   tools/run_sanitized_tests.sh [label]
+#
+# With a label argument only that ctest label is run (e.g. `fault` or
+# `determinism` — the suites that exercise the fault seam's concurrent
+# retry/stall paths, where TSan coverage matters most). Without one the
+# full suite runs under both sanitizers.
+#
+# Environment:
+#   SANITIZERS   space-separated subset to run (default: "thread address")
+#   JOBS         build/test parallelism (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$(pwd)"
+
+LABEL="${1:-}"
+JOBS="${JOBS:-$(nproc)}"
+SANITIZERS="${SANITIZERS:-thread address}"
+
+for SAN in ${SANITIZERS}; do
+  BUILD_DIR="${REPO_ROOT}/build-${SAN}san"
+  echo "=== ${SAN} sanitizer: configuring ${BUILD_DIR} ==="
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+        -DRATEL_SANITIZE="${SAN}" >/dev/null
+  echo "=== ${SAN} sanitizer: building (-j${JOBS}) ==="
+  cmake --build "${BUILD_DIR}" -j"${JOBS}" >/dev/null
+  echo "=== ${SAN} sanitizer: testing ${LABEL:+(label: ${LABEL})} ==="
+  if [ -n "${LABEL}" ]; then
+    ctest --test-dir "${BUILD_DIR}" -L "${LABEL}" --output-on-failure \
+          -j"${JOBS}"
+  else
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -j"${JOBS}"
+  fi
+  echo "=== ${SAN} sanitizer: PASS ==="
+done
