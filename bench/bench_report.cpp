@@ -1,12 +1,24 @@
-// Kernel benchmark report: times the tiled parallel compute kernels
-// against the seed's serial reference and emits BENCH_kernels.json (plus
-// a human-readable table). The headline entry is the 256x256x256 matmul
-// forward+backward — `matmul256/speedup_vs_seed` is the acceptance
-// metric for the parallel compute layer (>= 3x at 4 threads).
+// Benchmark reports:
+//  - BENCH_kernels.json: the tiled parallel compute kernels against the
+//    seed's serial reference. The headline entry is the 256x256x256
+//    matmul forward+backward — `matmul256/speedup_vs_seed` is the
+//    acceptance metric for the parallel compute layer (>= 3x at 4
+//    threads).
+//  - BENCH_datapath.json: the zero-copy pooled data path against the
+//    copying legacy path over the same hot working set, plus the
+//    OutOfCoreAdam steady-state loop. Acceptance: >= 2x reduction in
+//    bytes-copied-per-step, and 0 pool misses per step after warmup.
 //
-// Usage: bench_report [output.json]   (default: BENCH_kernels.json)
+// Usage: bench_report [kernels.json] [datapath.json]
+//        (defaults: BENCH_kernels.json BENCH_datapath.json)
+// RATEL_BENCH_SMOKE=1 shrinks every workload to a CI-sized smoke run.
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -16,6 +28,8 @@
 #include "common/rng.h"
 #include "optim/cpu_adam.h"
 #include "runtime/compute_pool.h"
+#include "runtime/out_of_core_adam.h"
+#include "xfer/transfer_engine.h"
 
 namespace {
 
@@ -27,9 +41,13 @@ std::vector<float> RandomVec(Rng& rng, int64_t n) {
   return out;
 }
 
+// Smoke mode (RATEL_BENCH_SMOKE=1): one rep, shrunken workloads — the
+// CI perf-label entry that catches bench bit-rot without the cost.
+int g_reps = 7;
+
 // Median-of-reps wall time of fn(), in seconds.
 template <typename Fn>
-double TimeIt(Fn&& fn, int reps = 7) {
+double TimeIt(Fn&& fn, int reps = g_reps) {
   fn();  // warm-up
   std::vector<double> times;
   times.reserve(reps);
@@ -47,9 +65,13 @@ double TimeIt(Fn&& fn, int reps = 7) {
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  const std::string datapath_path =
+      argc > 2 ? argv[2] : "BENCH_datapath.json";
+  const bool smoke = std::getenv("RATEL_BENCH_SMOKE") != nullptr;
+  if (smoke) g_reps = 1;
   bench::BenchReport report("kernels");
 
-  const int64_t n = 256;
+  const int64_t n = smoke ? 64 : 256;
   Rng rng(1);
   const std::vector<float> a = RandomVec(rng, n * n);
   const std::vector<float> b = RandomVec(rng, n * n);
@@ -109,7 +131,7 @@ int main(int argc, char** argv) {
 
   // Chunk-parallel CPU Adam over 1M params (fp16 grads + P16 out).
   {
-    const int64_t np = 1 << 20;
+    const int64_t np = smoke ? 1 << 14 : 1 << 20;
     CpuAdamKernel kernel{AdamConfig{}};
     Rng prng(3);
     std::vector<float> params = RandomVec(prng, np), m(np, 0.0f), v(np, 0.0f);
@@ -162,5 +184,129 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nwrote " << out_path << "\n";
+
+  // ----- Zero-copy data path report -----
+  bench::BenchReport datapath("datapath");
+  const std::string bench_dir =
+      "/tmp/ratel_bench_report_" + std::to_string(::getpid());
+  const int64_t blob = smoke ? (64 << 10) : (256 << 10);
+  const int kKeys = 4;
+  const int steps = smoke ? 2 : 24;
+
+  // A/B: the same write+read working set through the legacy copying API
+  // and through pooled buffers, bytes-copied and pool misses per step
+  // read out of the engine's own accounting (measured, not asserted).
+  auto run_mode = [&](bool pooled, double* bytes_copied_per_step,
+                      double* pool_allocs_per_step) -> bool {
+    TransferOptions opts;
+    opts.dir = bench_dir + (pooled ? "_pooled" : "_copying");
+    opts.num_stripes = 4;
+    opts.chunk_bytes = 1 << 20;
+    opts.host_cache_bytes = int64_t{64} << 20;
+    opts.io_workers = 2;
+    auto engine = TransferEngine::Open(opts);
+    if (!engine.ok()) return false;
+    std::vector<uint8_t> data(blob, 0x5A);
+    std::vector<uint8_t> out(blob);
+    auto one_step = [&] {
+      for (int k = 0; k < kKeys; ++k) {
+        const std::string key = "k" + std::to_string(k);
+        if (pooled) {
+          Buffer payload = (*engine)->buffer_pool().Lease(blob);
+          std::memset(payload.mutable_data(), k, blob);
+          (void)(*engine)->WriteBuffer(FlowClass::kGradState, key,
+                                       std::move(payload));
+          Buffer in;
+          (void)(*engine)->Wait(
+              (*engine)->SubmitRead(FlowClass::kGradState, key, &in, blob));
+        } else {
+          (void)(*engine)->Write(FlowClass::kGradState, key, data.data(),
+                                 blob);
+          (void)(*engine)->Read(FlowClass::kGradState, key, out.data(), blob);
+        }
+      }
+    };
+    // Warmup twice: pass 1 populates the tier (which pins one generation
+    // of blocks), pass 2 allocates the one extra block the steady-state
+    // lease->publish->recycle cycle needs. After that: zero pool misses.
+    one_step();
+    one_step();
+    const TransferStats t0 = (*engine)->stats();
+    const BufferPool::Stats p0 = (*engine)->buffer_pool().stats();
+    for (int i = 0; i < steps; ++i) one_step();
+    const TransferStats d = Delta((*engine)->stats(), t0);
+    const BufferPool::Stats p1 = (*engine)->buffer_pool().stats();
+    int64_t copied = 0;
+    for (int i = 0; i < kNumFlowClasses; ++i) copied += d.flow[i].bytes_copied;
+    *bytes_copied_per_step = static_cast<double>(copied) / steps;
+    *pool_allocs_per_step =
+        static_cast<double>(p1.allocations - p0.allocations) / steps;
+    return true;
+  };
+  double copying_bytes = 0, copying_allocs = 0;
+  double pooled_bytes = 0, pooled_allocs = 0;
+  if (!run_mode(false, &copying_bytes, &copying_allocs) ||
+      !run_mode(true, &pooled_bytes, &pooled_allocs)) {
+    std::cerr << "datapath bench: engine open failed\n";
+    return 1;
+  }
+  datapath.Add("xfer/copying_bytes_copied_per_step", 1, copying_bytes, "B");
+  datapath.Add("xfer/pooled_bytes_copied_per_step", 1, pooled_bytes, "B");
+  datapath.Add("xfer/copy_reduction", 1,
+               copying_bytes / std::max(pooled_bytes, 1.0), "x");
+  datapath.Add("xfer/copying_pool_misses_per_step", 1, copying_allocs, "");
+  datapath.Add("xfer/pooled_pool_misses_per_step", 1, pooled_allocs, "");
+
+  // OutOfCoreAdam steady state: the read->update->writeback pipeline
+  // leases every buffer from the warm free lists — zero pool misses and
+  // zero host copies per optimizer step.
+  {
+    TransferOptions opts;
+    opts.dir = bench_dir + "_adam";
+    opts.num_stripes = 4;
+    opts.chunk_bytes = 1 << 20;
+    opts.host_cache_bytes = int64_t{64} << 20;
+    opts.io_workers = 2;
+    auto engine = TransferEngine::Open(opts);
+    if (!engine.ok()) {
+      std::cerr << "datapath bench: engine open failed\n";
+      return 1;
+    }
+    const int64_t np = smoke ? 1 << 12 : 1 << 16;
+    OutOfCoreAdam adam(AdamConfig{}, engine->get());
+    Rng arng(9);
+    std::vector<float> init(np);
+    for (auto& p : init) p = static_cast<float>(arng.NextGaussian());
+    std::vector<Fp16> grads16(np);
+    for (auto& gv : grads16) {
+      gv = FloatToHalf(static_cast<float>(arng.NextGaussian()));
+    }
+    if (!adam.Register("w", init).ok()) {
+      std::cerr << "datapath bench: register failed\n";
+      return 1;
+    }
+    for (int i = 0; i < 3; ++i) (void)adam.StepTensor("w", grads16);
+    const TransferStats t0 = (*engine)->stats();
+    const BufferPool::Stats p0 = (*engine)->buffer_pool().stats();
+    for (int i = 0; i < steps; ++i) (void)adam.StepTensor("w", grads16);
+    const TransferStats d = Delta((*engine)->stats(), t0);
+    const BufferPool::Stats p1 = (*engine)->buffer_pool().stats();
+    int64_t copied = 0;
+    for (int i = 0; i < kNumFlowClasses; ++i) copied += d.flow[i].bytes_copied;
+    datapath.Add("adam/bytes_copied_per_step", 1,
+                 static_cast<double>(copied) / steps, "B");
+    datapath.Add("adam/pool_misses_per_step", 1,
+                 static_cast<double>(p1.allocations - p0.allocations) / steps,
+                 "");
+  }
+
+  std::cout << "\n";
+  datapath.PrintTable(std::cout);
+  const Status dst = datapath.WriteJson(datapath_path);
+  if (!dst.ok()) {
+    std::cerr << dst.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << datapath_path << "\n";
   return 0;
 }

@@ -16,6 +16,7 @@ Result<AllocationId> MemoryPool::Allocate(int64_t bytes, std::string label) {
   if (bytes < 0) {
     return Status::InvalidArgument("negative allocation in pool " + name_);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (used_ + bytes > capacity_) {
     return Status::OutOfMemory(
         name_ + ": cannot allocate " + FormatBytes(bytes) + " for '" + label +
@@ -30,6 +31,7 @@ Result<AllocationId> MemoryPool::Allocate(int64_t bytes, std::string label) {
 }
 
 Status MemoryPool::Free(AllocationId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(id);
   if (it == live_.end()) {
     return Status::NotFound(name_ + ": unknown allocation id " +
@@ -41,11 +43,13 @@ Status MemoryPool::Free(AllocationId id) {
 }
 
 void MemoryPool::FreeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   live_.clear();
   used_ = 0;
 }
 
 std::string MemoryPool::DebugString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return name_ + ": used " + FormatBytes(used_) + " / " +
          FormatBytes(capacity_) + ", peak " + FormatBytes(peak_used_) + ", " +
          std::to_string(live_.size()) + " live allocations";

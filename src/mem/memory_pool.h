@@ -2,6 +2,7 @@
 #define RATEL_MEM_MEMORY_POOL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,7 +18,9 @@ using AllocationId = int64_t;
 /// main memory, SSD staging). Allocation is bookkeeping only — the pool
 /// tracks byte budgets, watermarks and OOM, which is what the feasibility
 /// analyses (max trainable model size, Figs. 2a/6/8) and the runtime's
-/// buffer manager need. Not thread-safe; guard externally if shared.
+/// buffer manager need. Thread-safe: the bookkeeping is guarded by an
+/// internal (uncontended) mutex, so concurrent pipeline handlers may
+/// Allocate/Free without external locking.
 class MemoryPool {
  public:
   MemoryPool(std::string name, int64_t capacity_bytes);
@@ -37,15 +40,28 @@ class MemoryPool {
 
   const std::string& name() const { return name_; }
   int64_t capacity() const { return capacity_; }
-  int64_t used() const { return used_; }
-  int64_t available() const { return capacity_ - used_; }
-  int64_t peak_used() const { return peak_used_; }
+  int64_t used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  int64_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_ - used_;
+  }
+  int64_t peak_used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_used_;
+  }
   int64_t num_live_allocations() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int64_t>(live_.size());
   }
 
   /// Resets the high-watermark to the current usage.
-  void ResetPeak() { peak_used_ = used_; }
+  void ResetPeak() {
+    std::lock_guard<std::mutex> lock(mu_);
+    peak_used_ = used_;
+  }
 
   /// Human-readable usage summary for diagnostics.
   std::string DebugString() const;
@@ -58,6 +74,7 @@ class MemoryPool {
 
   std::string name_;
   int64_t capacity_;
+  mutable std::mutex mu_;  // guards all bookkeeping below
   int64_t used_ = 0;
   int64_t peak_used_ = 0;
   AllocationId next_id_ = 1;

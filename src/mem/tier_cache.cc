@@ -1,6 +1,7 @@
 #include "mem/tier_cache.h"
 
 #include <cstring>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -24,8 +25,8 @@ void TierCache::EvictToFitLocked(int64_t incoming) {
   }
 }
 
-void TierCache::InsertLocked(const std::string& key, const void* data,
-                             int64_t size) {
+void TierCache::InsertLocked(const std::string& key, Buffer data) {
+  const int64_t size = data.size();
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
@@ -36,8 +37,7 @@ void TierCache::InsertLocked(const std::string& key, const void* data,
   EvictToFitLocked(size);
   lru_.push_front(key);
   CacheEntry entry;
-  entry.data.assign(static_cast<const uint8_t*>(data),
-                    static_cast<const uint8_t*>(data) + size);
+  entry.data = std::move(data);
   entry.lru_it = lru_.begin();
   entries_.emplace(key, std::move(entry));
   stats_.bytes_cached += size;
@@ -47,7 +47,7 @@ Status TierCache::Put(const std::string& key, const void* data,
                       int64_t size) {
   RATEL_RETURN_IF_ERROR(backing_->Put(key, data, size));
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(key, data, size);
+  InsertLocked(key, Buffer::CopyOf(data, size));
   return Status::Ok();
 }
 
@@ -74,7 +74,7 @@ Status TierCache::Get(const std::string& key, void* out, int64_t size) {
   }
   RATEL_RETURN_IF_ERROR(backing_->Get(key, out, size));
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(key, out, size);
+  InsertLocked(key, Buffer::CopyOf(out, size));
   return Status::Ok();
 }
 
@@ -98,7 +98,29 @@ bool TierCache::TryGet(const std::string& key, void* out, int64_t size) {
 
 void TierCache::Admit(const std::string& key, const void* data, int64_t size) {
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(key, data, size);
+  InsertLocked(key, Buffer::CopyOf(data, size));
+}
+
+void TierCache::AdmitBuffer(const std::string& key, Buffer data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, std::move(data));
+}
+
+bool TierCache::TryGetRef(const std::string& key, int64_t size, Buffer* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.data.size() != size) {
+    ++stats_.misses;
+    stats_.miss_bytes += size;
+    return false;
+  }
+  *out = it->second.data;  // new reference, no copy
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  ++stats_.hits;
+  stats_.hit_bytes += size;
+  return true;
 }
 
 void TierCache::Invalidate(const std::string& key) {

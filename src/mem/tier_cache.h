@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/status.h"
 #include "storage/block_store.h"
 
@@ -46,6 +47,17 @@ class TierCache {
   /// of a write the caller sends to the store asynchronously.
   void Admit(const std::string& key, const void* data, int64_t size);
 
+  /// Zero-copy Admit: the cache takes a reference to `data` (no memcpy).
+  /// The buffer must be published (no holder mutates it afterwards).
+  void AdmitBuffer(const std::string& key, Buffer data);
+
+  /// Zero-copy hit-only probe: on a DRAM hit of exactly `size` bytes,
+  /// points `*out` at the cached buffer (a new reference, no memcpy) and
+  /// returns true; otherwise counts a miss and returns false. The
+  /// returned ref stays valid — and keeps reading the same bytes — even
+  /// if the entry is later evicted or the key rewritten.
+  bool TryGetRef(const std::string& key, int64_t size, Buffer* out);
+
   /// Drops a key from the DRAM tier (the store copy is untouched).
   void Invalidate(const std::string& key);
 
@@ -69,12 +81,12 @@ class TierCache {
 
  private:
   struct CacheEntry {
-    std::vector<uint8_t> data;
+    Buffer data;  // ref-counted: readers may hold it across eviction
     std::list<std::string>::iterator lru_it;
   };
 
   // Caller holds mu_. Inserts/overwrites `key` and evicts to capacity.
-  void InsertLocked(const std::string& key, const void* data, int64_t size);
+  void InsertLocked(const std::string& key, Buffer data);
   void EvictToFitLocked(int64_t incoming);
 
   BlockStore* backing_;  // not owned

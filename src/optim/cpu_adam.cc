@@ -22,6 +22,17 @@ void CpuAdamKernel::Step(int64_t step, int64_t n, const float* grads,
 void CpuAdamKernel::StepSerial(int64_t step, int64_t n, const float* grads,
                                float* params, float* exp_avg,
                                float* exp_avg_sq, Fp16* params16_out) const {
+  StepSerialOut(step, n, grads, params, exp_avg, exp_avg_sq, params, exp_avg,
+                exp_avg_sq, params16_out);
+}
+
+void CpuAdamKernel::StepSerialOut(int64_t step, int64_t n, const float* grads,
+                                  const float* params_in,
+                                  const float* exp_avg_in,
+                                  const float* exp_avg_sq_in,
+                                  float* params_out, float* exp_avg_out,
+                                  float* exp_avg_sq_out,
+                                  Fp16* params16_out) const {
   RATEL_CHECK(step >= 1);
   const float beta1 = static_cast<float>(config_.beta1);
   const float beta2 = static_cast<float>(config_.beta2);
@@ -38,17 +49,17 @@ void CpuAdamKernel::StepSerial(int64_t step, int64_t n, const float* grads,
 
   for (int64_t i = 0; i < n; ++i) {
     const float g = grads[i];
-    float m = exp_avg[i];
-    float v = exp_avg_sq[i];
+    float m = exp_avg_in[i];
+    float v = exp_avg_sq_in[i];
     m = beta1 * m + one_minus_beta1 * g;
     v = beta2 * v + one_minus_beta2 * g * g;
-    exp_avg[i] = m;
-    exp_avg_sq[i] = v;
-    float p = params[i];
+    exp_avg_out[i] = m;
+    exp_avg_sq_out[i] = v;
+    float p = params_in[i];
     if (wd != 0.0f) p -= lr * wd * p;  // decoupled weight decay (AdamW)
     const float denom = std::sqrt(v) * inv_sqrt_bc2 + eps;
     p -= step_size * m / denom;
-    params[i] = p;
+    params_out[i] = p;
     if (params16_out != nullptr) params16_out[i] = FloatToHalf(p);
   }
 }
@@ -57,6 +68,18 @@ void CpuAdamKernel::StepFp16Grads(int64_t step, int64_t n, const Fp16* grads16,
                                   float* params, float* exp_avg,
                                   float* exp_avg_sq, Fp16* params16_out,
                                   float grad_unscale) const {
+  StepFp16GradsOut(step, n, grads16, params, exp_avg, exp_avg_sq, params,
+                   exp_avg, exp_avg_sq, params16_out, grad_unscale);
+}
+
+void CpuAdamKernel::StepFp16GradsOut(int64_t step, int64_t n,
+                                     const Fp16* grads16,
+                                     const float* params_in,
+                                     const float* exp_avg_in,
+                                     const float* exp_avg_sq_in,
+                                     float* params_out, float* exp_avg_out,
+                                     float* exp_avg_sq_out, Fp16* params16_out,
+                                     float grad_unscale) const {
   // Each kChunk range converts its gradients into a task-local tile and
   // runs the fp32 reference kernel on it; the chunk grid matches Step's
   // so fp16-grad updates are deterministic the same way.
@@ -66,8 +89,10 @@ void CpuAdamKernel::StepFp16Grads(int64_t step, int64_t n, const Fp16* grads16,
     for (int64_t i = 0; i < len; ++i) {
       buf[i] = HalfToFloat(grads16[b + i]) * grad_unscale;
     }
-    StepSerial(step, len, buf, params + b, exp_avg + b, exp_avg_sq + b,
-               params16_out != nullptr ? params16_out + b : nullptr);
+    StepSerialOut(step, len, buf, params_in + b, exp_avg_in + b,
+                  exp_avg_sq_in + b, params_out + b, exp_avg_out + b,
+                  exp_avg_sq_out + b,
+                  params16_out != nullptr ? params16_out + b : nullptr);
   });
 }
 

@@ -52,6 +52,19 @@ class CpuAdamKernel {
                   float* exp_avg, float* exp_avg_sq,
                   Fp16* params16_out) const;
 
+  /// Out-of-place form of `StepSerial`: reads state from the `_in`
+  /// arrays and writes the updated state to the `_out` arrays. Each
+  /// `_out` pointer may alias its `_in` counterpart (the in-place
+  /// methods call this with aliased pointers, so the arithmetic — and
+  /// hence the bitwise result — is identical either way). Distinct
+  /// in/out lets callers read from *shared immutable* buffers (a DRAM
+  /// cache hit) and write into freshly leased ones.
+  void StepSerialOut(int64_t step, int64_t n, const float* grads,
+                     const float* params_in, const float* exp_avg_in,
+                     const float* exp_avg_sq_in, float* params_out,
+                     float* exp_avg_out, float* exp_avg_sq_out,
+                     Fp16* params16_out) const;
+
   /// Same, with fp16 gradients (the G16 tensors arriving from the GPU).
   /// `grad_unscale` multiplies each gradient after conversion — the
   /// inverse of the mixed-precision loss scale applied before the fp16
@@ -59,6 +72,15 @@ class CpuAdamKernel {
   void StepFp16Grads(int64_t step, int64_t n, const Fp16* grads16,
                      float* params, float* exp_avg, float* exp_avg_sq,
                      Fp16* params16_out, float grad_unscale = 1.0f) const;
+
+  /// Out-of-place form of `StepFp16Grads`, parallel over the same
+  /// kChunk grid (bitwise identical to the in-place path at any thread
+  /// count; `_out` may alias `_in` as in StepSerialOut).
+  void StepFp16GradsOut(int64_t step, int64_t n, const Fp16* grads16,
+                        const float* params_in, const float* exp_avg_in,
+                        const float* exp_avg_sq_in, float* params_out,
+                        float* exp_avg_out, float* exp_avg_sq_out,
+                        Fp16* params16_out, float grad_unscale = 1.0f) const;
 
   const AdamConfig& config() const { return config_; }
 

@@ -203,9 +203,10 @@ void FsyncParentDir(const std::string& path) {
 
 }  // namespace
 
-Status SaveState(const TrainState& state, const std::string& path) {
+Status SaveStateViews(const TrainStateView& state, const std::string& path) {
   // Shadow write + atomic publish: the published name never refers to a
-  // partially written file.
+  // partially written file. Shard payloads stream straight from the
+  // caller's (possibly engine-shared) buffers — no staging vectors.
   const std::string tmp = path + ".tmp";
   {
     FilePtr f(std::fopen(tmp.c_str(), "wb"));
@@ -218,21 +219,22 @@ Status SaveState(const TrainState& state, const std::string& path) {
     const uint32_t count = static_cast<uint32_t>(state.tensors.size());
     RATEL_RETURN_IF_ERROR(w.Write(&count, sizeof(count)));
     RATEL_RETURN_IF_ERROR(w.FlushCrc());
-    for (const TensorState& t : state.tensors) {
-      if (t.m.size() != t.p32.size() || t.v.size() != t.p32.size()) {
+    for (const TensorStateView& t : state.tensors) {
+      if (t.n > 0 &&
+          (t.p32 == nullptr || t.m == nullptr || t.v == nullptr)) {
         return Status::InvalidArgument("tensor '" + t.name +
-                                       "' has mismatched state sizes");
+                                       "' has null state views");
       }
       const uint32_t name_len = static_cast<uint32_t>(t.name.size());
       RATEL_RETURN_IF_ERROR(w.Write(&name_len, sizeof(name_len)));
       RATEL_RETURN_IF_ERROR(w.Write(t.name.data(), t.name.size()));
-      const uint64_t n = t.p32.size();
+      const uint64_t n = static_cast<uint64_t>(t.n);
       RATEL_RETURN_IF_ERROR(w.Write(&n, sizeof(n)));
       const uint64_t adam_step = static_cast<uint64_t>(t.adam_step);
       RATEL_RETURN_IF_ERROR(w.Write(&adam_step, sizeof(adam_step)));
-      RATEL_RETURN_IF_ERROR(w.Write(t.p32.data(), 4 * n));
-      RATEL_RETURN_IF_ERROR(w.Write(t.m.data(), 4 * n));
-      RATEL_RETURN_IF_ERROR(w.Write(t.v.data(), 4 * n));
+      RATEL_RETURN_IF_ERROR(w.Write(t.p32, 4 * n));
+      RATEL_RETURN_IF_ERROR(w.Write(t.m, 4 * n));
+      RATEL_RETURN_IF_ERROR(w.Write(t.v, 4 * n));
       RATEL_RETURN_IF_ERROR(w.FlushCrc());
     }
     RATEL_RETURN_IF_ERROR(FsyncFile(f.get(), tmp));
@@ -243,6 +245,27 @@ Status SaveState(const TrainState& state, const std::string& path) {
   }
   FsyncParentDir(path);
   return Status::Ok();
+}
+
+Status SaveState(const TrainState& state, const std::string& path) {
+  TrainStateView view;
+  view.step = state.step;
+  view.tensors.reserve(state.tensors.size());
+  for (const TensorState& t : state.tensors) {
+    if (t.m.size() != t.p32.size() || t.v.size() != t.p32.size()) {
+      return Status::InvalidArgument("tensor '" + t.name +
+                                     "' has mismatched state sizes");
+    }
+    TensorStateView v;
+    v.name = t.name;
+    v.adam_step = t.adam_step;
+    v.p32 = t.p32.data();
+    v.m = t.m.data();
+    v.v = t.v.data();
+    v.n = static_cast<int64_t>(t.p32.size());
+    view.tensors.push_back(std::move(v));
+  }
+  return SaveStateViews(view, path);
 }
 
 Result<TrainState> LoadState(const std::string& path) {
@@ -306,6 +329,14 @@ Status SaveVersioned(const std::string& dir, const TrainState& state) {
     return Status::IoError("mkdir '" + dir + "': " + std::strerror(errno));
   }
   return SaveState(state, VersionedPath(dir, state.step));
+}
+
+Status SaveVersionedViews(const std::string& dir,
+                          const TrainStateView& state) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir '" + dir + "': " + std::strerror(errno));
+  }
+  return SaveStateViews(state, VersionedPath(dir, state.step));
 }
 
 Result<TrainState> LoadLatest(const std::string& dir) {

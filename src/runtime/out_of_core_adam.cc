@@ -35,18 +35,28 @@ Status OutOfCoreAdam::Register(const std::string& name,
     meta_[name] = TensorMeta{static_cast<int64_t>(initial_params.size()), 0};
   }
   const int64_t n = static_cast<int64_t>(initial_params.size());
-  const std::vector<float> zeros(initial_params.size(), 0.0f);
-  std::vector<Fp16> p16(initial_params.size());
-  for (int64_t i = 0; i < n; ++i) p16[i] = FloatToHalf(initial_params[i]);
+  // Stage the initial state in pooled buffers and publish them
+  // zero-copy: one allocation each, shared by the DRAM tier and the
+  // store write.
+  BufferPool& pool = engine_->buffer_pool();
+  Buffer p32 = pool.Lease(4 * n);
+  Buffer m0 = pool.Lease(4 * n);
+  Buffer v0 = pool.Lease(4 * n);
+  Buffer p16 = pool.Lease(2 * n);
+  if (n > 0) {
+    std::memcpy(p32.mutable_data(), initial_params.data(), 4 * n);
+    std::memset(m0.mutable_data(), 0, 4 * n);
+    std::memset(v0.mutable_data(), 0, 4 * n);
+    Fp16* p16_out = reinterpret_cast<Fp16*>(p16.mutable_data());
+    for (int64_t i = 0; i < n; ++i) p16_out[i] = FloatToHalf(initial_params[i]);
+  }
   std::array<TransferEngine::Ticket, 4> tickets = {
       engine_->SubmitWrite(FlowClass::kGradState, P32Key(name),
-                           initial_params.data(), 4 * n),
-      engine_->SubmitWrite(FlowClass::kGradState, MomKey(name), zeros.data(),
-                           4 * n),
-      engine_->SubmitWrite(FlowClass::kGradState, VarKey(name), zeros.data(),
-                           4 * n),
-      engine_->SubmitWrite(FlowClass::kGradState, P16Key(name), p16.data(),
-                           2 * n),
+                           std::move(p32)),
+      engine_->SubmitWrite(FlowClass::kGradState, MomKey(name), std::move(m0)),
+      engine_->SubmitWrite(FlowClass::kGradState, VarKey(name), std::move(v0)),
+      engine_->SubmitWrite(FlowClass::kGradState, P16Key(name),
+                           std::move(p16)),
   };
   Status first_error;
   for (TransferEngine::Ticket t : tickets) {
@@ -75,14 +85,14 @@ Status OutOfCoreAdam::StepTensor(const std::string& name,
   }
   const int64_t n = meta.size;
 
-  // SSD -> Main: stream P32 + OS32 (12 bytes/param) into staging
-  // buffers concurrently; the three reads hit independent stripes.
-  std::vector<uint8_t> params_raw, m_raw, v_raw;
+  // SSD -> Main: stream P32 + OS32 (12 bytes/param) concurrently; the
+  // three reads hit independent stripes. DRAM-hot tensors arrive as
+  // cache refs (no copy at all); cold ones land in pooled staging.
+  Buffer p32_in, m_in, v_in;
   std::array<TransferEngine::Ticket, 3> reads = {
-      engine_->SubmitRead(FlowClass::kGradState, P32Key(name), &params_raw,
-                          4 * n),
-      engine_->SubmitRead(FlowClass::kGradState, MomKey(name), &m_raw, 4 * n),
-      engine_->SubmitRead(FlowClass::kGradState, VarKey(name), &v_raw, 4 * n),
+      engine_->SubmitRead(FlowClass::kGradState, P32Key(name), &p32_in, 4 * n),
+      engine_->SubmitRead(FlowClass::kGradState, MomKey(name), &m_in, 4 * n),
+      engine_->SubmitRead(FlowClass::kGradState, VarKey(name), &v_in, 4 * n),
   };
   Status first_error;
   for (TransferEngine::Ticket t : reads) {
@@ -94,26 +104,45 @@ Status OutOfCoreAdam::StepTensor(const std::string& name,
   RATEL_RETURN_IF_ERROR(first_error);
 
   // CPU compute: the Adam handler, emitting the fresh P16 copy. The
-  // kernel fans its chunk grid out on the shared ComputePool; the SSD
-  // read/writeback stages above and below stay on the TransferEngine's
-  // own I/O workers, so compute and I/O threads never compete.
-  float* params = reinterpret_cast<float*>(params_raw.data());
-  float* m = reinterpret_cast<float*>(m_raw.data());
-  float* v = reinterpret_cast<float*>(v_raw.data());
-  std::vector<Fp16> p16(n);
-  kernel_.StepFp16Grads(meta.step, n, grads16.data(), params, m, v, p16.data(),
-                        grad_unscale);
+  // inputs are published (possibly shared with the DRAM tier), so the
+  // kernel runs out-of-place into freshly leased buffers — same chunk
+  // grid, bitwise-identical arithmetic. The kernel fans out on the
+  // shared ComputePool; the SSD read/writeback stages above and below
+  // stay on the TransferEngine's own I/O workers, so compute and I/O
+  // threads never compete.
+  BufferPool& pool = engine_->buffer_pool();
+  Buffer p32_out = pool.Lease(4 * n);
+  Buffer m_out = pool.Lease(4 * n);
+  Buffer v_out = pool.Lease(4 * n);
+  Buffer p16 = pool.Lease(2 * n);
+  kernel_.StepFp16GradsOut(
+      meta.step, n, grads16.data(),
+      reinterpret_cast<const float*>(p32_in.data()),
+      reinterpret_cast<const float*>(m_in.data()),
+      reinterpret_cast<const float*>(v_in.data()),
+      reinterpret_cast<float*>(p32_out.mutable_data()),
+      reinterpret_cast<float*>(m_out.mutable_data()),
+      reinterpret_cast<float*>(v_out.mutable_data()),
+      reinterpret_cast<Fp16*>(p16.mutable_data()), grad_unscale);
+  p32_in.reset();  // return read staging to the pool before writeback
+  m_in.reset();
+  v_in.reset();
 
-  // Main -> SSD: write back P32 + OS32 + P16 (14 bytes/param). Waited
-  // here so the tensor's next fetch/step cannot overtake the writeback
-  // (P16 reads travel in the latency-critical class, which would pass
-  // these background writes in the scheduler).
+  // Main -> SSD: write back P32 + OS32 + P16 (14 bytes/param),
+  // zero-copy — each leased buffer is published once and shared by the
+  // DRAM tier and the store write. Waited here so the tensor's next
+  // fetch/step cannot overtake the writeback (P16 reads travel in the
+  // latency-critical class, which would pass these background writes in
+  // the scheduler).
   std::array<TransferEngine::Ticket, 4> writes = {
-      engine_->SubmitWrite(FlowClass::kGradState, P32Key(name), params, 4 * n),
-      engine_->SubmitWrite(FlowClass::kGradState, MomKey(name), m, 4 * n),
-      engine_->SubmitWrite(FlowClass::kGradState, VarKey(name), v, 4 * n),
-      engine_->SubmitWrite(FlowClass::kGradState, P16Key(name), p16.data(),
-                           2 * n),
+      engine_->SubmitWrite(FlowClass::kGradState, P32Key(name),
+                           std::move(p32_out)),
+      engine_->SubmitWrite(FlowClass::kGradState, MomKey(name),
+                           std::move(m_out)),
+      engine_->SubmitWrite(FlowClass::kGradState, VarKey(name),
+                           std::move(v_out)),
+      engine_->SubmitWrite(FlowClass::kGradState, P16Key(name),
+                           std::move(p16)),
   };
   for (TransferEngine::Ticket t : writes) {
     Status s = engine_->Wait(t);
@@ -178,6 +207,32 @@ Status OutOfCoreAdam::ExportState(const std::string& name, int64_t* step,
   return engine_->Read(FlowClass::kCheckpoint, VarKey(name), v->data(), 4 * n);
 }
 
+Status OutOfCoreAdam::ExportStateBuffers(const std::string& name,
+                                         int64_t* step, Buffer* p32, Buffer* m,
+                                         Buffer* v) const {
+  int64_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = meta_.find(name);
+    if (it == meta_.end()) {
+      return Status::NotFound("tensor '" + name + "' not registered");
+    }
+    n = it->second.size;
+    *step = it->second.step;
+  }
+  std::array<TransferEngine::Ticket, 3> reads = {
+      engine_->SubmitRead(FlowClass::kCheckpoint, P32Key(name), p32, 4 * n),
+      engine_->SubmitRead(FlowClass::kCheckpoint, MomKey(name), m, 4 * n),
+      engine_->SubmitRead(FlowClass::kCheckpoint, VarKey(name), v, 4 * n),
+  };
+  Status first_error;
+  for (TransferEngine::Ticket t : reads) {
+    Status s = engine_->Wait(t);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
 Status OutOfCoreAdam::ImportState(const std::string& name, int64_t step,
                                   const std::vector<float>& p32,
                                   const std::vector<float>& m,
@@ -197,17 +252,28 @@ Status OutOfCoreAdam::ImportState(const std::string& name, int64_t step,
     }
     meta_[name] = TensorMeta{n, step};
   }
-  std::vector<Fp16> p16(p32.size());
-  for (int64_t i = 0; i < n; ++i) p16[i] = FloatToHalf(p32[i]);
+  // Stage in pooled buffers and publish zero-copy, mirroring Register.
+  BufferPool& pool = engine_->buffer_pool();
+  Buffer p32_buf = pool.Lease(4 * n);
+  Buffer m_buf = pool.Lease(4 * n);
+  Buffer v_buf = pool.Lease(4 * n);
+  Buffer p16 = pool.Lease(2 * n);
+  if (n > 0) {
+    std::memcpy(p32_buf.mutable_data(), p32.data(), 4 * n);
+    std::memcpy(m_buf.mutable_data(), m.data(), 4 * n);
+    std::memcpy(v_buf.mutable_data(), v.data(), 4 * n);
+    Fp16* p16_out = reinterpret_cast<Fp16*>(p16.mutable_data());
+    for (int64_t i = 0; i < n; ++i) p16_out[i] = FloatToHalf(p32[i]);
+  }
   std::array<TransferEngine::Ticket, 4> tickets = {
-      engine_->SubmitWrite(FlowClass::kCheckpoint, P32Key(name), p32.data(),
-                           4 * n),
-      engine_->SubmitWrite(FlowClass::kCheckpoint, MomKey(name), m.data(),
-                           4 * n),
-      engine_->SubmitWrite(FlowClass::kCheckpoint, VarKey(name), v.data(),
-                           4 * n),
-      engine_->SubmitWrite(FlowClass::kCheckpoint, P16Key(name), p16.data(),
-                           2 * n),
+      engine_->SubmitWrite(FlowClass::kCheckpoint, P32Key(name),
+                           std::move(p32_buf)),
+      engine_->SubmitWrite(FlowClass::kCheckpoint, MomKey(name),
+                           std::move(m_buf)),
+      engine_->SubmitWrite(FlowClass::kCheckpoint, VarKey(name),
+                           std::move(v_buf)),
+      engine_->SubmitWrite(FlowClass::kCheckpoint, P16Key(name),
+                           std::move(p16)),
   };
   Status first_error;
   for (TransferEngine::Ticket t : tickets) {

@@ -65,6 +65,13 @@ class OutOfCoreAdam {
                      std::vector<float>* p32, std::vector<float>* m,
                      std::vector<float>* v) const;
 
+  /// Zero-copy ExportState: yields published (read-only) buffer refs to
+  /// P32 and the moments — DRAM-hot state costs no host copy, cold
+  /// state lands in pooled staging. The checkpoint writer streams shard
+  /// payloads straight out of these.
+  Status ExportStateBuffers(const std::string& name, int64_t* step,
+                            Buffer* p32, Buffer* m, Buffer* v) const;
+
   /// Restores the complete optimizer state of `name`, registering the
   /// tensor if missing: rewrites P32/moments, regenerates the P16 copy
   /// from P32 (bitwise what StepTensor would have left behind), and sets

@@ -67,7 +67,9 @@ void Prefetcher::Worker() {
     }
     Item item;
     item.key = key;
-    item.status = fetch_(key, &item.data);
+    std::vector<uint8_t> bytes;
+    item.status = fetch_(key, &bytes);
+    item.data = Buffer::FromVector(std::move(bytes));  // adopt, no copy
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (shutdown_) return;

@@ -34,10 +34,12 @@ namespace ratel {
 ///   for (...) { auto item = pf.Next(); /* item.data */ }
 class Prefetcher {
  public:
-  /// One fetched blob, delivered in key order.
+  /// One fetched blob, delivered in key order. `data` is a published
+  /// buffer ref — zero-copy when the engine served it from the DRAM
+  /// tier — so holders must treat the bytes as read-only.
   struct Item {
     std::string key;
-    std::vector<uint8_t> data;
+    Buffer data;
     Status status;  // non-OK if this key's fetch failed
   };
 

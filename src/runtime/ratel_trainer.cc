@@ -99,7 +99,7 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       RATEL_CHECK(item.key == OutOfCoreAdam::Params16Key(name));
       RATEL_RETURN_IF_ERROR(item.status);
       std::vector<float>& dst = var.mutable_value();
-      RATEL_CHECK(item.data.size() == 2 * dst.size());
+      RATEL_CHECK(static_cast<size_t>(item.data.size()) == 2 * dst.size());
       const Fp16* p16 = reinterpret_cast<const Fp16*>(item.data.data());
       for (size_t i = 0; i < dst.size(); ++i) dst[i] = HalfToFloat(p16[i]);
     }
@@ -156,7 +156,9 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       for (ag::NodePtr& act : acts) std::vector<float>().swap(act->value);
 
       // Swap back in: all reads in flight at once, drained in order.
-      std::deque<std::vector<uint8_t>> buffers;
+      // Buffer reads: DRAM-hot activations come back as cache refs and
+      // cold ones land in pooled staging — no per-step heap churn.
+      std::deque<Buffer> buffers;
       std::vector<TransferEngine::Ticket> spill_reads;
       spill_reads.reserve(acts.size());
       for (size_t i = 0; i < acts.size(); ++i) {
@@ -301,17 +303,31 @@ Status RatelTrainer::SaveCheckpoint(const std::string& dir) {
   // Barrier: every queued writeback must land before state is read out,
   // or the snapshot would mix step N and step N-1 tensors.
   RATEL_RETURN_IF_ERROR(engine_->Drain());
-  checkpoint::TrainState state;
+  // Zero-copy export: shard payloads are engine buffer refs (DRAM-hot
+  // state costs no host copy) streamed straight into the checkpoint
+  // file through the view writer. `held` keeps every buffer alive until
+  // the save returns.
+  checkpoint::TrainStateView state;
   state.step = global_step_;
   state.tensors.reserve(model_->parameters().size());
+  std::vector<Buffer> held;
+  held.reserve(3 * model_->parameters().size());
   for (const auto& [name, var] : model_->parameters()) {
-    checkpoint::TensorState t;
+    checkpoint::TensorStateView t;
     t.name = name;
+    Buffer p32, m, v;
     RATEL_RETURN_IF_ERROR(
-        adam_->ExportState(name, &t.adam_step, &t.p32, &t.m, &t.v));
+        adam_->ExportStateBuffers(name, &t.adam_step, &p32, &m, &v));
+    t.p32 = reinterpret_cast<const float*>(p32.data());
+    t.m = reinterpret_cast<const float*>(m.data());
+    t.v = reinterpret_cast<const float*>(v.data());
+    t.n = p32.size() / 4;
+    held.push_back(std::move(p32));
+    held.push_back(std::move(m));
+    held.push_back(std::move(v));
     state.tensors.push_back(std::move(t));
   }
-  return checkpoint::SaveVersioned(dir, state);
+  return checkpoint::SaveVersionedViews(dir, state);
 }
 
 Result<int64_t> RatelTrainer::RestoreLatestCheckpoint(const std::string& dir) {

@@ -86,6 +86,7 @@ IoScheduler::Ticket IoScheduler::Enqueue(Request req) {
     ticket = next_ticket_++;
     req.ticket = ticket;
     req.critical_at_enqueue = served_critical_;
+    outstanding_.insert(ticket);
     if (req.priority == Priority::kLatencyCritical) {
       critical_.push_back(std::move(req));
     } else {
@@ -104,10 +105,26 @@ IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
   Request req;
   req.is_write = true;
   req.key = key;
-  req.payload.assign(static_cast<const uint8_t*>(data),
-                     static_cast<const uint8_t*>(data) + size);
+  req.payload = Buffer::CopyOf(data, size);
   req.out = nullptr;
   req.size = size;
+  req.priority = priority;
+  req.on_complete = std::move(on_complete);
+  req.flow_tag = flow_tag;
+  return Enqueue(std::move(req));
+}
+
+IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
+                                             Buffer payload,
+                                             Priority priority,
+                                             CompletionFn on_complete,
+                                             int flow_tag) {
+  Request req;
+  req.is_write = true;
+  req.key = key;
+  req.size = payload.size();
+  req.payload = std::move(payload);
+  req.out = nullptr;
   req.priority = priority;
   req.on_complete = std::move(on_complete);
   req.flow_tag = flow_tag;
@@ -125,6 +142,22 @@ IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
   req.key = key;
   req.out = out;
   req.size = size;
+  req.priority = priority;
+  req.on_complete = std::move(on_complete);
+  req.flow_tag = flow_tag;
+  return Enqueue(std::move(req));
+}
+
+IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
+                                            Buffer dst, Priority priority,
+                                            CompletionFn on_complete,
+                                            int flow_tag) {
+  Request req;
+  req.is_write = false;
+  req.key = key;
+  req.out = nullptr;
+  req.size = dst.size();
+  req.dst = std::move(dst);
   req.priority = priority;
   req.on_complete = std::move(on_complete);
   req.flow_tag = flow_tag;
@@ -149,8 +182,12 @@ IoResult IoScheduler::Execute(Request& req) {
       if (tuning_.read_channel != nullptr) {
         tuning_.read_channel->Consume(req.size);
       }
-      req.out->resize(req.size);
-      status = store_->Get(req.key, req.out->data(), req.size);
+      if (req.out != nullptr) {
+        req.out->resize(req.size);
+        status = store_->Get(req.key, req.out->data(), req.size);
+      } else {
+        status = store_->Get(req.key, req.dst.mutable_data(), req.size);
+      }
     }
     result.status = status;
     result.attempts = attempt;
@@ -230,10 +267,16 @@ void IoScheduler::WorkerLoop() {
 
 Status IoScheduler::Wait(Ticket ticket) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (outstanding_.count(ticket) == 0) {
+    return Status::InvalidArgument(
+        "Wait on ticket " + std::to_string(ticket) +
+        " which was never issued or was already waited on");
+  }
   ticket_done_.wait(lock, [&] { return done_.count(ticket) > 0; });
   auto it = done_.find(ticket);
   Status status = it->second;
   done_.erase(it);
+  outstanding_.erase(ticket);
   return status;
 }
 

@@ -9,8 +9,10 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/status.h"
 #include "storage/block_store.h"
 #include "storage/throttled_channel.h"
@@ -130,13 +132,28 @@ class IoScheduler {
                      Priority priority, CompletionFn on_complete = nullptr,
                      int flow_tag = -1);
 
+  /// Zero-copy asynchronous write: the scheduler takes a reference to
+  /// `payload` (published — no holder may mutate it) instead of copying
+  /// the bytes.
+  Ticket SubmitWrite(const std::string& key, Buffer payload,
+                     Priority priority, CompletionFn on_complete = nullptr,
+                     int flow_tag = -1);
+
   /// Asynchronous read into `out` (must stay alive until the ticket
   /// resolves; `out` is resized by the scheduler).
   Ticket SubmitRead(const std::string& key, std::vector<uint8_t>* out,
                     int64_t size, Priority priority,
                     CompletionFn on_complete = nullptr, int flow_tag = -1);
 
-  /// Blocks until `ticket` finished; returns its I/O status.
+  /// Zero-copy asynchronous read: the worker fills `dst` (whose size is
+  /// the read size) in place. The caller may keep references to `dst`
+  /// but must not touch its bytes until the ticket resolves.
+  Ticket SubmitRead(const std::string& key, Buffer dst, Priority priority,
+                    CompletionFn on_complete = nullptr, int flow_tag = -1);
+
+  /// Blocks until `ticket` finished; returns its I/O status. A ticket
+  /// that was never issued — or was already waited on — yields
+  /// kInvalidArgument instead of blocking forever.
   Status Wait(Ticket ticket);
 
   /// Blocks until every submitted request finished; returns the first
@@ -159,8 +176,9 @@ class IoScheduler {
     Ticket ticket;
     bool is_write;
     std::string key;
-    std::vector<uint8_t> payload;   // writes
-    std::vector<uint8_t>* out;      // reads, not owned
+    Buffer payload;                 // writes (ref, not a copy)
+    std::vector<uint8_t>* out;      // legacy reads, not owned
+    Buffer dst;                     // zero-copy reads (when out == null)
     int64_t size;
     Priority priority;
     CompletionFn on_complete;
@@ -183,6 +201,8 @@ class IoScheduler {
   std::deque<Request> critical_;
   std::deque<Request> background_;
   Ticket next_ticket_ = 1;
+  // Issued and not yet waited on — membership legitimizes a Wait.
+  std::unordered_set<Ticket> outstanding_;
   std::unordered_map<Ticket, Status> done_;
   Status first_error_;
   int64_t served_critical_ = 0;

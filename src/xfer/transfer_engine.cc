@@ -74,6 +74,8 @@ TransferStats Delta(const TransferStats& later, const TransferStats& earlier) {
     out.retries = a.retries - b.retries;
     out.giveups = a.giveups - b.giveups;
     out.backoff_seconds = a.backoff_seconds - b.backoff_seconds;
+    out.bytes_copied = a.bytes_copied - b.bytes_copied;
+    out.allocs_avoided = a.allocs_avoided - b.allocs_avoided;
   }
   d.cache.hits = later.cache.hits - earlier.cache.hits;
   d.cache.misses = later.cache.misses - earlier.cache.misses;
@@ -139,16 +141,25 @@ TransferEngine::~TransferEngine() {
   sched_.reset();
 }
 
-TransferEngine::Ticket TransferEngine::SubmitWrite(FlowClass flow,
-                                                   const std::string& key,
-                                                   const void* data,
-                                                   int64_t size) {
-  // Write-through: the DRAM copy is visible to same-key reads
-  // immediately, the store write completes asynchronously.
-  if (cache_ != nullptr) cache_->Admit(key, data, size);
+TransferEngine::Ticket TransferEngine::SubmitWriteImpl(FlowClass flow,
+                                                       const std::string& key,
+                                                       Buffer payload,
+                                                       int64_t staging_copies) {
+  const int64_t size = payload.size();
+  int64_t avoided = 0;
+  // Write-through: the DRAM tier takes a *reference* to the published
+  // payload — visible to same-key reads immediately, and one whole
+  // allocation+copy cheaper than the old copy-per-tier design.
+  if (cache_ != nullptr) {
+    cache_->AdmitBuffer(key, payload);
+    ++avoided;
+  }
+  // Buffer-native callers staged nothing: the scheduler's old internal
+  // payload copy is avoided too.
+  if (staging_copies == 0) ++avoided;
   const auto start = std::chrono::steady_clock::now();
   IoScheduler::Ticket io_ticket = sched_->SubmitWrite(
-      key, data, size, FlowPriority(flow),
+      key, std::move(payload), FlowPriority(flow),
       [this, flow, size, start](const IoResult& result) {
         std::lock_guard<std::mutex> lock(mu_);
         FlowCounters& c = CountersFor(flow);
@@ -165,9 +176,29 @@ TransferEngine::Ticket TransferEngine::SubmitWrite(FlowClass flow,
       },
       static_cast<int>(flow));
   std::lock_guard<std::mutex> lock(mu_);
+  FlowCounters& c = CountersFor(flow);
+  c.bytes_copied += staging_copies * size;
+  c.allocs_avoided += avoided;
   Ticket ticket = next_ticket_++;
   inflight_.emplace(ticket, io_ticket);
   return ticket;
+}
+
+TransferEngine::Ticket TransferEngine::SubmitWrite(FlowClass flow,
+                                                   const std::string& key,
+                                                   const void* data,
+                                                   int64_t size) {
+  // Legacy pointer API: stage the caller's bytes into one pooled buffer
+  // (the single host copy of this write), then share it tier-wide.
+  Buffer staged = pool_.Lease(size);
+  if (size > 0) std::memcpy(staged.mutable_data(), data, size);
+  return SubmitWriteImpl(flow, key, std::move(staged), /*staging_copies=*/1);
+}
+
+TransferEngine::Ticket TransferEngine::SubmitWrite(FlowClass flow,
+                                                   const std::string& key,
+                                                   Buffer payload) {
+  return SubmitWriteImpl(flow, key, std::move(payload), /*staging_copies=*/0);
 }
 
 TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
@@ -184,6 +215,7 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
       ++c.cache_hits;
       c.bytes_read += size;
       c.bytes_from_cache += size;
+      c.bytes_copied += size;  // TryGet memcpy'd into the caller vector
       Ticket ticket = next_ticket_++;
       resolved_.emplace(ticket, Status::Ok());
       return ticket;
@@ -195,14 +227,78 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
       key, out, size, FlowPriority(flow),
       [this, flow, key, out, size, start,
        count_miss](const IoResult& result) {
+        bool promoted = false;
         if (result.status.ok() && cache_ != nullptr) {
-          // Promote the cold blob into the DRAM tier.
+          // Promote the cold blob into the DRAM tier. The caller owns
+          // `out`, so the tier needs its own copy here — the buffer-
+          // native read path avoids it.
           cache_->Admit(key, out->data(), size);
+          promoted = true;
         }
         std::lock_guard<std::mutex> lock(mu_);
         FlowCounters& c = CountersFor(flow);
         ++c.reads;
         if (count_miss) ++c.cache_misses;
+        if (promoted) c.bytes_copied += size;
+        c.read_seconds += SecondsSince(start);
+        c.retries += result.attempts - 1;
+        c.backoff_seconds += result.backoff_seconds;
+        if (result.gave_up) ++c.giveups;
+        if (result.status.ok()) {
+          c.bytes_read += size;
+        } else {
+          ++c.errors;
+        }
+      },
+      static_cast<int>(flow));
+  std::lock_guard<std::mutex> lock(mu_);
+  Ticket ticket = next_ticket_++;
+  inflight_.emplace(ticket, io_ticket);
+  return ticket;
+}
+
+TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
+                                                  const std::string& key,
+                                                  Buffer* out, int64_t size) {
+  RATEL_CHECK(out != nullptr);
+  if (cache_ != nullptr) {
+    Buffer ref;
+    if (cache_->TryGetRef(key, size, &ref)) {
+      *out = std::move(ref);
+      std::lock_guard<std::mutex> lock(mu_);
+      FlowCounters& c = CountersFor(flow);
+      ++c.reads;
+      ++c.cache_hits;
+      c.bytes_read += size;
+      c.bytes_from_cache += size;
+      ++c.allocs_avoided;  // served by reference: no alloc, no memcpy
+      Ticket ticket = next_ticket_++;
+      resolved_.emplace(ticket, Status::Ok());
+      return ticket;
+    }
+  }
+  Buffer dst = pool_.Lease(size);
+  const auto start = std::chrono::steady_clock::now();
+  const bool count_miss = cache_ != nullptr;
+  IoScheduler::Ticket io_ticket = sched_->SubmitRead(
+      key, dst, FlowPriority(flow),
+      [this, flow, key, dst, out, size, start,
+       count_miss](const IoResult& result) {
+        bool promoted = false;
+        if (result.status.ok()) {
+          // Deliver before the ticket resolves; promote the very same
+          // buffer into the DRAM tier by reference (no copy).
+          *out = dst;
+          if (cache_ != nullptr) {
+            cache_->AdmitBuffer(key, dst);
+            promoted = true;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        FlowCounters& c = CountersFor(flow);
+        ++c.reads;
+        if (count_miss) ++c.cache_misses;
+        if (promoted) ++c.allocs_avoided;  // promotion without a copy
         c.read_seconds += SecondsSince(start);
         c.retries += result.attempts - 1;
         c.backoff_seconds += result.backoff_seconds;
@@ -232,7 +328,9 @@ Status TransferEngine::Wait(Ticket ticket) {
     }
     auto it = inflight_.find(ticket);
     if (it == inflight_.end()) {
-      return Status::NotFound("unknown or already-waited transfer ticket");
+      return Status::InvalidArgument(
+          "Wait on transfer ticket " + std::to_string(ticket) +
+          " which was never issued or was already waited on");
     }
     io_ticket = it->second;
     inflight_.erase(it);
@@ -266,10 +364,29 @@ Status TransferEngine::Write(FlowClass flow, const std::string& key,
 
 Status TransferEngine::Read(FlowClass flow, const std::string& key, void* out,
                             int64_t size) {
-  std::vector<uint8_t> buffer;
-  Status status = Wait(SubmitRead(flow, key, &buffer, size));
-  if (status.ok()) std::memcpy(out, buffer.data(), size);
+  // Ride the buffer path: a DRAM hit costs one memcpy into `out`
+  // (the old vector detour cost two).
+  Buffer staged;
+  Status status = Wait(SubmitRead(flow, key, &staged, size));
+  if (status.ok() && size > 0) {
+    std::memcpy(out, staged.data(), size);
+    std::lock_guard<std::mutex> lock(mu_);
+    CountersFor(flow).bytes_copied += size;
+  }
   return status;
+}
+
+Status TransferEngine::WriteBuffer(FlowClass flow, const std::string& key,
+                                   Buffer payload) {
+  return Wait(SubmitWrite(flow, key, std::move(payload)));
+}
+
+Result<Buffer> TransferEngine::ReadBuffer(FlowClass flow,
+                                          const std::string& key,
+                                          int64_t size) {
+  Buffer out;
+  RATEL_RETURN_IF_ERROR(Wait(SubmitRead(flow, key, &out, size)));
+  return out;
 }
 
 Status TransferEngine::Delete(const std::string& key) {

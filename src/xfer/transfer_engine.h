@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/status.h"
 #include "mem/tier_cache.h"
 #include "storage/block_store.h"
@@ -59,6 +60,16 @@ struct FlowCounters {
   int64_t giveups = 0;
   /// Total backoff sleep spent recovering this flow's requests.
   double backoff_seconds = 0.0;
+  /// Payload bytes the engine memcpy'd in host memory on behalf of this
+  /// flow (legacy pointer/vector API and copying conveniences).
+  /// Buffer-native traffic keeps this at 0 — the zero-copy acceptance
+  /// criterion, measured rather than asserted.
+  int64_t bytes_copied = 0;
+  /// Staging allocations (and their copies) the shared-buffer design
+  /// avoided versus the old copy-per-tier path: one per write leg that
+  /// now shares the published buffer (DRAM ref, scheduler ref) and one
+  /// per read served or promoted by reference.
+  int64_t allocs_avoided = 0;
 };
 
 /// Point-in-time snapshot of the engine's accounting: per-flow counters
@@ -137,27 +148,49 @@ class TransferEngine {
   TransferEngine(const TransferEngine&) = delete;
   TransferEngine& operator=(const TransferEngine&) = delete;
 
-  /// Asynchronous write (data copied before return). A DRAM-tier copy
-  /// is admitted immediately so same-key reads are coherent.
+  /// Asynchronous write (data staged into one pooled buffer — exactly
+  /// one host copy — shared by the DRAM tier and the store path). A
+  /// DRAM-tier ref is admitted immediately so same-key reads are
+  /// coherent.
   Ticket SubmitWrite(FlowClass flow, const std::string& key, const void* data,
                      int64_t size);
+
+  /// Zero-copy asynchronous write: the engine shares `payload` — one
+  /// allocation, zero host copies — between the DRAM tier and the store
+  /// path. `payload` is published: no holder may mutate it afterwards.
+  Ticket SubmitWrite(FlowClass flow, const std::string& key, Buffer payload);
 
   /// Asynchronous read into `out` (resized; must stay alive until the
   /// ticket resolves). DRAM hits resolve immediately.
   Ticket SubmitRead(FlowClass flow, const std::string& key,
                     std::vector<uint8_t>* out, int64_t size);
 
-  /// Blocks until `ticket` resolved; returns its I/O status.
+  /// Zero-copy asynchronous read: a DRAM hit points `*out` at the
+  /// cached buffer (a ref, no memcpy) and resolves immediately; a miss
+  /// leases a destination from the pool, reads the store into it,
+  /// promotes that same buffer into the DRAM tier by reference, and
+  /// assigns it to `*out` before the ticket resolves. `out` must stay
+  /// alive until Wait; its bytes are frozen (shared with the cache).
+  Ticket SubmitRead(FlowClass flow, const std::string& key, Buffer* out,
+                    int64_t size);
+
+  /// Blocks until `ticket` resolved; returns its I/O status. A ticket
+  /// that was never issued — or was already waited on — yields
+  /// kInvalidArgument instead of undefined behavior.
   Status Wait(Ticket ticket);
 
   /// Blocks until every submitted transfer resolved; returns the first
-  /// store-level error encountered (if any).
+  /// store-level error encountered (if any). Idempotent: draining an
+  /// already-drained engine is a no-op returning the same status.
   Status Drain();
 
   /// Synchronous conveniences (submit + wait).
   Status Write(FlowClass flow, const std::string& key, const void* data,
                int64_t size);
   Status Read(FlowClass flow, const std::string& key, void* out, int64_t size);
+  Status WriteBuffer(FlowClass flow, const std::string& key, Buffer payload);
+  Result<Buffer> ReadBuffer(FlowClass flow, const std::string& key,
+                            int64_t size);
 
   /// Removes `key` from both tiers.
   Status Delete(const std::string& key);
@@ -176,6 +209,11 @@ class TransferEngine {
     return cache_ != nullptr ? cache_->capacity_bytes() : 0;
   }
 
+  /// Staging arena of the movement path. Consumers lease their I/O
+  /// buffers here so steady-state training performs zero heap
+  /// allocations between host and the store.
+  BufferPool& buffer_pool() { return pool_; }
+
   /// The active fault injector (owned or external); null when the
   /// failure model is disabled.
   FaultInjector* fault_injector() const { return injector_; }
@@ -187,6 +225,13 @@ class TransferEngine {
     return counters_[static_cast<size_t>(flow)];
   }
 
+  /// Shared write leg: publishes `payload` to the DRAM tier (by ref)
+  /// and the scheduler (by ref). `staging_copies` is the number of host
+  /// copies the caller already performed to stage the payload (1 for
+  /// the legacy pointer API, 0 for buffer-native).
+  Ticket SubmitWriteImpl(FlowClass flow, const std::string& key,
+                         Buffer payload, int64_t staging_copies);
+
   TransferOptions options_;
   std::unique_ptr<FaultInjector> owned_injector_;  // outlives store/sched
   FaultInjector* injector_ = nullptr;  // active injector; may be external
@@ -194,6 +239,7 @@ class TransferEngine {
   std::unique_ptr<ThrottledChannel> read_channel_;   // null when unthrottled
   std::unique_ptr<ThrottledChannel> write_channel_;  // null when unthrottled
   std::unique_ptr<TierCache> cache_;                 // null when disabled
+  BufferPool pool_;  // staging arena; outlives the scheduler's requests
   std::unique_ptr<IoScheduler> sched_;               // destroyed first
 
   mutable std::mutex mu_;  // guards counters_ and ticket maps

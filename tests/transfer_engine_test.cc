@@ -224,6 +224,15 @@ TEST(TransferEngineTest, ConcurrentMixedFlowStress) {
     EXPECT_EQ(c.errors, 0) << FlowClassName(static_cast<FlowClass>(i));
     EXPECT_EQ(c.cache_hits + c.cache_misses, c.reads)
         << FlowClassName(static_cast<FlowClass>(i));
+    // Legacy-API traffic with the DRAM tier on copies exactly once per
+    // direction: the write's staging copy, and either the hit memcpy or
+    // the miss promotion on the read side. Never twice.
+    EXPECT_EQ(c.bytes_copied, c.bytes_read + c.bytes_written)
+        << FlowClassName(static_cast<FlowClass>(i));
+    // Every legacy write still avoids one allocation: the DRAM tier
+    // takes a reference to the staged buffer instead of its own copy.
+    EXPECT_EQ(c.allocs_avoided, c.writes)
+        << FlowClassName(static_cast<FlowClass>(i));
   }
   EXPECT_EQ(flow_reads, kThreads * kOpsPerThread);
   EXPECT_EQ(flow_writes, kThreads * kOpsPerThread);
@@ -258,6 +267,193 @@ TEST(TransferEngineTest, DrainConsumesAbandonedTickets) {
   ASSERT_TRUE(
       (*engine)->Write(FlowClass::kGradState, "post", data.data(), 128).ok());
   EXPECT_TRUE((*engine)->Contains("post"));
+}
+
+// ----- Zero-copy data path (measured, not asserted) -----
+
+// A buffer-native write publishes ONE allocation shared by the caller,
+// the DRAM tier, and the store path; a same-key buffer read hands back
+// a reference to that very allocation. Zero host copies end to end.
+TEST(TransferEngineZeroCopyTest, BufferWritePublishesOneSharedAllocation) {
+  auto engine = OpenEngine("zc_write", /*cache_bytes=*/1 << 20);
+  ASSERT_TRUE(engine.ok());
+  Buffer payload = (*engine)->buffer_pool().Lease(4096);
+  std::memset(payload.mutable_data(), 0x5A, 4096);
+  const uint8_t* published = payload.data();
+
+  ASSERT_TRUE(
+      (*engine)
+          ->Wait((*engine)->SubmitWrite(FlowClass::kGradState, "zc", payload))
+          .ok());
+  Buffer ref;
+  ASSERT_TRUE(
+      (*engine)
+          ->Wait((*engine)->SubmitRead(FlowClass::kGradState, "zc", &ref, 4096))
+          .ok());
+  EXPECT_EQ(ref.data(), published);  // the same bytes, not a copy
+  EXPECT_EQ(ref.data()[4095], 0x5A);
+
+  const TransferStats stats = (*engine)->stats();
+  const FlowCounters& c = stats.Flow(FlowClass::kGradState);
+  EXPECT_EQ(c.bytes_copied, 0) << "buffer-native round trip must not copy";
+  // Write avoided the tier copy + the staging copy; the hit read avoided
+  // the read allocation by serving a reference.
+  EXPECT_EQ(c.allocs_avoided, 3);
+  EXPECT_EQ(c.cache_hits, 1);
+  EXPECT_EQ(stats.store_bytes_read, 0);
+}
+
+// The legacy pointer API now costs exactly ONE host copy per direction
+// (it used to cost two with the DRAM tier: staging + tier admit).
+TEST(TransferEngineZeroCopyTest, LegacyApiCopiesAtMostOncePerDirection) {
+  auto engine = OpenEngine("zc_legacy", /*cache_bytes=*/1 << 20);
+  ASSERT_TRUE(engine.ok());
+  std::vector<uint8_t> data(512, 0x11);
+  ASSERT_TRUE(
+      (*engine)->Write(FlowClass::kParamFetch, "k", data.data(), 512).ok());
+  {
+    const TransferStats stats = (*engine)->stats();
+    const FlowCounters& c = stats.Flow(FlowClass::kParamFetch);
+    EXPECT_EQ(c.bytes_copied, 512) << "write = one staging copy, tier by ref";
+    EXPECT_EQ(c.bytes_written, 512);
+  }
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(
+      (*engine)
+          ->Wait((*engine)->SubmitRead(FlowClass::kParamFetch, "k", &out, 512))
+          .ok());
+  EXPECT_EQ(out, data);
+  const TransferStats stats = (*engine)->stats();
+  const FlowCounters& c = stats.Flow(FlowClass::kParamFetch);
+  EXPECT_EQ(c.cache_hits, 1);
+  EXPECT_EQ(c.bytes_copied, c.bytes_read + c.bytes_written)
+      << "one copy per direction, never two";
+}
+
+// Read() convenience on a hot key: one memcpy into the caller's raw
+// pointer and nothing else (previously two: cache -> vector -> out).
+TEST(TransferEngineZeroCopyTest, RawReadOnHotKeyCostsOneCopy) {
+  auto engine = OpenEngine("zc_raw", /*cache_bytes=*/1 << 20);
+  ASSERT_TRUE(engine.ok());
+  Buffer payload = (*engine)->buffer_pool().Lease(1024);
+  std::memset(payload.mutable_data(), 0x22, 1024);
+  ASSERT_TRUE((*engine)
+                  ->WriteBuffer(FlowClass::kActivationSpill, "hot",
+                                std::move(payload))
+                  .ok());
+  std::vector<uint8_t> out(1024);
+  ASSERT_TRUE(
+      (*engine)
+          ->Read(FlowClass::kActivationSpill, "hot", out.data(), 1024)
+          .ok());
+  EXPECT_EQ(out[1023], 0x22);
+  const TransferStats stats = (*engine)->stats();
+  const FlowCounters& c = stats.Flow(FlowClass::kActivationSpill);
+  EXPECT_EQ(c.bytes_copied, 1024);  // exactly the final delivery memcpy
+}
+
+// A cold buffer read leases from the pool, promotes into DRAM *by
+// reference*, and the next read shares that promoted allocation —
+// still zero copies on the whole miss+hit sequence.
+TEST(TransferEngineZeroCopyTest, ColdBufferReadPromotesByReference) {
+  auto engine = OpenEngine("zc_cold", /*cache_bytes=*/600);
+  ASSERT_TRUE(engine.ok());
+  Buffer payload = (*engine)->buffer_pool().Lease(512);
+  std::memset(payload.mutable_data(), 0x33, 512);
+  ASSERT_TRUE(
+      (*engine)->WriteBuffer(FlowClass::kGradState, "k", std::move(payload))
+          .ok());
+  // Evict "k" from the one-entry tier.
+  Buffer evictor = (*engine)->buffer_pool().Lease(512);
+  std::memset(evictor.mutable_data(), 0x44, 512);
+  ASSERT_TRUE(
+      (*engine)->WriteBuffer(FlowClass::kGradState, "other", std::move(evictor))
+          .ok());
+  const TransferStats before = (*engine)->stats();
+
+  Buffer cold;
+  ASSERT_TRUE(
+      (*engine)
+          ->Wait((*engine)->SubmitRead(FlowClass::kParamFetch, "k", &cold, 512))
+          .ok());
+  EXPECT_EQ(cold.data()[0], 0x33);
+  Buffer hot;
+  ASSERT_TRUE(
+      (*engine)
+          ->Wait((*engine)->SubmitRead(FlowClass::kParamFetch, "k", &hot, 512))
+          .ok());
+  EXPECT_EQ(hot.data(), cold.data()) << "hit must share the promoted buffer";
+
+  const TransferStats d = Delta((*engine)->stats(), before);
+  const FlowCounters& c = d.Flow(FlowClass::kParamFetch);
+  EXPECT_EQ(c.cache_misses, 1);
+  EXPECT_EQ(c.cache_hits, 1);
+  EXPECT_EQ(c.bytes_copied, 0);
+  EXPECT_EQ(c.allocs_avoided, 2);  // ref promotion + ref-served hit
+}
+
+// Steady state: re-reading and re-writing the same working set leases
+// every buffer from the pool's free lists — zero pool misses (fresh
+// allocations) after warmup.
+TEST(TransferEngineZeroCopyTest, SteadyStatePoolMissesAreZeroAfterWarmup) {
+  auto engine = OpenEngine("zc_steady", /*cache_bytes=*/1 << 20);
+  ASSERT_TRUE(engine.ok());
+  auto step = [&] {
+    for (int i = 0; i < 4; ++i) {
+      const std::string key = "w" + std::to_string(i);
+      Buffer in;
+      (void)(*engine)->Wait(
+          (*engine)->SubmitRead(FlowClass::kGradState, key, &in, 2048));
+      Buffer out = (*engine)->buffer_pool().Lease(2048);
+      std::memset(out.mutable_data(), i, 2048);
+      in.reset();  // release the old generation before publishing the new
+      ASSERT_TRUE(
+          (*engine)->WriteBuffer(FlowClass::kGradState, key, std::move(out))
+              .ok());
+    }
+  };
+  for (int warm = 0; warm < 3; ++warm) step();
+  const int64_t warm_allocs = (*engine)->buffer_pool().stats().allocations;
+  for (int i = 0; i < 20; ++i) step();
+  EXPECT_EQ((*engine)->buffer_pool().stats().allocations, warm_allocs)
+      << "movement path must run allocation-free at steady state";
+}
+
+// ----- Checked ticket lifecycle -----
+
+TEST(TransferEngineTest, WaitOnUnknownTicketIsInvalidArgument) {
+  auto engine = OpenEngine("badticket");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->Wait(123456).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransferEngineTest, DoubleWaitIsInvalidArgument) {
+  auto engine = OpenEngine("doublewait", /*cache_bytes=*/1 << 20);
+  ASSERT_TRUE(engine.ok());
+  std::vector<uint8_t> data(64, 5);
+  const auto wt =
+      (*engine)->SubmitWrite(FlowClass::kCheckpoint, "k", data.data(), 64);
+  ASSERT_TRUE((*engine)->Wait(wt).ok());
+  EXPECT_EQ((*engine)->Wait(wt).code(), StatusCode::kInvalidArgument);
+  // Cache-resolved tickets are single-use too.
+  std::vector<uint8_t> out;
+  const auto rt = (*engine)->SubmitRead(FlowClass::kCheckpoint, "k", &out, 64);
+  ASSERT_TRUE((*engine)->Wait(rt).ok());
+  EXPECT_EQ((*engine)->Wait(rt).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransferEngineTest, DrainIsIdempotent) {
+  auto engine = OpenEngine("redrain");
+  ASSERT_TRUE(engine.ok());
+  std::vector<uint8_t> data(128, 7);
+  const auto t =
+      (*engine)->SubmitWrite(FlowClass::kGradState, "k", data.data(), 128);
+  ASSERT_TRUE((*engine)->Drain().ok());
+  ASSERT_TRUE((*engine)->Drain().ok());  // drained twice: still fine
+  ASSERT_TRUE((*engine)->Drain().ok());  // and on an idle engine
+  // The abandoned ticket was consumed by the first drain.
+  EXPECT_EQ((*engine)->Wait(t).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE((*engine)->Contains("k"));
 }
 
 }  // namespace
