@@ -96,6 +96,82 @@ void CpuAdamKernel::StepFp16GradsOut(int64_t step, int64_t n,
   });
 }
 
+void CpuAdamKernel::StepFp16GradsChunksOut(
+    int64_t step, int64_t n, const Fp16* grads16,
+    const std::vector<int64_t>& chunks, int64_t chunk, const float* params_in,
+    const float* exp_avg_in, const float* exp_avg_sq_in, float* params_out,
+    float* exp_avg_out, float* exp_avg_sq_out, Fp16* params16_out,
+    float grad_unscale) const {
+  RATEL_CHECK(chunk >= 1 && chunk <= kChunk);
+  // Each listed chunk is one unit of parallel work; the output ranges
+  // are disjoint and each chunk runs the serial reference internally,
+  // so the result is bitwise independent of the thread count and of how
+  // the chunks are spread across calls.
+  const int64_t count = static_cast<int64_t>(chunks.size());
+  ComputeParallelFor(0, count, 1, [&](int64_t cb, int64_t ce) {
+    float buf[kChunk];
+    for (int64_t c = cb; c < ce; ++c) {
+      const int64_t b = chunks[static_cast<size_t>(c)] * chunk;
+      RATEL_CHECK(b >= 0 && b < n);
+      const int64_t len = std::min(chunk, n - b);
+      for (int64_t i = 0; i < len; ++i) {
+        buf[i] = HalfToFloat(grads16[b + i]) * grad_unscale;
+      }
+      StepSerialOut(step, len, buf, params_in + b, exp_avg_in + b,
+                    exp_avg_sq_in + b, params_out + b, exp_avg_out + b,
+                    exp_avg_sq_out + b,
+                    params16_out != nullptr ? params16_out + b : nullptr);
+    }
+  });
+}
+
+ChunkPartition PartitionChunksByImportance(int64_t n, const Fp16* grads16,
+                                           double hot_fraction, int64_t chunk,
+                                           float grad_unscale) {
+  RATEL_CHECK(chunk >= 1);
+  ChunkPartition part;
+  part.chunk = chunk;
+  if (n <= 0) return part;
+  const int64_t num_chunks = (n + chunk - 1) / chunk;
+  // Per-chunk importance: fixed-order |g| sum inside each chunk, chunks
+  // computed independently — deterministic at any thread count.
+  std::vector<float> importance(static_cast<size_t>(num_chunks), 0.0f);
+  ComputeParallelFor(0, num_chunks, 1, [&](int64_t cb, int64_t ce) {
+    for (int64_t c = cb; c < ce; ++c) {
+      const int64_t b = c * chunk;
+      const int64_t e = std::min(b + chunk, n);
+      float sum = 0.0f;
+      for (int64_t i = b; i < e; ++i) {
+        sum += std::abs(HalfToFloat(grads16[i]) * grad_unscale);
+      }
+      importance[static_cast<size_t>(c)] = sum;
+    }
+  });
+  int64_t hot_count;
+  if (hot_fraction >= 1.0) {
+    hot_count = num_chunks;
+  } else {
+    hot_count = static_cast<int64_t>(
+        std::ceil(hot_fraction * static_cast<double>(num_chunks)));
+    hot_count = std::max<int64_t>(1, std::min(hot_count, num_chunks));
+  }
+  std::vector<int64_t> order(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) order[static_cast<size_t>(c)] = c;
+  // Total order (magnitude desc, index asc): ties cannot reshuffle, so
+  // the top-k set is a pure function of the gradients.
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const float ia = importance[static_cast<size_t>(a)];
+    const float ib = importance[static_cast<size_t>(b)];
+    if (ia != ib) return ia > ib;
+    return a < b;
+  });
+  part.hot.assign(order.begin(), order.begin() + hot_count);
+  part.tail.assign(order.begin() + hot_count, order.end());
+  std::sort(part.hot.begin(), part.hot.end());
+  std::sort(part.tail.begin(), part.tail.end());
+  return part;
+}
+
 Status ChunkedCpuAdam::Register(const std::string& name,
                                 std::vector<float> initial_params) {
   if (states_.count(name) > 0) {

@@ -82,11 +82,53 @@ class CpuAdamKernel {
                         float* exp_avg_out, float* exp_avg_sq_out,
                         Fp16* params16_out, float grad_unscale = 1.0f) const;
 
+  /// Partitioned out-of-place step: applies only the listed chunks of
+  /// the `chunk`-element grid over [0, n), leaving every other element
+  /// of the `_out` arrays untouched. Because the Adam update is purely
+  /// elementwise, applying a tensor's chunks across several calls (hot
+  /// now, tail later) with the same `step`/grads/`_in` state yields
+  /// bitwise exactly the full-tensor result — the contract the deferred
+  /// update pipeline builds on. Chunk indices must be in-range and
+  /// distinct; `chunk` must be in [1, kChunk]. Parallel over the chunk
+  /// list, deterministic at any thread count (disjoint output ranges).
+  void StepFp16GradsChunksOut(int64_t step, int64_t n, const Fp16* grads16,
+                              const std::vector<int64_t>& chunks,
+                              int64_t chunk, const float* params_in,
+                              const float* exp_avg_in,
+                              const float* exp_avg_sq_in, float* params_out,
+                              float* exp_avg_out, float* exp_avg_sq_out,
+                              Fp16* params16_out,
+                              float grad_unscale = 1.0f) const;
+
   const AdamConfig& config() const { return config_; }
 
  private:
   AdamConfig config_;
 };
+
+/// Deterministic hot/tail split of a gradient tensor's chunk grid — the
+/// chunk-importance partitioner of the asynchronous update pipeline
+/// (ZenFlow's observation: a few high-magnitude chunks carry most of the
+/// update; the long tail can be deferred and overlapped with the next
+/// step's forward). Both index lists are ascending.
+struct ChunkPartition {
+  std::vector<int64_t> hot;   // top-k chunks by gradient magnitude
+  std::vector<int64_t> tail;  // everything else (the deferred set)
+  int64_t chunk = 0;          // grid granularity this split was made on
+};
+
+/// Splits the `chunk`-element grid over [0, n) into the top
+/// ceil(hot_fraction * num_chunks) chunks by mean |g| ("hot", at least
+/// one) and the rest ("tail"). The importance of a chunk is its
+/// fixed-order sum of |g| * grad_unscale over its own elements and ties
+/// break on the lower index, so the partition depends only on (n,
+/// grads, hot_fraction, chunk) — never on thread count — which keeps
+/// the async optimizer bitwise reproducible. hot_fraction >= 1 puts
+/// every chunk in `hot`.
+ChunkPartition PartitionChunksByImportance(int64_t n, const Fp16* grads16,
+                                           double hot_fraction,
+                                           int64_t chunk,
+                                           float grad_unscale = 1.0f);
 
 /// Optimizer state (P32 + OS32) for a collection of named parameter
 /// tensors, updated tensor-by-tensor. This is the "CPU optimizer buffer"

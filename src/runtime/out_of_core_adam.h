@@ -1,99 +1,16 @@
 #ifndef RATEL_RUNTIME_OUT_OF_CORE_ADAM_H_
 #define RATEL_RUNTIME_OUT_OF_CORE_ADAM_H_
 
-#include <cstdint>
-#include <mutex>
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "common/fp16.h"
-#include "common/status.h"
-#include "optim/cpu_adam.h"
-#include "xfer/transfer_engine.h"
+#include "runtime/async_update_engine.h"
 
 namespace ratel {
 
-/// The out-of-core CPU optimizer of Section IV-C with its model states
-/// truly out of core: P32 and OS32 live behind the TransferEngine
-/// ("SSDs" fronted by the DRAM tier) and are streamed through main
-/// memory per tensor — SSD->Main, CPU compute, Main->SSD — exactly the
-/// three handler steps of Fig. 3. The refreshed fp16 parameter copy
-/// (P16) is written back alongside, where the next iteration's forward
-/// pass fetches it.
-///
-/// All traffic is tagged: the state stream (P32/OS32 reads, all
-/// writebacks) is FlowClass::kGradState (background class), the P16
-/// fetch is FlowClass::kParamFetch (latency-critical), master-param
-/// reads are FlowClass::kCheckpoint.
-///
-/// Thread-compatible per tensor: different tensors may be stepped from
-/// different pipeline threads concurrently (the optimized schedule);
-/// stepping the same tensor concurrently is a caller error.
-class OutOfCoreAdam {
- public:
-  /// `engine` is not owned and must outlive the optimizer.
-  OutOfCoreAdam(const AdamConfig& config, TransferEngine* engine);
-
-  /// Registers a tensor: writes initial P32 (from fp32 values), zeroed
-  /// moments, and the initial P16 copy through the engine.
-  Status Register(const std::string& name,
-                  const std::vector<float>& initial_params);
-
-  /// One active-gradient-offloading handler invocation: consumes fp16
-  /// gradients for `name`, updates its out-of-core states, and leaves a
-  /// fresh P16 blob behind the engine. `grad_unscale` undoes the
-  /// trainer's mixed-precision loss scaling.
-  Status StepTensor(const std::string& name, const std::vector<Fp16>& grads16,
-                    float grad_unscale = 1.0f);
-
-  /// Reads the current P16 copy of `name` (the forward-pass fetch path).
-  Status FetchParams16(const std::string& name, std::vector<Fp16>* out) const;
-
-  /// Engine key of the P16 blob of `name` — lets the trainer drive the
-  /// forward-stage fetch directly through the engine's prefetch path.
-  static std::string Params16Key(const std::string& name);
-
-  /// Reads the fp32 master copy (checkpointing/tests).
-  Status FetchMasterParams(const std::string& name,
-                           std::vector<float>* out) const;
-
-  /// Reads the complete optimizer state of `name` — P32, both moment
-  /// buffers, and the per-tensor Adam step — as FlowClass::kCheckpoint
-  /// traffic. The crash-consistent checkpoint read path.
-  Status ExportState(const std::string& name, int64_t* step,
-                     std::vector<float>* p32, std::vector<float>* m,
-                     std::vector<float>* v) const;
-
-  /// Zero-copy ExportState: yields published (read-only) buffer refs to
-  /// P32 and the moments — DRAM-hot state costs no host copy, cold
-  /// state lands in pooled staging. The checkpoint writer streams shard
-  /// payloads straight out of these.
-  Status ExportStateBuffers(const std::string& name, int64_t* step,
-                            Buffer* p32, Buffer* m, Buffer* v) const;
-
-  /// Restores the complete optimizer state of `name`, registering the
-  /// tensor if missing: rewrites P32/moments, regenerates the P16 copy
-  /// from P32 (bitwise what StepTensor would have left behind), and sets
-  /// the per-tensor step. The checkpoint resume path.
-  Status ImportState(const std::string& name, int64_t step,
-                     const std::vector<float>& p32,
-                     const std::vector<float>& m,
-                     const std::vector<float>& v);
-
-  TransferEngine& engine() const { return *engine_; }
-
- private:
-  struct TensorMeta {
-    int64_t size = 0;
-    int64_t step = 0;
-  };
-
-  CpuAdamKernel kernel_;
-  TransferEngine* engine_;  // not owned
-  mutable std::mutex mu_;   // guards meta_
-  std::unordered_map<std::string, TensorMeta> meta_;
-};
+/// The blocking out-of-core optimizer was reworked into the overlapped
+/// update pipeline in async_update_engine.h. In its default (sync)
+/// configuration AsyncUpdateEngine behaves exactly like the classic
+/// OutOfCoreAdam — bitwise-identical results, identical per-flow
+/// traffic — so existing call sites keep the historical name.
+using OutOfCoreAdam = AsyncUpdateEngine;
 
 }  // namespace ratel
 

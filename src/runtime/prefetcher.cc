@@ -35,7 +35,9 @@ Prefetcher::~Prefetcher() {
     // The in-flight reads target pending_'s buffers; resolve them
     // before the buffers die.
     std::lock_guard<std::mutex> lock(mu_);
-    for (Pending& p : pending_) (void)engine_->Wait(p.ticket);
+    for (Pending& p : pending_) {
+      if (p.ticket != Pending::kNoTicket) (void)engine_->Wait(p.ticket);
+    }
     return;
   }
   {
@@ -51,6 +53,16 @@ void Prefetcher::SubmitNextLocked() {
   pending_.emplace_back();
   Pending& p = pending_.back();  // deque: address stable across growth
   p.item.key = req.key;
+  if (req.gate) {
+    // Per-request dependency gate (may block — e.g. draining a pending
+    // deferred update of this tensor). Only the consumer thread drives
+    // the engine-mode prefetcher, so holding mu_ here blocks nobody.
+    const Status s = req.gate();
+    if (!s.ok()) {
+      p.item.status = s;  // delivered by Next(); no read submitted
+      return;
+    }
+  }
   p.ticket = engine_->SubmitRead(flow_, req.key, &p.item.data, req.size);
 }
 
@@ -90,10 +102,12 @@ Prefetcher::Item Prefetcher::Next() {
       ticket = pending_.front().ticket;
     }
     // Wait outside the lock; only Next() pops, so the front is stable.
-    Status status = engine_->Wait(ticket);
+    // A gated-out request has no ticket — its status is already set.
+    Status status;
+    if (ticket != Pending::kNoTicket) status = engine_->Wait(ticket);
     std::lock_guard<std::mutex> lock(mu_);
     Item item = std::move(pending_.front().item);
-    item.status = status;
+    if (ticket != Pending::kNoTicket) item.status = status;
     pending_.pop_front();
     ++consumed_;
     if (submitted_ < requests_.size()) SubmitNextLocked();

@@ -43,10 +43,16 @@ class Prefetcher {
     Status status;  // non-OK if this key's fetch failed
   };
 
-  /// Engine-mode unit of work: a blob key and its exact size.
+  /// Engine-mode unit of work: a blob key and its exact size. The
+  /// optional `gate` is invoked (on the consumer thread) right before
+  /// this key's read is submitted — the per-tensor dependency hook the
+  /// async optimizer uses so a P16 fetch never overtakes that tensor's
+  /// in-flight deferred update. A failing gate surfaces as the item's
+  /// status; the read is not submitted.
   struct Request {
     std::string key;
     int64_t size = 0;
+    std::function<Status()> gate;
   };
 
   using FetchFn =
@@ -79,7 +85,10 @@ class Prefetcher {
  private:
   struct Pending {
     Item item;
-    TransferEngine::Ticket ticket = 0;
+    /// Engine ticket of the in-flight read; kNoTicket when the request
+    /// never reached the engine (its gate failed — status pre-set).
+    static constexpr TransferEngine::Ticket kNoTicket = -1;
+    TransferEngine::Ticket ticket = kNoTicket;
   };
 
   void Worker();

@@ -1,5 +1,6 @@
 #include "runtime/ratel_trainer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <deque>
@@ -50,7 +51,18 @@ Status RatelTrainer::Initialize() {
   xfer.retry = options_.io_retry;
   xfer.stripe_death_threshold = options_.stripe_death_threshold;
   RATEL_ASSIGN_OR_RETURN(engine_, TransferEngine::Open(xfer));
-  adam_ = std::make_unique<OutOfCoreAdam>(options_.adam, engine_.get());
+  // The async-optimizer knobs get the same environment overlay as the
+  // fault config: any trainer binary can flip modes without rebuilding.
+  AsyncUpdateOptions update_opts;
+  update_opts.async = options_.async_optimizer;
+  update_opts.hot_fraction = options_.async_hot_fraction;
+  if (options_.async_partition_chunk > 0) {
+    update_opts.chunk = options_.async_partition_chunk;
+  }
+  update_opts.background_threads = options_.async_background_threads;
+  update_opts = AsyncUpdateOptions::FromEnv(update_opts);
+  adam_ = std::make_unique<AsyncUpdateEngine>(options_.adam, engine_.get(),
+                                              update_opts);
   for (auto& [name, var] : model_->parameters()) {
     RATEL_RETURN_IF_ERROR(adam_->Register(name, var.value()));
   }
@@ -78,25 +90,35 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
                                       int64_t batch) {
   StepStats stats;
   const TransferStats xfer0 = engine_->stats();
+  const AsyncUpdateEngine::Stats update0 = adam_->stats();
   const double t0 = NowSeconds();
 
   // --- Swap in the current P16 copies (the forward-stage M->G fetch),
   // prefetched a few tensors ahead through the engine so the
   // latency-critical reads overlap the fp16 -> fp32 conversion (the
-  // M->G / compute pipeline of Section IV-A). ---
+  // M->G / compute pipeline of Section IV-A). In async-optimizer mode
+  // each request carries a per-tensor dependency gate: the fetch of a
+  // P16 whose tail update is still in flight drains that one tensor's
+  // epoch first (staleness bound <= 1 step), while fetches of already-
+  // drained tensors stream ahead — the previous step's deferred
+  // writebacks overlap this step's fetch/forward. ---
   {
     std::vector<Prefetcher::Request> requests;
     requests.reserve(model_->parameters().size());
     for (const auto& [name, var] : model_->parameters()) {
-      requests.push_back(Prefetcher::Request{
-          OutOfCoreAdam::Params16Key(name),
-          2 * static_cast<int64_t>(var.value().size())});
+      Prefetcher::Request req;
+      req.key = AsyncUpdateEngine::Params16Key(name);
+      req.size = 2 * static_cast<int64_t>(var.value().size());
+      if (adam_->async()) {
+        req.gate = [this, name = name] { return adam_->DrainTensor(name); };
+      }
+      requests.push_back(std::move(req));
     }
     Prefetcher prefetcher(engine_.get(), FlowClass::kParamFetch,
                           std::move(requests), /*depth=*/4);
     for (auto& [name, var] : model_->parameters()) {
       Prefetcher::Item item = prefetcher.Next();
-      RATEL_CHECK(item.key == OutOfCoreAdam::Params16Key(name));
+      RATEL_CHECK(item.key == AsyncUpdateEngine::Params16Key(name));
       RATEL_RETURN_IF_ERROR(item.status);
       std::vector<float>& dst = var.mutable_value();
       RATEL_CHECK(static_cast<size_t>(item.data.size()) == 2 * dst.size());
@@ -272,6 +294,20 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
   stats.optimizer_s = t_opt - t_compute;
   stats.total_s = t_opt - t0;
   stats.xfer = Delta(engine_->stats(), xfer0);
+  // Deferred-update breakdown: this step's pipeline counter delta. The
+  // drain stalls of the prior step's epochs land in this step's fetch
+  // stage, so overlap = epoch wall time minus what actually stalled us.
+  {
+    const AsyncUpdateEngine::Stats update1 = adam_->stats();
+    stats.hot_chunks = update1.hot_chunks - update0.hot_chunks;
+    stats.tail_chunks = update1.tail_chunks - update0.tail_chunks;
+    stats.deferred_epochs = update1.deferred_epochs - update0.deferred_epochs;
+    stats.drain_stall_s =
+        update1.drain_stall_seconds - update0.drain_stall_seconds;
+    stats.optimizer_overlap_s =
+        std::max(0.0, (update1.background_seconds - update0.background_seconds) -
+                          stats.drain_stall_s);
+  }
   // Legacy totals: the parameter + model-state legs (activation traffic
   // is reported via activation_bytes_spilled and the xfer breakdown).
   stats.bytes_read = stats.xfer.Flow(FlowClass::kParamFetch).bytes_read +
@@ -295,13 +331,29 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       flow_trace_.AddCounter(prefix + "/bytes_written", trained_seconds_,
                              static_cast<double>(c.bytes_written));
     }
+    if (adam_->async()) {
+      // The deferred-update pipeline counters next to the flow bytes:
+      // Chrome traces show hot/tail split, stalls, and overlap stack up.
+      const AsyncUpdateEngine::Stats u = adam_->stats();
+      flow_trace_.AddCounter("optim/hot_chunks", trained_seconds_,
+                             static_cast<double>(u.hot_chunks));
+      flow_trace_.AddCounter("optim/tail_chunks", trained_seconds_,
+                             static_cast<double>(u.tail_chunks));
+      flow_trace_.AddCounter("optim/drain_stall_s", trained_seconds_,
+                             u.drain_stall_seconds);
+      flow_trace_.AddCounter("optim/overlap_s", trained_seconds_,
+                             u.background_seconds);
+    }
   }
   return stats.loss;
 }
 
 Status RatelTrainer::SaveCheckpoint(const std::string& dir) {
-  // Barrier: every queued writeback must land before state is read out,
-  // or the snapshot would mix step N and step N-1 tensors.
+  // Barrier: every deferred tail epoch must have applied and published,
+  // and every queued writeback must land, before state is read out —
+  // or the snapshot would mix step N and step N-1 tensors (or worse,
+  // a half-applied one).
+  RATEL_RETURN_IF_ERROR(adam_->DrainAll());
   RATEL_RETURN_IF_ERROR(engine_->Drain());
   // Zero-copy export: shard payloads are engine buffer refs (DRAM-hot
   // state costs no host copy) streamed straight into the checkpoint

@@ -57,6 +57,25 @@ struct TrainerOptions {
   /// exported Chrome traces then show the three traffic legs stacking
   /// over the run.
   bool capture_flow_trace = false;
+  /// True runs the optimizer as an asynchronous update pipeline: hot
+  /// (top-k gradient-magnitude) chunks apply on the step's critical
+  /// path, the tail defers to background epochs whose kDeferredState
+  /// writebacks overlap the next step's forward/prefetch. False (the
+  /// default) keeps the classic blocking optimizer — bitwise identical
+  /// to pre-pipeline behavior. Both are overlaid with RATEL_ASYNC_OPTIM
+  /// / RATEL_ASYNC_HOT_FRACTION at Create.
+  bool async_optimizer = false;
+  /// Fraction of each tensor's chunks applied synchronously in async
+  /// mode (the top-k knob; at least one chunk is always hot).
+  double async_hot_fraction = 0.25;
+  /// Grid granularity of the hot/tail partition in elements; 0 keeps
+  /// the kernel's default (CpuAdamKernel::kChunk). Tests shrink it to
+  /// exercise multi-chunk partitions on tiny tensors.
+  int64_t async_partition_chunk = 0;
+  /// Worker threads of the deferred-epoch pool. More threads let
+  /// independent tensors' store write-waits overlap (each epoch blocks
+  /// on its own writeback); results are bitwise identical at any width.
+  int async_background_threads = 2;
   /// Failure model of the emulated SSD array (chaos/testing). The
   /// RATEL_FAULT_* environment knobs are overlaid on top of this at
   /// Create, so a binary can be fault-injected without code changes.
@@ -75,6 +94,14 @@ struct StepStats {
   double fetch_s = 0.0;       // P16 swap-in before forward
   double compute_s = 0.0;     // forward + backward autograd
   double optimizer_s = 0.0;   // time until the last handler drained
+  /// Deferred-update breakdown (async optimizer mode; all zero in sync
+  /// mode). Overlap is background-epoch wall time that did *not* stall
+  /// the foreground — optimizer work moved off the critical path.
+  double optimizer_overlap_s = 0.0;
+  double drain_stall_s = 0.0;  // foreground blocked on pending epochs
+  int64_t hot_chunks = 0;      // chunks applied on the critical path
+  int64_t tail_chunks = 0;     // chunks deferred to background epochs
+  int64_t deferred_epochs = 0;
   /// Parameter + model-state traffic of this step (P16 fetch and the
   /// optimizer stream; activation traffic is reported separately).
   int64_t bytes_read = 0;

@@ -82,7 +82,10 @@ FaultConfig FaultConfig::FromEnv(FaultConfig base) {
       // Canonical FlowClass names, in enum order (see src/xfer). The
       // storage layer only treats them as bit labels.
       static constexpr const char* kFlowNames[] = {
-          "param_fetch", "grad_state", "activation_spill", "checkpoint"};
+          "param_fetch", "grad_state", "activation_spill", "checkpoint",
+          "deferred_state"};
+      constexpr int kNumFlowNames =
+          static_cast<int>(sizeof(kFlowNames) / sizeof(kFlowNames[0]));
       uint32_t mask = 0;
       size_t pos = 0;
       while (pos <= flows.size()) {
@@ -90,7 +93,7 @@ FaultConfig FaultConfig::FromEnv(FaultConfig base) {
         const std::string name =
             flows.substr(pos, comma == std::string::npos ? std::string::npos
                                                          : comma - pos);
-        for (int i = 0; i < 4; ++i) {
+        for (int i = 0; i < kNumFlowNames; ++i) {
           if (name == kFlowNames[i]) mask |= 1u << i;
         }
         if (comma == std::string::npos) break;

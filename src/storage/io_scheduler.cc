@@ -245,6 +245,15 @@ void IoScheduler::WorkerLoop() {
 
     const IoResult result = Execute(req);
     if (req.on_complete) req.on_complete(result);
+    // Drop every buffer reference this request pins — the payload, the
+    // zero-copy read target, and any Buffer captured inside the
+    // completion closure — *before* the ticket resolves. A waiter may
+    // Lease the moment Wait() returns and must find these blocks back
+    // in the pool (the allocation-free steady-state contract), not
+    // still held by this worker.
+    req.payload.reset();
+    req.dst.reset();
+    req.on_complete = nullptr;
 
     {
       std::lock_guard<std::mutex> lock(mu_);

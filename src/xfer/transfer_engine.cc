@@ -27,6 +27,8 @@ const char* FlowClassName(FlowClass flow) {
       return "activation_spill";
     case FlowClass::kCheckpoint:
       return "checkpoint";
+    case FlowClass::kDeferredState:
+      return "deferred_state";
   }
   return "unknown";
 }
@@ -38,6 +40,7 @@ IoScheduler::Priority FlowPriority(FlowClass flow) {
       return IoScheduler::Priority::kLatencyCritical;
     case FlowClass::kGradState:
     case FlowClass::kCheckpoint:
+    case FlowClass::kDeferredState:
       return IoScheduler::Priority::kBackground;
   }
   return IoScheduler::Priority::kBackground;
@@ -336,6 +339,43 @@ Status TransferEngine::Wait(Ticket ticket) {
     inflight_.erase(it);
   }
   return sched_->Wait(io_ticket);
+}
+
+Status TransferEngine::WaitAll(const std::vector<Ticket>& tickets) {
+  // Translate the whole set under one lock: every ticket is consumed up
+  // front, and the scheduler-side waits below merely collect transfers
+  // that have been running concurrently since submit.
+  std::vector<Status> immediate(tickets.size(), Status::Ok());
+  std::vector<std::pair<size_t, IoScheduler::Ticket>> io_tickets;
+  io_tickets.reserve(tickets.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      auto res = resolved_.find(tickets[i]);
+      if (res != resolved_.end()) {
+        immediate[i] = res->second;
+        resolved_.erase(res);
+        continue;
+      }
+      auto it = inflight_.find(tickets[i]);
+      if (it == inflight_.end()) {
+        immediate[i] = Status::InvalidArgument(
+            "Wait on transfer ticket " + std::to_string(tickets[i]) +
+            " which was never issued or was already waited on");
+        continue;
+      }
+      io_tickets.emplace_back(i, it->second);
+      inflight_.erase(it);
+    }
+  }
+  for (const auto& [i, io_ticket] : io_tickets) {
+    immediate[i] = sched_->Wait(io_ticket);
+  }
+  // First error in issue order (stable regardless of completion order).
+  for (const Status& s : immediate) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
 }
 
 Status TransferEngine::Drain() {

@@ -28,9 +28,11 @@ enum class FlowClass {
   kGradState,           // P32/OS32 stream of the out-of-core Adam (§IV-C)
   kActivationSpill,     // A16 swap-out/swap-in around backward (§IV-D)
   kCheckpoint,          // master-weight snapshots (beyond-paper traffic)
+  kDeferredState,       // deferred-tail optimizer writebacks (ZenFlow-style
+                        // background epochs; must never block a param fetch)
 };
 
-inline constexpr int kNumFlowClasses = 4;
+inline constexpr int kNumFlowClasses = 5;
 
 /// Stable lowercase name, e.g. "param_fetch".
 const char* FlowClassName(FlowClass flow);
@@ -178,6 +180,14 @@ class TransferEngine {
   /// that was never issued — or was already waited on — yields
   /// kInvalidArgument instead of undefined behavior.
   Status Wait(Ticket ticket);
+
+  /// Blocks until *every* ticket in the set resolved and returns the
+  /// first error (issue order). Equivalent to waiting each ticket, but
+  /// the whole set is translated under one lock up front, so the
+  /// underlying transfers overlap regardless of which resolves first —
+  /// the batched form the optimizer's three-way state read wants.
+  /// Each ticket is consumed exactly as by Wait.
+  Status WaitAll(const std::vector<Ticket>& tickets);
 
   /// Blocks until every submitted transfer resolved; returns the first
   /// store-level error encountered (if any). Idempotent: draining an

@@ -3,7 +3,8 @@
 // Sweeps every injected fault kind against every FlowClass through a
 // real TransferEngine: {transient read error, transient write error,
 // latency spike, torn write, dead stripe} x {param_fetch, grad_state,
-// activation_spill, checkpoint}. Each cell must *complete* — correct
+// activation_spill, checkpoint, deferred_state}. Each cell must
+// *complete* — correct
 // bytes round-tripped, no giveups — while the injector and the engine's
 // per-flow retry counters prove the fault actually fired and was
 // recovered, not skipped. The schedule is deterministic (seeded,
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "runtime/out_of_core_adam.h"
 #include "storage/fault_injector.h"
 #include "xfer/transfer_engine.h"
 
@@ -37,8 +39,9 @@ constexpr FaultKind kAllKinds[] = {
 };
 
 constexpr FlowClass kAllFlows[] = {
-    FlowClass::kParamFetch, FlowClass::kGradState, FlowClass::kActivationSpill,
-    FlowClass::kCheckpoint,
+    FlowClass::kParamFetch,    FlowClass::kGradState,
+    FlowClass::kActivationSpill, FlowClass::kCheckpoint,
+    FlowClass::kDeferredState,
 };
 
 // Period 2 everywhere: a faulted attempt's immediate retry passes, so
@@ -306,6 +309,150 @@ TEST(FaultMatrixTest, EnvKnobsOverlayOntoBaseConfig) {
       (1u << static_cast<int>(FlowClass::kCheckpoint));
   EXPECT_EQ(cfg.flow_mask, want_mask);
   EXPECT_TRUE(cfg.enabled());
+}
+
+TEST(FaultMatrixTest, EnvFlowListParsesDeferredState) {
+  ::setenv("RATEL_FAULT_WRITE_ERROR_EVERY", "2", 1);
+  ::setenv("RATEL_FAULT_FLOWS", "deferred_state", 1);
+  const FaultConfig cfg = FaultConfig::FromEnv(FaultConfig{});
+  ::unsetenv("RATEL_FAULT_WRITE_ERROR_EVERY");
+  ::unsetenv("RATEL_FAULT_FLOWS");
+  EXPECT_EQ(cfg.flow_mask,
+            1u << static_cast<int>(FlowClass::kDeferredState));
+}
+
+// ---------- Deferred-state faults vs the foreground step ----------
+
+// The async optimizer's whole point is that its tail writebacks never
+// sit on the step's critical path — injected faults on kDeferredState
+// must be retried/re-striped entirely in the background: every
+// foreground step completes, the latency-critical flows never retry,
+// and the final state still matches a clean synchronous run bitwise.
+
+// 80 partition chunks of 64; the P32 blob (4n bytes) spans all four
+// stripes, so the dead-stripe cell cannot dodge the failing device.
+constexpr int64_t kTensorN = 64 * 80;
+constexpr int kOptimSteps = 6;
+
+std::vector<Fp16> StepGrads(int step) {
+  Rng rng(7000 + step);
+  std::vector<Fp16> g(kTensorN);
+  for (auto& v : g) {
+    v = FloatToHalf(static_cast<float>(rng.NextGaussian()) * 0.1f);
+  }
+  return g;
+}
+
+std::vector<float> InitParams() {
+  Rng rng(6001);
+  std::vector<float> p(kTensorN);
+  for (auto& v : p) v = static_cast<float>(rng.NextGaussian()) * 0.5f;
+  return p;
+}
+
+// Clean sync reference on an unfaulted engine.
+std::vector<float> CleanSyncReference(const std::string& tag) {
+  TransferOptions opts = FastRetryOptions(TempDir(tag));
+  auto engine = TransferEngine::Open(opts);
+  EXPECT_TRUE(engine.ok());
+  OutOfCoreAdam adam(AdamConfig{}, engine->get());
+  EXPECT_TRUE(adam.Register("w", InitParams()).ok());
+  for (int step = 1; step <= kOptimSteps; ++step) {
+    EXPECT_TRUE(adam.StepTensor("w", StepGrads(step)).ok());
+  }
+  std::vector<float> master;
+  EXPECT_TRUE(adam.FetchMasterParams("w", &master).ok());
+  return master;
+}
+
+TEST(FaultMatrixTest, DeferredStateWriteErrorsRetryWithoutForegroundRetries) {
+  TransferOptions opts = FastRetryOptions(TempDir("dfs_we"));
+  opts.host_cache_bytes = 1 << 20;  // published barrier: overlap stays
+  opts.fault.seed = 0xD3F3u;
+  opts.fault.write_error_every = 2;
+  opts.fault.flow_mask = 1u << static_cast<int>(FlowClass::kDeferredState);
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+
+  AsyncUpdateOptions async;
+  async.async = true;
+  async.hot_fraction = 0.25;
+  async.chunk = 64;
+  {
+    OutOfCoreAdam adam(AdamConfig{}, engine->get(), async);
+    ASSERT_TRUE(adam.Register("w", InitParams()).ok());
+    for (int step = 1; step <= kOptimSteps; ++step) {
+      // Every foreground step must complete despite the faulted epochs.
+      ASSERT_TRUE(adam.StepTensor("w", StepGrads(step)).ok()) << step;
+    }
+    ASSERT_TRUE(adam.DrainAll().ok());
+    EXPECT_GT(adam.stats().deferred_epochs, 0);
+
+    std::vector<float> master;
+    ASSERT_TRUE(adam.FetchMasterParams("w", &master).ok());
+    const std::vector<float> ref = CleanSyncReference("dfs_we_ref");
+    ASSERT_EQ(master.size(), ref.size());
+    EXPECT_EQ(std::memcmp(master.data(), ref.data(),
+                          master.size() * sizeof(float)),
+              0)
+        << "faulted async run diverged from the clean sync reference";
+  }
+
+  const TransferStats stats = (*engine)->stats();
+  // The faults really fired — and were absorbed by background retries.
+  EXPECT_GT((*engine)->fault_injector()->counts().write_errors, 0);
+  EXPECT_GT(stats.Flow(FlowClass::kDeferredState).retries, 0);
+  EXPECT_EQ(stats.Flow(FlowClass::kDeferredState).giveups, 0);
+  EXPECT_EQ(stats.Flow(FlowClass::kDeferredState).errors, 0);
+  // The foreground flows never saw a fault, let alone a retry.
+  EXPECT_EQ(stats.Flow(FlowClass::kGradState).retries, 0);
+  EXPECT_EQ(stats.Flow(FlowClass::kParamFetch).retries, 0);
+  EXPECT_EQ(stats.Flow(FlowClass::kCheckpoint).retries, 0);
+}
+
+TEST(FaultMatrixTest, DeadStripeOnDeferredStateRestripesInTheBackground) {
+  TransferOptions opts = FastRetryOptions(TempDir("dfs_ds"));
+  opts.host_cache_bytes = 1 << 20;
+  opts.fault.seed = 0xD3ADu;
+  opts.fault.dead_stripe = 0;
+  // Wear-out only bites the deferred writebacks; registration traffic
+  // (kGradState) seeds the blobs onto the healthy array first.
+  opts.fault.flow_mask = 1u << static_cast<int>(FlowClass::kDeferredState);
+  opts.stripe_death_threshold = 1;
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+
+  AsyncUpdateOptions async;
+  async.async = true;
+  async.hot_fraction = 0.25;
+  async.chunk = 64;
+  {
+    OutOfCoreAdam adam(AdamConfig{}, engine->get(), async);
+    ASSERT_TRUE(adam.Register("w", InitParams()).ok());
+    for (int step = 1; step <= kOptimSteps; ++step) {
+      ASSERT_TRUE(adam.StepTensor("w", StepGrads(step)).ok()) << step;
+    }
+    ASSERT_TRUE(adam.DrainAll().ok());
+
+    // The first deferred writeback tripped the wear-out threshold; the
+    // store declared stripe 0 dead and re-striped around it — all in
+    // the background epoch, with zero foreground failures.
+    EXPECT_EQ((*engine)->store().num_dead_stripes(), 1);
+    EXPECT_TRUE((*engine)->store().stripe_dead(0));
+
+    std::vector<float> master;
+    ASSERT_TRUE(adam.FetchMasterParams("w", &master).ok());
+    const std::vector<float> ref = CleanSyncReference("dfs_ds_ref");
+    ASSERT_EQ(master.size(), ref.size());
+    EXPECT_EQ(std::memcmp(master.data(), ref.data(),
+                          master.size() * sizeof(float)),
+              0);
+  }
+
+  const TransferStats stats = (*engine)->stats();
+  EXPECT_EQ(stats.Flow(FlowClass::kDeferredState).giveups, 0);
+  EXPECT_EQ(stats.Flow(FlowClass::kGradState).retries, 0);
+  EXPECT_EQ(stats.Flow(FlowClass::kParamFetch).retries, 0);
 }
 
 }  // namespace

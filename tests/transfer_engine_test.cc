@@ -32,12 +32,15 @@ Result<std::unique_ptr<TransferEngine>> OpenEngine(const std::string& tag,
 }
 
 TEST(TransferEngineTest, FlowClassMetadata) {
+  EXPECT_EQ(kNumFlowClasses, 5);
   EXPECT_STREQ(FlowClassName(FlowClass::kParamFetch), "param_fetch");
   EXPECT_STREQ(FlowClassName(FlowClass::kGradState), "grad_state");
   EXPECT_STREQ(FlowClassName(FlowClass::kActivationSpill), "activation_spill");
   EXPECT_STREQ(FlowClassName(FlowClass::kCheckpoint), "checkpoint");
-  // Fetch and spill traffic stalls the compute pipeline; state and
-  // checkpoint traffic drains in the background.
+  EXPECT_STREQ(FlowClassName(FlowClass::kDeferredState), "deferred_state");
+  // Fetch and spill traffic stalls the compute pipeline; state,
+  // checkpoint, and deferred-update traffic drains in the background
+  // (a deferred-tail writeback must never block a param fetch).
   EXPECT_EQ(FlowPriority(FlowClass::kParamFetch),
             IoScheduler::Priority::kLatencyCritical);
   EXPECT_EQ(FlowPriority(FlowClass::kActivationSpill),
@@ -45,6 +48,8 @@ TEST(TransferEngineTest, FlowClassMetadata) {
   EXPECT_EQ(FlowPriority(FlowClass::kGradState),
             IoScheduler::Priority::kBackground);
   EXPECT_EQ(FlowPriority(FlowClass::kCheckpoint),
+            IoScheduler::Priority::kBackground);
+  EXPECT_EQ(FlowPriority(FlowClass::kDeferredState),
             IoScheduler::Priority::kBackground);
 }
 
@@ -440,6 +445,53 @@ TEST(TransferEngineTest, DoubleWaitIsInvalidArgument) {
   const auto rt = (*engine)->SubmitRead(FlowClass::kCheckpoint, "k", &out, 64);
   ASSERT_TRUE((*engine)->Wait(rt).ok());
   EXPECT_EQ((*engine)->Wait(rt).code(), StatusCode::kInvalidArgument);
+}
+
+// ----- Batched waits (the optimizer's state-read/writeback sets) -----
+
+TEST(TransferEngineTest, WaitAllResolvesABatchAndConsumesEveryTicket) {
+  auto engine = OpenEngine("waitall", /*cache_bytes=*/1 << 20);
+  ASSERT_TRUE(engine.ok());
+  std::vector<uint8_t> data(256, 0xAB);
+  std::vector<TransferEngine::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back((*engine)->SubmitWrite(FlowClass::kGradState,
+                                             "k" + std::to_string(i),
+                                             data.data(), 256));
+  }
+  // With the DRAM tier on, the same-key reads resolve at submit time:
+  // WaitAll must consume cache-resolved and inflight tickets alike.
+  std::vector<std::vector<uint8_t>> outs(4);
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back((*engine)->SubmitRead(
+        FlowClass::kGradState, "k" + std::to_string(i), &outs[i], 256));
+  }
+  ASSERT_TRUE((*engine)->WaitAll(tickets).ok());
+  for (const auto& out : outs) EXPECT_EQ(out, data);
+  // Every ticket was consumed exactly as by a per-ticket Wait.
+  for (const auto t : tickets) {
+    EXPECT_EQ((*engine)->Wait(t).code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_TRUE((*engine)->WaitAll({}).ok());
+}
+
+TEST(TransferEngineTest, WaitAllReturnsTheFirstErrorInIssueOrder) {
+  auto engine = OpenEngine("waitallerr");
+  ASSERT_TRUE(engine.ok());
+  std::vector<uint8_t> data(64, 1);
+  const auto good =
+      (*engine)->SubmitWrite(FlowClass::kCheckpoint, "ok", data.data(), 64);
+  std::vector<uint8_t> out;
+  const auto missing =
+      (*engine)->SubmitRead(FlowClass::kParamFetch, "missing", &out, 64);
+  // Issue order: ok, kNotFound, kInvalidArgument — the first failure
+  // wins regardless of which transfer completed first.
+  const Status s = (*engine)->WaitAll({good, missing, 987654});
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  // The passing ticket was still consumed, not leaked.
+  EXPECT_EQ((*engine)->Wait(good).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*engine)->Wait(missing).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE((*engine)->Contains("ok"));
 }
 
 TEST(TransferEngineTest, DrainIsIdempotent) {

@@ -8,10 +8,12 @@
 #
 # With a label argument only that ctest label is run (e.g. `fault` or
 # `determinism` — the suites that exercise the fault seam's concurrent
-# retry/stall paths, where TSan coverage matters most — or `buffer`,
-# the pooled zero-copy buffer suite whose cross-thread lease/release
-# refcounting is exactly what TSan/ASan exist for). Without one the
-# full suite runs under both sanitizers.
+# retry/stall paths, where TSan coverage matters most — `async`, the
+# deferred-epoch optimizer pipeline whose background epochs + reaper
+# thread race foreground drains by design — or `buffer`, the pooled
+# zero-copy buffer suite whose cross-thread lease/release refcounting
+# is exactly what TSan/ASan exist for). Without one the full suite
+# runs under both sanitizers.
 #
 # Environment:
 #   SANITIZERS   space-separated subset to run (default: "thread address")
