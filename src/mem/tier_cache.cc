@@ -14,22 +14,36 @@ TierCache::TierCache(BlockStore* backing, int64_t capacity_bytes)
 }
 
 void TierCache::EvictToFitLocked(int64_t incoming) {
-  while (stats_.bytes_cached + incoming > capacity_ && !lru_.empty()) {
-    const std::string& victim = lru_.back();
-    auto it = entries_.find(victim);
+  // Walk LRU-first, skipping pinned entries — they are immovable until
+  // unpinned, so the loop may legitimately end while still over
+  // capacity (a transient, pin-bounded overshoot).
+  auto victim = lru_.end();
+  while (stats_.bytes_cached + incoming > capacity_ &&
+         victim != lru_.begin()) {
+    --victim;
+    auto it = entries_.find(*victim);
     RATEL_CHECK(it != entries_.end());
+    if (it->second.pins > 0) continue;
     stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
     ++stats_.evictions;
     entries_.erase(it);
-    lru_.pop_back();
+    victim = lru_.erase(victim);
   }
 }
 
 void TierCache::InsertLocked(const std::string& key, Buffer data) {
   const int64_t size = data.size();
+  int pins = 0;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    // An overwrite carries the pin count over: the fresher value serves
+    // pinned readers just as well (writers of a key are serialized by
+    // the engine's per-tensor discipline).
+    pins = it->second.pins;
     stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
+    if (pins > 0) {
+      stats_.pinned_bytes -= static_cast<int64_t>(it->second.data.size());
+    }
     lru_.erase(it->second.lru_it);
     entries_.erase(it);
   }
@@ -38,9 +52,11 @@ void TierCache::InsertLocked(const std::string& key, Buffer data) {
   lru_.push_front(key);
   CacheEntry entry;
   entry.data = std::move(data);
+  entry.pins = pins;
   entry.lru_it = lru_.begin();
   entries_.emplace(key, std::move(entry));
   stats_.bytes_cached += size;
+  if (pins > 0) stats_.pinned_bytes += size;
 }
 
 Status TierCache::Put(const std::string& key, const void* data,
@@ -128,8 +144,32 @@ void TierCache::Invalidate(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
+  if (it->second.pins > 0) {
+    stats_.pinned_bytes -= static_cast<int64_t>(it->second.data.size());
+  }
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
+}
+
+bool TierCache::Pin(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (it->second.pins == 0) {
+    stats_.pinned_bytes += static_cast<int64_t>(it->second.data.size());
+  }
+  ++it->second.pins;
+  return true;
+}
+
+void TierCache::Unpin(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;  // invalidated while pinned
+  RATEL_CHECK(it->second.pins > 0);
+  if (--it->second.pins == 0) {
+    stats_.pinned_bytes -= static_cast<int64_t>(it->second.data.size());
+  }
 }
 
 TierCache::Stats TierCache::stats() const {

@@ -59,7 +59,24 @@ class TierCache {
   bool TryGetRef(const std::string& key, int64_t size, Buffer* out);
 
   /// Drops a key from the DRAM tier (the store copy is untouched).
+  /// Dropping a pinned key is allowed (a Delete supersedes the pin);
+  /// its pins vanish with the entry.
   void Invalidate(const std::string& key);
+
+  /// Pins `key`'s entry: pinned entries are never evicted, so a reader
+  /// is guaranteed to keep hitting DRAM until the matching Unpin — the
+  /// residency contract a publish-then-resolve write pipeline needs
+  /// while its store writes are still in flight. Pins nest (counted).
+  /// Returns false (no pin taken) when the key is not resident — e.g.
+  /// already evicted, or a blob larger than the tier that was never
+  /// admitted; the caller must then fall back to a durable barrier.
+  /// Overwriting a pinned key keeps the pin on the fresher value;
+  /// pinned bytes may transiently hold the tier above capacity.
+  bool Pin(const std::string& key);
+
+  /// Releases one pin of `key`; the entry becomes evictable again once
+  /// its count reaches zero. No-op when the key is gone (invalidated).
+  void Unpin(const std::string& key);
 
   struct Stats {
     int64_t hits = 0;
@@ -70,6 +87,9 @@ class TierCache {
     /// hit_bytes + miss_bytes equals the bytes of all issued reads.
     int64_t hit_bytes = 0;
     int64_t miss_bytes = 0;
+    /// Bytes currently held un-evictable by Pin (subset of
+    /// bytes_cached).
+    int64_t pinned_bytes = 0;
     double HitRate() const {
       const int64_t total = hits + misses;
       return total > 0 ? static_cast<double>(hits) / total : 0.0;
@@ -82,6 +102,7 @@ class TierCache {
  private:
   struct CacheEntry {
     Buffer data;  // ref-counted: readers may hold it across eviction
+    int pins = 0;  // > 0: exempt from eviction
     std::list<std::string>::iterator lru_it;
   };
 

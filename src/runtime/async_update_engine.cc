@@ -89,6 +89,12 @@ void AsyncUpdateEngine::ReaperLoop() {
     // wait would double-count the single channel's drain across epochs.
     const auto start = std::chrono::steady_clock::now();
     const Status status = engine_->WaitAll(pending.tickets);
+    // The store is durable for this epoch now: release its DRAM-tier
+    // pins — a post-drain read that misses the tier from here on finds
+    // the resolved write behind it.
+    for (const std::string& key : pending.pinned_keys) {
+      engine_->UnpinCached(key);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       pending.meta->writes_inflight = false;
@@ -136,19 +142,29 @@ Status AsyncUpdateEngine::Register(const std::string& name,
       engine_->SubmitWrite(FlowClass::kGradState, P16Key(name),
                            std::move(p16)),
   };
-  return engine_->WaitAll(tickets);
+  Status status = engine_->WaitAll(tickets);
+  if (!status.ok()) {
+    // Leave no half-registered tensor behind: the store state is
+    // garbage/absent, so the registration must be retryable.
+    std::lock_guard<std::mutex> lock(mu_);
+    meta_.erase(name);
+  }
+  return status;
 }
 
 Status AsyncUpdateEngine::DrainMetaLocked(std::unique_lock<std::mutex>& lock,
                                           const TensorMeta& meta) const {
   // With a DRAM tier the "published" barrier suffices: the epoch has
-  // admitted its buffers tier-wide, so same-key reads are coherent the
-  // moment epoch_pending clears. Without one, reads go to the store and
-  // the engine only orders them behind *resolved* writes — harden to
-  // the durable barrier.
+  // admitted its buffers tier-wide AND pinned them against eviction, so
+  // same-key reads stay coherent from the moment epoch_pending clears
+  // until the reaper unpins (store durable). When the epoch could not
+  // pin all its keys (epoch_durable_only) — or there is no tier at all
+  // — reads can reach the store, which only orders them behind
+  // *resolved* writes: harden to the durable barrier.
   const bool durable = drain_needs_durable();
   auto ready = [&meta, durable] {
-    return !meta.epoch_pending && !(durable && meta.writes_inflight);
+    return !meta.epoch_pending &&
+           !((durable || meta.epoch_durable_only) && meta.writes_inflight);
   };
   if (!ready()) {
     ++stats_.drain_waits;
@@ -303,6 +319,34 @@ void AsyncUpdateEngine::RunEpoch(TensorMeta* meta, const std::string& name,
       engine_->SubmitWrite(FlowClass::kDeferredState, P16Key(name),
                            std::move(p16)),
   };
+  // The published barrier is only sound while all four blobs stay
+  // resident in the DRAM tier: pin them until the store writes resolve
+  // (the reaper unpins). A failed pin means the entry was evicted
+  // between admission and here, or the blob is larger than the tier and
+  // was never admitted — a post-drain read could then miss and reach
+  // the store ahead of the unresolved write, so this epoch must drain
+  // durably instead. No same-key read can intervene before the pins:
+  // every consumer drains first, and the drain only releases once
+  // epoch_pending clears below.
+  const bool have_tier = !drain_needs_durable();
+  std::vector<std::string> pinned;
+  pinned.reserve(4);
+  bool resident = have_tier;
+  if (have_tier) {
+    for (const std::string& key :
+         {P32Key(name), MomKey(name), VarKey(name), P16Key(name)}) {
+      if (engine_->PinCached(key)) {
+        pinned.push_back(key);
+      } else {
+        resident = false;
+        break;
+      }
+    }
+    if (!resident) {
+      for (const std::string& key : pinned) engine_->UnpinCached(key);
+      pinned.clear();
+    }
+  }
   {
     // Published: the DRAM tier serves the new state coherently from
     // here on; foreground consumers behind the published barrier may
@@ -313,7 +357,11 @@ void AsyncUpdateEngine::RunEpoch(TensorMeta* meta, const std::string& name,
     std::lock_guard<std::mutex> lock(mu_);
     meta->epoch_pending = false;
     meta->writes_inflight = true;
-    reap_queue_.push_back(PendingWrites{meta, writes});
+    meta->epoch_durable_only = !resident;
+    // Only tier-backed epochs count as *fallbacks*; with no DRAM tier
+    // at all, every drain is durable by construction.
+    if (have_tier && !resident) ++stats_.durable_fallback_epochs;
+    reap_queue_.push_back(PendingWrites{meta, writes, std::move(pinned)});
     // The epoch's own wall time (ordering wait + tail kernel + write
     // submission); the reaper adds the store-drain wait separately.
     stats_.background_seconds += SecondsSince(start);

@@ -77,10 +77,16 @@ struct AsyncUpdateOptions {
 /// update and no tensor falls more than one step behind. With a DRAM
 /// tier in front of the store the drain barrier is "published" (the
 /// epoch has admitted its buffers tier-wide; same-key reads are
-/// coherent immediately); without one it hardens to "durable" (store
-/// writes resolved), preserving the engine's read-after-resolved-write
-/// ordering contract. Same-key store writes of consecutive epochs are
-/// serialized epoch-to-epoch, never reordered.
+/// coherent immediately) — and the epoch *pins* its four written keys
+/// in the tier until the reaper resolves their store writes, so LRU
+/// pressure cannot evict a published-but-not-yet-durable blob out from
+/// under a post-drain read. When any pin cannot be taken (the entry was
+/// evicted before pinning, or the blob is larger than the tier and was
+/// never admitted), that epoch's barrier hardens to "durable" (store
+/// writes resolved); without a DRAM tier every barrier is durable. Both
+/// preserve the engine's read-after-resolved-write ordering contract.
+/// Same-key store writes of consecutive epochs are serialized
+/// epoch-to-epoch, never reordered.
 ///
 /// Traffic tagging: foreground state reads stay FlowClass::kGradState,
 /// P16 fetches FlowClass::kParamFetch, checkpoint reads
@@ -99,6 +105,9 @@ class AsyncUpdateEngine {
     int64_t hot_chunks = 0;       // chunks applied on the critical path
     int64_t tail_chunks = 0;      // chunks deferred to background epochs
     int64_t deferred_epochs = 0;  // background epochs enqueued
+    /// Epochs whose written keys could not all be pinned in the DRAM
+    /// tier (evicted or oversized) and therefore drain durably.
+    int64_t durable_fallback_epochs = 0;
     int64_t drain_waits = 0;      // foreground drains that found a pending epoch
     double drain_stall_seconds = 0.0;  // foreground time blocked draining
     double background_seconds = 0.0;   // wall time inside epoch tasks
@@ -193,6 +202,11 @@ class AsyncUpdateEngine {
     /// The epoch's writebacks are published but their store writes have
     /// not resolved yet.
     bool writes_inflight = false;
+    /// The pending epoch could not pin all four written keys in the
+    /// DRAM tier, so its drain barrier is durable regardless of the
+    /// tier: a post-drain read might miss and hit the store, where only
+    /// resolved writes are ordered.
+    bool epoch_durable_only = false;
     /// First deferred-write failure, surfaced at the next drain/step.
     Status epoch_status;
   };
@@ -225,10 +239,14 @@ class AsyncUpdateEngine {
   struct PendingWrites {
     TensorMeta* meta = nullptr;
     std::vector<TransferEngine::Ticket> tickets;
+    /// DRAM-tier keys the epoch pinned at publish; unpinned once the
+    /// tickets resolve (the store is durable, reads may miss safely).
+    std::vector<std::string> pinned_keys;
   };
 
-  /// Resolves queued write-sets in submission (FIFO) order, flipping
-  /// each tensor's `writes_inflight` and recording sticky errors.
+  /// Resolves queued write-sets in submission (FIFO) order, releasing
+  /// the epoch's DRAM-tier pins, flipping each tensor's
+  /// `writes_inflight`, and recording sticky errors.
   void ReaperLoop();
 
   CpuAdamKernel kernel_;

@@ -85,12 +85,19 @@ IoScheduler::Ticket IoScheduler::Enqueue(Request req) {
     RATEL_CHECK(!shutdown_);
     ticket = next_ticket_++;
     req.ticket = ticket;
-    req.critical_at_enqueue = served_critical_;
     outstanding_.insert(ticket);
-    if (req.priority == Priority::kLatencyCritical) {
-      critical_.push_back(std::move(req));
-    } else {
-      background_.push_back(std::move(req));
+    switch (req.priority) {
+      case Priority::kLatencyCritical:
+        critical_.push_back(std::move(req));
+        break;
+      case Priority::kNormal:
+        req.higher_at_enqueue = served_critical_;
+        normal_.push_back(std::move(req));
+        break;
+      case Priority::kBackground:
+        req.higher_at_enqueue = served_critical_ + served_normal_;
+        background_.push_back(std::move(req));
+        break;
     }
   }
   work_ready_.notify_one();
@@ -220,26 +227,40 @@ void IoScheduler::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this] {
-        return shutdown_ || !critical_.empty() || !background_.empty();
+        return shutdown_ || !critical_.empty() || !normal_.empty() ||
+               !background_.empty();
       });
-      if (critical_.empty() && background_.empty()) {
+      if (critical_.empty() && normal_.empty() && background_.empty()) {
         if (shutdown_) return;
         continue;
       }
-      // Priority with aging: latency-critical first, but a background
-      // request that waited through `background_aging_limit` critical
-      // completions is served next (the FIFO front is the oldest).
-      bool take_background = critical_.empty();
-      if (!take_background && !background_.empty() &&
-          tuning_.background_aging_limit > 0 &&
-          served_critical_ - background_.front().critical_at_enqueue >=
-              tuning_.background_aging_limit) {
-        take_background = true;
-        ++promoted_background_;
+      // Priority with aging: critical > normal > background, but a
+      // queued request that waited through `background_aging_limit`
+      // higher-class completions is served next regardless of class
+      // (each FIFO front is its class's oldest). The most-starved class
+      // is checked first.
+      const int aging = tuning_.background_aging_limit;
+      std::deque<Request>* queue = nullptr;
+      if (aging > 0 && !background_.empty() &&
+          served_critical_ + served_normal_ -
+                  background_.front().higher_at_enqueue >=
+              aging) {
+        if (!critical_.empty() || !normal_.empty()) ++promoted_background_;
+        queue = &background_;
+      } else if (aging > 0 && !normal_.empty() &&
+                 served_critical_ - normal_.front().higher_at_enqueue >=
+                     aging) {
+        if (!critical_.empty()) ++promoted_normal_;
+        queue = &normal_;
+      } else if (!critical_.empty()) {
+        queue = &critical_;
+      } else if (!normal_.empty()) {
+        queue = &normal_;
+      } else {
+        queue = &background_;
       }
-      std::deque<Request>& queue = take_background ? background_ : critical_;
-      req = std::move(queue.front());
-      queue.pop_front();
+      req = std::move(queue->front());
+      queue->pop_front();
       ++in_flight_;
     }
 
@@ -261,10 +282,16 @@ void IoScheduler::WorkerLoop() {
       if (!result.status.ok() && first_error_.ok()) {
         first_error_ = result.status;
       }
-      if (req.priority == Priority::kLatencyCritical) {
-        ++served_critical_;
-      } else {
-        ++served_background_;
+      switch (req.priority) {
+        case Priority::kLatencyCritical:
+          ++served_critical_;
+          break;
+        case Priority::kNormal:
+          ++served_normal_;
+          break;
+        case Priority::kBackground:
+          ++served_background_;
+          break;
       }
       total_retries_ += result.attempts - 1;
       if (result.gave_up) ++total_giveups_;
@@ -292,7 +319,8 @@ Status IoScheduler::Wait(Ticket ticket) {
 Status IoScheduler::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   ticket_done_.wait(lock, [this] {
-    return critical_.empty() && background_.empty() && in_flight_ == 0;
+    return critical_.empty() && normal_.empty() && background_.empty() &&
+           in_flight_ == 0;
   });
   return first_error_;
 }
@@ -300,6 +328,11 @@ Status IoScheduler::Drain() {
 int64_t IoScheduler::completed_latency_critical() const {
   std::lock_guard<std::mutex> lock(mu_);
   return served_critical_;
+}
+
+int64_t IoScheduler::completed_normal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_normal_;
 }
 
 int64_t IoScheduler::completed_background() const {
@@ -310,6 +343,11 @@ int64_t IoScheduler::completed_background() const {
 int64_t IoScheduler::promoted_background() const {
   std::lock_guard<std::mutex> lock(mu_);
   return promoted_background_;
+}
+
+int64_t IoScheduler::promoted_normal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return promoted_normal_;
 }
 
 int64_t IoScheduler::total_retries() const {

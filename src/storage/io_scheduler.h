@@ -62,19 +62,23 @@ struct IoResult {
   bool gave_up = false;
 };
 
-/// Two-class asynchronous I/O scheduler over the block store: the SSD
+/// Three-class asynchronous I/O scheduler over the block store: the SSD
 /// array serves *latency-critical* requests (parameter/activation
-/// prefetch the GPU is about to stall on) ahead of *background* ones
-/// (optimizer-state writeback that only has to finish before the same
-/// tensor's next update). This is the queueing discipline Ratel's
-/// holistic traffic management implies: swap-in traffic must not sit
-/// behind a burst of state writebacks.
+/// prefetch the GPU is about to stall on) first, then *normal* ones
+/// (foreground-waited state streaming the optimizer blocks on every
+/// step), then *background* ones (deferred writebacks that only have to
+/// finish before the same tensor's next update). This is the queueing
+/// discipline Ratel's holistic traffic management implies: swap-in
+/// traffic must not sit behind a burst of state writebacks — and a
+/// foreground state read must not sit FIFO behind the accumulated
+/// deferred-write backlog either.
 ///
-/// Strict priority alone starves the background class under sustained
-/// latency-critical load, so background requests age: once
-/// `background_aging_limit` latency-critical requests have completed
-/// while a background request waited, it is served next regardless of
-/// class. FIFO order holds within each class.
+/// Strict priority alone starves the lower classes under sustained
+/// higher-class load, so requests age: once `background_aging_limit`
+/// higher-class requests have completed while a queued request waited,
+/// it is served next regardless of class (background ages past critical
+/// + normal completions; normal ages past critical completions). FIFO
+/// order holds within each class.
 ///
 /// Transient store failures are absorbed here: each request runs under
 /// the RetryPolicy (see above) before its failure is surfaced, and the
@@ -91,7 +95,8 @@ class IoScheduler {
  public:
   enum class Priority {
     kLatencyCritical,  // served first, FIFO within class
-    kBackground,
+    kNormal,           // foreground-waited; yields only to critical
+    kBackground,       // deferred; yields to both higher classes
   };
 
   using Ticket = int64_t;
@@ -99,8 +104,8 @@ class IoScheduler {
 
   /// Device-level knobs shared by every request.
   struct Tuning {
-    /// A background request is promoted past the latency-critical queue
-    /// after this many latency-critical completions occurred while it
+    /// A queued request is promoted past the higher-priority queues
+    /// after this many higher-class completions occurred while it
     /// waited; <= 0 restores strict (starvation-prone) priority.
     int background_aging_limit = 64;
     /// Optional wall-clock bandwidth throttles applied by the workers
@@ -162,10 +167,14 @@ class IoScheduler {
 
   /// Requests served so far, per class (for tests/diagnostics).
   int64_t completed_latency_critical() const;
+  int64_t completed_normal() const;
   int64_t completed_background() const;
-  /// Background requests served ahead of waiting latency-critical work
+  /// Background requests served ahead of waiting higher-class work
   /// because they exceeded the aging limit.
   int64_t promoted_background() const;
+  /// Normal requests served ahead of waiting latency-critical work
+  /// because they exceeded the aging limit.
+  int64_t promoted_normal() const;
   /// Extra store attempts performed beyond each request's first.
   int64_t total_retries() const;
   /// Requests that failed after exhausting their retry budget.
@@ -183,8 +192,10 @@ class IoScheduler {
     Priority priority;
     CompletionFn on_complete;
     int flow_tag = -1;
-    // served_critical_ at enqueue time; age = completions since then.
-    int64_t critical_at_enqueue = 0;
+    // Completions of strictly-higher classes at enqueue time (critical
+    // for normal requests; critical + normal for background ones); age
+    // = higher-class completions since then.
+    int64_t higher_at_enqueue = 0;
   };
 
   void WorkerLoop();
@@ -199,6 +210,7 @@ class IoScheduler {
   std::condition_variable work_ready_;
   std::condition_variable ticket_done_;
   std::deque<Request> critical_;
+  std::deque<Request> normal_;
   std::deque<Request> background_;
   Ticket next_ticket_ = 1;
   // Issued and not yet waited on — membership legitimizes a Wait.
@@ -206,8 +218,10 @@ class IoScheduler {
   std::unordered_map<Ticket, Status> done_;
   Status first_error_;
   int64_t served_critical_ = 0;
+  int64_t served_normal_ = 0;
   int64_t served_background_ = 0;
   int64_t promoted_background_ = 0;
+  int64_t promoted_normal_ = 0;
   int64_t total_retries_ = 0;
   int64_t total_giveups_ = 0;
   int in_flight_ = 0;

@@ -39,6 +39,11 @@ IoScheduler::Priority FlowPriority(FlowClass flow) {
     case FlowClass::kActivationSpill:
       return IoScheduler::Priority::kLatencyCritical;
     case FlowClass::kGradState:
+      // Foreground-waited state streaming: the optimizer blocks on these
+      // every step, so they must not sit FIFO behind the accumulated
+      // kDeferredState write backlog — but they still yield to the
+      // latency-critical fetch/spill traffic the GPU stalls on.
+      return IoScheduler::Priority::kNormal;
     case FlowClass::kCheckpoint:
     case FlowClass::kDeferredState:
       return IoScheduler::Priority::kBackground;
@@ -346,6 +351,7 @@ Status TransferEngine::WaitAll(const std::vector<Ticket>& tickets) {
   // front, and the scheduler-side waits below merely collect transfers
   // that have been running concurrently since submit.
   std::vector<Status> immediate(tickets.size(), Status::Ok());
+  Status first_bookkeeping;  // never-issued / double-waited tickets
   std::vector<std::pair<size_t, IoScheduler::Ticket>> io_tickets;
   io_tickets.reserve(tickets.size());
   {
@@ -359,9 +365,11 @@ Status TransferEngine::WaitAll(const std::vector<Ticket>& tickets) {
       }
       auto it = inflight_.find(tickets[i]);
       if (it == inflight_.end()) {
-        immediate[i] = Status::InvalidArgument(
-            "Wait on transfer ticket " + std::to_string(tickets[i]) +
-            " which was never issued or was already waited on");
+        if (first_bookkeeping.ok()) {
+          first_bookkeeping = Status::InvalidArgument(
+              "Wait on transfer ticket " + std::to_string(tickets[i]) +
+              " which was never issued or was already waited on");
+        }
         continue;
       }
       io_tickets.emplace_back(i, it->second);
@@ -371,11 +379,14 @@ Status TransferEngine::WaitAll(const std::vector<Ticket>& tickets) {
   for (const auto& [i, io_ticket] : io_tickets) {
     immediate[i] = sched_->Wait(io_ticket);
   }
-  // First error in issue order (stable regardless of completion order).
+  // First *transfer* error in issue order (stable regardless of
+  // completion order); a ticket-bookkeeping InvalidArgument surfaces
+  // only when every real transfer in the set succeeded, so it can
+  // never mask the actionable store failure.
   for (const Status& s : immediate) {
     if (!s.ok()) return s;
   }
-  return Status::Ok();
+  return first_bookkeeping;
 }
 
 Status TransferEngine::Drain() {

@@ -182,11 +182,14 @@ class TransferEngine {
   Status Wait(Ticket ticket);
 
   /// Blocks until *every* ticket in the set resolved and returns the
-  /// first error (issue order). Equivalent to waiting each ticket, but
-  /// the whole set is translated under one lock up front, so the
-  /// underlying transfers overlap regardless of which resolves first —
-  /// the batched form the optimizer's three-way state read wants.
-  /// Each ticket is consumed exactly as by Wait.
+  /// first genuine transfer error (issue order). Equivalent to waiting
+  /// each ticket, but the whole set is translated under one lock up
+  /// front, so the underlying transfers overlap regardless of which
+  /// resolves first — the batched form the optimizer's three-way state
+  /// read wants. Each ticket is consumed exactly as by Wait; a
+  /// never-issued/double-waited ticket yields kInvalidArgument only
+  /// when no real transfer in the set failed, so bookkeeping mistakes
+  /// can never mask an actionable I/O error.
   Status WaitAll(const std::vector<Ticket>& tickets);
 
   /// Blocks until every submitted transfer resolved; returns the first
@@ -217,6 +220,21 @@ class TransferEngine {
 
   int64_t host_cache_capacity() const {
     return cache_ != nullptr ? cache_->capacity_bytes() : 0;
+  }
+
+  /// Pins `key`'s DRAM-tier entry so it cannot be evicted until
+  /// UnpinCached — the residency guarantee a caller needs when it
+  /// publishes a write tier-wide and lets readers proceed before the
+  /// store write resolves. Returns false (no pin taken) when there is
+  /// no DRAM tier or the key is not resident (evicted, or larger than
+  /// the tier); the caller must then wait the write out durably instead.
+  bool PinCached(const std::string& key) {
+    return cache_ != nullptr && cache_->Pin(key);
+  }
+
+  /// Releases one PinCached pin. No-op without a DRAM tier.
+  void UnpinCached(const std::string& key) {
+    if (cache_ != nullptr) cache_->Unpin(key);
   }
 
   /// Staging arena of the movement path. Consumers lease their I/O

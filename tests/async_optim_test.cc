@@ -35,13 +35,15 @@ std::string TempDir(const std::string& tag) {
          std::to_string(::getpid());
 }
 
-Result<std::unique_ptr<TransferEngine>> OpenEngine(const std::string& tag,
-                                                   int64_t cache_bytes = 0) {
+Result<std::unique_ptr<TransferEngine>> OpenEngine(
+    const std::string& tag, int64_t cache_bytes = 0,
+    double write_bandwidth = 0.0) {
   TransferOptions opts;
   opts.dir = TempDir(tag);
   opts.num_stripes = 2;
   opts.chunk_bytes = 4096;
   opts.host_cache_bytes = cache_bytes;
+  opts.write_bandwidth = write_bandwidth;
   return TransferEngine::Open(opts);
 }
 
@@ -340,6 +342,106 @@ TEST(AsyncOptimTest, StalenessBoundEveryFetchSeesTheFullyAppliedStep) {
   EXPECT_EQ(stats.Flow(FlowClass::kDeferredState).errors, 0);
 }
 
+// The two hard cases of the "published" drain barrier: the DRAM tier
+// is a bounded LRU, so a deferred epoch's freshly admitted blobs can be
+// evicted (or, if oversized, never admitted) while their store writes
+// are still in flight behind a throttled channel. Residency pinning —
+// and the per-epoch durable fallback when a pin cannot be taken — must
+// keep every post-drain read exact anyway.
+
+TEST(AsyncOptimTest, ExactUnderDramEvictionPressure) {
+  // Three tensors churning a tier that holds roughly ONE tensor's
+  // 14 B/param write set, writes throttled so the deferred epochs'
+  // store writes stay in flight while the foreground fetches.
+  auto sync_engine = OpenEngine("evict_sync");
+  auto async_engine = OpenEngine("evict_async", /*cache_bytes=*/8192,
+                                 /*write_bandwidth=*/2e6);
+  ASSERT_TRUE(sync_engine.ok());
+  ASSERT_TRUE(async_engine.ok());
+  AdamConfig cfg;
+  cfg.lr = 1e-2;
+  AsyncUpdateOptions opts;
+  opts.async = true;
+  opts.hot_fraction = 0.25;
+  opts.chunk = 64;
+  OutOfCoreAdam sync_adam(cfg, sync_engine->get());
+  OutOfCoreAdam async_adam(cfg, async_engine->get(), opts);
+
+  const std::vector<std::string> names = {"w0", "w1", "w2"};
+  for (size_t t = 0; t < names.size(); ++t) {
+    const std::vector<float> init = RandomVec(kN, 31 + t);
+    ASSERT_TRUE(sync_adam.Register(names[t], init).ok());
+    ASSERT_TRUE(async_adam.Register(names[t], init).ok());
+  }
+  for (int step = 1; step <= kSteps; ++step) {
+    for (size_t t = 0; t < names.size(); ++t) {
+      const std::vector<Fp16> g = RandomGrads16(kN, 700 + 10 * step + t);
+      ASSERT_TRUE(sync_adam.StepTensor(names[t], g).ok());
+      ASSERT_TRUE(async_adam.StepTensor(names[t], g).ok());
+    }
+    // Post-drain reads while sibling tensors' epochs thrash the tier:
+    // never stale, never a mixed old/new P32-m-v set.
+    for (const std::string& name : names) {
+      std::vector<float> m_sync, m_async;
+      ASSERT_TRUE(sync_adam.FetchMasterParams(name, &m_sync).ok());
+      ASSERT_TRUE(async_adam.FetchMasterParams(name, &m_async).ok());
+      EXPECT_TRUE(BitwiseEqual(m_sync, m_async))
+          << name << " stale at step " << step;
+    }
+  }
+  for (const std::string& name : names) {
+    int64_t step_sync = 0, step_async = 0;
+    std::vector<float> p_s, m_s, v_s, p_a, m_a, v_a;
+    ASSERT_TRUE(sync_adam.ExportState(name, &step_sync, &p_s, &m_s, &v_s).ok());
+    ASSERT_TRUE(
+        async_adam.ExportState(name, &step_async, &p_a, &m_a, &v_a).ok());
+    EXPECT_EQ(step_sync, step_async);
+    EXPECT_TRUE(BitwiseEqual(p_s, p_a)) << name;
+    EXPECT_TRUE(BitwiseEqual(m_s, m_a)) << name;
+    EXPECT_TRUE(BitwiseEqual(v_s, v_a)) << name;
+  }
+  EXPECT_GT(async_adam.stats().deferred_epochs, 0);
+  EXPECT_EQ((*async_engine)->stats().Flow(FlowClass::kDeferredState).errors,
+            0);
+}
+
+TEST(AsyncOptimTest, OversizedTensorsFallBackToDurableDrain) {
+  // The tier is smaller than a single P32 blob, so the written state is
+  // never admitted and no pin can be taken: every epoch must harden its
+  // drain barrier to "store writes resolved" — otherwise each fetch
+  // would read step N-1 from behind the throttled write channel.
+  auto sync_engine = OpenEngine("small_sync");
+  auto async_engine = OpenEngine("small_async", /*cache_bytes=*/1024,
+                                 /*write_bandwidth=*/2e6);
+  ASSERT_TRUE(sync_engine.ok());
+  ASSERT_TRUE(async_engine.ok());
+  AdamConfig cfg;
+  cfg.lr = 1e-2;
+  AsyncUpdateOptions opts;
+  opts.async = true;
+  opts.hot_fraction = 0.25;
+  opts.chunk = 64;
+  OutOfCoreAdam sync_adam(cfg, sync_engine->get());
+  OutOfCoreAdam async_adam(cfg, async_engine->get(), opts);
+  const std::vector<float> init = RandomVec(kN, 61);
+  ASSERT_TRUE(sync_adam.Register("w", init).ok());
+  ASSERT_TRUE(async_adam.Register("w", init).ok());
+  for (int step = 1; step <= kSteps; ++step) {
+    const std::vector<Fp16> g = RandomGrads16(kN, 800 + step);
+    ASSERT_TRUE(sync_adam.StepTensor("w", g).ok());
+    ASSERT_TRUE(async_adam.StepTensor("w", g).ok());
+    std::vector<float> m_sync, m_async;
+    ASSERT_TRUE(sync_adam.FetchMasterParams("w", &m_sync).ok());
+    ASSERT_TRUE(async_adam.FetchMasterParams("w", &m_async).ok());
+    EXPECT_TRUE(BitwiseEqual(m_sync, m_async)) << "stale at step " << step;
+  }
+  const AsyncUpdateEngine::Stats stats = async_adam.stats();
+  EXPECT_GT(stats.deferred_epochs, 0);
+  // Deterministic here: a 4*kN-byte blob can never be pinned in a
+  // 1 KiB tier, so every deferred epoch took the durable fallback.
+  EXPECT_EQ(stats.durable_fallback_epochs, stats.deferred_epochs);
+}
+
 TEST(AsyncOptimTest, ErrorsSurfaceInAsyncModeToo) {
   auto engine = OpenEngine("err");
   ASSERT_TRUE(engine.ok());
@@ -354,6 +456,28 @@ TEST(AsyncOptimTest, ErrorsSurfaceInAsyncModeToo) {
   EXPECT_EQ(ooc.DrainTensor("nope").code(), StatusCode::kNotFound);
   EXPECT_TRUE(ooc.DrainTensor("w").ok());
   EXPECT_TRUE(ooc.DrainAll().ok());
+}
+
+TEST(AsyncOptimTest, FailedRegisterRollsBackSoTheNameStaysUsable) {
+  // Every write attempt fails, so Register's initial state writes give
+  // up after the retry budget. The failed registration must not leave a
+  // half-initialized entry behind: retrying must NOT report
+  // kAlreadyExists, and the name must stay unknown to every other call.
+  TransferOptions topts;
+  topts.dir = TempDir("reg_rollback");
+  topts.num_stripes = 2;
+  topts.chunk_bytes = 4096;
+  topts.fault.write_error_every = 1;
+  auto engine = TransferEngine::Open(topts);
+  ASSERT_TRUE(engine.ok());
+  AsyncUpdateOptions opts;
+  opts.async = true;
+  OutOfCoreAdam ooc(AdamConfig{}, engine->get(), opts);
+  EXPECT_EQ(ooc.Register("w", {1.0f, 2.0f}).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ooc.Register("w", {1.0f, 2.0f}).code(), StatusCode::kUnavailable);
+  std::vector<Fp16> g(2);
+  EXPECT_EQ(ooc.StepTensor("w", g).code(), StatusCode::kNotFound);
+  EXPECT_EQ(ooc.DrainTensor("w").code(), StatusCode::kNotFound);
 }
 
 // ---------- Trainer integration ----------

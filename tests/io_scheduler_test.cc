@@ -122,6 +122,31 @@ TEST(IoSchedulerTest, CriticalClassServedFirst) {
   EXPECT_EQ(harness.sched().completed_background(), 30);
 }
 
+TEST(IoSchedulerTest, NormalClassOvertakesTheBackgroundBacklog) {
+  // The stall the deferred-update pipeline must not re-introduce: a
+  // foreground-waited (normal) state request queued behind a large
+  // accumulated backlog of deferred background writes. The normal
+  // request must be served before the entire backlog, yet after any
+  // latency-critical request.
+  StarvationHarness harness("normal");
+  for (int i = 0; i < 20; ++i) {
+    harness.SubmitTagged("deferred" + std::to_string(i),
+                         IoScheduler::Priority::kBackground);
+  }
+  harness.SubmitTagged("state", IoScheduler::Priority::kNormal);
+  harness.SubmitTagged("hot", IoScheduler::Priority::kLatencyCritical);
+  harness.ReleaseGate();
+  ASSERT_TRUE(harness.sched().Drain().ok());
+  const std::vector<std::string> order = harness.order();
+  ASSERT_EQ(order.size(), 22u);
+  EXPECT_EQ(order[0], "hot");
+  EXPECT_EQ(order[1], "state");
+  EXPECT_EQ(order[2], "deferred0");
+  EXPECT_EQ(order.back(), "deferred19");
+  EXPECT_EQ(harness.sched().completed_normal(), 1);
+  EXPECT_EQ(harness.sched().completed_background(), 20);
+}
+
 TEST(IoSchedulerTest, ErrorsSurfaceThroughWaitAndDrain) {
   auto store = BlockStore::Open(TempDir("err"), 2, 4096);
   ASSERT_TRUE(store.ok());
@@ -186,6 +211,27 @@ TEST(IoSchedulerTest, AgingPromotesStarvedBackgroundRequest) {
                             << (std::find(order.begin(), order.end(), "bg") -
                                 order.begin());
   EXPECT_EQ(harness.sched().promoted_background(), 1);
+}
+
+TEST(IoSchedulerTest, AgingPromotesStarvedNormalRequest) {
+  IoScheduler::Tuning tuning;
+  tuning.background_aging_limit = 8;
+  StarvationHarness harness("aging_nrm", 1, tuning);
+  // The middle class must not starve under sustained fetch load either.
+  harness.SubmitTagged("state", IoScheduler::Priority::kNormal);
+  for (int i = 0; i < 32; ++i) {
+    harness.SubmitTagged("c" + std::to_string(i),
+                         IoScheduler::Priority::kLatencyCritical);
+  }
+  harness.ReleaseGate();
+  ASSERT_TRUE(harness.sched().Drain().ok());
+  const std::vector<std::string> order = harness.order();
+  ASSERT_EQ(order.size(), 33u);
+  // Same arithmetic as the background case: after 8 critical
+  // completions (gate included) "state" is served next.
+  EXPECT_EQ(order[7], "state");
+  EXPECT_EQ(harness.sched().promoted_normal(), 1);
+  EXPECT_EQ(harness.sched().completed_normal(), 1);
 }
 
 TEST(IoSchedulerTest, StrictPriorityStarvesBackgroundRegression) {

@@ -306,6 +306,67 @@ TEST(TierCacheTest, TryGetProbesWithoutStoreIo) {
   EXPECT_FALSE(cache.TryGet("cold", out.data(), 64));
 }
 
+TEST(TierCacheTest, PinnedEntriesSurviveEvictionPressure) {
+  auto store = BlockStore::Open(TempDir("tc_pin"), 2, 64);
+  ASSERT_TRUE(store.ok());
+  TierCache cache(store->get(), 1024);  // fits ~2 entries of 400 B
+  std::vector<uint8_t> data(400, 0x33);
+  cache.Admit("pinned", data.data(), 400);
+  ASSERT_TRUE(cache.Pin("pinned"));
+  EXPECT_EQ(cache.stats().pinned_bytes, 400);
+  // Flood the tier: the unpinned entries churn, the pinned one stays.
+  for (int i = 0; i < 8; ++i) {
+    cache.Admit("churn" + std::to_string(i), data.data(), 400);
+  }
+  std::vector<uint8_t> out(400);
+  EXPECT_TRUE(cache.TryGet("pinned", out.data(), 400));
+  EXPECT_EQ(out, data);
+  EXPECT_GT(cache.stats().evictions, 0);
+  // Unpinned, it is evictable again (LRU order: push it to the back by
+  // admitting fresh entries).
+  cache.Unpin("pinned");
+  EXPECT_EQ(cache.stats().pinned_bytes, 0);
+  for (int i = 0; i < 8; ++i) {
+    cache.Admit("churn2_" + std::to_string(i), data.data(), 400);
+  }
+  EXPECT_FALSE(cache.TryGet("pinned", out.data(), 400));
+}
+
+TEST(TierCacheTest, PinContractEdges) {
+  auto store = BlockStore::Open(TempDir("tc_pin2"), 2, 64);
+  ASSERT_TRUE(store.ok());
+  TierCache cache(store->get(), 512);
+  std::vector<uint8_t> v1(200, 0x01), v2(200, 0x02), big(600, 0x09);
+  // Pin of a non-resident key fails (never admitted / oversized).
+  EXPECT_FALSE(cache.Pin("absent"));
+  cache.Admit("huge", big.data(), 600);  // larger than the tier
+  EXPECT_FALSE(cache.Pin("huge"));
+  // Overwriting a pinned key keeps the pin on the fresher value.
+  cache.Admit("k", v1.data(), 200);
+  ASSERT_TRUE(cache.Pin("k"));
+  cache.Admit("k", v2.data(), 200);
+  std::vector<uint8_t> out(200);
+  for (int i = 0; i < 8; ++i) {
+    cache.Admit("fill" + std::to_string(i), v1.data(), 200);
+  }
+  ASSERT_TRUE(cache.TryGet("k", out.data(), 200));
+  EXPECT_EQ(out, v2);
+  EXPECT_EQ(cache.stats().pinned_bytes, 200);
+  // Pins nest: one Unpin leaves the entry pinned.
+  ASSERT_TRUE(cache.Pin("k"));
+  cache.Unpin("k");
+  for (int i = 0; i < 8; ++i) {
+    cache.Admit("fill2_" + std::to_string(i), v1.data(), 200);
+  }
+  EXPECT_TRUE(cache.TryGet("k", out.data(), 200));
+  // Invalidate drops even a pinned entry (a Delete supersedes the pin);
+  // the late Unpin is a harmless no-op.
+  cache.Invalidate("k");
+  EXPECT_EQ(cache.stats().pinned_bytes, 0);
+  EXPECT_FALSE(cache.TryGet("k", out.data(), 200));
+  cache.Unpin("k");
+}
+
 // ---------- ThrottledChannel ----------
 
 TEST(ThrottledChannelTest, EnforcesRate) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -350,14 +351,20 @@ TEST(RatelTrainerTest, StepStatsAccountTraffic) {
 
 TEST(RatelTrainerTest, ThrottledStoreFavorsOptimizedPipeline) {
   // With a slow emulated SSD, the optimized pipeline (3 workers
-  // overlapping handlers) beats the naive serial handler wall-clock.
-  auto run = [&](GradientOffloadMode mode) {
+  // overlapping handlers) beats the naive serial handler wall-clock:
+  // with enough I/O workers to put the read and the write channel to
+  // sleep concurrently, pipelined handlers overlap the two directions
+  // while the naive mode strictly alternates them per tensor. Two
+  // trials per mode (best-of) absorb scheduler noise on a loaded host.
+  auto run = [&](GradientOffloadMode mode, int trial) {
     ag::TinyGpt model(SmallConfig(), 44);
     TrainerOptions opts;
     opts.grad_mode = mode;
-    opts.store_dir = TempDir("thr" + std::to_string(static_cast<int>(mode)));
+    opts.store_dir = TempDir("thr" + std::to_string(static_cast<int>(mode)) +
+                             "_" + std::to_string(trial));
     opts.ssd_read_bandwidth = 8e6;  // 8 MB/s emulated slow array
     opts.ssd_write_bandwidth = 8e6;
+    opts.io_workers = 4;
     auto trainer = RatelTrainer::Create(&model, opts);
     EXPECT_TRUE(trainer.ok());
     Rng rng(13);
@@ -366,8 +373,11 @@ TEST(RatelTrainerTest, ThrottledStoreFavorsOptimizedPipeline) {
     EXPECT_TRUE((*trainer)->TrainStep(ids, targets, 1).ok());
     return (*trainer)->last_step_stats().optimizer_s;
   };
-  const double naive = run(GradientOffloadMode::kNaiveActive);
-  const double optimized = run(GradientOffloadMode::kOptimizedActive);
+  auto best = [&](GradientOffloadMode mode) {
+    return std::min(run(mode, 0), run(mode, 1));
+  };
+  const double naive = best(GradientOffloadMode::kNaiveActive);
+  const double optimized = best(GradientOffloadMode::kOptimizedActive);
   EXPECT_LT(optimized, naive);
 }
 

@@ -38,15 +38,17 @@ TEST(TransferEngineTest, FlowClassMetadata) {
   EXPECT_STREQ(FlowClassName(FlowClass::kActivationSpill), "activation_spill");
   EXPECT_STREQ(FlowClassName(FlowClass::kCheckpoint), "checkpoint");
   EXPECT_STREQ(FlowClassName(FlowClass::kDeferredState), "deferred_state");
-  // Fetch and spill traffic stalls the compute pipeline; state,
-  // checkpoint, and deferred-update traffic drains in the background
-  // (a deferred-tail writeback must never block a param fetch).
+  // Fetch and spill traffic stalls the compute pipeline; the
+  // foreground-waited grad/state stream rides the middle class so it
+  // never queues FIFO behind the deferred-write backlog; checkpoint and
+  // deferred-update traffic drains in the background (a deferred-tail
+  // writeback must never block a param fetch or a state read).
   EXPECT_EQ(FlowPriority(FlowClass::kParamFetch),
             IoScheduler::Priority::kLatencyCritical);
   EXPECT_EQ(FlowPriority(FlowClass::kActivationSpill),
             IoScheduler::Priority::kLatencyCritical);
   EXPECT_EQ(FlowPriority(FlowClass::kGradState),
-            IoScheduler::Priority::kBackground);
+            IoScheduler::Priority::kNormal);
   EXPECT_EQ(FlowPriority(FlowClass::kCheckpoint),
             IoScheduler::Priority::kBackground);
   EXPECT_EQ(FlowPriority(FlowClass::kDeferredState),
@@ -492,6 +494,25 @@ TEST(TransferEngineTest, WaitAllReturnsTheFirstErrorInIssueOrder) {
   EXPECT_EQ((*engine)->Wait(good).code(), StatusCode::kInvalidArgument);
   EXPECT_EQ((*engine)->Wait(missing).code(), StatusCode::kInvalidArgument);
   EXPECT_TRUE((*engine)->Contains("ok"));
+}
+
+TEST(TransferEngineTest, WaitAllNeverMasksARealErrorWithTicketBookkeeping) {
+  auto engine = OpenEngine("waitallmask");
+  ASSERT_TRUE(engine.ok());
+  std::vector<uint8_t> out;
+  const auto missing =
+      (*engine)->SubmitRead(FlowClass::kGradState, "missing", &out, 64);
+  // A never-issued ticket EARLIER in issue order must not hide the
+  // genuine store failure behind kInvalidArgument — callers (e.g. the
+  // reaper's sticky epoch status) act on the I/O error.
+  EXPECT_EQ((*engine)->WaitAll({424242, missing}).code(),
+            StatusCode::kNotFound);
+  // With no real failure in the set, the bookkeeping mistake surfaces.
+  std::vector<uint8_t> data(64, 2);
+  const auto good =
+      (*engine)->SubmitWrite(FlowClass::kCheckpoint, "ok2", data.data(), 64);
+  EXPECT_EQ((*engine)->WaitAll({424243, good}).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(TransferEngineTest, DrainIsIdempotent) {
