@@ -70,6 +70,13 @@ inline void SeedGemmTNAccum(const float* a, const float* b, float* out,
 /// the bench harnesses so the table/JSON boilerplate lives in one place.
 class BenchReport {
  public:
+  struct Entry {
+    std::string name;
+    int threads;
+    double value;
+    std::string unit;
+  };
+
   explicit BenchReport(std::string report_name)
       : report_name_(std::move(report_name)) {}
 
@@ -112,14 +119,11 @@ class BenchReport {
     return Status::Ok();
   }
 
- private:
-  struct Entry {
-    std::string name;
-    int threads;
-    double value;
-    std::string unit;
-  };
+  /// All measurements recorded so far, in insertion order — for
+  /// post-hoc checks like the thread-scaling assertion.
+  const std::vector<Entry>& entries() const { return entries_; }
 
+ private:
   std::string report_name_;
   std::vector<Entry> entries_;
 };

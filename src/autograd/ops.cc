@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "runtime/compute_pool.h"
+#include "simd/simd.h"
 
 namespace ratel::ag {
 
@@ -22,20 +23,21 @@ NodePtr MakeOutput(std::vector<int64_t> shape,
 }
 
 // ---------------------------------------------------------------------
-// Tiled parallel kernels.
+// Tiled parallel kernels, computed by the simd backend (simd::Kernels
+// resolves once to scalar or AVX2 per RATEL_SIMD).
 //
 // Every kernel fans out on the shared ComputePool with *fixed* chunk
 // boundaries (constants below, never derived from the thread count) and
 // a fixed accumulation order inside each chunk, so results are bitwise
-// identical at any RATEL_THREADS. Chunks write disjoint output ranges;
-// cross-chunk reductions (layernorm dgamma/dbeta, the cross-entropy
-// loss) go through per-tile partials combined serially in tile order.
+// identical at any RATEL_THREADS for a fixed backend. Chunks write
+// disjoint output ranges; cross-chunk reductions (layernorm
+// dgamma/dbeta, the cross-entropy loss) go through per-tile partials
+// combined serially in tile order. Each fan-out passes its estimated
+// op count so small problems run serial inline (see KernelCost).
 // ---------------------------------------------------------------------
 
-// Output rows per GEMM task (multiple of the 4-row register block).
+// Output rows per GEMM task (multiple of the backends' register block).
 constexpr int64_t kGemmRowTile = 32;
-// k-panel kept hot in cache inside the GEMM micro-kernel.
-constexpr int64_t kGemmKBlock = 128;
 // Rows per task for row-wise kernels (layernorm, softmax, embedding).
 constexpr int64_t kRowTile = 8;
 // Elements per task for elementwise kernels.
@@ -43,57 +45,14 @@ constexpr int64_t kEltTile = 1 << 15;
 // Output columns per task for column-reduction kernels.
 constexpr int64_t kColTile = 64;
 
-// out rows [i0, i1) += a * b for a(MxK) row-major against b(KxN): the
-// 4-row register block shares each loaded b row across four output
-// rows; per output element the k index always ascends, matching the
-// single-row tail path bit-for-bit.
-void GemmRowsBlocked(const float* a, const float* b, float* out, int64_t i0,
-                     int64_t i1, int64_t k, int64_t n) {
-  int64_t i = i0;
-  for (; i + 4 <= i1; i += 4) {
-    const float* a0 = a + i * k;
-    const float* a1 = a0 + k;
-    const float* a2 = a1 + k;
-    const float* a3 = a2 + k;
-    float* o0 = out + i * n;
-    float* o1 = o0 + n;
-    float* o2 = o1 + n;
-    float* o3 = o2 + n;
-    for (int64_t p0 = 0; p0 < k; p0 += kGemmKBlock) {
-      const int64_t p1 = std::min(k, p0 + kGemmKBlock);
-      for (int64_t p = p0; p < p1; ++p) {
-        const float* brow = b + p * n;
-        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-        for (int64_t j = 0; j < n; ++j) {
-          const float bv = brow[j];
-          o0[j] += v0 * bv;
-          o1[j] += v1 * bv;
-          o2[j] += v2 * bv;
-          o3[j] += v3 * bv;
-        }
-      }
-    }
-  }
-  for (; i < i1; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    for (int64_t p0 = 0; p0 < k; p0 += kGemmKBlock) {
-      const int64_t p1 = std::min(k, p0 + kGemmKBlock);
-      for (int64_t p = p0; p < p1; ++p) {
-        const float av = arow[p];
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
 // out(MxN) += a(MxK) * b(KxN), parallel over row tiles.
 void GemmAccum(const float* a, const float* b, float* out, int64_t m,
                int64_t k, int64_t n) {
-  ComputeParallelFor(0, m, kGemmRowTile, [=](int64_t i0, int64_t i1) {
-    GemmRowsBlocked(a, b, out, i0, i1, k, n);
-  });
+  const simd::KernelTable* kt = &simd::Kernels();
+  ComputeParallelFor(KernelCost::kGemm, 2 * m * k * n, 0, m, kGemmRowTile,
+                     [=](int64_t i0, int64_t i1) {
+                       kt->gemm_nn_rows(a, b, out, i0, i1, k, n);
+                     });
 }
 
 // out(MxN) += a(MxK) * b(NxK)^T. b is transposed into a (KxN) panel
@@ -103,52 +62,29 @@ void GemmNTAccum(const float* a, const float* b, float* out, int64_t m,
                  int64_t k, int64_t n) {
   std::vector<float> bt(k * n);
   float* btp = bt.data();
-  ComputeParallelFor(0, k, kColTile, [=](int64_t p0, int64_t p1) {
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      for (int64_t p = p0; p < p1; ++p) btp[p * n + j] = brow[p];
-    }
-  });
+  ComputeParallelFor(KernelCost::kElementwise, k * n, 0, k, kColTile,
+                     [=](int64_t p0, int64_t p1) {
+                       for (int64_t j = 0; j < n; ++j) {
+                         const float* brow = b + j * k;
+                         for (int64_t p = p0; p < p1; ++p) {
+                           btp[p * n + j] = brow[p];
+                         }
+                       }
+                     });
   GemmAccum(a, btp, out, m, k, n);
 }
 
 // out(KxN) += a(MxK)^T * b(MxN), parallel over output row tiles (the k
-// dimension). The reduction index i ascends in 4-blocks with a scalar
-// tail — a fixed order per output element for any task partition.
+// dimension). The reduction index i ascends inside the backend kernel —
+// a fixed order per output element for any task partition.
 void GemmTNAccum(const float* a, const float* b, float* out, int64_t m,
                  int64_t k, int64_t n) {
-  ComputeParallelFor(0, k, kGemmRowTile, [=](int64_t pb, int64_t pe) {
-    int64_t i = 0;
-    for (; i + 4 <= m; i += 4) {
-      const float* a0 = a + i * k;
-      const float* a1 = a0 + k;
-      const float* a2 = a1 + k;
-      const float* a3 = a2 + k;
-      const float* b0 = b + i * n;
-      const float* b1 = b0 + n;
-      const float* b2 = b1 + n;
-      const float* b3 = b2 + n;
-      for (int64_t p = pb; p < pe; ++p) {
-        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-        float* orow = out + p * n;
-        for (int64_t j = 0; j < n; ++j) {
-          orow[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
-        }
-      }
-    }
-    for (; i < m; ++i) {
-      const float* arow = a + i * k;
-      const float* brow = b + i * n;
-      for (int64_t p = pb; p < pe; ++p) {
-        const float av = arow[p];
-        float* orow = out + p * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  });
+  const simd::KernelTable* kt = &simd::Kernels();
+  ComputeParallelFor(KernelCost::kGemm, 2 * m * k * n, 0, k, kGemmRowTile,
+                     [=](int64_t pb, int64_t pe) {
+                       kt->gemm_tn_rows(a, b, out, pb, pe, m, k, n);
+                     });
 }
-
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
 }  // namespace
 
@@ -207,9 +143,11 @@ Variable Add(const Variable& a, const Variable& b) {
   const float* av = a.value().data();
   const float* bv = b.value().data();
   float* ov = out->value.data();
-  ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) ov[i] = av[i] + bv[i];
-  });
+  const simd::KernelTable* kt = &simd::Kernels();
+  ComputeParallelFor(KernelCost::kElementwise, n, 0, n, kEltTile,
+                     [=](int64_t i0, int64_t i1) {
+                       kt->add(av + i0, bv + i0, ov + i0, i1 - i0);
+                     });
   out->backward_fn = [n](Node& self) {
     for (int input = 0; input < 2; ++input) {
       Node& ni = *self.inputs[input];
@@ -228,11 +166,13 @@ Variable AddBias(const Variable& a, const Variable& bias) {
     const float* av = a.value().data();
     const float* bv = bias.value().data();
     float* ov = out->value.data();
-    ComputeParallelFor(0, m, kRowTile, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        for (int64_t j = 0; j < n; ++j) ov[i * n + j] = av[i * n + j] + bv[j];
-      }
-    });
+    const simd::KernelTable* kt = &simd::Kernels();
+    ComputeParallelFor(KernelCost::kElementwise, m * n, 0, m, kRowTile,
+                       [=](int64_t i0, int64_t i1) {
+                         for (int64_t i = i0; i < i1; ++i) {
+                           kt->add(av + i * n, bv, ov + i * n, n);
+                         }
+                       });
   }
   out->backward_fn = [m, n](Node& self) {
     Node& na = *self.inputs[0];
@@ -244,12 +184,15 @@ Variable AddBias(const Variable& a, const Variable& bias) {
       std::vector<float> db(n, 0.0f);
       const float* g = self.grad.data();
       float* dbp = db.data();
-      ComputeParallelFor(0, n, kColTile, [=](int64_t j0, int64_t j1) {
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = g + i * n;
-          for (int64_t j = j0; j < j1; ++j) dbp[j] += grow[j];
-        }
-      });
+      ComputeParallelFor(KernelCost::kColReduce, m * n, 0, n, kColTile,
+                         [=](int64_t j0, int64_t j1) {
+                           for (int64_t i = 0; i < m; ++i) {
+                             const float* grow = g + i * n;
+                             for (int64_t j = j0; j < j1; ++j) {
+                               dbp[j] += grow[j];
+                             }
+                           }
+                         });
       nb.AccumulateGrad(db.data(), n);
     }
   };
@@ -261,18 +204,22 @@ Variable Scale(const Variable& a, float factor) {
   const int64_t n = out->NumElements();
   const float* av = a.value().data();
   float* ov = out->value.data();
-  ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) ov[i] = av[i] * factor;
-  });
+  const simd::KernelTable* kt = &simd::Kernels();
+  ComputeParallelFor(KernelCost::kElementwise, n, 0, n, kEltTile,
+                     [=](int64_t i0, int64_t i1) {
+                       kt->scale(av + i0, factor, ov + i0, i1 - i0);
+                     });
   out->backward_fn = [n, factor](Node& self) {
     Node& na = *self.inputs[0];
     if (!na.requires_grad()) return;
     std::vector<float> da(n);
     const float* g = self.grad.data();
     float* dap = da.data();
-    ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) dap[i] = g[i] * factor;
-    });
+    const simd::KernelTable* kt = &simd::Kernels();
+    ComputeParallelFor(KernelCost::kElementwise, n, 0, n, kEltTile,
+                       [=](int64_t i0, int64_t i1) {
+                         kt->scale(g + i0, factor, dap + i0, i1 - i0);
+                       });
     na.AccumulateGrad(da.data(), n);
   };
   return Variable(out);
@@ -283,13 +230,11 @@ Variable Gelu(const Variable& a) {
   const int64_t n = out->NumElements();
   const float* av = a.value().data();
   float* ov = out->value.data();
-  ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float x = av[i];
-      const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
-      ov[i] = 0.5f * x * (1.0f + t);
-    }
-  });
+  const simd::KernelTable* kt = &simd::Kernels();
+  ComputeParallelFor(KernelCost::kElementwise, 8 * n, 0, n, kEltTile,
+                     [=](int64_t i0, int64_t i1) {
+                       kt->gelu_fwd(av + i0, ov + i0, i1 - i0);
+                     });
   out->backward_fn = [n](Node& self) {
     Node& na = *self.inputs[0];
     if (!na.requires_grad()) return;
@@ -297,16 +242,11 @@ Variable Gelu(const Variable& a) {
     const float* xv = na.value.data();
     const float* g = self.grad.data();
     float* dap = da.data();
-    ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        const float x = xv[i];
-        const float u = kGeluC * (x + 0.044715f * x * x * x);
-        const float t = std::tanh(u);
-        const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
-        const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-        dap[i] = g[i] * d;
-      }
-    });
+    const simd::KernelTable* kt = &simd::Kernels();
+    ComputeParallelFor(KernelCost::kElementwise, 8 * n, 0, n, kEltTile,
+                       [=](int64_t i0, int64_t i1) {
+                         kt->gelu_bwd(xv + i0, g + i0, dap + i0, i1 - i0);
+                       });
     na.AccumulateGrad(da.data(), n);
   };
   return Variable(out);
@@ -327,27 +267,15 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
     const float* bv = beta.value().data();
     float* ov = out->value.data();
     float* st = stats->data();
-    ComputeParallelFor(0, m, kRowTile, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        const float* row = xv + i * n;
-        float mean = 0.0f;
-        for (int64_t j = 0; j < n; ++j) mean += row[j];
-        mean /= n;
-        float var = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-          const float d = row[j] - mean;
-          var += d * d;
-        }
-        var /= n;
-        const float inv_std = 1.0f / std::sqrt(var + eps);
-        st[2 * i] = mean;
-        st[2 * i + 1] = inv_std;
-        for (int64_t j = 0; j < n; ++j) {
-          const float xhat = (row[j] - mean) * inv_std;
-          ov[i * n + j] = xhat * gv[j] + bv[j];
-        }
-      }
-    });
+    const simd::KernelTable* kt = &simd::Kernels();
+    ComputeParallelFor(KernelCost::kRowReduce, 4 * m * n, 0, m, kRowTile,
+                       [=](int64_t i0, int64_t i1) {
+                         for (int64_t i = i0; i < i1; ++i) {
+                           kt->layernorm_row_fwd(xv + i * n, gv, bv, n, eps,
+                                                 ov + i * n, st + 2 * i,
+                                                 st + 2 * i + 1);
+                         }
+                       });
   }
   out->backward_fn = [m, n, stats](Node& self) {
     Node& nx = *self.inputs[0];
@@ -365,33 +293,18 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
     const float* g = self.grad.data();
     float* dxp = dx.data();
     float* pp = partial.data();
-    ComputeParallelFor(0, m, kRowTile, [=](int64_t i0, int64_t i1) {
-      float* dgamma = pp + (i0 / kRowTile) * 2 * n;
-      float* dbeta = dgamma + n;
-      for (int64_t i = i0; i < i1; ++i) {
-        const float mean = st[2 * i];
-        const float inv_std = st[2 * i + 1];
-        const float* xrow = xv + i * n;
-        const float* grow = g + i * n;
-        float sum_dy_xhat = 0.0f, sum_dy = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-          const float xhat = (xrow[j] - mean) * inv_std;
-          const float dy = grow[j] * gv[j];
-          sum_dy_xhat += dy * xhat;
-          sum_dy += dy;
-          dgamma[j] += grow[j] * xhat;
-          dbeta[j] += grow[j];
-        }
-        if (need_dx) {
-          for (int64_t j = 0; j < n; ++j) {
-            const float xhat = (xrow[j] - mean) * inv_std;
-            const float dy = grow[j] * gv[j];
-            dxp[i * n + j] =
-                inv_std * (dy - sum_dy / n - xhat * sum_dy_xhat / n);
+    const simd::KernelTable* kt = &simd::Kernels();
+    ComputeParallelFor(
+        KernelCost::kRowReduce, 8 * m * n, 0, m, kRowTile,
+        [=](int64_t i0, int64_t i1) {
+          float* dgamma = pp + (i0 / kRowTile) * 2 * n;
+          float* dbeta = dgamma + n;
+          for (int64_t i = i0; i < i1; ++i) {
+            kt->layernorm_row_bwd(xv + i * n, g + i * n, gv, st[2 * i],
+                                  st[2 * i + 1], n, dgamma, dbeta,
+                                  need_dx ? dxp + i * n : nullptr);
           }
-        }
-      }
-    });
+        });
     std::vector<float> dgamma(n, 0.0f), dbeta(n, 0.0f);
     for (int64_t t = 0; t < tiles; ++t) {
       const float* pg = partial.data() + t * 2 * n;
@@ -434,6 +347,7 @@ Variable SelfAttentionImpl(const Variable& qkv, int64_t batch,
     float* pr = probs->data();
     float* ov = out->value.data();
     ComputeParallelFor(
+        KernelCost::kAttention, 4 * batch * num_heads * seq_len * seq_len * dh,
         0, batch * num_heads, 1, [=](int64_t bh0, int64_t bh1) {
           for (int64_t bh = bh0; bh < bh1; ++bh) {
             const int64_t b = bh / num_heads;
@@ -495,6 +409,7 @@ Variable SelfAttentionImpl(const Variable& qkv, int64_t batch,
     // din's q/k/v slices for head h are only written by task (b, h):
     // disjoint across tasks.
     ComputeParallelFor(
+        KernelCost::kAttention, 8 * batch * num_heads * seq_len * seq_len * dh,
         0, batch * num_heads, 1, [=](int64_t bh0, int64_t bh1) {
           std::vector<float> dp(seq_len, 0.0f);
           for (int64_t bh = bh0; bh < bh1; ++bh) {
@@ -566,12 +481,13 @@ Variable Embedding(const std::vector<int64_t>& ids, const Variable& table) {
     const float* tv = table.value().data();
     const int64_t* idp = ids_copy->data();
     float* ov = out->value.data();
-    ComputeParallelFor(0, n, kRowTile, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        const float* row = tv + idp[i] * hidden;
-        std::copy(row, row + hidden, ov + i * hidden);
-      }
-    });
+    ComputeParallelFor(KernelCost::kElementwise, n * hidden, 0, n, kRowTile,
+                       [=](int64_t i0, int64_t i1) {
+                         for (int64_t i = i0; i < i1; ++i) {
+                           const float* row = tv + idp[i] * hidden;
+                           std::copy(row, row + hidden, ov + i * hidden);
+                         }
+                       });
   }
   out->backward_fn = [n, hidden, vocab, ids_copy](Node& self) {
     Node& nt = *self.inputs[0];
@@ -583,13 +499,16 @@ Variable Embedding(const std::vector<int64_t>& ids, const Variable& table) {
     const float* g = self.grad.data();
     const int64_t* idp = ids_copy->data();
     float* dtp = dt.data();
-    ComputeParallelFor(0, hidden, kColTile, [=](int64_t j0, int64_t j1) {
-      for (int64_t i = 0; i < n; ++i) {
-        const float* grow = g + i * hidden;
-        float* trow = dtp + idp[i] * hidden;
-        for (int64_t j = j0; j < j1; ++j) trow[j] += grow[j];
-      }
-    });
+    ComputeParallelFor(KernelCost::kColReduce, n * hidden, 0, hidden, kColTile,
+                       [=](int64_t j0, int64_t j1) {
+                         for (int64_t i = 0; i < n; ++i) {
+                           const float* grow = g + i * hidden;
+                           float* trow = dtp + idp[i] * hidden;
+                           for (int64_t j = j0; j < j1; ++j) {
+                             trow[j] += grow[j];
+                           }
+                         }
+                       });
     nt.AccumulateGrad(dt.data(), vocab * hidden);
   };
   return Variable(out);
@@ -615,26 +534,19 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
     const int64_t* tg = targets_copy->data();
     float* pv = probs->data();
     double* pl = partial.data();
-    ComputeParallelFor(0, n, kRowTile, [=](int64_t i0, int64_t i1) {
-      double local = 0.0;
-      for (int64_t i = i0; i < i1; ++i) {
-        const float* row = lv + i * vocab;
-        float maxv = row[0];
-        for (int64_t j = 1; j < vocab; ++j) maxv = std::max(maxv, row[j]);
-        double denom = 0.0;
-        for (int64_t j = 0; j < vocab; ++j) {
-          const float e = std::exp(row[j] - maxv);
-          pv[i * vocab + j] = e;
-          denom += e;
-        }
-        for (int64_t j = 0; j < vocab; ++j) {
-          pv[i * vocab + j] /= static_cast<float>(denom);
-        }
-        local -= std::log(std::max(
-            1e-30, static_cast<double>(pv[i * vocab + tg[i]])));
-      }
-      pl[i0 / kRowTile] = local;
-    });
+    const simd::KernelTable* kt = &simd::Kernels();
+    ComputeParallelFor(KernelCost::kRowReduce, 8 * n * vocab, 0, n, kRowTile,
+                       [=](int64_t i0, int64_t i1) {
+                         double local = 0.0;
+                         for (int64_t i = i0; i < i1; ++i) {
+                           kt->softmax_row(lv + i * vocab, pv + i * vocab,
+                                           vocab);
+                           local -= std::log(std::max(
+                               1e-30,
+                               static_cast<double>(pv[i * vocab + tg[i]])));
+                         }
+                         pl[i0 / kRowTile] = local;
+                       });
   }
   double loss = 0.0;
   for (int64_t t = 0; t < tiles; ++t) loss += partial[t];
@@ -647,15 +559,14 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
     const float* pv = probs->data();
     const int64_t* tg = targets_copy->data();
     float* dlp = dl.data();
-    ComputeParallelFor(0, n, kRowTile, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        for (int64_t j = 0; j < vocab; ++j) {
-          float d = pv[i * vocab + j];
-          if (j == tg[i]) d -= 1.0f;
-          dlp[i * vocab + j] = d * g;
-        }
-      }
-    });
+    const simd::KernelTable* kt = &simd::Kernels();
+    ComputeParallelFor(KernelCost::kRowReduce, n * vocab, 0, n, kRowTile,
+                       [=](int64_t i0, int64_t i1) {
+                         for (int64_t i = i0; i < i1; ++i) {
+                           kt->ce_grad_row(pv + i * vocab, tg[i], g,
+                                           dlp + i * vocab, vocab);
+                         }
+                       });
     nl.AccumulateGrad(dl.data(), n * vocab);
   };
   return Variable(out);
@@ -681,9 +592,12 @@ Variable MeanSquaredError(const Variable& pred,
     const float* pv = np.value.data();
     const float* tv = targets_copy->data();
     float* dpp = dp.data();
-    ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) dpp[i] = (pv[i] - tv[i]) * g;
-    });
+    const simd::KernelTable* kt = &simd::Kernels();
+    ComputeParallelFor(KernelCost::kElementwise, n, 0, n, kEltTile,
+                       [=](int64_t i0, int64_t i1) {
+                         kt->diff_scale(pv + i0, tv + i0, g, dpp + i0,
+                                        i1 - i0);
+                       });
     np.AccumulateGrad(dp.data(), n);
   };
   return Variable(out);
@@ -762,9 +676,11 @@ Variable Dropout(const Variable& a, float rate, uint64_t seed) {
     const float* g = self.grad.data();
     const float* mk = mask->data();
     float* dap = da.data();
-    ComputeParallelFor(0, n, kEltTile, [=](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) dap[i] = g[i] * mk[i];
-    });
+    const simd::KernelTable* kt = &simd::Kernels();
+    ComputeParallelFor(KernelCost::kElementwise, n, 0, n, kEltTile,
+                       [=](int64_t i0, int64_t i1) {
+                         kt->mul(g + i0, mk + i0, dap + i0, i1 - i0);
+                       });
     na.AccumulateGrad(da.data(), n);
   };
   return Variable(out);

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "simd/simd.h"
 
 namespace ratel::ag {
 
@@ -28,7 +29,7 @@ Node::Node(std::vector<int64_t> shape, bool requires_grad)
 void Node::AccumulateGrad(const float* g, int64_t n) {
   RATEL_CHECK(n == num_elements_);
   if (grad.empty()) grad.assign(num_elements_, 0.0f);
-  for (int64_t i = 0; i < n; ++i) grad[i] += g[i];
+  simd::Kernels().accumulate(grad.data(), g, n);
 }
 
 Variable Variable::Parameter(std::vector<int64_t> shape,

@@ -5,18 +5,54 @@
 
 #include "common/logging.h"
 #include "runtime/compute_pool.h"
+#include "simd/simd.h"
 
 namespace ratel {
+
+namespace {
+
+// Estimated scalar ops per updated element (two moment updates, decay,
+// sqrt + div, fp16 cast) for the dispatch cost model.
+constexpr int64_t kAdamOpsPerElement = 16;
+
+// Per-step scalars for the simd Adam kernels, rounded exactly like the
+// serial reference (bias corrections in double, then one float cast).
+simd::AdamCoeffs MakeAdamCoeffs(const AdamConfig& config, int64_t step) {
+  RATEL_CHECK(step >= 1);
+  simd::AdamCoeffs c;
+  c.beta1 = static_cast<float>(config.beta1);
+  c.one_minus_beta1 = 1.0f - c.beta1;
+  c.beta2 = static_cast<float>(config.beta2);
+  c.one_minus_beta2 = 1.0f - c.beta2;
+  c.eps = static_cast<float>(config.eps);
+  c.lr = static_cast<float>(config.lr);
+  c.weight_decay = static_cast<float>(config.weight_decay);
+  const double bc1 = 1.0 - std::pow(config.beta1, static_cast<double>(step));
+  const double bc2 = 1.0 - std::pow(config.beta2, static_cast<double>(step));
+  c.step_size = static_cast<float>(config.lr / bc1);
+  c.inv_sqrt_bc2 = static_cast<float>(1.0 / std::sqrt(bc2));
+  return c;
+}
+
+}  // namespace
 
 void CpuAdamKernel::Step(int64_t step, int64_t n, const float* grads,
                          float* params, float* exp_avg, float* exp_avg_sq,
                          Fp16* params16_out) const {
   // Elementwise update over disjoint kChunk ranges: trivially bitwise
-  // identical to the serial reference for any thread count.
-  ComputeParallelFor(0, n, kChunk, [&](int64_t b, int64_t e) {
-    StepSerial(step, e - b, grads + b, params + b, exp_avg + b, exp_avg_sq + b,
-               params16_out != nullptr ? params16_out + b : nullptr);
-  });
+  // identical to the serial reference for any thread count (the simd
+  // Adam kernels are bitwise identical to StepSerialOut in both
+  // backends — see simd/simd.h).
+  const simd::AdamCoeffs c = MakeAdamCoeffs(config_, step);
+  const simd::KernelTable* kt = &simd::Kernels();
+  ComputeParallelFor(
+      KernelCost::kAdam, kAdamOpsPerElement * n, 0, n, kChunk,
+      [&](int64_t b, int64_t e) {
+        kt->adam_step_f32(c, e - b, grads + b, params + b, exp_avg + b,
+                          exp_avg_sq + b, params + b, exp_avg + b,
+                          exp_avg_sq + b,
+                          params16_out != nullptr ? params16_out + b : nullptr);
+      });
 }
 
 void CpuAdamKernel::StepSerial(int64_t step, int64_t n, const float* grads,
@@ -80,20 +116,20 @@ void CpuAdamKernel::StepFp16GradsOut(int64_t step, int64_t n,
                                      float* params_out, float* exp_avg_out,
                                      float* exp_avg_sq_out, Fp16* params16_out,
                                      float grad_unscale) const {
-  // Each kChunk range converts its gradients into a task-local tile and
-  // runs the fp32 reference kernel on it; the chunk grid matches Step's
-  // so fp16-grad updates are deterministic the same way.
-  ComputeParallelFor(0, n, kChunk, [&](int64_t b, int64_t e) {
-    float buf[kChunk];
-    const int64_t len = e - b;
-    for (int64_t i = 0; i < len; ++i) {
-      buf[i] = HalfToFloat(grads16[b + i]) * grad_unscale;
-    }
-    StepSerialOut(step, len, buf, params_in + b, exp_avg_in + b,
-                  exp_avg_sq_in + b, params_out + b, exp_avg_out + b,
-                  exp_avg_sq_out + b,
-                  params16_out != nullptr ? params16_out + b : nullptr);
-  });
+  // Each kChunk range runs the fused fp16-grad kernel: the half->float
+  // widening (+ unscale) happens in the same pass as the update instead
+  // of staging through a conversion buffer. The chunk grid matches
+  // Step's so fp16-grad updates are deterministic the same way.
+  const simd::AdamCoeffs c = MakeAdamCoeffs(config_, step);
+  const simd::KernelTable* kt = &simd::Kernels();
+  ComputeParallelFor(
+      KernelCost::kAdam, kAdamOpsPerElement * n, 0, n, kChunk,
+      [&](int64_t b, int64_t e) {
+        kt->adam_step_f16(c, e - b, grads16 + b, grad_unscale, params_in + b,
+                          exp_avg_in + b, exp_avg_sq_in + b, params_out + b,
+                          exp_avg_out + b, exp_avg_sq_out + b,
+                          params16_out != nullptr ? params16_out + b : nullptr);
+      });
 }
 
 void CpuAdamKernel::StepFp16GradsChunksOut(
@@ -108,21 +144,22 @@ void CpuAdamKernel::StepFp16GradsChunksOut(
   // so the result is bitwise independent of the thread count and of how
   // the chunks are spread across calls.
   const int64_t count = static_cast<int64_t>(chunks.size());
-  ComputeParallelFor(0, count, 1, [&](int64_t cb, int64_t ce) {
-    float buf[kChunk];
-    for (int64_t c = cb; c < ce; ++c) {
-      const int64_t b = chunks[static_cast<size_t>(c)] * chunk;
-      RATEL_CHECK(b >= 0 && b < n);
-      const int64_t len = std::min(chunk, n - b);
-      for (int64_t i = 0; i < len; ++i) {
-        buf[i] = HalfToFloat(grads16[b + i]) * grad_unscale;
-      }
-      StepSerialOut(step, len, buf, params_in + b, exp_avg_in + b,
-                    exp_avg_sq_in + b, params_out + b, exp_avg_out + b,
-                    exp_avg_sq_out + b,
-                    params16_out != nullptr ? params16_out + b : nullptr);
-    }
-  });
+  const simd::AdamCoeffs co = MakeAdamCoeffs(config_, step);
+  const simd::KernelTable* kt = &simd::Kernels();
+  ComputeParallelFor(
+      KernelCost::kAdam, kAdamOpsPerElement * count * chunk, 0, count, 1,
+      [&](int64_t cb, int64_t ce) {
+        for (int64_t c = cb; c < ce; ++c) {
+          const int64_t b = chunks[static_cast<size_t>(c)] * chunk;
+          RATEL_CHECK(b >= 0 && b < n);
+          const int64_t len = std::min(chunk, n - b);
+          kt->adam_step_f16(
+              co, len, grads16 + b, grad_unscale, params_in + b,
+              exp_avg_in + b, exp_avg_sq_in + b, params_out + b,
+              exp_avg_out + b, exp_avg_sq_out + b,
+              params16_out != nullptr ? params16_out + b : nullptr);
+        }
+      });
 }
 
 ChunkPartition PartitionChunksByImportance(int64_t n, const Fp16* grads16,
@@ -136,7 +173,8 @@ ChunkPartition PartitionChunksByImportance(int64_t n, const Fp16* grads16,
   // Per-chunk importance: fixed-order |g| sum inside each chunk, chunks
   // computed independently — deterministic at any thread count.
   std::vector<float> importance(static_cast<size_t>(num_chunks), 0.0f);
-  ComputeParallelFor(0, num_chunks, 1, [&](int64_t cb, int64_t ce) {
+  ComputeParallelFor(KernelCost::kElementwise, 2 * n, 0, num_chunks, 1,
+                     [&](int64_t cb, int64_t ce) {
     for (int64_t c = cb; c < ce; ++c) {
       const int64_t b = c * chunk;
       const int64_t e = std::min(b + chunk, n);

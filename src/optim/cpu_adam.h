@@ -24,13 +24,16 @@ struct AdamConfig {
 ///
 /// Updates fp32 master parameters and moments from gradients, and emits
 /// the fp16 parameter copy (P16) the GPU consumes next iteration — the
-/// exact producer/consumer contract of Table II. The kernel is plain
-/// loop code that the compiler auto-vectorizes; it is deliberately
-/// chunk-oriented so the active gradient offloading pipeline (Section
-/// IV-C) can invoke it per arriving gradient tensor. `Step` fans the
-/// update out over the shared ComputePool in fixed 4096-element chunks;
-/// because the update is purely elementwise the result is bitwise
-/// identical to `StepSerial` at any thread count.
+/// exact producer/consumer contract of Table II. The parallel paths run
+/// the fused simd Adam kernels (simd::Kernels — 8-wide AVX2 or scalar,
+/// both bitwise identical to `StepSerialOut`, the plain-loop reference
+/// kept here); the kernel stays deliberately chunk-oriented so the
+/// active gradient offloading pipeline (Section IV-C) can invoke it per
+/// arriving gradient tensor. `Step` fans the update out over the shared
+/// ComputePool in fixed 4096-element chunks; because the update is
+/// purely elementwise the result is bitwise identical to `StepSerial`
+/// at any thread count, for any chunk grouping, in either RATEL_SIMD
+/// mode.
 class CpuAdamKernel {
  public:
   /// Elements per parallel chunk. Chunk boundaries depend only on `n`,

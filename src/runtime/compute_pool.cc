@@ -1,6 +1,7 @@
 #include "runtime/compute_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -41,6 +42,63 @@ std::shared_ptr<ThreadPool> PoolShare() {
   return g_pool;
 }
 
+// Cores this process may actually run on. hardware_concurrency() is
+// affinity-aware on Linux (sched_getaffinity), so a 4-thread request
+// inside a 1-core cgroup reports 1 here.
+int AvailableCores() {
+  static const int cores = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::clamp(static_cast<int>(hw), 1, kMaxComputeThreads);
+  }();
+  return cores;
+}
+
+std::atomic<int> g_oversubscribe{-1};  // -1 = resolve from env on first use
+
+bool ResolveOversubscribe() {
+  int v = g_oversubscribe.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("RATEL_OVERSUBSCRIBE");
+    v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+    g_oversubscribe.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+// Serial cutoffs in estimated scalar ops, indexed by KernelCost. The
+// defaults put the crossover where the pool handshake (~10-30 us on a
+// contended host) stops dominating: bandwidth-bound elementwise loops
+// amortize it only past tens of thousands of elements, FMA-dense GEMM
+// slightly later per-op because each op is cheaper than a dispatch
+// fence, and the Adam step (sqrt + div per element, ~16 ops) between.
+constexpr int64_t kDefaultCutoffs[kNumKernelCosts] = {
+    int64_t{1} << 19,  // kGemm
+    int64_t{1} << 15,  // kElementwise
+    int64_t{1} << 15,  // kRowReduce
+    int64_t{1} << 15,  // kColReduce
+    int64_t{1} << 18,  // kAdam
+    int64_t{1} << 19,  // kAttention
+};
+
+std::atomic<int64_t> g_cutoffs[kNumKernelCosts] = {
+    kDefaultCutoffs[0], kDefaultCutoffs[1], kDefaultCutoffs[2],
+    kDefaultCutoffs[3], kDefaultCutoffs[4], kDefaultCutoffs[5],
+};
+
+struct AtomicDispatchCounts {
+  std::atomic<int64_t> serial{0};
+  std::atomic<int64_t> pooled{0};
+};
+AtomicDispatchCounts g_stats[kNumKernelCosts];
+
+void RunChunksInline(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  // Same chunk boundaries as the pooled path, ascending order.
+  for (int64_t b = begin; b < end; b += grain) {
+    fn(b, std::min(end, b + grain));
+  }
+}
+
 }  // namespace
 
 int ComputeThreads() {
@@ -62,18 +120,69 @@ void SetComputeThreads(int n) {
   // Joins the previous workers outside the lock (unless still in use).
 }
 
+int ParallelWidth() {
+  const int threads = ComputeThreads();
+  if (ResolveOversubscribe()) return threads;
+  return std::min(threads, AvailableCores());
+}
+
+void SetParallelOversubscribe(bool on) {
+  g_oversubscribe.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool ParallelOversubscribe() { return ResolveOversubscribe(); }
+
+int64_t SerialCutoff(KernelCost cost) {
+  return g_cutoffs[static_cast<int>(cost)].load(std::memory_order_relaxed);
+}
+
+void SetSerialCutoff(KernelCost cost, int64_t ops) {
+  g_cutoffs[static_cast<int>(cost)].store(ops, std::memory_order_relaxed);
+}
+
+DispatchCounts DispatchStatsFor(KernelCost cost) {
+  const auto& s = g_stats[static_cast<int>(cost)];
+  DispatchCounts out;
+  out.serial = s.serial.load(std::memory_order_relaxed);
+  out.pooled = s.pooled.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResetDispatchStats() {
+  for (auto& s : g_stats) {
+    s.serial.store(0, std::memory_order_relaxed);
+    s.pooled.store(0, std::memory_order_relaxed);
+  }
+}
+
 void ComputeParallelFor(int64_t begin, int64_t end, int64_t grain,
                         const std::function<void(int64_t, int64_t)>& fn) {
   if (end <= begin) return;
+  grain = std::max<int64_t>(grain, 1);
   std::shared_ptr<ThreadPool> pool = PoolShare();
-  if (pool == nullptr) {
-    // Single-threaded: run the chunks inline, in ascending order.
-    grain = std::max<int64_t>(grain, 1);
-    for (int64_t b = begin; b < end; b += grain) {
-      fn(b, std::min(end, b + grain));
-    }
+  if (pool == nullptr || ParallelWidth() <= 1) {
+    RunChunksInline(begin, end, grain, fn);
     return;
   }
+  pool->ParallelFor(begin, end, grain, fn);
+}
+
+void ComputeParallelFor(KernelCost cost, int64_t est_ops, int64_t begin,
+                        int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(grain, 1);
+  auto& stats = g_stats[static_cast<int>(cost)];
+  const int64_t cutoff = SerialCutoff(cost);
+  std::shared_ptr<ThreadPool> pool = PoolShare();
+  const bool small = cutoff > 0 && est_ops <= cutoff;
+  if (pool == nullptr || ParallelWidth() <= 1 || small ||
+      end - begin <= grain) {
+    stats.serial.fetch_add(1, std::memory_order_relaxed);
+    RunChunksInline(begin, end, grain, fn);
+    return;
+  }
+  stats.pooled.fetch_add(1, std::memory_order_relaxed);
   pool->ParallelFor(begin, end, grain, fn);
 }
 

@@ -28,6 +28,19 @@ LABEL="${1:-}"
 JOBS="${JOBS:-$(nproc)}"
 SANITIZERS="${SANITIZERS:-thread address}"
 
+# The determinism label additionally runs once per RATEL_SIMD backend:
+# the scalar fallback everywhere, plus the AVX2 backend when the host
+# can execute it (otherwise it is skipped gracefully — the scalar pass
+# still covers the dispatch and threading seams).
+SIMD_MODES="scalar"
+if grep -q avx2 /proc/cpuinfo 2>/dev/null \
+    && grep -q fma /proc/cpuinfo 2>/dev/null \
+    && grep -q f16c /proc/cpuinfo 2>/dev/null; then
+  SIMD_MODES="scalar avx2"
+else
+  echo "note: host lacks AVX2/FMA/F16C - determinism runs scalar only"
+fi
+
 for SAN in ${SANITIZERS}; do
   BUILD_DIR="${REPO_ROOT}/build-${SAN}san"
   echo "=== ${SAN} sanitizer: configuring ${BUILD_DIR} ==="
@@ -36,11 +49,22 @@ for SAN in ${SANITIZERS}; do
   echo "=== ${SAN} sanitizer: building (-j${JOBS}) ==="
   cmake --build "${BUILD_DIR}" -j"${JOBS}" >/dev/null
   echo "=== ${SAN} sanitizer: testing ${LABEL:+(label: ${LABEL})} ==="
-  if [ -n "${LABEL}" ]; then
+  if [ "${LABEL}" = "determinism" ]; then
+    for MODE in ${SIMD_MODES}; do
+      echo "--- determinism label under RATEL_SIMD=${MODE} ---"
+      RATEL_SIMD="${MODE}" ctest --test-dir "${BUILD_DIR}" -L determinism \
+          --output-on-failure -j"${JOBS}"
+    done
+  elif [ -n "${LABEL}" ]; then
     ctest --test-dir "${BUILD_DIR}" -L "${LABEL}" --output-on-failure \
           -j"${JOBS}"
   else
     ctest --test-dir "${BUILD_DIR}" --output-on-failure -j"${JOBS}"
+    for MODE in ${SIMD_MODES}; do
+      echo "--- determinism label under RATEL_SIMD=${MODE} ---"
+      RATEL_SIMD="${MODE}" ctest --test-dir "${BUILD_DIR}" -L determinism \
+          --output-on-failure -j"${JOBS}"
+    done
   fi
   echo "=== ${SAN} sanitizer: PASS ==="
 done
