@@ -13,6 +13,16 @@ TierCache::TierCache(BlockStore* backing, int64_t capacity_bytes)
   RATEL_CHECK(capacity_bytes >= 0);
 }
 
+void TierCache::RemoveEntryLocked(
+    std::unordered_map<std::string, CacheEntry>::iterator it) {
+  const int64_t size = static_cast<int64_t>(it->second.data.size());
+  stats_.bytes_cached -= size;
+  if (it->second.pins > 0) stats_.pinned_bytes -= size;
+  tenant_bytes_[it->second.tenant] -= size;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
 void TierCache::EvictToFitLocked(int64_t incoming) {
   // Walk LRU-first, skipping pinned entries — they are immovable until
   // unpinned, so the loop may legitimately end while still over
@@ -24,14 +34,40 @@ void TierCache::EvictToFitLocked(int64_t incoming) {
     auto it = entries_.find(*victim);
     RATEL_CHECK(it != entries_.end());
     if (it->second.pins > 0) continue;
-    stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
     ++stats_.evictions;
-    entries_.erase(it);
-    victim = lru_.erase(victim);
+    // RemoveEntryLocked erases *victim from lru_; restart from the tail
+    // position just past the erased node.
+    auto next = victim;
+    ++next;
+    RemoveEntryLocked(it);
+    victim = next;
   }
 }
 
-void TierCache::InsertLocked(const std::string& key, Buffer data) {
+void TierCache::EvictTenantToQuotaLocked(int tenant,
+                                         const std::string& exempt) {
+  auto quota_it = tenant_quota_.find(tenant);
+  if (quota_it == tenant_quota_.end() || quota_it->second <= 0) return;
+  const int64_t quota = quota_it->second;
+  auto victim = lru_.end();
+  while (tenant_bytes_[tenant] > quota && victim != lru_.begin()) {
+    --victim;
+    auto it = entries_.find(*victim);
+    RATEL_CHECK(it != entries_.end());
+    if (it->second.tenant != tenant || it->second.pins > 0 ||
+        it->first == exempt) {
+      continue;
+    }
+    ++stats_.evictions;
+    auto next = victim;
+    ++next;
+    RemoveEntryLocked(it);
+    victim = next;
+  }
+}
+
+void TierCache::InsertLocked(const std::string& key, Buffer data,
+                             int tenant) {
   const int64_t size = data.size();
   int pins = 0;
   auto it = entries_.find(key);
@@ -40,12 +76,7 @@ void TierCache::InsertLocked(const std::string& key, Buffer data) {
     // pinned readers just as well (writers of a key are serialized by
     // the engine's per-tensor discipline).
     pins = it->second.pins;
-    stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
-    if (pins > 0) {
-      stats_.pinned_bytes -= static_cast<int64_t>(it->second.data.size());
-    }
-    lru_.erase(it->second.lru_it);
-    entries_.erase(it);
+    RemoveEntryLocked(it);
   }
   if (size > capacity_) return;  // cannot fit at all; store-only
   EvictToFitLocked(size);
@@ -53,17 +84,20 @@ void TierCache::InsertLocked(const std::string& key, Buffer data) {
   CacheEntry entry;
   entry.data = std::move(data);
   entry.pins = pins;
+  entry.tenant = tenant;
   entry.lru_it = lru_.begin();
   entries_.emplace(key, std::move(entry));
   stats_.bytes_cached += size;
+  tenant_bytes_[tenant] += size;
   if (pins > 0) stats_.pinned_bytes += size;
+  EvictTenantToQuotaLocked(tenant, key);
 }
 
-Status TierCache::Put(const std::string& key, const void* data,
-                      int64_t size) {
+Status TierCache::Put(const std::string& key, const void* data, int64_t size,
+                      int tenant) {
   RATEL_RETURN_IF_ERROR(backing_->Put(key, data, size));
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(key, Buffer::CopyOf(data, size));
+  InsertLocked(key, Buffer::CopyOf(data, size), tenant);
   return Status::Ok();
 }
 
@@ -90,7 +124,7 @@ Status TierCache::Get(const std::string& key, void* out, int64_t size) {
   }
   RATEL_RETURN_IF_ERROR(backing_->Get(key, out, size));
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(key, Buffer::CopyOf(out, size));
+  InsertLocked(key, Buffer::CopyOf(out, size), 0);
   return Status::Ok();
 }
 
@@ -112,14 +146,15 @@ bool TierCache::TryGet(const std::string& key, void* out, int64_t size) {
   return true;
 }
 
-void TierCache::Admit(const std::string& key, const void* data, int64_t size) {
+void TierCache::Admit(const std::string& key, const void* data, int64_t size,
+                      int tenant) {
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(key, Buffer::CopyOf(data, size));
+  InsertLocked(key, Buffer::CopyOf(data, size), tenant);
 }
 
-void TierCache::AdmitBuffer(const std::string& key, Buffer data) {
+void TierCache::AdmitBuffer(const std::string& key, Buffer data, int tenant) {
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(key, std::move(data));
+  InsertLocked(key, std::move(data), tenant);
 }
 
 bool TierCache::TryGetRef(const std::string& key, int64_t size, Buffer* out) {
@@ -143,12 +178,7 @@ void TierCache::Invalidate(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
-  stats_.bytes_cached -= static_cast<int64_t>(it->second.data.size());
-  if (it->second.pins > 0) {
-    stats_.pinned_bytes -= static_cast<int64_t>(it->second.data.size());
-  }
-  lru_.erase(it->second.lru_it);
-  entries_.erase(it);
+  RemoveEntryLocked(it);
 }
 
 bool TierCache::Pin(const std::string& key) {
@@ -170,6 +200,18 @@ void TierCache::Unpin(const std::string& key) {
   if (--it->second.pins == 0) {
     stats_.pinned_bytes -= static_cast<int64_t>(it->second.data.size());
   }
+}
+
+void TierCache::SetTenantQuota(int tenant, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenant_quota_[tenant] = bytes;
+  EvictTenantToQuotaLocked(tenant, std::string());
+}
+
+int64_t TierCache::TenantBytes(int tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_bytes_.find(tenant);
+  return it != tenant_bytes_.end() ? it->second : 0;
 }
 
 TierCache::Stats TierCache::stats() const {

@@ -21,6 +21,14 @@ namespace ratel {
 /// fall through to the "SSDs".
 ///
 /// Thread-safe; concurrent Get/Put on any keys are allowed.
+///
+/// Entries carry the tenant that admitted them. A tenant may be given a
+/// resident-byte quota (SetTenantQuota): once the tenant's bytes exceed
+/// it, the tenant's *own* unpinned LRU entries are evicted until it is
+/// back under — the shared global capacity is still enforced on top,
+/// but one job can no longer flush a neighbor's working set by
+/// over-admitting. Tenant 0 (the default) is unlimited unless
+/// explicitly capped, so single-job behavior is unchanged.
 class TierCache {
  public:
   /// `backing` must outlive the cache. `capacity_bytes` bounds the DRAM
@@ -29,7 +37,8 @@ class TierCache {
 
   /// Writes through: updates the cache (evicting LRU entries as needed)
   /// and the backing store.
-  Status Put(const std::string& key, const void* data, int64_t size);
+  Status Put(const std::string& key, const void* data, int64_t size,
+             int tenant = 0);
 
   /// Serves from DRAM on hit; otherwise reads the backing store and
   /// promotes the blob.
@@ -44,12 +53,14 @@ class TierCache {
 
   /// Inserts/overwrites the DRAM copy without writing the backing store
   /// — promotion after a caller-performed store read, or the DRAM leg
-  /// of a write the caller sends to the store asynchronously.
-  void Admit(const std::string& key, const void* data, int64_t size);
+  /// of a write the caller sends to the store asynchronously. The entry
+  /// is charged to `tenant`'s resident-byte budget.
+  void Admit(const std::string& key, const void* data, int64_t size,
+             int tenant = 0);
 
   /// Zero-copy Admit: the cache takes a reference to `data` (no memcpy).
   /// The buffer must be published (no holder mutates it afterwards).
-  void AdmitBuffer(const std::string& key, Buffer data);
+  void AdmitBuffer(const std::string& key, Buffer data, int tenant = 0);
 
   /// Zero-copy hit-only probe: on a DRAM hit of exactly `size` bytes,
   /// points `*out` at the cached buffer (a new reference, no memcpy) and
@@ -99,22 +110,41 @@ class TierCache {
 
   int64_t capacity_bytes() const { return capacity_; }
 
+  /// Caps `tenant`'s resident bytes (0 = unlimited, the default). An
+  /// over-quota admit evicts the tenant's own unpinned LRU entries; the
+  /// just-admitted entry itself is exempt, so one oversized blob is
+  /// still admitted (matching the global-capacity overshoot contract
+  /// for pins).
+  void SetTenantQuota(int tenant, int64_t bytes);
+
+  /// Resident bytes currently attributed to `tenant`.
+  int64_t TenantBytes(int tenant) const;
+
  private:
   struct CacheEntry {
     Buffer data;  // ref-counted: readers may hold it across eviction
     int pins = 0;  // > 0: exempt from eviction
+    int tenant = 0;  // whose quota the bytes count against
     std::list<std::string>::iterator lru_it;
   };
 
-  // Caller holds mu_. Inserts/overwrites `key` and evicts to capacity.
-  void InsertLocked(const std::string& key, Buffer data);
+  // Caller holds mu_. Inserts/overwrites `key` and evicts to capacity
+  // (globally) and to `tenant`'s quota (tenant-locally).
+  void InsertLocked(const std::string& key, Buffer data, int tenant);
   void EvictToFitLocked(int64_t incoming);
+  // Caller holds mu_. Evicts `tenant`'s unpinned LRU entries (except
+  // `exempt`) until the tenant is back under its quota.
+  void EvictTenantToQuotaLocked(int tenant, const std::string& exempt);
+  void RemoveEntryLocked(std::unordered_map<std::string, CacheEntry>::iterator
+                             it);
 
   BlockStore* backing_;  // not owned
   int64_t capacity_;
   mutable std::mutex mu_;
   std::list<std::string> lru_;  // front = most recent
   std::unordered_map<std::string, CacheEntry> entries_;
+  std::unordered_map<int, int64_t> tenant_bytes_;
+  std::unordered_map<int, int64_t> tenant_quota_;
   Stats stats_;
 };
 

@@ -7,15 +7,11 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "xfer/tenant.h"
 
 namespace ratel {
 
 namespace {
-
-std::string P32Key(const std::string& name) { return "p32/" + name; }
-std::string MomKey(const std::string& name) { return "m/" + name; }
-std::string VarKey(const std::string& name) { return "v/" + name; }
-std::string P16Key(const std::string& name) { return "p16/" + name; }
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -37,7 +33,23 @@ AsyncUpdateOptions AsyncUpdateOptions::FromEnv(AsyncUpdateOptions base) {
   return base;
 }
 
-std::string AsyncUpdateEngine::Params16Key(const std::string& name) {
+std::string AsyncUpdateEngine::P32Key(const std::string& name) const {
+  return options_.key_namespace + "p32/" + name;
+}
+
+std::string AsyncUpdateEngine::MomKey(const std::string& name) const {
+  return options_.key_namespace + "m/" + name;
+}
+
+std::string AsyncUpdateEngine::VarKey(const std::string& name) const {
+  return options_.key_namespace + "v/" + name;
+}
+
+std::string AsyncUpdateEngine::P16Key(const std::string& name) const {
+  return options_.key_namespace + "p16/" + name;
+}
+
+std::string AsyncUpdateEngine::Params16Key(const std::string& name) const {
   return P16Key(name);
 }
 
@@ -277,6 +289,9 @@ void AsyncUpdateEngine::RunEpoch(TensorMeta* meta, const std::string& name,
                                  Buffer p32_in, Buffer m_in, Buffer v_in,
                                  Buffer p32_out, Buffer m_out, Buffer v_out,
                                  Buffer p16, float grad_unscale) {
+  // Epoch workers run outside any caller tenant scope; attribute their
+  // deferred writebacks to the optimizer's own tenant.
+  ScopedTenant tenant_scope(options_.tenant);
   {
     // Same-key store ordering: the previous epoch's writes must have
     // resolved before this epoch's are submitted, or the store could

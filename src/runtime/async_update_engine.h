@@ -41,6 +41,14 @@ struct AsyncUpdateOptions {
   int64_t chunk = CpuAdamKernel::kChunk;
   /// Worker threads of the background epoch pool.
   int background_threads = 1;
+  /// Tenant the optimizer's engine traffic is attributed to. The
+  /// deferred-epoch workers run on their own pool, outside any caller
+  /// ScopedTenant — they bracket their submits with this id themselves.
+  int tenant = 0;
+  /// Prefix applied to every engine key (e.g. "job3/"), so N jobs share
+  /// one store/engine without key collisions. Empty (the default)
+  /// leaves the classic single-job key schema untouched.
+  std::string key_namespace;
 
   /// Environment overlay: RATEL_ASYNC_OPTIM (0/1) toggles `async`,
   /// RATEL_ASYNC_HOT_FRACTION overrides `hot_fraction`. Lets any
@@ -143,9 +151,10 @@ class AsyncUpdateEngine {
   /// reflects a fully applied step.
   Status FetchParams16(const std::string& name, std::vector<Fp16>* out) const;
 
-  /// Engine key of the P16 blob of `name` — lets the trainer drive the
-  /// forward-stage fetch directly through the engine's prefetch path.
-  static std::string Params16Key(const std::string& name);
+  /// Engine key of the P16 blob of `name` (key namespace applied) —
+  /// lets the trainer drive the forward-stage fetch directly through
+  /// the engine's prefetch path.
+  std::string Params16Key(const std::string& name) const;
 
   /// Reads the fp32 master copy (checkpointing/tests). Drains first.
   Status FetchMasterParams(const std::string& name,
@@ -222,6 +231,15 @@ class AsyncUpdateEngine {
   bool drain_needs_durable() const {
     return engine_->host_cache_capacity() <= 0;
   }
+
+  // Engine keys of a tensor's four blobs, with the configured key
+  // namespace at the *front* ("job1/p32/<name>") — a per-tenant
+  // FaultConfig::key_prefix of "job1/" then scopes blob faults to
+  // exactly this optimizer's traffic.
+  std::string P32Key(const std::string& name) const;
+  std::string MomKey(const std::string& name) const;
+  std::string VarKey(const std::string& name) const;
+  std::string P16Key(const std::string& name) const;
 
   /// The classic blocking step (sync mode), reads and writes each
   /// waited as one batch.

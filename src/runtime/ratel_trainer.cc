@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "runtime/checkpoint.h"
 #include "runtime/prefetcher.h"
+#include "xfer/tenant.h"
 
 namespace ratel {
 
@@ -36,21 +37,29 @@ Result<std::unique_ptr<RatelTrainer>> RatelTrainer::Create(
 }
 
 Status RatelTrainer::Initialize() {
-  TransferOptions xfer;
-  xfer.dir = options_.store_dir;
-  xfer.num_stripes = options_.num_stripes;
-  xfer.chunk_bytes = options_.stripe_chunk_bytes;
-  xfer.host_cache_bytes = options_.host_cache_bytes;
-  xfer.io_workers = options_.io_workers;
-  xfer.background_aging_limit = options_.background_aging_limit;
-  xfer.read_bandwidth = options_.ssd_read_bandwidth;
-  xfer.write_bandwidth = options_.ssd_write_bandwidth;
-  // Environment knobs overlay the programmatic fault config, so any
-  // trainer binary can be chaos-tested without code changes.
-  xfer.fault = FaultConfig::FromEnv(options_.fault);
-  xfer.retry = options_.io_retry;
-  xfer.stripe_death_threshold = options_.stripe_death_threshold;
-  RATEL_ASSIGN_OR_RETURN(engine_, TransferEngine::Open(xfer));
+  // All engine traffic of this job — including the Register writes
+  // below — is attributed to its tenant.
+  ScopedTenant tenant_scope(options_.tenant);
+  if (options_.shared_engine != nullptr) {
+    engine_ = options_.shared_engine;
+  } else {
+    TransferOptions xfer;
+    xfer.dir = options_.store_dir;
+    xfer.num_stripes = options_.num_stripes;
+    xfer.chunk_bytes = options_.stripe_chunk_bytes;
+    xfer.host_cache_bytes = options_.host_cache_bytes;
+    xfer.io_workers = options_.io_workers;
+    xfer.background_aging_limit = options_.background_aging_limit;
+    xfer.read_bandwidth = options_.ssd_read_bandwidth;
+    xfer.write_bandwidth = options_.ssd_write_bandwidth;
+    // Environment knobs overlay the programmatic fault config, so any
+    // trainer binary can be chaos-tested without code changes.
+    xfer.fault = FaultConfig::FromEnv(options_.fault);
+    xfer.retry = options_.io_retry;
+    xfer.stripe_death_threshold = options_.stripe_death_threshold;
+    RATEL_ASSIGN_OR_RETURN(owned_engine_, TransferEngine::Open(xfer));
+    engine_ = owned_engine_.get();
+  }
   // The async-optimizer knobs get the same environment overlay as the
   // fault config: any trainer binary can flip modes without rebuilding.
   AsyncUpdateOptions update_opts;
@@ -60,8 +69,10 @@ Status RatelTrainer::Initialize() {
     update_opts.chunk = options_.async_partition_chunk;
   }
   update_opts.background_threads = options_.async_background_threads;
+  update_opts.tenant = options_.tenant;
+  update_opts.key_namespace = options_.key_namespace;
   update_opts = AsyncUpdateOptions::FromEnv(update_opts);
-  adam_ = std::make_unique<AsyncUpdateEngine>(options_.adam, engine_.get(),
+  adam_ = std::make_unique<AsyncUpdateEngine>(options_.adam, engine_,
                                               update_opts);
   for (auto& [name, var] : model_->parameters()) {
     RATEL_RETURN_IF_ERROR(adam_->Register(name, var.value()));
@@ -88,6 +99,9 @@ std::vector<std::string> RatelTrainer::ArrivalOrder() const {
 Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
                                       const std::vector<int64_t>& targets,
                                       int64_t batch) {
+  // Tag every engine submit of the step — prefetch, activation spill,
+  // and the optimizer stream — with this job's tenant.
+  ScopedTenant tenant_scope(options_.tenant);
   StepStats stats;
   const TransferStats xfer0 = engine_->stats();
   const AsyncUpdateEngine::Stats update0 = adam_->stats();
@@ -107,18 +121,18 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
     requests.reserve(model_->parameters().size());
     for (const auto& [name, var] : model_->parameters()) {
       Prefetcher::Request req;
-      req.key = AsyncUpdateEngine::Params16Key(name);
+      req.key = adam_->Params16Key(name);
       req.size = 2 * static_cast<int64_t>(var.value().size());
       if (adam_->async()) {
         req.gate = [this, name = name] { return adam_->DrainTensor(name); };
       }
       requests.push_back(std::move(req));
     }
-    Prefetcher prefetcher(engine_.get(), FlowClass::kParamFetch,
+    Prefetcher prefetcher(engine_, FlowClass::kParamFetch,
                           std::move(requests), /*depth=*/4);
     for (auto& [name, var] : model_->parameters()) {
       Prefetcher::Item item = prefetcher.Next();
-      RATEL_CHECK(item.key == AsyncUpdateEngine::Params16Key(name));
+      RATEL_CHECK(item.key == adam_->Params16Key(name));
       RATEL_RETURN_IF_ERROR(item.status);
       std::vector<float>& dst = var.mutable_value();
       RATEL_CHECK(static_cast<size_t>(item.data.size()) == 2 * dst.size());
@@ -162,10 +176,10 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       for (size_t i = 0; i < acts.size(); ++i) {
         ag::Node& node = *acts[i];
         const int64_t bytes = 4 * node.NumElements();
-        spill_writes.push_back(
-            engine_->SubmitWrite(FlowClass::kActivationSpill,
-                                 "act/" + std::to_string(i), node.value.data(),
-                                 bytes));
+        spill_writes.push_back(engine_->SubmitWrite(
+            FlowClass::kActivationSpill,
+            options_.key_namespace + "act/" + std::to_string(i),
+            node.value.data(), bytes));
         spilled += bytes;
       }
       Status first_spill_error;
@@ -186,7 +200,8 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       for (size_t i = 0; i < acts.size(); ++i) {
         buffers.emplace_back();
         spill_reads.push_back(engine_->SubmitRead(
-            FlowClass::kActivationSpill, "act/" + std::to_string(i),
+            FlowClass::kActivationSpill,
+            options_.key_namespace + "act/" + std::to_string(i),
             &buffers.back(), 4 * acts[i]->NumElements()));
       }
       for (size_t i = 0; i < acts.size(); ++i) {
@@ -215,6 +230,9 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
   Status first_error;
   const float grad_unscale = 1.0f / options_.loss_scale;
   auto handler = [&](const std::string& name, std::vector<Fp16> grads) {
+    // Handlers run on the pipeline pool, outside the step thread's
+    // tenant scope — re-establish it per invocation.
+    ScopedTenant handler_scope(options_.tenant);
     const Status s = adam_->StepTensor(name, grads, grad_unscale);
     if (!s.ok()) {
       std::lock_guard<std::mutex> lock(err_mu);
@@ -349,6 +367,7 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
 }
 
 Status RatelTrainer::SaveCheckpoint(const std::string& dir) {
+  ScopedTenant tenant_scope(options_.tenant);
   // Barrier: every deferred tail epoch must have applied and published,
   // and every queued writeback must land, before state is read out —
   // or the snapshot would mix step N and step N-1 tensors (or worse,
@@ -383,6 +402,7 @@ Status RatelTrainer::SaveCheckpoint(const std::string& dir) {
 }
 
 Result<int64_t> RatelTrainer::RestoreLatestCheckpoint(const std::string& dir) {
+  ScopedTenant tenant_scope(options_.tenant);
   RATEL_ASSIGN_OR_RETURN(checkpoint::TrainState state,
                          checkpoint::LoadLatest(dir));
   for (const checkpoint::TensorState& t : state.tensors) {

@@ -86,6 +86,22 @@ struct TrainerOptions {
   /// Consecutive write failures before the store declares a stripe dead
   /// and re-stripes around it.
   int stripe_death_threshold = 3;
+  /// Multi-tenant operation (see JobManager). When set, the trainer
+  /// attaches to this engine instead of opening its own — the engine
+  /// knobs above (store_dir, num_stripes, bandwidths, io_workers,
+  /// host_cache_bytes, fault, retry, ...) are then ignored; the shared
+  /// engine's configuration governs. Must outlive the trainer.
+  TransferEngine* shared_engine = nullptr;
+  /// Tenant every engine submit of this trainer is attributed to
+  /// (accounting, fair share, quotas). 0 — the default — is the
+  /// unscoped single-job tenant: behavior is bit-for-bit the classic
+  /// trainer.
+  int tenant = 0;
+  /// Prefix applied to every engine key of this job ("job3/"), so N
+  /// jobs share one store without key collisions. Checkpoints store raw
+  /// tensor names, so they stay portable across namespaces. Empty (the
+  /// default) keeps the classic key schema.
+  std::string key_namespace;
 };
 
 /// Wall-clock / traffic breakdown of one training step.
@@ -180,7 +196,10 @@ class RatelTrainer {
 
   ag::TinyGpt* model_;  // not owned
   TrainerOptions options_;
-  std::unique_ptr<TransferEngine> engine_;
+  /// Engine opened by this trainer; null when attached to a shared one.
+  std::unique_ptr<TransferEngine> owned_engine_;
+  /// The engine in use — owned_engine_.get() or options_.shared_engine.
+  TransferEngine* engine_ = nullptr;
   std::unique_ptr<OutOfCoreAdam> adam_;
   std::unique_ptr<ThreadPool> pipeline_;  // declared last: joins first
   int64_t global_step_ = 0;

@@ -73,6 +73,9 @@ FaultConfig FaultConfig::FromEnv(FaultConfig base) {
   }
   EnvInt("RATEL_FAULT_TORN_WRITE_EVERY", &base.torn_write_every);
   EnvInt("RATEL_FAULT_DEAD_STRIPE", &base.dead_stripe);
+  if (const char* v = std::getenv("RATEL_FAULT_KEY_PREFIX"); v != nullptr) {
+    base.key_prefix = v;
+  }
   if (const char* v = std::getenv("RATEL_FAULT_FLOWS");
       v != nullptr && *v != '\0') {
     const std::string flows(v);
@@ -116,6 +119,11 @@ bool FaultInjector::FlowEnabled() const {
   return ((config_.flow_mask >> flow) & 1u) != 0;
 }
 
+bool FaultInjector::KeyEnabled(const std::string& key) const {
+  return config_.key_prefix.empty() ||
+         key.compare(0, config_.key_prefix.size(), config_.key_prefix) == 0;
+}
+
 int FaultInjector::Phase(FaultKind kind, const std::string& key,
                          int every) const {
   return static_cast<int>(HashKey(config_.seed, static_cast<int>(kind), key) %
@@ -152,7 +160,7 @@ void FaultInjector::StallAndSpikeLocked(std::unique_lock<std::mutex>& lock,
 }
 
 Status FaultInjector::OnBlobRead(const std::string& key) {
-  if (!FlowEnabled()) return Status::Ok();
+  if (!FlowEnabled() || !KeyEnabled(key)) return Status::Ok();
   std::unique_lock<std::mutex> lock(mu_);
   StallAndSpikeLocked(lock, key);
   if (TickLocked(FaultKind::kReadError, key, config_.read_error_every)) {
@@ -166,7 +174,7 @@ Status FaultInjector::OnBlobRead(const std::string& key) {
 Status FaultInjector::OnBlobWrite(const std::string& key, int64_t size,
                                   int64_t* torn_prefix_bytes) {
   *torn_prefix_bytes = -1;
-  if (!FlowEnabled()) return Status::Ok();
+  if (!FlowEnabled() || !KeyEnabled(key)) return Status::Ok();
   std::unique_lock<std::mutex> lock(mu_);
   StallAndSpikeLocked(lock, key);
   if (TickLocked(FaultKind::kWriteError, key, config_.write_error_every)) {

@@ -64,6 +64,12 @@ struct FaultConfig {
   /// src/xfer). Operations issued outside any flow scope (direct store
   /// use) are faulted regardless of the mask. Default: all flows.
   uint32_t flow_mask = 0xFFFFFFFFu;
+  /// Scopes blob-level faults (read/write errors, spikes, torn writes)
+  /// to keys starting with this prefix; empty = all keys. With
+  /// per-tenant key namespacing ("jobN/..."), this confines a fault
+  /// storm to one tenant. Device-level faults (dead_stripe) stay
+  /// unscoped — a worn-out device does not care whose stripe it holds.
+  std::string key_prefix;
 
   bool enabled() const {
     return read_error_every > 0 || write_error_every > 0 ||
@@ -76,7 +82,8 @@ struct FaultConfig {
   ///   RATEL_FAULT_WRITE_ERROR_EVERY, RATEL_FAULT_LATENCY_SPIKE_EVERY,
   ///   RATEL_FAULT_LATENCY_SPIKE_MS, RATEL_FAULT_TORN_WRITE_EVERY,
   ///   RATEL_FAULT_DEAD_STRIPE, RATEL_FAULT_FLOWS (comma-separated flow
-  ///   names like "param_fetch,checkpoint", or "all").
+  ///   names like "param_fetch,checkpoint", or "all"),
+  ///   RATEL_FAULT_KEY_PREFIX (blob-fault key scope, e.g. "job0/").
   static FaultConfig FromEnv();
   static FaultConfig FromEnv(FaultConfig base);
 };
@@ -174,6 +181,9 @@ class FaultInjector {
   /// True when the current thread's flow scope is gated in by
   /// config_.flow_mask (unscoped threads are always in).
   bool FlowEnabled() const;
+
+  /// True when blob faults apply to `key` (config_.key_prefix scope).
+  bool KeyEnabled(const std::string& key) const;
 
   /// Deterministic per-(kind,key) phase in [0, every).
   int Phase(FaultKind kind, const std::string& key, int every) const;

@@ -59,7 +59,11 @@ IoScheduler::IoScheduler(BlockStore* store, int workers)
     : IoScheduler(store, workers, Tuning()) {}
 
 IoScheduler::IoScheduler(BlockStore* store, int workers, const Tuning& tuning)
-    : store_(store), tuning_(tuning) {
+    : store_(store),
+      tuning_(tuning),
+      critical_(tuning.fair_quantum_bytes, tuning.fair_share),
+      normal_(tuning.fair_quantum_bytes, tuning.fair_share),
+      background_(tuning.fair_quantum_bytes, tuning.fair_share) {
   RATEL_CHECK(store != nullptr);
   RATEL_CHECK(workers > 0);
   workers_.reserve(workers);
@@ -86,17 +90,19 @@ IoScheduler::Ticket IoScheduler::Enqueue(Request req) {
     ticket = next_ticket_++;
     req.ticket = ticket;
     outstanding_.insert(ticket);
+    const int tenant = req.tenant_tag;
+    const int64_t size = req.size;
     switch (req.priority) {
       case Priority::kLatencyCritical:
-        critical_.push_back(std::move(req));
+        critical_.Push(tenant, size, std::move(req));
         break;
       case Priority::kNormal:
         req.higher_at_enqueue = served_critical_;
-        normal_.push_back(std::move(req));
+        normal_.Push(tenant, size, std::move(req));
         break;
       case Priority::kBackground:
         req.higher_at_enqueue = served_critical_ + served_normal_;
-        background_.push_back(std::move(req));
+        background_.Push(tenant, size, std::move(req));
         break;
     }
   }
@@ -104,11 +110,18 @@ IoScheduler::Ticket IoScheduler::Enqueue(Request req) {
   return ticket;
 }
 
+void IoScheduler::SetTenantWeight(int tenant, int weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  critical_.SetWeight(tenant, weight);
+  normal_.SetWeight(tenant, weight);
+  background_.SetWeight(tenant, weight);
+}
+
 IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
                                              const void* data, int64_t size,
                                              Priority priority,
                                              CompletionFn on_complete,
-                                             int flow_tag) {
+                                             int flow_tag, int tenant_tag) {
   Request req;
   req.is_write = true;
   req.key = key;
@@ -118,6 +131,7 @@ IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
   req.priority = priority;
   req.on_complete = std::move(on_complete);
   req.flow_tag = flow_tag;
+  req.tenant_tag = tenant_tag;
   return Enqueue(std::move(req));
 }
 
@@ -125,7 +139,7 @@ IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
                                              Buffer payload,
                                              Priority priority,
                                              CompletionFn on_complete,
-                                             int flow_tag) {
+                                             int flow_tag, int tenant_tag) {
   Request req;
   req.is_write = true;
   req.key = key;
@@ -135,6 +149,7 @@ IoScheduler::Ticket IoScheduler::SubmitWrite(const std::string& key,
   req.priority = priority;
   req.on_complete = std::move(on_complete);
   req.flow_tag = flow_tag;
+  req.tenant_tag = tenant_tag;
   return Enqueue(std::move(req));
 }
 
@@ -142,7 +157,7 @@ IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
                                             std::vector<uint8_t>* out,
                                             int64_t size, Priority priority,
                                             CompletionFn on_complete,
-                                            int flow_tag) {
+                                            int flow_tag, int tenant_tag) {
   RATEL_CHECK(out != nullptr);
   Request req;
   req.is_write = false;
@@ -152,13 +167,14 @@ IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
   req.priority = priority;
   req.on_complete = std::move(on_complete);
   req.flow_tag = flow_tag;
+  req.tenant_tag = tenant_tag;
   return Enqueue(std::move(req));
 }
 
 IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
                                             Buffer dst, Priority priority,
                                             CompletionFn on_complete,
-                                            int flow_tag) {
+                                            int flow_tag, int tenant_tag) {
   Request req;
   req.is_write = false;
   req.key = key;
@@ -168,6 +184,7 @@ IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
   req.priority = priority;
   req.on_complete = std::move(on_complete);
   req.flow_tag = flow_tag;
+  req.tenant_tag = tenant_tag;
   return Enqueue(std::move(req));
 }
 
@@ -237,30 +254,29 @@ void IoScheduler::WorkerLoop() {
       // Priority with aging: critical > normal > background, but a
       // queued request that waited through `background_aging_limit`
       // higher-class completions is served next regardless of class
-      // (each FIFO front is its class's oldest). The most-starved class
-      // is checked first.
+      // (the age of a class is its oldest request's, across every
+      // tenant lane). The most-starved class is checked first. The
+      // normal pick inside the chosen class is DWRR among tenants;
+      // the aging pick serves the aged (oldest) request itself.
       const int aging = tuning_.background_aging_limit;
-      std::deque<Request>* queue = nullptr;
       if (aging > 0 && !background_.empty() &&
           served_critical_ + served_normal_ -
-                  background_.front().higher_at_enqueue >=
+                  background_.OldestFront().higher_at_enqueue >=
               aging) {
         if (!critical_.empty() || !normal_.empty()) ++promoted_background_;
-        queue = &background_;
+        req = background_.PopOldest();
       } else if (aging > 0 && !normal_.empty() &&
-                 served_critical_ - normal_.front().higher_at_enqueue >=
+                 served_critical_ - normal_.OldestFront().higher_at_enqueue >=
                      aging) {
         if (!critical_.empty()) ++promoted_normal_;
-        queue = &normal_;
+        req = normal_.PopOldest();
       } else if (!critical_.empty()) {
-        queue = &critical_;
+        req = critical_.PopNext();
       } else if (!normal_.empty()) {
-        queue = &normal_;
+        req = normal_.PopNext();
       } else {
-        queue = &background_;
+        req = background_.PopNext();
       }
-      req = std::move(queue->front());
-      queue->pop_front();
       ++in_flight_;
     }
 
@@ -295,6 +311,7 @@ void IoScheduler::WorkerLoop() {
       }
       total_retries_ += result.attempts - 1;
       if (result.gave_up) ++total_giveups_;
+      tenant_served_bytes_[req.tenant_tag] += req.size;
       --in_flight_;
     }
     ticket_done_.notify_all();
@@ -358,6 +375,12 @@ int64_t IoScheduler::total_retries() const {
 int64_t IoScheduler::total_giveups() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_giveups_;
+}
+
+int64_t IoScheduler::tenant_served_bytes(int tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_served_bytes_.find(tenant);
+  return it != tenant_served_bytes_.end() ? it->second : 0;
 }
 
 }  // namespace ratel

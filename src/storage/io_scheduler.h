@@ -3,7 +3,6 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -15,6 +14,7 @@
 #include "common/buffer.h"
 #include "common/status.h"
 #include "storage/block_store.h"
+#include "storage/fair_queue.h"
 #include "storage/throttled_channel.h"
 
 namespace ratel {
@@ -86,6 +86,15 @@ struct IoResult {
 /// the completion callback so the transfer engine can keep per-flow
 /// retry/giveup counters.
 ///
+/// Multi-tenant engines add one dimension *under* the class ladder:
+/// each class is a FairQueue of per-tenant lanes served by
+/// deficit-weighted round robin (see fair_queue.h), so a neighbor
+/// job's backlog in the same class cannot monopolize the device. The
+/// class ladder and its aging rules are unchanged — fair share only
+/// picks which tenant goes next within the class the ladder already
+/// chose, and with a single tenant (or fair_share off) every class
+/// degenerates to the original FIFO.
+///
 /// Requests complete asynchronously; the caller either waits for an
 /// individual ticket or drains the whole queue. An optional completion
 /// callback runs on the worker thread after the store operation and
@@ -118,6 +127,13 @@ class IoScheduler {
     /// Test seam: replaces the wall-clock backoff sleep (e.g. with a
     /// virtual-clock recorder). Null = real sleep.
     std::function<void(double seconds)> backoff_sleep_fn;
+    /// Deficit-weighted round robin among tenants inside each class;
+    /// false = one global FIFO per class regardless of tenant tags
+    /// (the FIFO-tenancy baseline the multitenant bench A/Bs against).
+    bool fair_share = true;
+    /// DWRR quantum: bytes of credit a tenant lane earns (times its
+    /// weight) per rotation visit. Smaller = finer interleaving.
+    int64_t fair_quantum_bytes = 64 * 1024;
   };
 
   /// `workers` I/O threads over `store` (not owned, must outlive this).
@@ -132,29 +148,36 @@ class IoScheduler {
 
   /// Asynchronous write: the data is copied; the ticket resolves when
   /// the store confirms the write. `flow_tag` scopes fault injection and
-  /// accounting to a flow class (-1 = unscoped).
+  /// accounting to a flow class (-1 = unscoped); `tenant_tag` selects
+  /// the fair-share lane within the priority class (0 = default tenant).
   Ticket SubmitWrite(const std::string& key, const void* data, int64_t size,
                      Priority priority, CompletionFn on_complete = nullptr,
-                     int flow_tag = -1);
+                     int flow_tag = -1, int tenant_tag = 0);
 
   /// Zero-copy asynchronous write: the scheduler takes a reference to
   /// `payload` (published — no holder may mutate it) instead of copying
   /// the bytes.
   Ticket SubmitWrite(const std::string& key, Buffer payload,
                      Priority priority, CompletionFn on_complete = nullptr,
-                     int flow_tag = -1);
+                     int flow_tag = -1, int tenant_tag = 0);
 
   /// Asynchronous read into `out` (must stay alive until the ticket
   /// resolves; `out` is resized by the scheduler).
   Ticket SubmitRead(const std::string& key, std::vector<uint8_t>* out,
                     int64_t size, Priority priority,
-                    CompletionFn on_complete = nullptr, int flow_tag = -1);
+                    CompletionFn on_complete = nullptr, int flow_tag = -1,
+                    int tenant_tag = 0);
 
   /// Zero-copy asynchronous read: the worker fills `dst` (whose size is
   /// the read size) in place. The caller may keep references to `dst`
   /// but must not touch its bytes until the ticket resolves.
   Ticket SubmitRead(const std::string& key, Buffer dst, Priority priority,
-                    CompletionFn on_complete = nullptr, int flow_tag = -1);
+                    CompletionFn on_complete = nullptr, int flow_tag = -1,
+                    int tenant_tag = 0);
+
+  /// DWRR weight of `tenant` in every priority class (clamped >= 1;
+  /// default 1). Takes effect for requests not yet served.
+  void SetTenantWeight(int tenant, int weight);
 
   /// Blocks until `ticket` finished; returns its I/O status. A ticket
   /// that was never issued — or was already waited on — yields
@@ -179,6 +202,9 @@ class IoScheduler {
   int64_t total_retries() const;
   /// Requests that failed after exhausting their retry budget.
   int64_t total_giveups() const;
+  /// Payload bytes served so far on behalf of `tenant`, across all
+  /// classes (for fair-share convergence assertions).
+  int64_t tenant_served_bytes(int tenant) const;
 
  private:
   struct Request {
@@ -192,6 +218,7 @@ class IoScheduler {
     Priority priority;
     CompletionFn on_complete;
     int flow_tag = -1;
+    int tenant_tag = 0;
     // Completions of strictly-higher classes at enqueue time (critical
     // for normal requests; critical + normal for background ones); age
     // = higher-class completions since then.
@@ -209,9 +236,10 @@ class IoScheduler {
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable ticket_done_;
-  std::deque<Request> critical_;
-  std::deque<Request> normal_;
-  std::deque<Request> background_;
+  // Per-class queues: per-tenant DWRR lanes under the class ladder.
+  FairQueue<Request> critical_;
+  FairQueue<Request> normal_;
+  FairQueue<Request> background_;
   Ticket next_ticket_ = 1;
   // Issued and not yet waited on — membership legitimizes a Wait.
   std::unordered_set<Ticket> outstanding_;
@@ -224,6 +252,7 @@ class IoScheduler {
   int64_t promoted_normal_ = 0;
   int64_t total_retries_ = 0;
   int64_t total_giveups_ = 0;
+  std::unordered_map<int, int64_t> tenant_served_bytes_;
   int in_flight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;

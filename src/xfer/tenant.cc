@@ -1,0 +1,18 @@
+#include "xfer/tenant.h"
+
+namespace ratel {
+namespace {
+
+thread_local TenantId tls_tenant = kDefaultTenant;
+
+}  // namespace
+
+TenantId CurrentTenant() { return tls_tenant; }
+
+ScopedTenant::ScopedTenant(TenantId tenant) : previous_(tls_tenant) {
+  tls_tenant = tenant;
+}
+
+ScopedTenant::~ScopedTenant() { tls_tenant = previous_; }
+
+}  // namespace ratel

@@ -1,0 +1,61 @@
+#ifndef RATEL_XFER_TENANT_H_
+#define RATEL_XFER_TENANT_H_
+
+#include <cstdint>
+
+namespace ratel {
+
+/// Identity of the fine-tuning job a transfer belongs to. Tenant 0 is
+/// the default ("unowned" traffic, and the only tenant of a
+/// single-job engine); the JobManager assigns ids >= 1 to its jobs.
+using TenantId = int;
+
+inline constexpr TenantId kDefaultTenant = 0;
+
+/// The tenant the current thread's submits are attributed to.
+TenantId CurrentTenant();
+
+/// Scopes the current thread's engine submits to one tenant — the
+/// tenancy analogue of FaultInjector::ScopedFlow. The TransferEngine
+/// samples CurrentTenant() at submit time, so every component of a job
+/// (trainer step loop, gradient-handler pool, deferred-epoch workers)
+/// brackets its work with the job's tenant and all of its traffic lands
+/// in that tenant's accounting, quota, and fair-share lane. Scopes nest
+/// and restore the previous tenant on destruction.
+class ScopedTenant {
+ public:
+  explicit ScopedTenant(TenantId tenant);
+  ~ScopedTenant();
+  ScopedTenant(const ScopedTenant&) = delete;
+  ScopedTenant& operator=(const ScopedTenant&) = delete;
+
+ private:
+  TenantId previous_;
+};
+
+/// Per-tenant resource limits enforced by the TransferEngine. Zero
+/// means unlimited — the single-tenant default, which leaves behavior
+/// bitwise identical to an engine that never heard of tenants.
+struct TenantQuota {
+  /// Cap on the tenant's resident bytes in the DRAM tier. Over-quota
+  /// admissions evict the *tenant's own* LRU entries, never another
+  /// tenant's, so one job cannot flush a neighbor's working set.
+  int64_t dram_bytes = 0;
+  /// Cap on the tenant's store-bound bytes in flight (submitted and not
+  /// yet resolved). Submits beyond the cap block — backpressure against
+  /// a job queueing unbounded writeback behind the shared array.
+  int64_t inflight_bytes = 0;
+};
+
+/// Scheduling + quota configuration of one tenant on a shared engine.
+struct TenantConfig {
+  /// Deficit-weighted-round-robin weight inside each IoScheduler
+  /// priority class: relative share of the class's device time under
+  /// contention (work-conserving: unused share flows to the others).
+  int weight = 1;
+  TenantQuota quota;
+};
+
+}  // namespace ratel
+
+#endif  // RATEL_XFER_TENANT_H_

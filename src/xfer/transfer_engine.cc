@@ -138,6 +138,8 @@ Result<std::unique_ptr<TransferEngine>> TransferEngine::Open(
   tuning.read_channel = engine->read_channel_.get();
   tuning.write_channel = engine->write_channel_.get();
   tuning.retry = options.retry;
+  tuning.fair_share = options.fair_share;
+  tuning.fair_quantum_bytes = options.fair_quantum_bytes;
   engine->sched_ = std::make_unique<IoScheduler>(engine->store_.get(),
                                                  options.io_workers, tuning);
   return engine;
@@ -153,40 +155,50 @@ TransferEngine::Ticket TransferEngine::SubmitWriteImpl(FlowClass flow,
                                                        const std::string& key,
                                                        Buffer payload,
                                                        int64_t staging_copies) {
+  const TenantId tenant = CurrentTenant();
   const int64_t size = payload.size();
   int64_t avoided = 0;
   // Write-through: the DRAM tier takes a *reference* to the published
   // payload — visible to same-key reads immediately, and one whole
   // allocation+copy cheaper than the old copy-per-tier design.
   if (cache_ != nullptr) {
-    cache_->AdmitBuffer(key, payload);
+    cache_->AdmitBuffer(key, payload, tenant);
     ++avoided;
   }
   // Buffer-native callers staged nothing: the scheduler's old internal
   // payload copy is avoided too.
   if (staging_copies == 0) ++avoided;
+  AcquireInflight(tenant, size);
   const auto start = std::chrono::steady_clock::now();
   IoScheduler::Ticket io_ticket = sched_->SubmitWrite(
       key, std::move(payload), FlowPriority(flow),
-      [this, flow, size, start](const IoResult& result) {
-        std::lock_guard<std::mutex> lock(mu_);
-        FlowCounters& c = CountersFor(flow);
-        ++c.writes;
-        c.write_seconds += SecondsSince(start);
-        c.retries += result.attempts - 1;
-        c.backoff_seconds += result.backoff_seconds;
-        if (result.gave_up) ++c.giveups;
-        if (result.status.ok()) {
-          c.bytes_written += size;
-        } else {
-          ++c.errors;
+      [this, flow, tenant, size, start](const IoResult& result) {
+        // Hoisted out of the accounting lambda: AccountLocked applies it
+        // twice and both copies must receive the identical delta.
+        const double elapsed = SecondsSince(start);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          AccountLocked(tenant, flow, [&](FlowCounters& c) {
+            ++c.writes;
+            c.write_seconds += elapsed;
+            c.retries += result.attempts - 1;
+            c.backoff_seconds += result.backoff_seconds;
+            if (result.gave_up) ++c.giveups;
+            if (result.status.ok()) {
+              c.bytes_written += size;
+            } else {
+              ++c.errors;
+            }
+          });
         }
+        ReleaseInflight(tenant, size);
       },
-      static_cast<int>(flow));
+      static_cast<int>(flow), tenant);
   std::lock_guard<std::mutex> lock(mu_);
-  FlowCounters& c = CountersFor(flow);
-  c.bytes_copied += staging_copies * size;
-  c.allocs_avoided += avoided;
+  AccountLocked(tenant, flow, [&](FlowCounters& c) {
+    c.bytes_copied += staging_copies * size;
+    c.allocs_avoided += avoided;
+  });
   Ticket ticket = next_ticket_++;
   inflight_.emplace(ticket, io_ticket);
   return ticket;
@@ -214,51 +226,59 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
                                                   std::vector<uint8_t>* out,
                                                   int64_t size) {
   RATEL_CHECK(out != nullptr);
+  const TenantId tenant = CurrentTenant();
   if (cache_ != nullptr) {
     out->resize(size);
     if (cache_->TryGet(key, out->data(), size)) {
       std::lock_guard<std::mutex> lock(mu_);
-      FlowCounters& c = CountersFor(flow);
-      ++c.reads;
-      ++c.cache_hits;
-      c.bytes_read += size;
-      c.bytes_from_cache += size;
-      c.bytes_copied += size;  // TryGet memcpy'd into the caller vector
+      AccountLocked(tenant, flow, [&](FlowCounters& c) {
+        ++c.reads;
+        ++c.cache_hits;
+        c.bytes_read += size;
+        c.bytes_from_cache += size;
+        c.bytes_copied += size;  // TryGet memcpy'd into the caller vector
+      });
       Ticket ticket = next_ticket_++;
       resolved_.emplace(ticket, Status::Ok());
       return ticket;
     }
   }
+  AcquireInflight(tenant, size);
   const auto start = std::chrono::steady_clock::now();
   const bool count_miss = cache_ != nullptr;
   IoScheduler::Ticket io_ticket = sched_->SubmitRead(
       key, out, size, FlowPriority(flow),
-      [this, flow, key, out, size, start,
+      [this, flow, tenant, key, out, size, start,
        count_miss](const IoResult& result) {
         bool promoted = false;
         if (result.status.ok() && cache_ != nullptr) {
           // Promote the cold blob into the DRAM tier. The caller owns
           // `out`, so the tier needs its own copy here — the buffer-
           // native read path avoids it.
-          cache_->Admit(key, out->data(), size);
+          cache_->Admit(key, out->data(), size, tenant);
           promoted = true;
         }
-        std::lock_guard<std::mutex> lock(mu_);
-        FlowCounters& c = CountersFor(flow);
-        ++c.reads;
-        if (count_miss) ++c.cache_misses;
-        if (promoted) c.bytes_copied += size;
-        c.read_seconds += SecondsSince(start);
-        c.retries += result.attempts - 1;
-        c.backoff_seconds += result.backoff_seconds;
-        if (result.gave_up) ++c.giveups;
-        if (result.status.ok()) {
-          c.bytes_read += size;
-        } else {
-          ++c.errors;
+        const double elapsed = SecondsSince(start);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          AccountLocked(tenant, flow, [&](FlowCounters& c) {
+            ++c.reads;
+            if (count_miss) ++c.cache_misses;
+            if (promoted) c.bytes_copied += size;
+            c.read_seconds += elapsed;
+            c.retries += result.attempts - 1;
+            c.backoff_seconds += result.backoff_seconds;
+            if (result.gave_up) ++c.giveups;
+            if (result.status.ok()) {
+              c.bytes_read += size;
+            } else {
+              ++c.errors;
+            }
+          });
         }
+        ReleaseInflight(tenant, size);
       },
-      static_cast<int>(flow));
+      static_cast<int>(flow), tenant);
   std::lock_guard<std::mutex> lock(mu_);
   Ticket ticket = next_ticket_++;
   inflight_.emplace(ticket, io_ticket);
@@ -269,28 +289,31 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
                                                   const std::string& key,
                                                   Buffer* out, int64_t size) {
   RATEL_CHECK(out != nullptr);
+  const TenantId tenant = CurrentTenant();
   if (cache_ != nullptr) {
     Buffer ref;
     if (cache_->TryGetRef(key, size, &ref)) {
       *out = std::move(ref);
       std::lock_guard<std::mutex> lock(mu_);
-      FlowCounters& c = CountersFor(flow);
-      ++c.reads;
-      ++c.cache_hits;
-      c.bytes_read += size;
-      c.bytes_from_cache += size;
-      ++c.allocs_avoided;  // served by reference: no alloc, no memcpy
+      AccountLocked(tenant, flow, [&](FlowCounters& c) {
+        ++c.reads;
+        ++c.cache_hits;
+        c.bytes_read += size;
+        c.bytes_from_cache += size;
+        ++c.allocs_avoided;  // served by reference: no alloc, no memcpy
+      });
       Ticket ticket = next_ticket_++;
       resolved_.emplace(ticket, Status::Ok());
       return ticket;
     }
   }
+  AcquireInflight(tenant, size);
   Buffer dst = pool_.Lease(size);
   const auto start = std::chrono::steady_clock::now();
   const bool count_miss = cache_ != nullptr;
   IoScheduler::Ticket io_ticket = sched_->SubmitRead(
       key, dst, FlowPriority(flow),
-      [this, flow, key, dst, out, size, start,
+      [this, flow, tenant, key, dst, out, size, start,
        count_miss](const IoResult& result) {
         bool promoted = false;
         if (result.status.ok()) {
@@ -298,26 +321,31 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
           // buffer into the DRAM tier by reference (no copy).
           *out = dst;
           if (cache_ != nullptr) {
-            cache_->AdmitBuffer(key, dst);
+            cache_->AdmitBuffer(key, dst, tenant);
             promoted = true;
           }
         }
-        std::lock_guard<std::mutex> lock(mu_);
-        FlowCounters& c = CountersFor(flow);
-        ++c.reads;
-        if (count_miss) ++c.cache_misses;
-        if (promoted) ++c.allocs_avoided;  // promotion without a copy
-        c.read_seconds += SecondsSince(start);
-        c.retries += result.attempts - 1;
-        c.backoff_seconds += result.backoff_seconds;
-        if (result.gave_up) ++c.giveups;
-        if (result.status.ok()) {
-          c.bytes_read += size;
-        } else {
-          ++c.errors;
+        const double elapsed = SecondsSince(start);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          AccountLocked(tenant, flow, [&](FlowCounters& c) {
+            ++c.reads;
+            if (count_miss) ++c.cache_misses;
+            if (promoted) ++c.allocs_avoided;  // promotion without a copy
+            c.read_seconds += elapsed;
+            c.retries += result.attempts - 1;
+            c.backoff_seconds += result.backoff_seconds;
+            if (result.gave_up) ++c.giveups;
+            if (result.status.ok()) {
+              c.bytes_read += size;
+            } else {
+              ++c.errors;
+            }
+          });
         }
+        ReleaseInflight(tenant, size);
       },
-      static_cast<int>(flow));
+      static_cast<int>(flow), tenant);
   std::lock_guard<std::mutex> lock(mu_);
   Ticket ticket = next_ticket_++;
   inflight_.emplace(ticket, io_ticket);
@@ -422,7 +450,8 @@ Status TransferEngine::Read(FlowClass flow, const std::string& key, void* out,
   if (status.ok() && size > 0) {
     std::memcpy(out, staged.data(), size);
     std::lock_guard<std::mutex> lock(mu_);
-    CountersFor(flow).bytes_copied += size;
+    AccountLocked(CurrentTenant(), flow,
+                  [&](FlowCounters& c) { c.bytes_copied += size; });
   }
   return status;
 }
@@ -463,6 +492,70 @@ TransferStats TransferEngine::stats() const {
   snapshot.store_bytes_read = store_->total_bytes_read();
   snapshot.store_bytes_written = store_->total_bytes_written();
   return snapshot;
+}
+
+void TransferEngine::ConfigureTenant(TenantId tenant,
+                                     const TenantConfig& config) {
+  sched_->SetTenantWeight(tenant, config.weight);
+  if (cache_ != nullptr) {
+    cache_->SetTenantQuota(tenant, config.quota.dram_bytes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_quota_[tenant] = config.quota.inflight_bytes;
+  }
+  // A raised (or removed) quota may unblock submitters parked in
+  // AcquireInflight.
+  inflight_cv_.notify_all();
+}
+
+TransferStats TransferEngine::tenant_stats(TenantId tenant) const {
+  TransferStats snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_counters_.find(tenant);
+  if (it != tenant_counters_.end()) snapshot.flow = it->second;
+  return snapshot;
+}
+
+std::vector<TenantId> TransferEngine::tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantId> ids;
+  ids.reserve(tenant_counters_.size());
+  for (const auto& [tenant, counters] : tenant_counters_) {
+    ids.push_back(tenant);
+  }
+  return ids;
+}
+
+int64_t TransferEngine::tenant_inflight_bytes(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_bytes_.find(tenant);
+  return it != inflight_bytes_.end() ? it->second : 0;
+}
+
+void TransferEngine::AcquireInflight(TenantId tenant, int64_t size) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto quota_it = inflight_quota_.find(tenant);
+  if (quota_it != inflight_quota_.end() && quota_it->second > 0) {
+    const int64_t quota = quota_it->second;
+    // A request larger than the whole quota is admitted once the
+    // tenant's own traffic fully drained — it could never fit
+    // otherwise. Only the tenant's own bytes gate the wait: quota
+    // backpressure must never couple tenants to each other.
+    inflight_cv_.wait(lock, [&] {
+      const int64_t current = inflight_bytes_[tenant];
+      return current == 0 || current + size <= quota;
+    });
+  }
+  inflight_bytes_[tenant] += size;
+}
+
+void TransferEngine::ReleaseInflight(TenantId tenant, int64_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_bytes_[tenant] -= size;
+  }
+  inflight_cv_.notify_all();
 }
 
 }  // namespace ratel

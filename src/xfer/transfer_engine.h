@@ -2,7 +2,9 @@
 #define RATEL_XFER_TRANSFER_ENGINE_H_
 
 #include <array>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -16,6 +18,7 @@
 #include "storage/fault_injector.h"
 #include "storage/io_scheduler.h"
 #include "storage/throttled_channel.h"
+#include "xfer/tenant.h"
 
 namespace ratel {
 
@@ -123,6 +126,12 @@ struct TransferOptions {
   /// Consecutive write failures before the store declares a stripe dead
   /// and re-stripes around it.
   int stripe_death_threshold = 3;
+  /// Deficit-weighted round robin among tenants inside each scheduler
+  /// priority class (see IoScheduler::Tuning); false degrades tenancy
+  /// to one global FIFO per class — the A/B baseline for the
+  /// multitenant bench. Irrelevant with a single tenant.
+  bool fair_share = true;
+  int64_t fair_quantum_bytes = 64 * 1024;
 };
 
 /// The single tiered facade over the Host <-> SSD hierarchy: owns the
@@ -137,6 +146,18 @@ struct TransferOptions {
 /// unordered; a read of a key observes a prior write of that key once
 /// the write's ticket has resolved (callers serialize per key, which the
 /// runtime's per-tensor handler discipline already guarantees).
+///
+/// Tenancy: every submit is additionally attributed to the calling
+/// thread's CurrentTenant() (see ScopedTenant). The tenant dimension
+/// carries (a) a second, per-tenant copy of the flow accounting —
+/// updated with the *same* deltas at the same sites, so summing
+/// tenant_stats over tenants() reconciles exactly against stats(); (b)
+/// the fair-share lane the request is scheduled in; (c) the quota the
+/// request is charged against (DRAM-tier residency + store-bound bytes
+/// in flight — the latter blocks the submitting thread until the
+/// tenant's own traffic drains below the cap). A thread that never
+/// enters a ScopedTenant is tenant 0 with no quotas: the single-job
+/// path is bitwise identical to the pre-tenancy engine.
 class TransferEngine {
  public:
   /// Waitable handle of an asynchronous transfer. Wait exactly once.
@@ -214,6 +235,22 @@ class TransferEngine {
   /// Consistent snapshot of the per-flow / cache / store accounting.
   TransferStats stats() const;
 
+  /// Installs `tenant`'s scheduling weight and quotas (idempotent;
+  /// reconfiguring is allowed). Quota value 0 = unlimited.
+  void ConfigureTenant(TenantId tenant, const TenantConfig& config);
+
+  /// Per-tenant snapshot: the flow counters of `tenant`'s traffic only
+  /// (cache/store totals stay engine-global and are left zero). For
+  /// every counter, sum over tenants() == the same counter in stats().
+  TransferStats tenant_stats(TenantId tenant) const;
+
+  /// Tenants that have submitted at least one operation (sorted).
+  std::vector<TenantId> tenants() const;
+
+  /// `tenant`'s store-bound bytes currently in flight (diagnostics /
+  /// quota tests).
+  int64_t tenant_inflight_bytes(TenantId tenant) const;
+
   /// The owned store, for capacity diagnostics (num_blobs, stripes,
   /// allocated bytes) — data movement must go through the engine.
   const BlockStore& store() const { return *store_; }
@@ -253,6 +290,24 @@ class TransferEngine {
     return counters_[static_cast<size_t>(flow)];
   }
 
+  /// Applies one accounting mutation to the global flow bucket AND the
+  /// tenant's copy of it — the only way counters are ever touched, so
+  /// per-tenant totals reconcile against per-flow totals by
+  /// construction. Caller holds mu_.
+  template <typename Fn>
+  void AccountLocked(TenantId tenant, FlowClass flow, Fn&& fn) {
+    fn(CountersFor(flow));
+    fn(tenant_counters_[tenant][static_cast<size_t>(flow)]);
+  }
+
+  /// Blocks until `size` more store-bound bytes fit under `tenant`'s
+  /// in-flight quota, then charges them. A request larger than the
+  /// whole quota is admitted once the tenant is idle (it could never
+  /// proceed otherwise). No-op for unlimited tenants.
+  void AcquireInflight(TenantId tenant, int64_t size);
+  /// Releases bytes charged by AcquireInflight (from completions).
+  void ReleaseInflight(TenantId tenant, int64_t size);
+
   /// Shared write leg: publishes `payload` to the DRAM tier (by ref)
   /// and the scheduler (by ref). `staging_copies` is the number of host
   /// copies the caller already performed to stage the payload (1 for
@@ -270,8 +325,14 @@ class TransferEngine {
   BufferPool pool_;  // staging arena; outlives the scheduler's requests
   std::unique_ptr<IoScheduler> sched_;               // destroyed first
 
-  mutable std::mutex mu_;  // guards counters_ and ticket maps
+  mutable std::mutex mu_;  // guards counters_, tenant state, ticket maps
   std::array<FlowCounters, kNumFlowClasses> counters_{};
+  // Per-tenant mirror of counters_ (ordered so tenants() is sorted).
+  std::map<TenantId, std::array<FlowCounters, kNumFlowClasses>>
+      tenant_counters_;
+  std::unordered_map<TenantId, int64_t> inflight_quota_;  // 0/absent = inf
+  std::unordered_map<TenantId, int64_t> inflight_bytes_;
+  std::condition_variable inflight_cv_;
   Ticket next_ticket_ = 1;
   // Tickets resolved at submit time (DRAM hits) await their single Wait.
   std::unordered_map<Ticket, Status> resolved_;

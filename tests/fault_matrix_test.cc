@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "runtime/job_manager.h"
 #include "runtime/out_of_core_adam.h"
 #include "storage/fault_injector.h"
 #include "xfer/transfer_engine.h"
@@ -453,6 +454,67 @@ TEST(FaultMatrixTest, DeadStripeOnDeferredStateRestripesInTheBackground) {
   EXPECT_EQ(stats.Flow(FlowClass::kDeferredState).giveups, 0);
   EXPECT_EQ(stats.Flow(FlowClass::kGradState).retries, 0);
   EXPECT_EQ(stats.Flow(FlowClass::kParamFetch).retries, 0);
+}
+
+// ---------- Tenant-scoped fault storms (multi-tenant isolation) ----------
+
+TEST(FaultMatrixTest, RetryStormScopedToOneTenantLeavesTheNeighborClean) {
+  // Two jobs share one engine whose fault model is scoped to job A's
+  // key namespace (FaultConfig::key_prefix = "jobA/"): every second
+  // write of an A-owned blob fails transiently. A must recover through
+  // retries; B's per-tenant counters must show zero recovery work —
+  // no retries, no errors, no backoff stalls leaking across tenants.
+  JobManager::Options options;
+  options.engine = FastRetryOptions(TempDir("tenant_storm"));
+  options.engine.fault.write_error_every = 2;
+  options.engine.fault.key_prefix = "jobA/";
+  auto manager_or = JobManager::Create(options);
+  ASSERT_TRUE(manager_or.ok());
+  JobManager& manager = **manager_or;
+
+  JobSpec spec;
+  spec.model.vocab_size = 48;
+  spec.model.seq_len = 8;
+  spec.model.hidden_dim = 24;
+  spec.model.num_heads = 2;
+  spec.model.num_layers = 2;
+  spec.batch = 2;
+  spec.steps = 3;
+  spec.name = "jobA";
+  spec.seed = 1;
+  ASSERT_TRUE(manager.Submit(spec).ok());
+  spec.name = "jobB";
+  spec.seed = 2;
+  ASSERT_TRUE(manager.Submit(spec).ok());
+  ASSERT_TRUE(manager.WaitAll().ok());
+
+  const JobManagerStats stats = manager.Stats();
+  ASSERT_EQ(stats.jobs.size(), 2u);
+  const JobStats* job_a = &stats.jobs[0];
+  const JobStats* job_b = &stats.jobs[1];
+  if (job_a->name != "jobA") std::swap(job_a, job_b);
+  ASSERT_EQ(job_a->name, "jobA");
+
+  // Both jobs trained to completion despite the storm.
+  EXPECT_EQ(job_a->state, JobState::kFinished);
+  EXPECT_EQ(job_b->state, JobState::kFinished);
+  EXPECT_EQ(job_a->steps_done, 3);
+  EXPECT_EQ(job_b->steps_done, 3);
+
+  int64_t a_retries = 0;
+  for (int f = 0; f < kNumFlowClasses; ++f) {
+    const FlowCounters& a = job_a->xfer.flow[f];
+    const FlowCounters& b = job_b->xfer.flow[f];
+    a_retries += a.retries;
+    EXPECT_EQ(a.giveups, 0) << "flow " << f;
+    // The isolation contract: none of A's recovery work is charged to
+    // B, and B saw no faults of its own.
+    EXPECT_EQ(b.retries, 0) << "flow " << f;
+    EXPECT_EQ(b.giveups, 0) << "flow " << f;
+    EXPECT_EQ(b.errors, 0) << "flow " << f;
+    EXPECT_EQ(b.backoff_seconds, 0.0) << "flow " << f;
+  }
+  EXPECT_GT(a_retries, 0);  // the storm really hit A
 }
 
 }  // namespace

@@ -10,10 +10,13 @@
 # `determinism` — the suites that exercise the fault seam's concurrent
 # retry/stall paths, where TSan coverage matters most — `async`, the
 # deferred-epoch optimizer pipeline whose background epochs + reaper
-# thread race foreground drains by design — or `buffer`, the pooled
+# thread race foreground drains by design — `buffer`, the pooled
 # zero-copy buffer suite whose cross-thread lease/release refcounting
-# is exactly what TSan/ASan exist for). Without one the full suite
-# runs under both sanitizers.
+# is exactly what TSan/ASan exist for — or `tenant`, the multi-tenant
+# JobManager suite whose N job threads hammer one shared engine's
+# accounting, quotas, and fair-share lanes concurrently). Without one
+# the full suite runs under both sanitizers, which includes the tenant
+# label.
 #
 # Environment:
 #   SANITIZERS   space-separated subset to run (default: "thread address")
