@@ -38,8 +38,14 @@ CostModel::CostModel(const HardwareProfile& hw,
   }
 }
 
+void CostModel::SetActivationCompressionRatio(double ratio) {
+  RATEL_CHECK(ratio > 0.0);
+  activation_compression_ = ratio;
+}
+
 double CostModel::SsdActivationBytes(double a_g2m) const {
-  return std::max(0.0, a_g2m - static_cast<double>(hw_.mem_avail_m));
+  return std::max(0.0, a_g2m - static_cast<double>(hw_.mem_avail_m)) /
+         activation_compression_;
 }
 
 double CostModel::ForwardTime(double a_g2m) const {

@@ -21,8 +21,22 @@ class CostModel {
   CostModel(const HardwareProfile& hw, const WorkloadProfile& workload);
 
   /// Eq. 3: the portion of swapped activations that overflows main memory
-  /// onto the SSDs: alpha*A_G2M = max(0, A_G2M - MEM_avail_M).
+  /// onto the SSDs: alpha*A_G2M = max(0, A_G2M - MEM_avail_M), divided by
+  /// the activation compression ratio (below) — a store-path codec on
+  /// the spill flow shrinks only the SSD leg, since encode/decode happen
+  /// host-side and the GPU<->Mem leg still moves logical bytes.
   double SsdActivationBytes(double a_g2m) const;
+
+  /// Logical-per-encoded byte ratio of the activation-spill store leg
+  /// (1.0 = no codec). Sources: ExpectedCompressionRatio(codec, A_layer)
+  /// when configured ahead of time, or the observed
+  /// FlowCounters::WriteCompressionRatio() of a profiled run. Shrinks
+  /// the SSD term of Eq. 3-5, so Algorithm 1's inflection point moves
+  /// and the recompute knapsack re-solves on the smaller footprint.
+  void SetActivationCompressionRatio(double ratio);
+  double activation_compression_ratio() const {
+    return activation_compression_;
+  }
 
   /// Eq. 4: forward stage time.
   ///   T_f = max(FLOP_f/THP_G, A_G2M/BW_G, 2P/BW_G,
@@ -56,6 +70,7 @@ class CostModel {
   HardwareProfile hw_;
   const WorkloadProfile* workload_;  // not owned
   double p_bytes2_ = 0.0;            // 2P in bytes (P16 or G16 volume)
+  double activation_compression_ = 1.0;
   double total_recompute_flops_ = 0.0;
   // Units in swap order (inter-block first, then decreasing OB):
   // cumulative bytes and cumulative recompute-FLOPs-avoided.

@@ -57,6 +57,24 @@ Status RatelTrainer::Initialize() {
     xfer.fault = FaultConfig::FromEnv(options_.fault);
     xfer.retry = options_.io_retry;
     xfer.stripe_death_threshold = options_.stripe_death_threshold;
+    // Same overlay pattern for the store-path codecs, with the trainer's
+    // lossy-flow rule on top: only the activation-spill leg may degrade
+    // precision — it is recomputable/transient and fp16-tolerant by
+    // construction — while parameter, gradient/optimizer-state, and
+    // checkpoint bytes must round-trip exactly.
+    xfer.codec = CodecConfig::FromEnv(options_.codec);
+    for (int i = 0; i < kNumFlowClasses; ++i) {
+      const FlowClass flow = static_cast<FlowClass>(i);
+      auto codec = MakeCodec(xfer.codec.spec(flow));
+      if (!codec.ok()) return codec.status();
+      if (*codec != nullptr && !(*codec)->lossless() &&
+          flow != FlowClass::kActivationSpill) {
+        return Status::InvalidArgument(
+            std::string("lossy codec \"") + xfer.codec.spec(flow) +
+            "\" is only allowed on activation_spill, not " +
+            FlowClassName(flow));
+      }
+    }
     RATEL_ASSIGN_OR_RETURN(owned_engine_, TransferEngine::Open(xfer));
     engine_ = owned_engine_.get();
   }

@@ -80,6 +80,15 @@ struct TrainerOptions {
   /// RATEL_FAULT_* environment knobs are overlaid on top of this at
   /// Create, so a binary can be fault-injected without code changes.
   FaultConfig fault;
+  /// Per-flow store-path codecs (see xfer/codec.h), overlaid with the
+  /// RATEL_CODEC_<FLOW> environment knobs at Create. The trainer
+  /// enforces the lossy-flow rule: lossy codecs (fp16, topk:<k>) are
+  /// only accepted on the activation-spill flow — activations are
+  /// transient and precision-tolerant by construction, while parameter,
+  /// optimizer-state, and checkpoint bytes must survive the round trip
+  /// exactly (Create returns kInvalidArgument otherwise). Ignored when
+  /// attaching to a shared_engine (its configuration governs).
+  CodecConfig codec;
   /// Retry discipline the I/O scheduler applies to transient store
   /// failures.
   RetryPolicy io_retry;

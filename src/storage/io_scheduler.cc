@@ -174,7 +174,8 @@ IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
 IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
                                             Buffer dst, Priority priority,
                                             CompletionFn on_complete,
-                                            int flow_tag, int tenant_tag) {
+                                            int flow_tag, int tenant_tag,
+                                            FinalizeFn finalize) {
   Request req;
   req.is_write = false;
   req.key = key;
@@ -183,6 +184,7 @@ IoScheduler::Ticket IoScheduler::SubmitRead(const std::string& key,
   req.dst = std::move(dst);
   req.priority = priority;
   req.on_complete = std::move(on_complete);
+  req.finalize = std::move(finalize);
   req.flow_tag = flow_tag;
   req.tenant_tag = tenant_tag;
   return Enqueue(std::move(req));
@@ -197,6 +199,7 @@ IoResult IoScheduler::Execute(Request& req) {
   IoResult result;
   for (int attempt = 1;; ++attempt) {
     Status status;
+    bool finalize_failed = false;
     if (req.is_write) {
       if (tuning_.write_channel != nullptr) {
         tuning_.write_channel->Consume(req.size);
@@ -212,10 +215,19 @@ IoResult IoScheduler::Execute(Request& req) {
       } else {
         status = store_->Get(req.key, req.dst.mutable_data(), req.size);
       }
+      if (status.ok() && req.finalize) {
+        // Post-read validation (codec frame CRC + decode). A failure —
+        // typically kDataLoss — fails this attempt and is retried like
+        // a torn write: the device is re-read before giving up.
+        status = req.finalize();
+        finalize_failed = !status.ok();
+      }
     }
     result.status = status;
     result.attempts = attempt;
-    if (status.ok() || !IsRetryableIoError(status)) return result;
+    if (status.ok() || (!IsRetryableIoError(status) && !finalize_failed)) {
+      return result;
+    }
     if (attempt >= max_attempts) {
       result.gave_up = true;
       return result;
@@ -291,6 +303,7 @@ void IoScheduler::WorkerLoop() {
     req.payload.reset();
     req.dst.reset();
     req.on_complete = nullptr;
+    req.finalize = nullptr;
 
     {
       std::lock_guard<std::mutex> lock(mu_);

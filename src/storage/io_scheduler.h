@@ -110,6 +110,14 @@ class IoScheduler {
 
   using Ticket = int64_t;
   using CompletionFn = std::function<void(const IoResult&)>;
+  /// Post-read validation/transform hook (see SubmitRead below). Runs on
+  /// the worker after each successful store read of the attempt loop; a
+  /// non-OK return fails that *attempt*, and the attempt is retried per
+  /// RetryPolicy regardless of its status code — a decode/CRC failure
+  /// (kDataLoss) is retried like a torn write, since re-reading the
+  /// device is exactly the recovery a torn read wants. Only after the
+  /// retry budget is exhausted does the finalize status surface.
+  using FinalizeFn = std::function<Status()>;
 
   /// Device-level knobs shared by every request.
   struct Tuning {
@@ -171,9 +179,15 @@ class IoScheduler {
   /// Zero-copy asynchronous read: the worker fills `dst` (whose size is
   /// the read size) in place. The caller may keep references to `dst`
   /// but must not touch its bytes until the ticket resolves.
+  ///
+  /// `finalize` (optional) runs on the worker after every successful
+  /// store read, inside the retry loop — the transfer engine's codec
+  /// path verifies the frame CRC and decodes there, so a corrupt frame
+  /// is re-read per RetryPolicy before kDataLoss surfaces (see
+  /// FinalizeFn).
   Ticket SubmitRead(const std::string& key, Buffer dst, Priority priority,
                     CompletionFn on_complete = nullptr, int flow_tag = -1,
-                    int tenant_tag = 0);
+                    int tenant_tag = 0, FinalizeFn finalize = nullptr);
 
   /// DWRR weight of `tenant` in every priority class (clamped >= 1;
   /// default 1). Takes effect for requests not yet served.
@@ -217,6 +231,7 @@ class IoScheduler {
     int64_t size;
     Priority priority;
     CompletionFn on_complete;
+    FinalizeFn finalize;            // reads only; may fail the attempt
     int flow_tag = -1;
     int tenant_tag = 0;
     // Completions of strictly-higher classes at enqueue time (critical

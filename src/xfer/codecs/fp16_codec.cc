@@ -1,0 +1,79 @@
+#include <cstring>
+#include <memory>
+
+#include "common/fp16.h"
+#include "xfer/codec.h"
+
+namespace ratel {
+
+namespace {
+
+/// Float32 -> IEEE binary16 demotion, halving the store footprint of
+/// activation spills (the A16 leg is fp16-tolerant by construction —
+/// mixed-precision training already computes on half activations).
+/// Round-to-nearest-even on encode, exact widening on decode, so
+/// half-representable values round-trip bitwise. The trailing
+/// `logical % 4` bytes of a non-float-aligned blob ride along verbatim.
+class Fp16Codec : public Codec {
+ public:
+  const char* name() const override { return "fp16"; }
+  CodecId id() const override { return CodecId::kFp16; }
+  bool lossless() const override { return false; }
+
+  int64_t EncodedPayloadSize(int64_t logical) const override {
+    const int64_t floats = logical / 4;
+    return floats * 2 + (logical % 4);
+  }
+
+  void EncodePayload(const uint8_t* src, int64_t logical,
+                     uint8_t* dst) const override {
+    const int64_t floats = logical / 4;
+    for (int64_t i = 0; i < floats; ++i) {
+      float value;
+      std::memcpy(&value, src + i * 4, sizeof(value));
+      const Fp16 half = FloatToHalf(value);
+      std::memcpy(dst + i * 2, &half, sizeof(half));
+    }
+    const int64_t tail = logical % 4;
+    if (tail > 0) {
+      std::memcpy(dst + floats * 2, src + floats * 4,
+                  static_cast<size_t>(tail));
+    }
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const Codec> MakeFp16Codec() {
+  static const std::shared_ptr<const Codec> kInstance =
+      std::make_shared<Fp16Codec>();
+  return kInstance;
+}
+
+namespace codec_internal {
+
+Status DecodeFp16Payload(const uint8_t* payload, int64_t payload_bytes,
+                         uint8_t* dst, int64_t logical) {
+  const int64_t floats = logical / 4;
+  const int64_t tail = logical % 4;
+  if (payload_bytes != floats * 2 + tail) {
+    return Status::DataLoss("fp16 payload is " +
+                            std::to_string(payload_bytes) + " bytes, want " +
+                            std::to_string(floats * 2 + tail));
+  }
+  for (int64_t i = 0; i < floats; ++i) {
+    Fp16 half;
+    std::memcpy(&half, payload + i * 2, sizeof(half));
+    const float value = HalfToFloat(half);
+    std::memcpy(dst + i * 4, &value, sizeof(value));
+  }
+  if (tail > 0) {
+    std::memcpy(dst + floats * 4, payload + floats * 2,
+                static_cast<size_t>(tail));
+  }
+  return Status::Ok();
+}
+
+}  // namespace codec_internal
+
+}  // namespace ratel

@@ -1,0 +1,53 @@
+#include <cstring>
+#include <memory>
+
+#include "xfer/codec.h"
+
+namespace ratel {
+
+namespace {
+
+/// Verbatim bytes inside a CRC-protected frame: pays the frame-encode
+/// copy to buy end-to-end integrity on flows whose contents must stay
+/// exact. (The no-codec default skips the frame entirely and is the
+/// byte-identical pre-codec store path.)
+class IdentityCodec : public Codec {
+ public:
+  const char* name() const override { return "identity"; }
+  CodecId id() const override { return CodecId::kIdentity; }
+  bool lossless() const override { return true; }
+
+  int64_t EncodedPayloadSize(int64_t logical) const override {
+    return logical;
+  }
+
+  void EncodePayload(const uint8_t* src, int64_t logical,
+                     uint8_t* dst) const override {
+    if (logical > 0) std::memcpy(dst, src, static_cast<size_t>(logical));
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const Codec> MakeIdentityCodec() {
+  static const std::shared_ptr<const Codec> kInstance =
+      std::make_shared<IdentityCodec>();
+  return kInstance;
+}
+
+namespace codec_internal {
+
+Status DecodeIdentityPayload(const uint8_t* payload, int64_t payload_bytes,
+                             uint8_t* dst, int64_t logical) {
+  if (payload_bytes != logical) {
+    return Status::DataLoss("identity payload is " +
+                            std::to_string(payload_bytes) + " bytes, want " +
+                            std::to_string(logical));
+  }
+  if (logical > 0) std::memcpy(dst, payload, static_cast<size_t>(logical));
+  return Status::Ok();
+}
+
+}  // namespace codec_internal
+
+}  // namespace ratel

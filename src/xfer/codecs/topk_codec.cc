@@ -1,0 +1,124 @@
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "xfer/codec.h"
+
+namespace ratel {
+
+namespace {
+
+/// Top-k sparsification for gradient-style flows (ZenFlow/LSP-Offload
+/// lineage): the k largest-magnitude float32 elements persist as
+/// (uint32 index, float32 value) pairs, everything else decodes to
+/// zero. Pairs are stored with indices strictly ascending, so decode
+/// is a forward scatter and the on-disk bytes are a deterministic
+/// function of the input. Magnitude ties break toward the lower index
+/// (comparison is on the absolute-value bit pattern — a total order
+/// that also ranks NaNs deterministically). The trailing `logical % 4`
+/// bytes ride along verbatim.
+class TopKCodec : public Codec {
+ public:
+  explicit TopKCodec(int64_t k) : k_(k) { RATEL_CHECK(k >= 1); }
+
+  const char* name() const override { return "topk"; }
+  CodecId id() const override { return CodecId::kTopK; }
+  bool lossless() const override { return false; }
+
+  int64_t EncodedPayloadSize(int64_t logical) const override {
+    const int64_t floats = logical / 4;
+    const int64_t kept = std::min(k_, floats);
+    return kept * 8 + (logical % 4);
+  }
+
+  void EncodePayload(const uint8_t* src, int64_t logical,
+                     uint8_t* dst) const override {
+    const int64_t floats = logical / 4;
+    const int64_t kept = std::min(k_, floats);
+    std::vector<uint32_t> order(static_cast<size_t>(floats));
+    for (int64_t i = 0; i < floats; ++i) {
+      order[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
+    }
+    const auto abs_bits = [src](uint32_t index) {
+      uint32_t bits;
+      std::memcpy(&bits, src + static_cast<int64_t>(index) * 4, sizeof(bits));
+      return bits & 0x7FFFFFFFu;
+    };
+    const auto larger = [&abs_bits](uint32_t a, uint32_t b) {
+      const uint32_t ma = abs_bits(a), mb = abs_bits(b);
+      if (ma != mb) return ma > mb;
+      return a < b;
+    };
+    if (kept < floats) {
+      std::nth_element(order.begin(), order.begin() + kept, order.end(),
+                       larger);
+      order.resize(static_cast<size_t>(kept));
+    }
+    std::sort(order.begin(), order.end());
+    for (int64_t i = 0; i < kept; ++i) {
+      const uint32_t index = order[static_cast<size_t>(i)];
+      std::memcpy(dst + i * 8, &index, sizeof(index));
+      std::memcpy(dst + i * 8 + 4, src + static_cast<int64_t>(index) * 4, 4);
+    }
+    const int64_t tail = logical % 4;
+    if (tail > 0) {
+      std::memcpy(dst + kept * 8, src + floats * 4,
+                  static_cast<size_t>(tail));
+    }
+  }
+
+ private:
+  int64_t k_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Codec> MakeTopKCodec(int64_t k) {
+  return std::make_shared<TopKCodec>(k);
+}
+
+namespace codec_internal {
+
+Status DecodeTopKPayload(const uint8_t* payload, int64_t payload_bytes,
+                         uint8_t* dst, int64_t logical) {
+  const int64_t floats = logical / 4;
+  const int64_t tail = logical % 4;
+  if (payload_bytes < tail || (payload_bytes - tail) % 8 != 0) {
+    return Status::DataLoss("topk payload size " +
+                            std::to_string(payload_bytes) +
+                            " does not hold whole (index, value) pairs");
+  }
+  const int64_t kept = (payload_bytes - tail) / 8;
+  if (kept > floats) {
+    return Status::DataLoss("topk payload holds " + std::to_string(kept) +
+                            " pairs for only " + std::to_string(floats) +
+                            " elements");
+  }
+  if (floats > 0) {
+    std::memset(dst, 0, static_cast<size_t>(floats * 4));
+  }
+  int64_t previous = -1;
+  for (int64_t i = 0; i < kept; ++i) {
+    uint32_t index;
+    std::memcpy(&index, payload + i * 8, sizeof(index));
+    if (static_cast<int64_t>(index) <= previous ||
+        static_cast<int64_t>(index) >= floats) {
+      return Status::DataLoss("topk pair index " + std::to_string(index) +
+                              " out of order or out of range");
+    }
+    previous = static_cast<int64_t>(index);
+    std::memcpy(dst + static_cast<int64_t>(index) * 4, payload + i * 8 + 4,
+                4);
+  }
+  if (tail > 0) {
+    std::memcpy(dst + floats * 4, payload + kept * 8,
+                static_cast<size_t>(tail));
+  }
+  return Status::Ok();
+}
+
+}  // namespace codec_internal
+
+}  // namespace ratel

@@ -84,6 +84,13 @@ TransferStats Delta(const TransferStats& later, const TransferStats& earlier) {
     out.backoff_seconds = a.backoff_seconds - b.backoff_seconds;
     out.bytes_copied = a.bytes_copied - b.bytes_copied;
     out.allocs_avoided = a.allocs_avoided - b.allocs_avoided;
+    out.encoded_bytes_written = a.encoded_bytes_written - b.encoded_bytes_written;
+    out.encoded_bytes_read = a.encoded_bytes_read - b.encoded_bytes_read;
+    out.encodes = a.encodes - b.encodes;
+    out.decodes = a.decodes - b.decodes;
+    out.decode_failures = a.decode_failures - b.decode_failures;
+    out.encode_seconds = a.encode_seconds - b.encode_seconds;
+    out.decode_seconds = a.decode_seconds - b.decode_seconds;
   }
   d.cache.hits = later.cache.hits - earlier.cache.hits;
   d.cache.misses = later.cache.misses - earlier.cache.misses;
@@ -133,6 +140,8 @@ Result<std::unique_ptr<TransferEngine>> TransferEngine::Open(
     engine->cache_ = std::make_unique<TierCache>(engine->store_.get(),
                                                  options.host_cache_bytes);
   }
+  RATEL_ASSIGN_OR_RETURN(engine->codecs_,
+                         CodecRegistry::Create(options.codec));
   IoScheduler::Tuning tuning;
   tuning.background_aging_limit = options.background_aging_limit;
   tuning.read_channel = engine->read_channel_.get();
@@ -157,22 +166,48 @@ TransferEngine::Ticket TransferEngine::SubmitWriteImpl(FlowClass flow,
                                                        int64_t staging_copies) {
   const TenantId tenant = CurrentTenant();
   const int64_t size = payload.size();
+  const Codec* codec = codecs_.ForFlow(flow);
   int64_t avoided = 0;
   // Write-through: the DRAM tier takes a *reference* to the published
-  // payload — visible to same-key reads immediately, and one whole
-  // allocation+copy cheaper than the old copy-per-tier design.
+  // logical payload — visible to same-key reads immediately, and one
+  // whole allocation+copy cheaper than the old copy-per-tier design.
+  // Lossy codecs skip the admit: a reader must observe the store round
+  // trip decode(encode(x)) whether or not the key is still resident,
+  // or the delivered value would depend on eviction timing.
   if (cache_ != nullptr) {
-    cache_->AdmitBuffer(key, payload, tenant);
-    ++avoided;
+    if (codec == nullptr || codec->lossless()) {
+      cache_->AdmitBuffer(key, payload, tenant);
+      ++avoided;
+    } else {
+      // Overwriting a key whose previous *decode* was promoted must
+      // drop that entry, or later reads would serve the prior value's
+      // bytes from DRAM instead of this write's round trip.
+      cache_->Invalidate(key);
+    }
   }
   // Buffer-native callers staged nothing: the scheduler's old internal
   // payload copy is avoided too.
   if (staging_copies == 0) ++avoided;
-  AcquireInflight(tenant, size);
+  // Codec'd flows ship a framed encoding to the store instead of the
+  // logical bytes: encode into one pooled buffer, publish once.
+  Buffer store_payload;
+  int64_t store_bytes = size;
+  double encode_seconds = 0.0;
+  if (codec == nullptr) {
+    store_payload = std::move(payload);
+  } else {
+    store_bytes = FrameSizeFor(*codec, size);
+    const auto enc0 = std::chrono::steady_clock::now();
+    store_payload = pool_.Lease(store_bytes);
+    EncodeFrame(*codec, payload.data(), size, store_payload.mutable_data());
+    encode_seconds = SecondsSince(enc0);
+    payload.reset();
+  }
+  AcquireInflight(tenant, store_bytes);
   const auto start = std::chrono::steady_clock::now();
   IoScheduler::Ticket io_ticket = sched_->SubmitWrite(
-      key, std::move(payload), FlowPriority(flow),
-      [this, flow, tenant, size, start](const IoResult& result) {
+      key, std::move(store_payload), FlowPriority(flow),
+      [this, flow, tenant, size, store_bytes, start](const IoResult& result) {
         // Hoisted out of the accounting lambda: AccountLocked applies it
         // twice and both copies must receive the identical delta.
         const double elapsed = SecondsSince(start);
@@ -186,18 +221,23 @@ TransferEngine::Ticket TransferEngine::SubmitWriteImpl(FlowClass flow,
             if (result.gave_up) ++c.giveups;
             if (result.status.ok()) {
               c.bytes_written += size;
+              c.encoded_bytes_written += store_bytes;
             } else {
               ++c.errors;
             }
           });
         }
-        ReleaseInflight(tenant, size);
+        ReleaseInflight(tenant, store_bytes);
       },
       static_cast<int>(flow), tenant);
   std::lock_guard<std::mutex> lock(mu_);
   AccountLocked(tenant, flow, [&](FlowCounters& c) {
     c.bytes_copied += staging_copies * size;
     c.allocs_avoided += avoided;
+    if (codec != nullptr) {
+      ++c.encodes;
+      c.encode_seconds += encode_seconds;
+    }
   });
   Ticket ticket = next_ticket_++;
   inflight_.emplace(ticket, io_ticket);
@@ -221,6 +261,86 @@ TransferEngine::Ticket TransferEngine::SubmitWrite(FlowClass flow,
   return SubmitWriteImpl(flow, key, std::move(payload), /*staging_copies=*/0);
 }
 
+TransferEngine::Ticket TransferEngine::SubmitCodecReadMiss(
+    FlowClass flow, const std::string& key, const Codec& codec, int64_t size,
+    std::function<int64_t(const Buffer&)> deliver) {
+  const TenantId tenant = CurrentTenant();
+  // The frame size is a pure function of the logical size (the codec
+  // contract), so no metadata round trip is needed to size the fetch.
+  const int64_t frame_bytes = FrameSizeFor(codec, size);
+  AcquireInflight(tenant, frame_bytes);
+  Buffer frame = pool_.Lease(frame_bytes);
+  Buffer dst = pool_.Lease(size);
+  // Per-request decode tallies, filled by the worker's finalize attempts
+  // and folded into the flow counters at completion. Finalize and
+  // completion run sequentially on the same worker, so plain fields are
+  // safe.
+  struct DecodeState {
+    int64_t decodes = 0;
+    int64_t failures = 0;
+    double seconds = 0.0;
+  };
+  auto decode_state = std::make_shared<DecodeState>();
+  const auto start = std::chrono::steady_clock::now();
+  const bool count_miss = cache_ != nullptr;
+  IoScheduler::Ticket io_ticket = sched_->SubmitRead(
+      key, frame, FlowPriority(flow),
+      [this, flow, tenant, key, dst, frame_bytes, size, start, count_miss,
+       decode_state, deliver = std::move(deliver)](const IoResult& result) {
+        bool promoted = false;
+        int64_t delivered_copy = 0;
+        if (result.status.ok()) {
+          delivered_copy = deliver(dst);
+          if (cache_ != nullptr) {
+            // Promote the *decoded* bytes by reference. A later DRAM
+            // hit then returns exactly what this store round trip
+            // decoded — consistent for lossy codecs too, because the
+            // persisted frame would decode to the same bytes again.
+            cache_->AdmitBuffer(key, dst, tenant);
+            promoted = true;
+          }
+        }
+        const double elapsed = SecondsSince(start);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          AccountLocked(tenant, flow, [&](FlowCounters& c) {
+            ++c.reads;
+            if (count_miss) ++c.cache_misses;
+            if (promoted) ++c.allocs_avoided;
+            c.bytes_copied += delivered_copy;
+            c.read_seconds += elapsed;
+            c.retries += result.attempts - 1;
+            c.backoff_seconds += result.backoff_seconds;
+            if (result.gave_up) ++c.giveups;
+            c.decodes += decode_state->decodes;
+            c.decode_failures += decode_state->failures;
+            c.decode_seconds += decode_state->seconds;
+            if (result.status.ok()) {
+              c.bytes_read += size;
+              c.encoded_bytes_read += frame_bytes;
+            } else {
+              ++c.errors;
+            }
+          });
+        }
+        ReleaseInflight(tenant, frame_bytes);
+      },
+      static_cast<int>(flow), tenant,
+      /*finalize=*/[frame, dst, size, decode_state]() mutable -> Status {
+        const auto dec0 = std::chrono::steady_clock::now();
+        ++decode_state->decodes;
+        Status status =
+            DecodeFrame(frame.data(), frame.size(), dst.mutable_data(), size);
+        decode_state->seconds += SecondsSince(dec0);
+        if (!status.ok()) ++decode_state->failures;
+        return status;
+      });
+  std::lock_guard<std::mutex> lock(mu_);
+  Ticket ticket = next_ticket_++;
+  inflight_.emplace(ticket, io_ticket);
+  return ticket;
+}
+
 TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
                                                   const std::string& key,
                                                   std::vector<uint8_t>* out,
@@ -242,6 +362,16 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
       resolved_.emplace(ticket, Status::Ok());
       return ticket;
     }
+  }
+  if (const Codec* codec = codecs_.ForFlow(flow)) {
+    out->resize(size);
+    return SubmitCodecReadMiss(flow, key, *codec, size,
+                               [out, size](const Buffer& dst) {
+                                 if (size > 0) {
+                                   std::memcpy(out->data(), dst.data(), size);
+                                 }
+                                 return size;
+                               });
   }
   AcquireInflight(tenant, size);
   const auto start = std::chrono::steady_clock::now();
@@ -271,6 +401,7 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
             if (result.gave_up) ++c.giveups;
             if (result.status.ok()) {
               c.bytes_read += size;
+              c.encoded_bytes_read += size;  // raw path: encoded == logical
             } else {
               ++c.errors;
             }
@@ -307,6 +438,13 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
       return ticket;
     }
   }
+  if (const Codec* codec = codecs_.ForFlow(flow)) {
+    return SubmitCodecReadMiss(flow, key, *codec, size,
+                               [out](const Buffer& dst) {
+                                 *out = dst;  // zero-copy delivery
+                                 return int64_t{0};
+                               });
+  }
   AcquireInflight(tenant, size);
   Buffer dst = pool_.Lease(size);
   const auto start = std::chrono::steady_clock::now();
@@ -338,6 +476,7 @@ TransferEngine::Ticket TransferEngine::SubmitRead(FlowClass flow,
             if (result.gave_up) ++c.giveups;
             if (result.status.ok()) {
               c.bytes_read += size;
+              c.encoded_bytes_read += size;  // raw path: encoded == logical
             } else {
               ++c.errors;
             }

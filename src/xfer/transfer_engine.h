@@ -4,6 +4,7 @@
 #include <array>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -18,27 +19,11 @@
 #include "storage/fault_injector.h"
 #include "storage/io_scheduler.h"
 #include "storage/throttled_channel.h"
+#include "xfer/codec.h"
+#include "xfer/flow.h"
 #include "xfer/tenant.h"
 
 namespace ratel {
-
-/// Traffic class of a transfer — the paper's holistic view (§IV-C/IV-D)
-/// made an enforced runtime boundary: every byte the training loop moves
-/// between host and the SSD array is tagged with the leg it belongs to,
-/// so one component can arbitrate and account competing flows.
-enum class FlowClass {
-  kParamFetch = 0,      // P16 swap-in before forward (M->G, §IV-A)
-  kGradState,           // P32/OS32 stream of the out-of-core Adam (§IV-C)
-  kActivationSpill,     // A16 swap-out/swap-in around backward (§IV-D)
-  kCheckpoint,          // master-weight snapshots (beyond-paper traffic)
-  kDeferredState,       // deferred-tail optimizer writebacks (ZenFlow-style
-                        // background epochs; must never block a param fetch)
-};
-
-inline constexpr int kNumFlowClasses = 5;
-
-/// Stable lowercase name, e.g. "param_fetch".
-const char* FlowClassName(FlowClass flow);
 
 /// Scheduling class a flow maps to: fetch/spill traffic stalls the
 /// "GPU", state and checkpoint traffic only has to finish eventually.
@@ -75,6 +60,42 @@ struct FlowCounters {
   /// now shares the published buffer (DRAM ref, scheduler ref) and one
   /// per read served or promoted by reference.
   int64_t allocs_avoided = 0;
+  /// ---- Codec accounting (see xfer/codec.h). bytes_read/bytes_written
+  /// above always count *logical* (decoded) bytes; the encoded_* pair
+  /// counts what actually crossed the store leg, so for every flow —
+  /// codec'd or raw — summing encoded bytes over flows reconciles
+  /// exactly against the store totals (cache hits contribute 0). On a
+  /// raw (no-codec) flow encoded == logical. ----
+  int64_t encoded_bytes_written = 0;
+  int64_t encoded_bytes_read = 0;
+  /// Frame encodes performed at submit (one per codec'd write).
+  int64_t encodes = 0;
+  /// Frame verify+decode attempts on the read path (one per store-read
+  /// attempt that reached the worker's finalize hook; retries of a
+  /// corrupt frame each count).
+  int64_t decodes = 0;
+  /// Decode attempts rejected by the frame CRC / decoder (bit rot, torn
+  /// frames). Each failed attempt counts; a blob whose corruption
+  /// persists through the whole retry budget also counts one error.
+  int64_t decode_failures = 0;
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+
+  /// Logical-per-encoded byte ratios of the store leg (1.0 when the
+  /// flow moved no store bytes). Reconciles exactly against the raw
+  /// counters by construction: ratio * encoded bytes == logical bytes.
+  double WriteCompressionRatio() const {
+    return encoded_bytes_written > 0
+               ? static_cast<double>(bytes_written) /
+                     static_cast<double>(encoded_bytes_written)
+               : 1.0;
+  }
+  double ReadCompressionRatio() const {
+    return encoded_bytes_read > 0
+               ? static_cast<double>(bytes_read - bytes_from_cache) /
+                     static_cast<double>(encoded_bytes_read)
+               : 1.0;
+  }
 };
 
 /// Point-in-time snapshot of the engine's accounting: per-flow counters
@@ -132,6 +153,13 @@ struct TransferOptions {
   /// multitenant bench. Irrelevant with a single tenant.
   bool fair_share = true;
   int64_t fair_quantum_bytes = 64 * 1024;
+  /// Per-flow transform codecs on the store path (see xfer/codec.h).
+  /// A flow with no codec (the default) runs today's byte-identical
+  /// raw path; a codec'd flow frames/encodes on write and
+  /// CRC-verifies/decodes on read, DRAM tier always holding logical
+  /// bytes. Lossy codecs skip the write-side DRAM admit so the value a
+  /// reader observes never depends on cache residency.
+  CodecConfig codec;
 };
 
 /// The single tiered facade over the Host <-> SSD hierarchy: owns the
@@ -283,6 +311,9 @@ class TransferEngine {
   /// failure model is disabled.
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// The per-flow codec table (built from TransferOptions::codec).
+  const CodecRegistry& codecs() const { return codecs_; }
+
  private:
   explicit TransferEngine(const TransferOptions& options);
 
@@ -311,9 +342,21 @@ class TransferEngine {
   /// Shared write leg: publishes `payload` to the DRAM tier (by ref)
   /// and the scheduler (by ref). `staging_copies` is the number of host
   /// copies the caller already performed to stage the payload (1 for
-  /// the legacy pointer API, 0 for buffer-native).
+  /// the legacy pointer API, 0 for buffer-native). When the flow has a
+  /// codec, the logical payload is framed into a second pooled buffer
+  /// and the *frame* goes to the store.
   Ticket SubmitWriteImpl(FlowClass flow, const std::string& key,
                          Buffer payload, int64_t staging_copies);
+
+  /// Codec-path read miss shared by both SubmitRead overloads: fetches
+  /// the frame, CRC-verifies + decodes it in the worker's finalize hook
+  /// (retrying corrupt frames per RetryPolicy), then delivers the
+  /// decoded buffer through `deliver` before accounting. `deliver` runs
+  /// on the worker only when the read succeeded; it returns the number
+  /// of bytes it memcpy'd (0 for zero-copy delivery).
+  Ticket SubmitCodecReadMiss(FlowClass flow, const std::string& key,
+                             const Codec& codec, int64_t size,
+                             std::function<int64_t(const Buffer&)> deliver);
 
   TransferOptions options_;
   std::unique_ptr<FaultInjector> owned_injector_;  // outlives store/sched
@@ -323,6 +366,7 @@ class TransferEngine {
   std::unique_ptr<ThrottledChannel> write_channel_;  // null when unthrottled
   std::unique_ptr<TierCache> cache_;                 // null when disabled
   BufferPool pool_;  // staging arena; outlives the scheduler's requests
+  CodecRegistry codecs_;
   std::unique_ptr<IoScheduler> sched_;               // destroyed first
 
   mutable std::mutex mu_;  // guards counters_, tenant state, ticket maps

@@ -8,8 +8,10 @@
 // chunk grid, and whole TinyGpt training steps.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -18,6 +20,7 @@
 #include "optim/cpu_adam.h"
 #include "runtime/compute_pool.h"
 #include "runtime/dataset.h"
+#include "runtime/ratel_trainer.h"
 
 namespace ratel {
 namespace {
@@ -198,6 +201,93 @@ TEST(DeterminismTest, GemmBackwardIsBitwiseIdenticalAcrossThreadCounts) {
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_TRUE(BitwiseEqual(serial[i], parallel[i])) << "tensor " << i;
   }
+}
+
+// ---------- Offload codecs vs bitwise determinism ----------
+
+// Same TinyGpt workload, but through a full RatelTrainer whose
+// activation spills take a real store round trip (host_cache_bytes is
+// left 0, so every spilled tensor is encoded, persisted, fetched, and
+// decoded — the codec is on the critical path, not shadowed by DRAM).
+
+TrainRun TrainTrainerTinyGpt(int threads, int steps,
+                             const std::string& activation_codec,
+                             const std::string& tag) {
+  SetComputeThreads(threads);
+  ag::TinyGptConfig cfg;
+  cfg.vocab_size = 48;
+  cfg.seq_len = 12;
+  cfg.hidden_dim = 32;
+  cfg.num_heads = 4;
+  cfg.num_layers = 2;
+  ag::TinyGpt model(cfg, /*seed=*/77);
+
+  TrainerOptions opts;
+  opts.store_dir = ::testing::TempDir() + "/ratel_det_codec_" + tag + "_" +
+                   std::to_string(threads) + "_" +
+                   std::to_string(::getpid());
+  opts.spill_activations = true;
+  opts.codec.spec(FlowClass::kActivationSpill) = activation_codec;
+  auto trainer = RatelTrainer::Create(&model, opts);
+  EXPECT_TRUE(trainer.ok()) << trainer.status().message();
+
+  SyntheticDataset dataset(SyntheticTask::kAffineMap, cfg.vocab_size,
+                           cfg.seq_len, /*seed=*/7);
+  const int64_t batch = 2;
+  TrainRun run;
+  for (int step = 1; step <= steps; ++step) {
+    const TokenBatch b = dataset.NextBatch(batch);
+    auto loss = (*trainer)->TrainStep(b.ids, b.targets, batch);
+    EXPECT_TRUE(loss.ok());
+    run.losses.push_back(loss.ok() ? *loss : 0.0f);
+  }
+  for (auto& [name, var] : model.parameters()) {
+    std::vector<float> master;
+    EXPECT_TRUE((*trainer)->optimizer().FetchMasterParams(name, &master).ok());
+    run.params.push_back(std::move(master));
+  }
+  SetComputeThreads(1);
+  return run;
+}
+
+void ExpectBitwiseIdenticalRuns(const TrainRun& a, const TrainRun& b) {
+  ASSERT_EQ(a.losses.size(), b.losses.size());
+  for (size_t i = 0; i < a.losses.size(); ++i) {
+    EXPECT_EQ(a.losses[i], b.losses[i]) << "step " << i + 1;
+  }
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (size_t p = 0; p < a.params.size(); ++p) {
+    EXPECT_TRUE(BitwiseEqual(a.params[p], b.params[p]))
+        << "parameter tensor " << p << " diverged";
+  }
+}
+
+TEST(DeterminismTest, Fp16ActivationCodecIsBitwiseIdenticalAcrossThreads) {
+  // The lossy spill codec changes *what* the backward pass sees — but
+  // it must change it deterministically: encode is a pure elementwise
+  // demotion and decode a pure promotion, so thread count still cannot
+  // move a single bit of the 3-step trajectory.
+  const TrainRun serial =
+      TrainTrainerTinyGpt(/*threads=*/1, /*steps=*/3, "fp16", "f16");
+  const TrainRun parallel =
+      TrainTrainerTinyGpt(/*threads=*/4, /*steps=*/3, "fp16", "f16");
+  ExpectBitwiseIdenticalRuns(serial, parallel);
+}
+
+TEST(DeterminismTest, IdentityCodecTrajectoryMatchesTheRawPathBitwise) {
+  // The PR-acceptance pin: framing spilled activations with the
+  // lossless identity codec (CRC + header, different store bytes) must
+  // reproduce the no-codec trajectory bit for bit — the codec layer
+  // may only transform the store leg, never the training computation.
+  const TrainRun raw =
+      TrainTrainerTinyGpt(/*threads=*/1, /*steps=*/3, "", "raw");
+  const TrainRun framed =
+      TrainTrainerTinyGpt(/*threads=*/1, /*steps=*/3, "identity", "id");
+  ExpectBitwiseIdenticalRuns(raw, framed);
+  // And the framed path stays thread-invariant too.
+  const TrainRun framed4 =
+      TrainTrainerTinyGpt(/*threads=*/4, /*steps=*/3, "identity", "id");
+  ExpectBitwiseIdenticalRuns(framed, framed4);
 }
 
 }  // namespace

@@ -456,6 +456,186 @@ TEST(FaultMatrixTest, DeadStripeOnDeferredStateRestripesInTheBackground) {
   EXPECT_EQ(stats.Flow(FlowClass::kParamFetch).retries, 0);
 }
 
+// ---------- Codec column: faults on encoded frames ----------
+
+// The codec path must inherit the whole fault matrix: store-level
+// faults on *framed* traffic recover exactly like raw traffic, and the
+// frame CRC adds a detection layer the raw path lacks — corruption
+// that survives the store round trip (bit rot, a torn frame) fails the
+// decode, is retried per RetryPolicy, and surfaces as kDataLoss after
+// the budget instead of ever decoding silent garbage.
+
+TEST(FaultMatrixTest, CodecFramedFlowRecoversFromEveryFaultKind) {
+  int cell = 0;
+  for (FaultKind kind : kAllKinds) {
+    SCOPED_TRACE(std::string(FaultKindName(kind)) + " x identity codec");
+    TransferOptions opts = FastRetryOptions(
+        TempDir(std::string("cx_") + FaultKindName(kind)));
+    opts.codec.spec(FlowClass::kCheckpoint) = "identity";
+    opts.fault = ConfigFor(kind, /*seed=*/0xC0DEC0u + cell);
+    opts.fault.flow_mask = 1u << static_cast<int>(FlowClass::kCheckpoint);
+    auto engine = TransferEngine::Open(opts);
+    ASSERT_TRUE(engine.ok()) << engine.status().message();
+    (*engine)->fault_injector()->SetSleepFn([](double) {});
+
+    for (int i = 0; i < kNumBlobs; ++i) {
+      const std::vector<uint8_t> data = BlobData(i);
+      const std::string key = "c/" + std::to_string(i);
+      ASSERT_TRUE((*engine)
+                      ->Write(FlowClass::kCheckpoint, key, data.data(),
+                              kBlobBytes)
+                      .ok());
+      std::vector<uint8_t> out(kBlobBytes);
+      ASSERT_TRUE(
+          (*engine)->Read(FlowClass::kCheckpoint, key, out.data(), kBlobBytes)
+              .ok());
+      EXPECT_EQ(out, data) << "blob " << i << " corrupted";
+    }
+
+    const TransferStats stats = (*engine)->stats();
+    const FlowCounters& c = stats.Flow(FlowClass::kCheckpoint);
+    EXPECT_EQ(c.bytes_written, kNumBlobs * kBlobBytes);
+    EXPECT_EQ(c.bytes_read, kNumBlobs * kBlobBytes);
+    EXPECT_EQ(c.errors, 0);
+    EXPECT_EQ(c.giveups, 0);
+    // Every successful read decoded exactly one frame; store-level
+    // faults never produced a bad frame (the store's own detection
+    // retried them *before* the decode hook), so no decode failures.
+    EXPECT_EQ(c.encodes, kNumBlobs);
+    EXPECT_GE(c.decodes, kNumBlobs);
+    EXPECT_EQ(c.decode_failures, 0);
+    if (kind == FaultKind::kReadError || kind == FaultKind::kWriteError ||
+        kind == FaultKind::kTornWrite) {
+      EXPECT_GT(c.retries, 0);
+    }
+    ++cell;
+  }
+}
+
+// Plants corruption that the store itself cannot see: a doctored frame
+// written through a raw (codec-less) flow to the key the codec'd flow
+// will read. Only the frame CRC stands between that and garbage output.
+void PlantCorruptFrame(TransferEngine* engine, const std::string& key,
+                       const std::vector<uint8_t>& logical,
+                       size_t flip_offset) {
+  auto codec = MakeIdentityCodec();
+  std::vector<uint8_t> frame(
+      FrameSizeFor(*codec, static_cast<int64_t>(logical.size())));
+  EncodeFrame(*codec, logical.data(), static_cast<int64_t>(logical.size()),
+              frame.data());
+  frame[flip_offset] ^= 0x10;  // bit rot
+  ASSERT_TRUE(engine
+                  ->Write(FlowClass::kParamFetch, key, frame.data(),
+                          static_cast<int64_t>(frame.size()))
+                  .ok());
+}
+
+TEST(FaultMatrixTest, BitRotInAFrameIsDetectedRetriedAndSurfaced) {
+  TransferOptions opts = FastRetryOptions(TempDir("bitrot"));
+  opts.codec.spec(FlowClass::kCheckpoint) = "identity";
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+
+  const std::vector<uint8_t> data = BlobData(0);
+  // Payload rot and header rot both funnel into the same kDataLoss.
+  PlantCorruptFrame(engine->get(), "rot/payload", data,
+                    /*flip_offset=*/static_cast<size_t>(32 + 1000));
+  PlantCorruptFrame(engine->get(), "rot/header", data, /*flip_offset=*/9);
+
+  for (const std::string key : {"rot/payload", "rot/header"}) {
+    std::vector<uint8_t> out(kBlobBytes, 0xEE);
+    const Status s =
+        (*engine)->Read(FlowClass::kCheckpoint, key, out.data(), kBlobBytes);
+    // Never silent garbage: the read *fails*, with the data-loss code.
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss) << key;
+  }
+
+  const TransferStats stats = (*engine)->stats();
+  const FlowCounters& c = stats.Flow(FlowClass::kCheckpoint);
+  // Persistent corruption is retried like a torn write — the full
+  // budget per read — then surfaced and counted, every attempt landing
+  // in the decode_failures column.
+  EXPECT_EQ(c.decodes, 2 * opts.retry.max_attempts);
+  EXPECT_EQ(c.decode_failures, 2 * opts.retry.max_attempts);
+  EXPECT_EQ(c.retries, 2 * (opts.retry.max_attempts - 1));
+  EXPECT_EQ(c.giveups, 2);
+  EXPECT_EQ(c.errors, 2);
+}
+
+TEST(FaultMatrixTest, TornFrameTailIsDetectedByThePayloadCrc) {
+  // A torn frame: the header and the first half of the payload are
+  // intact, the tail is stale garbage — exactly what a power-cut
+  // mid-write leaves behind. The payload CRC must reject it.
+  TransferOptions opts = FastRetryOptions(TempDir("tornframe"));
+  opts.codec.spec(FlowClass::kGradState) = "identity";
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+
+  const std::vector<uint8_t> data = BlobData(1);
+  auto codec = MakeIdentityCodec();
+  std::vector<uint8_t> frame(FrameSizeFor(*codec, kBlobBytes));
+  EncodeFrame(*codec, data.data(), kBlobBytes, frame.data());
+  for (size_t i = frame.size() / 2; i < frame.size(); ++i) {
+    frame[i] = 0xA5;  // stale tail
+  }
+  ASSERT_TRUE((*engine)
+                  ->Write(FlowClass::kParamFetch, "torn", frame.data(),
+                          static_cast<int64_t>(frame.size()))
+                  .ok());
+
+  std::vector<uint8_t> out(kBlobBytes);
+  EXPECT_EQ(
+      (*engine)->Read(FlowClass::kGradState, "torn", out.data(), kBlobBytes)
+          .code(),
+      StatusCode::kDataLoss);
+  const TransferStats stats = (*engine)->stats();
+  const FlowCounters& c = stats.Flow(FlowClass::kGradState);
+  EXPECT_EQ(c.decode_failures, opts.retry.max_attempts);
+  EXPECT_EQ(c.giveups, 1);
+}
+
+TEST(FaultMatrixTest, TransientReadFaultsOnFramesDecodeAfterRetry) {
+  // Store-level read errors under a codec'd flow: the failed store
+  // attempts never reach the decode hook, the retried attempt decodes
+  // cleanly — transient faults cost retries, not decode failures.
+  TransferOptions opts = FastRetryOptions(TempDir("codec_transient"));
+  opts.codec.spec(FlowClass::kActivationSpill) = "fp16";
+  opts.fault.seed = 0xF1FA;
+  opts.fault.read_error_every = 2;
+  opts.fault.flow_mask = 1u << static_cast<int>(FlowClass::kActivationSpill);
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+
+  Rng rng(8);
+  std::vector<float> vals(kBlobBytes / 4);
+  for (auto& v : vals) v = static_cast<float>(rng.NextGaussian());
+  for (int i = 0; i < kNumBlobs; ++i) {
+    const std::string key = "a/" + std::to_string(i);
+    ASSERT_TRUE((*engine)
+                    ->Write(FlowClass::kActivationSpill, key, vals.data(),
+                            kBlobBytes)
+                    .ok());
+    std::vector<float> out(vals.size());
+    ASSERT_TRUE((*engine)
+                    ->Read(FlowClass::kActivationSpill, key, out.data(),
+                           kBlobBytes)
+                    .ok());
+    for (size_t j = 0; j < vals.size(); ++j) {
+      ASSERT_EQ(out[j], HalfToFloat(FloatToHalf(vals[j]))) << j;
+    }
+  }
+
+  const TransferStats stats = (*engine)->stats();
+  const FlowCounters& c = stats.Flow(FlowClass::kActivationSpill);
+  EXPECT_GT((*engine)->fault_injector()->counts().read_errors, 0);
+  EXPECT_GT(c.retries, 0);
+  EXPECT_EQ(c.giveups, 0);
+  // One successful decode per read; the store-failed attempts never
+  // consumed a decode.
+  EXPECT_EQ(c.decodes, kNumBlobs);
+  EXPECT_EQ(c.decode_failures, 0);
+}
+
 // ---------- Tenant-scoped fault storms (multi-tenant isolation) ----------
 
 TEST(FaultMatrixTest, RetryStormScopedToOneTenantLeavesTheNeighborClean) {

@@ -3,9 +3,11 @@
 // swept across the full Table IV model grid.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <deque>
 #include <string>
 #include <tuple>
@@ -25,6 +27,8 @@
 #include "storage/fair_queue.h"
 #include "storage/fault_injector.h"
 #include "storage/io_scheduler.h"
+#include "xfer/codec.h"
+#include "xfer/transfer_engine.h"
 
 namespace ratel {
 namespace {
@@ -509,6 +513,160 @@ TEST(FairSharePropertyTest, ServedBytesConvergeToConfiguredWeights) {
     EXPECT_NEAR(share, target, 0.05)
         << "tenant " << t << " share " << share << " target " << target;
   }
+}
+
+// ---------- Offload-codec invariants ----------
+
+std::vector<float> RandomFloatTensor(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian()) * 2.0f;
+  return v;
+}
+
+std::vector<float> RoundTrip(const Codec& codec, const std::vector<float>& in) {
+  const int64_t logical = static_cast<int64_t>(in.size()) * 4;
+  std::vector<uint8_t> frame(FrameSizeFor(codec, logical));
+  EncodeFrame(codec, reinterpret_cast<const uint8_t*>(in.data()), logical,
+              frame.data());
+  std::vector<float> out(in.size());
+  EXPECT_TRUE(DecodeFrame(frame.data(), frame.size(),
+                          reinterpret_cast<uint8_t*>(out.data()), logical)
+                  .ok());
+  return out;
+}
+
+TEST(CodecPropertyTest, DecodeEncodeErrorIsBoundedPerCodec) {
+  // Per-codec error law over random tensors and seeds:
+  //   identity — decode(encode(x)) == x, bitwise;
+  //   fp16     — elementwise exactly FloatToHalf rounding, so relative
+  //              error <= 2^-11 for values in the binary16 normal range;
+  //   topk     — kept elements bitwise exact, dropped elements exactly
+  //              zero, so the squared error equals the dropped energy.
+  auto identity = MakeIdentityCodec();
+  auto fp16 = MakeFp16Codec();
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(9000 + seed);
+    const int64_t n = 1 + static_cast<int64_t>(rng.NextBelow(700));
+    const std::vector<float> x = RandomFloatTensor(n, seed);
+
+    const std::vector<float> id_out = RoundTrip(*identity, x);
+    EXPECT_EQ(0, std::memcmp(id_out.data(), x.data(), n * 4)) << seed;
+
+    const std::vector<float> half_out = RoundTrip(*fp16, x);
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(half_out[i], HalfToFloat(FloatToHalf(x[i]))) << seed;
+      const float ax = std::fabs(x[i]);
+      if (ax >= 6.2e-5f && ax <= 65504.0f) {  // binary16 normal range
+        EXPECT_LE(std::fabs(half_out[i] - x[i]), ax * (1.0f / 2048.0f))
+            << "seed " << seed << " i " << i;
+      }
+    }
+
+    const int64_t k = 1 + static_cast<int64_t>(rng.NextBelow(n));
+    auto topk = MakeTopKCodec(k);
+    const std::vector<float> sparse = RoundTrip(*topk, x);
+    double dropped_energy = 0.0, error_energy = 0.0;
+    int64_t kept = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (sparse[i] != 0.0f || x[i] == 0.0f) {
+        ASSERT_EQ(sparse[i], x[i]) << "kept element not exact";
+        ++kept;
+      } else {
+        dropped_energy += static_cast<double>(x[i]) * x[i];
+      }
+      const double e = static_cast<double>(sparse[i]) - x[i];
+      error_energy += e * e;
+    }
+    EXPECT_LE(kept, std::min(k, n));
+    EXPECT_DOUBLE_EQ(error_energy, dropped_energy) << seed;
+  }
+}
+
+TEST(CodecPropertyTest, EncodedFrameSizeIsMonotoneInK) {
+  // More kept coefficients can never shrink a top-k frame, and the size
+  // saturates exactly at k == n (further k buys nothing).
+  for (int64_t n : {1, 7, 64, 333}) {
+    const int64_t logical = n * 4 + 2;  // plus an odd tail
+    int64_t prev = -1;
+    for (int64_t k = 1; k <= n + 8; ++k) {
+      auto codec = MakeTopKCodec(k);
+      const int64_t size = FrameSizeFor(*codec, logical);
+      if (prev >= 0) {
+        EXPECT_GE(size, prev) << "n=" << n << " k=" << k;
+        if (k <= n) {
+          EXPECT_GT(size, prev) << "n=" << n << " k=" << k;
+        } else {
+          EXPECT_EQ(size, prev) << "n=" << n << " k=" << k;
+        }
+      }
+      prev = size;
+    }
+  }
+}
+
+TEST(CodecPropertyTest, CompressionRatioStatsReconcileExactly) {
+  // Mixed codec'd and raw traffic through one engine: for every flow,
+  // ratio * encoded bytes must equal logical bytes *exactly* (the ratio
+  // is defined as their quotient, never sampled), and the per-flow
+  // encoded totals must sum to the store totals byte-for-byte.
+  TransferOptions opts;
+  opts.dir = ::testing::TempDir() + "/ratel_codec_prop_" +
+             std::to_string(::getpid());
+  opts.num_stripes = 4;
+  opts.chunk_bytes = 4096;
+  opts.codec.spec(FlowClass::kActivationSpill) = "fp16";
+  opts.codec.spec(FlowClass::kGradState) = "topk:24";
+  opts.codec.spec(FlowClass::kCheckpoint) = "identity";
+  // kParamFetch and kDeferredState stay raw: encoded == logical there.
+  auto engine = TransferEngine::Open(opts);
+  ASSERT_TRUE(engine.ok());
+
+  Rng rng(321);
+  constexpr FlowClass kFlows[] = {
+      FlowClass::kParamFetch, FlowClass::kGradState,
+      FlowClass::kActivationSpill, FlowClass::kCheckpoint,
+      FlowClass::kDeferredState,
+  };
+  int blob = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (FlowClass flow : kFlows) {
+      const int64_t floats = 16 + static_cast<int64_t>(rng.NextBelow(2048));
+      const std::vector<float> data = RandomFloatTensor(floats, 55 + blob);
+      const int64_t bytes = floats * 4;
+      const std::string key = "b/" + std::to_string(blob++);
+      ASSERT_TRUE((*engine)->Write(flow, key, data.data(), bytes).ok());
+      std::vector<float> out(floats);
+      ASSERT_TRUE((*engine)->Read(flow, key, out.data(), bytes).ok());
+    }
+  }
+
+  const TransferStats stats = (*engine)->stats();
+  int64_t encoded_written = 0, encoded_read = 0;
+  for (int f = 0; f < kNumFlowClasses; ++f) {
+    const FlowCounters& c = stats.flow[f];
+    // Exact reconciliation, not approximate: the ratio times the
+    // encoded bytes reproduces the logical bytes it was derived from.
+    EXPECT_DOUBLE_EQ(
+        c.WriteCompressionRatio() * static_cast<double>(c.encoded_bytes_written),
+        static_cast<double>(c.bytes_written))
+        << "flow " << f;
+    EXPECT_DOUBLE_EQ(
+        c.ReadCompressionRatio() * static_cast<double>(c.encoded_bytes_read),
+        static_cast<double>(c.bytes_read - c.bytes_from_cache))
+        << "flow " << f;
+    // Codec'd flows did encode/decode work; raw flows did none.
+    const FlowClass flow = static_cast<FlowClass>(f);
+    const bool coded = (*engine)->codecs().ForFlow(flow) != nullptr;
+    EXPECT_EQ(c.encodes > 0, coded) << "flow " << f;
+    EXPECT_EQ(c.decodes > 0, coded) << "flow " << f;
+    encoded_written += c.encoded_bytes_written;
+    encoded_read += c.encoded_bytes_read;
+  }
+  // The store moved exactly the encoded bytes — nothing more, nothing
+  // hidden: mixed codec/raw accounting reconciles byte-for-byte.
+  EXPECT_EQ(encoded_written, stats.store_bytes_written);
+  EXPECT_EQ(encoded_read, stats.store_bytes_read);
 }
 
 }  // namespace

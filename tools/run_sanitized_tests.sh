@@ -14,9 +14,11 @@
 # zero-copy buffer suite whose cross-thread lease/release refcounting
 # is exactly what TSan/ASan exist for — or `tenant`, the multi-tenant
 # JobManager suite whose N job threads hammer one shared engine's
-# accounting, quotas, and fair-share lanes concurrently). Without one
-# the full suite runs under both sanitizers, which includes the tenant
-# label.
+# accounting, quotas, and fair-share lanes concurrently — or `codec`,
+# the offload-codec conformance battery whose framed encode/decode runs
+# inside the I/O workers' finalize hooks, concurrent with retries).
+# Without one the full suite runs under both sanitizers, which includes
+# the tenant and codec labels.
 #
 # Environment:
 #   SANITIZERS   space-separated subset to run (default: "thread address")
