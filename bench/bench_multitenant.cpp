@@ -14,19 +14,33 @@
 // Per-tenant accounting is reconciled exactly against the engine totals
 // in both modes.
 //
+// The third scenario is job-stream churn: a seeded, Poisson-ish stream
+// of arrivals (exponential inter-arrival gaps drawn from one Rng, so
+// the stream replays identically) whose job sizes, step counts, and
+// weights churn while earlier jobs depart. The SSD budget holds only a
+// few jobs, so arrivals outrun departures, admission parks the
+// overflow, and every departure re-admits the queue head — the
+// steady-state tenancy regime rather than the one-shot fleet above.
+// Acceptance: no arrival is rejected, every job (parked ones included)
+// runs to completion, and accounting still reconciles exactly.
+//
 // Usage: bench_multitenant [out.json]   (default: BENCH_multitenant.json)
 // RATEL_BENCH_SMOKE=1 shrinks the run to a CI-sized smoke.
 
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "autograd/transformer.h"
 #include "bench/bench_util.h"
+#include "common/rng.h"
 #include "runtime/job_manager.h"
 
 namespace {
@@ -187,6 +201,115 @@ FleetResult RunFleet(bool fair_share, bool smoke, int steps) {
   return result;
 }
 
+struct ChurnResult {
+  bool ok = false;
+  int jobs = 0;
+  int queued_on_arrival = 0;  // parked by admission, not started
+  int queued_then_ran = 0;    // parked arrivals a departure released
+  int max_concurrent = 0;     // peak running jobs, sampled at arrivals
+  int rejected = 0;
+  double makespan_s = 0.0;
+  double aggregate_tokens_per_s = 0.0;
+  bool all_finished = false;
+  bool reconciled = false;
+};
+
+// Seeded job-stream churn: arrivals with pseudo-exponential gaps, sizes
+// and lifetimes drawn from the same Rng, departures releasing capacity
+// back to the FIFO admission queue. The stream itself is reproducible;
+// only wall-clock interleaving varies run to run.
+ChurnResult RunChurn(bool smoke, uint64_t seed) {
+  const ag::TinyGptConfig small_cfg = VictimConfig(smoke);
+  const ag::TinyGptConfig big_cfg = BullyConfig(smoke);
+  const JobDemand big_demand = PlanJobDemand(big_cfg, 2);
+
+  JobManager::Options options;
+  options.engine.dir = "/tmp/ratel_bench_mt_" + std::to_string(::getpid()) +
+                       "_churn";
+  options.engine.num_stripes = 4;
+  options.engine.chunk_bytes = 1 << 18;
+  options.engine.io_workers = 2;
+  options.engine.host_cache_bytes = int64_t{64} << 20;
+  options.engine.write_bandwidth = smoke ? 0.0 : 48e6;
+  options.engine.fair_share = true;
+  options.engine.fair_quantum_bytes = 16 * 1024;
+  // Room for ~3 of the largest job: the stream outruns departures, so
+  // admission must park the overflow and drain it as neighbors finish.
+  options.ssd_budget_bytes = 3 * big_demand.ssd_bytes +
+                             big_demand.ssd_bytes / 2;
+  options.dram_budget_bytes = 0;
+
+  auto manager_or = JobManager::Create(options);
+  if (!manager_or.ok()) {
+    std::cerr << "churn manager open failed: "
+              << manager_or.status().ToString() << "\n";
+    return {};
+  }
+  JobManager& manager = **manager_or;
+
+  Rng rng(seed);
+  ChurnResult result;
+  result.jobs = smoke ? 5 : 12;
+  const double mean_gap_s = smoke ? 0.004 : 0.04;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int j = 0; j < result.jobs; ++j) {
+    JobSpec spec;
+    spec.name = "churn" + std::to_string(j);
+    spec.model = rng.NextBelow(3) == 0 ? big_cfg : small_cfg;
+    spec.seed = 500 + j;
+    spec.batch = 2;
+    spec.steps = 2 + static_cast<int64_t>(rng.NextBelow(smoke ? 3 : 5));
+    spec.weight = 1 + static_cast<int>(rng.NextBelow(4));
+    auto verdict = manager.Submit(spec);
+    if (!verdict.ok()) {
+      std::cerr << "churn submit failed: " << verdict.status().ToString()
+                << "\n";
+      return {};
+    }
+    if (*verdict == AdmissionVerdict::kQueued) ++result.queued_on_arrival;
+    if (*verdict == AdmissionVerdict::kRejected) ++result.rejected;
+    int running = 0;
+    for (const JobStats& job : manager.Stats().jobs) {
+      if (job.state == JobState::kRunning) ++running;
+    }
+    result.max_concurrent = std::max(result.max_concurrent, running);
+    if (j + 1 < result.jobs) {
+      // Inverse-CDF exponential gap from the seeded stream, capped so
+      // one long draw cannot drain the fleet between arrivals.
+      const double gap = -mean_gap_s * std::log(1.0 - rng.NextDouble());
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(gap, 8.0 * mean_gap_s)));
+    }
+  }
+
+  const Status status = manager.WaitAll();
+  if (!status.ok()) {
+    std::cerr << "churn fleet failed: " << status.ToString() << "\n";
+    return {};
+  }
+  result.makespan_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const JobManagerStats stats = manager.Stats();
+  result.aggregate_tokens_per_s = stats.aggregate_tokens_per_s;
+  result.all_finished = true;
+  for (const JobStats& job : stats.jobs) {
+    if (job.state != JobState::kFinished) {
+      std::cerr << "churn job " << job.name << " ended "
+                << JobStateName(job.state) << "\n";
+      result.all_finished = false;
+    }
+    if (job.verdict == AdmissionVerdict::kQueued &&
+        job.state == JobState::kFinished) {
+      ++result.queued_then_ran;
+    }
+  }
+  result.reconciled = Reconciles(manager.engine());
+  result.ok = true;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,7 +319,8 @@ int main(int argc, char** argv) {
 
   const FleetResult fifo = RunFleet(/*fair_share=*/false, smoke, steps);
   const FleetResult fair = RunFleet(/*fair_share=*/true, smoke, steps);
-  if (!fifo.ok || !fair.ok) return 1;
+  const ChurnResult churn = RunChurn(smoke, /*seed=*/0xC0FFEE);
+  if (!fifo.ok || !fair.ok || !churn.ok) return 1;
 
   bench::BenchReport report("multitenant");
   report.Add("fifo/aggregate_tokens_per_s", kBullies + kVictims + 1,
@@ -225,6 +349,18 @@ int main(int argc, char** argv) {
              fair.ninth_verdict == AdmissionVerdict::kQueued ? 1.0 : 0.0, "");
   report.Add("accounting_reconciled", 1,
              (fair.reconciled && fifo.reconciled) ? 1.0 : 0.0, "");
+  report.Add("churn/jobs", churn.jobs, static_cast<double>(churn.jobs), "");
+  report.Add("churn/queued_on_arrival", churn.jobs,
+             static_cast<double>(churn.queued_on_arrival), "");
+  report.Add("churn/queued_then_ran", churn.jobs,
+             static_cast<double>(churn.queued_then_ran), "");
+  report.Add("churn/max_concurrent", churn.jobs,
+             static_cast<double>(churn.max_concurrent), "");
+  report.Add("churn/makespan_s", churn.jobs, churn.makespan_s, "s");
+  report.Add("churn/aggregate_tokens_per_s", churn.jobs,
+             churn.aggregate_tokens_per_s, "tok/s");
+  report.Add("churn/accounting_reconciled", churn.jobs,
+             churn.reconciled ? 1.0 : 0.0, "");
 
   report.PrintTable(std::cout);
   const Status st = report.WriteJson(out_path);
@@ -250,6 +386,24 @@ int main(int argc, char** argv) {
   }
   if (!fair.reconciled || !fifo.reconciled) {
     std::cerr << "FAIL: per-tenant accounting does not reconcile\n";
+    return 1;
+  }
+  // Churn acceptance, structural part: nothing in the stream may be
+  // rejected (every job fits the total budget), every job — parked ones
+  // included — must run to completion, and accounting must reconcile
+  // under arrivals/departures too.
+  if (churn.rejected != 0 || !churn.all_finished || !churn.reconciled) {
+    std::cerr << "FAIL: churn stream rejected=" << churn.rejected
+              << " all_finished=" << churn.all_finished
+              << " reconciled=" << churn.reconciled << "\n";
+    return 1;
+  }
+  // Under the real throttle the stream provably outruns departures:
+  // admission must have parked at least one arrival and released it.
+  if (!smoke && (churn.queued_on_arrival < 1 || churn.queued_then_ran < 1)) {
+    std::cerr << "FAIL: churn never exercised the park/release path "
+                 "(queued=" << churn.queued_on_arrival << ", ran="
+              << churn.queued_then_ran << ")\n";
     return 1;
   }
   // Timing acceptance only binds on the real (throttled) run: fair

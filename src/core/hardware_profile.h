@@ -26,6 +26,19 @@ struct HardwareProfile {
   double t_f = 0.0;            // profiled forward stage seconds
   double t_b = 0.0;            // profiled backward stage seconds
   std::vector<double> layer_forward_seconds;  // per-block GPU time
+
+  /// ---- Live calibration (online re-planning, DESIGN.md §3i) ----
+  /// When the Replanner folds observed per-flow bandwidth back into a
+  /// profile, bw_s2m / bw_m2s above hold the *calibrated* rates and
+  /// these fields record the provenance — so a profile saved after a
+  /// drifted run (profile_io v2) seeds the next run with reality
+  /// instead of nameplate numbers.
+  /// Observed logical-per-encoded ratio of the activation-spill store
+  /// leg (feeds CostModel::SetActivationCompressionRatio); 1.0 = raw.
+  double observed_activation_compression = 1.0;
+  /// Observation windows folded into the calibration; 0 = nameplate
+  /// (never calibrated).
+  int64_t calibration_windows = 0;
 };
 
 /// Runs the profiling stage of Section IV-B against a server description.

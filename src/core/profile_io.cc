@@ -11,7 +11,10 @@ namespace profile_io {
 namespace {
 
 constexpr char kMagic[8] = {'R', 'A', 'T', 'E', 'L', 'P', 'R', 'F'};
-constexpr uint32_t kVersion = 1;
+// v1: scalar payload + layer times. v2 appends the live-calibration
+// payload (observed compression ratio + window count) between the two.
+// v1 files still load (calibration fields default to nameplate).
+constexpr uint32_t kVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -49,6 +52,12 @@ struct ScalarPayload {
   double t_b;
 };
 
+/// v2 extension: provenance of a live-calibrated profile.
+struct CalibrationPayload {
+  double observed_activation_compression;
+  int64_t calibration_windows;
+};
+
 }  // namespace
 
 Status Save(const HardwareProfile& profile, const std::string& path) {
@@ -68,6 +77,10 @@ Status Save(const HardwareProfile& profile, const std::string& path) {
   p.t_f = profile.t_f;
   p.t_b = profile.t_b;
   RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &p, sizeof(p)));
+  CalibrationPayload cal;
+  cal.observed_activation_compression = profile.observed_activation_compression;
+  cal.calibration_windows = profile.calibration_windows;
+  RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &cal, sizeof(cal)));
   const uint32_t layers =
       static_cast<uint32_t>(profile.layer_forward_seconds.size());
   RATEL_RETURN_IF_ERROR(WriteBytes(f.get(), &layers, sizeof(layers)));
@@ -88,12 +101,20 @@ Result<HardwareProfile> Load(const std::string& path) {
   }
   uint32_t version = 0;
   RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &version, sizeof(version)));
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     return Status::InvalidArgument("unsupported profile version " +
                                    std::to_string(version));
   }
   ScalarPayload p;
   RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &p, sizeof(p)));
+  CalibrationPayload cal{1.0, 0};  // v1 files carry no calibration
+  if (version >= 2) {
+    RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &cal, sizeof(cal)));
+    if (!(cal.observed_activation_compression > 0.0) ||
+        cal.calibration_windows < 0) {
+      return Status::InvalidArgument("corrupt profile: calibration payload");
+    }
+  }
   uint32_t layers = 0;
   RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), &layers, sizeof(layers)));
   if (layers > 100000) {
@@ -110,6 +131,8 @@ Result<HardwareProfile> Load(const std::string& path) {
   out.mem_avail_m = p.mem_avail_m;
   out.t_f = p.t_f;
   out.t_b = p.t_b;
+  out.observed_activation_compression = cal.observed_activation_compression;
+  out.calibration_windows = cal.calibration_windows;
   out.layer_forward_seconds.resize(layers);
   RATEL_RETURN_IF_ERROR(ReadBytes(f.get(), out.layer_forward_seconds.data(),
                                   sizeof(double) * layers));

@@ -14,7 +14,11 @@ namespace ratel {
 /// machine and every later job loads the result.
 ///
 /// Format: binary, magic "RATELPRF" | version u32 | fixed-size payload |
-/// per-layer forward seconds (count u32 + doubles).
+/// (v2+) calibration payload | per-layer forward seconds (count u32 +
+/// doubles). Writes the newest version; loads v1 files too (their
+/// calibration fields default to nameplate), and rejects versions it
+/// does not know — a profile from a *future* build must fail loudly,
+/// not misparse.
 namespace profile_io {
 
 Status Save(const HardwareProfile& profile, const std::string& path);

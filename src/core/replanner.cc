@@ -1,0 +1,236 @@
+#include "core/replanner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace ratel {
+
+namespace {
+
+// Relative-change multipliers are clamped so one pathological window
+// (e.g. a single tiny request) can never calibrate the profile into
+// absurdity; the next windows pull it back gradually.
+constexpr double kMinScale = 0.05;
+constexpr double kMaxScale = 20.0;
+
+double ClampScale(double s) {
+  if (!(s > 0.0)) return 1.0;
+  return std::min(kMaxScale, std::max(kMinScale, s));
+}
+
+}  // namespace
+
+ReplanConfig ReplanConfig::FromEnv(ReplanConfig base) {
+  if (const char* v = std::getenv("RATEL_REPLAN"); v != nullptr && *v != '\0') {
+    base.enabled = std::atoi(v) != 0;
+  }
+  if (const char* v = std::getenv("RATEL_REPLAN_THRESHOLD_PCT");
+      v != nullptr && *v != '\0') {
+    base.deviation_threshold = std::atof(v) / 100.0;
+  }
+  if (const char* v = std::getenv("RATEL_REPLAN_HYSTERESIS");
+      v != nullptr && *v != '\0') {
+    base.hysteresis_windows = std::atoi(v);
+  }
+  if (const char* v = std::getenv("RATEL_REPLAN_COOLDOWN");
+      v != nullptr && *v != '\0') {
+    base.cooldown_windows = std::atoi(v);
+  }
+  if (const char* v = std::getenv("RATEL_REPLAN_EWMA_ALPHA");
+      v != nullptr && *v != '\0') {
+    base.ewma_alpha = std::atof(v);
+  }
+  if (const char* v = std::getenv("RATEL_REPLAN_WINDOWS");
+      v != nullptr && *v != '\0') {
+    base.window_capacity = std::atoi(v);
+  }
+  return base;
+}
+
+Replanner::Replanner(const ReplanConfig& config, const HardwareProfile& profile,
+                     const WorkloadProfile& workload)
+    : config_(config),
+      workload_(&workload),
+      nameplate_(profile),
+      observer_(config.window_capacity, config.ewma_alpha),
+      profile_(profile),
+      last_compression_(profile.observed_activation_compression) {
+  // Solve the initial schedule from the given profile; not counted as a
+  // re-solve (resolves_ stays 0 until drift actually fires).
+  CostModel cm(profile_, *workload_);
+  cm.SetActivationCompressionRatio(last_compression_);
+  plan_ = ActivationPlanner(cm).Plan();
+  recompute_ = SolveRecomputeKnapsack(
+      workload_->activation_units(),
+      std::max<int64_t>(0, profile_.mem_avail_m - plan_.a_g2m));
+}
+
+bool Replanner::AggregateWindow(double* read_bw, double* write_bw,
+                                double* compression) const {
+  double enc_read = 0.0, enc_written = 0.0;
+  double read_s = 0.0, write_s = 0.0;
+  for (int f = 0; f < kNumFlowClasses; ++f) {
+    const FlowWindow w = observer_.Last(static_cast<FlowClass>(f));
+    enc_read += static_cast<double>(w.encoded_bytes_read);
+    enc_written += static_cast<double>(w.encoded_bytes_written);
+    read_s += w.read_seconds;
+    write_s += w.write_seconds;
+  }
+  *read_bw = read_s > 0.0 ? enc_read / read_s : 0.0;
+  *write_bw = write_s > 0.0 ? enc_written / write_s : 0.0;
+  // Compression uses the cumulative spill-flow counters (a ratio, so a
+  // run-long average is the stable estimate the cost model wants).
+  const TransferStats latest = observer_.latest();
+  *compression = latest.Flow(FlowClass::kActivationSpill).WriteCompressionRatio();
+  return read_s > 0.0 || write_s > 0.0;
+}
+
+std::optional<ReplanResult> Replanner::Observe(const TransferStats& cumulative,
+                                               double now_seconds) {
+  const int64_t n = observer_.Advance(cumulative, now_seconds);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n == windows_) return std::nullopt;  // epoch start: nothing closed
+  windows_ = n;
+
+  double read_bw = 0.0, write_bw = 0.0, compression = 1.0;
+  const bool carried = AggregateWindow(&read_bw, &write_bw, &compression);
+  if (carried) last_compression_ = compression;
+  if (read_bw > 0.0) {
+    ewma_read_bw_ = read_seen_ ? config_.ewma_alpha * read_bw +
+                                     (1.0 - config_.ewma_alpha) * ewma_read_bw_
+                               : read_bw;
+    read_seen_ = true;
+  }
+  if (write_bw > 0.0) {
+    ewma_write_bw_ = write_seen_
+                         ? config_.ewma_alpha * write_bw +
+                               (1.0 - config_.ewma_alpha) * ewma_write_bw_
+                         : write_bw;
+    write_seen_ = true;
+  }
+
+  // Warmup: the baseline locks only after cooldown_windows windows, so
+  // cold-cache / first-touch noise never becomes the reference the
+  // whole run is judged against.
+  if (!baseline_locked_) {
+    if (windows_ >= config_.cooldown_windows && (read_seen_ || write_seen_)) {
+      baseline_read_bw_ = read_seen_ ? ewma_read_bw_ : 0.0;
+      baseline_write_bw_ = write_seen_ ? ewma_write_bw_ : 0.0;
+      baseline_locked_ = true;
+      last_solve_window_ = windows_;
+    }
+    staleness_ = 0.0;
+    return std::nullopt;
+  }
+  // A side first observed after the lock anchors to its first EWMA.
+  if (read_seen_ && baseline_read_bw_ <= 0.0) baseline_read_bw_ = ewma_read_bw_;
+  if (write_seen_ && baseline_write_bw_ <= 0.0) {
+    baseline_write_bw_ = ewma_write_bw_;
+  }
+
+  double deviation = 0.0;
+  if (baseline_read_bw_ > 0.0 && read_seen_) {
+    deviation = std::max(deviation,
+                         std::abs(ewma_read_bw_ / baseline_read_bw_ - 1.0));
+  }
+  if (baseline_write_bw_ > 0.0 && write_seen_) {
+    deviation = std::max(deviation,
+                         std::abs(ewma_write_bw_ / baseline_write_bw_ - 1.0));
+  }
+  staleness_ = deviation;
+
+  if (deviation > config_.deviation_threshold) {
+    ++deviating_windows_;
+    ++deviation_streak_;
+  } else {
+    deviation_streak_ = 0;
+  }
+  if (deviation_streak_ < config_.hysteresis_windows) return std::nullopt;
+  if (windows_ - last_solve_window_ < config_.cooldown_windows) {
+    return std::nullopt;
+  }
+
+  const double read_scale =
+      baseline_read_bw_ > 0.0 && read_seen_
+          ? ClampScale(ewma_read_bw_ / baseline_read_bw_)
+          : 1.0;
+  const double write_scale =
+      baseline_write_bw_ > 0.0 && write_seen_
+          ? ClampScale(ewma_write_bw_ / baseline_write_bw_)
+          : 1.0;
+  return SolveLocked(read_scale, write_scale, last_compression_, deviation);
+}
+
+ReplanResult Replanner::SolveLocked(double read_scale, double write_scale,
+                                    double compression, double deviation) {
+  // The baseline re-anchors at every solve, so each scale is the
+  // *relative* change since the profile was last calibrated — applied
+  // multiplicatively, cumulative drift composes naturally.
+  HardwareProfile calibrated = profile_;
+  calibrated.bw_s2m = profile_.bw_s2m * read_scale;
+  calibrated.bw_m2s = profile_.bw_m2s * write_scale;
+  calibrated.observed_activation_compression = compression;
+  calibrated.calibration_windows = windows_;
+
+  CostModel cm(calibrated, *workload_);
+  cm.SetActivationCompressionRatio(compression);
+  ActivationPlan plan = ActivationPlanner(cm).Plan();
+  KnapsackPlan recompute = SolveRecomputeKnapsack(
+      workload_->activation_units(),
+      std::max<int64_t>(0, calibrated.mem_avail_m - plan.a_g2m));
+
+  plan_ = plan;
+  recompute_ = recompute;
+  profile_ = calibrated;
+  if (read_seen_) baseline_read_bw_ = ewma_read_bw_;
+  if (write_seen_) baseline_write_bw_ = ewma_write_bw_;
+  deviation_streak_ = 0;
+  last_solve_window_ = windows_;
+  staleness_ = 0.0;
+  ++resolves_;
+
+  RATEL_LOG(Info) << "replan #" << resolves_ << " at window " << windows_
+                  << ": deviation " << deviation << ", bw_s2m x" << read_scale
+                  << ", bw_m2s x" << write_scale << ", a_g2m " << plan_.a_g2m
+                  << " (" << SwapCaseName(plan_.swap_case) << ")";
+
+  ReplanResult result;
+  result.activation = plan_;
+  result.recompute = recompute_;
+  result.calibrated = profile_;
+  result.deviation = deviation;
+  result.solve_index = resolves_;
+  return result;
+}
+
+ActivationPlan Replanner::current_plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+KnapsackPlan Replanner::current_recompute() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recompute_;
+}
+
+HardwareProfile Replanner::current_profile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return profile_;
+}
+
+ReplanObservation Replanner::observation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplanObservation obs;
+  obs.windows = windows_;
+  obs.resolves = resolves_;
+  obs.deviating_windows = deviating_windows_;
+  obs.staleness = staleness_;
+  obs.observed_read_bandwidth = read_seen_ ? ewma_read_bw_ : 0.0;
+  obs.observed_write_bandwidth = write_seen_ ? ewma_write_bw_ : 0.0;
+  obs.baseline_locked = baseline_locked_;
+  return obs;
+}
+
+}  // namespace ratel

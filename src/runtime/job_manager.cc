@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/feasibility.h"
+#include "runtime/workload_map.h"
 
 namespace ratel {
 
@@ -95,14 +96,7 @@ JobDemand PlanJobDemand(const TransformerConfig& config, int batch) {
 }
 
 JobDemand PlanJobDemand(const ag::TinyGptConfig& config, int batch) {
-  TransformerConfig tc;
-  tc.name = "job";
-  tc.num_layers = static_cast<int>(config.num_layers);
-  tc.num_heads = static_cast<int>(config.num_heads);
-  tc.hidden_dim = config.hidden_dim;
-  tc.seq_len = config.seq_len;
-  tc.vocab_size = config.vocab_size;
-  return PlanJobDemand(tc, batch);
+  return PlanJobDemand(ToTransformerConfig(config), batch);
 }
 
 const char* AdmissionVerdictName(AdmissionVerdict verdict) {

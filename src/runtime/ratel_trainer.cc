@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -9,6 +10,7 @@
 #include "common/logging.h"
 #include "runtime/checkpoint.h"
 #include "runtime/prefetcher.h"
+#include "runtime/workload_map.h"
 #include "xfer/tenant.h"
 
 namespace ratel {
@@ -55,6 +57,7 @@ Status RatelTrainer::Initialize() {
     // Environment knobs overlay the programmatic fault config, so any
     // trainer binary can be chaos-tested without code changes.
     xfer.fault = FaultConfig::FromEnv(options_.fault);
+    xfer.fault_injector = options_.fault_injector;
     xfer.retry = options_.io_retry;
     xfer.stripe_death_threshold = options_.stripe_death_threshold;
     // Same overlay pattern for the store-path codecs, with the trainer's
@@ -97,7 +100,62 @@ Status RatelTrainer::Initialize() {
   }
   pipeline_ =
       std::make_unique<ThreadPool>(std::max(1, options_.pipeline_threads));
+  // Resolve the re-planning knobs once (same overlay pattern as faults
+  // and codecs); the replanner itself is built lazily on the first step,
+  // when the micro-batch size fixes the workload profile.
+  options_.replan = ReplanConfig::FromEnv(options_.replan);
   return Status::Ok();
+}
+
+void RatelTrainer::MaybeInitReplanner(int64_t micro_batch) {
+  if (!options_.replan.enabled || replanner_ != nullptr) return;
+  workload_ = std::make_unique<WorkloadProfile>(WorkloadProfile::Build(
+      ToTransformerConfig(model_->config(), "trainer"),
+      static_cast<int>(std::max<int64_t>(1, micro_batch))));
+  // Nameplate profile of the emulated hierarchy. The SSD rates come
+  // straight from the configured throttles (the quantities that drift);
+  // the GPU/host numbers are fixed stand-ins — the replanner detects
+  // drift *relative to its own observations*, so only the SSD terms'
+  // proportions matter to the loop.
+  HardwareProfile hw;
+  hw.thp_g = 1e12;
+  hw.gpu_memory_bytes = int64_t{24} << 30;
+  hw.bw_g = 16e9;
+  hw.bw_s2m = options_.ssd_read_bandwidth > 0 ? options_.ssd_read_bandwidth
+                                              : 3.2e9;
+  hw.bw_m2s = options_.ssd_write_bandwidth > 0 ? options_.ssd_write_bandwidth
+                                               : 3.2e9;
+  hw.cpu_adam_rate = 2e9;
+  hw.host_mem_bw = 50e9;
+  hw.mem_avail_m = options_.host_cache_bytes;
+  nameplate_bw_s2m_ = hw.bw_s2m;
+  replanner_ = std::make_unique<Replanner>(options_.replan, hw, *workload_);
+  InstallPlan(replanner_->current_plan(), replanner_->current_recompute(),
+              replanner_->current_profile(), /*version=*/0);
+}
+
+void RatelTrainer::InstallPlan(const ActivationPlan& plan,
+                               const KnapsackPlan& recompute,
+                               const HardwareProfile& profile,
+                               int64_t version) {
+  ActiveSchedule next;
+  const int64_t total = workload_->total_activation_bytes();
+  next.spill_fraction =
+      total > 0 ? std::min(1.0, static_cast<double>(plan.a_g2m) /
+                                    static_cast<double>(total))
+                : 1.0;
+  // Slower SSD -> deeper read-ahead, so the longer per-request latency
+  // stays hidden behind compute; at nameplate bandwidth this is exactly
+  // the classic depth 4.
+  const double slowdown = profile.bw_s2m > 0.0 && nameplate_bw_s2m_ > 0.0
+                              ? nameplate_bw_s2m_ / profile.bw_s2m
+                              : 1.0;
+  const long depth = std::lround(4.0 * slowdown);
+  next.prefetch_depth =
+      static_cast<int>(std::min<long>(16, std::max<long>(2, depth)));
+  next.recompute_kept = recompute.chosen;
+  next.version = version;
+  schedule_ = std::move(next);
 }
 
 std::vector<std::string> RatelTrainer::ArrivalOrder() const {
@@ -120,6 +178,13 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
   // Tag every engine submit of the step — prefetch, activation spill,
   // and the optimizer stream — with this job's tenant.
   ScopedTenant tenant_scope(options_.tenant);
+  // First step with re-planning enabled: build the workload profile
+  // (now that the micro-batch size is known) and install the initial
+  // plan before any of this step's I/O is issued.
+  {
+    const int accum0 = std::max(1, options_.grad_accumulation_steps);
+    if (batch % accum0 == 0) MaybeInitReplanner(batch / accum0);
+  }
   StepStats stats;
   const TransferStats xfer0 = engine_->stats();
   const AsyncUpdateEngine::Stats update0 = adam_->stats();
@@ -147,7 +212,7 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       requests.push_back(std::move(req));
     }
     Prefetcher prefetcher(engine_, FlowClass::kParamFetch,
-                          std::move(requests), /*depth=*/4);
+                          std::move(requests), schedule_.prefetch_depth);
     for (auto& [name, var] : model_->parameters()) {
       Prefetcher::Item item = prefetcher.Next();
       RATEL_CHECK(item.key == adam_->Params16Key(name));
@@ -188,10 +253,42 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       // Values round-trip bit-exactly, so numerics are unchanged
       // (tested).
       std::vector<ag::NodePtr> acts = ag::CollectIntermediateNodes(loss);
+      // The plan's spill set. On the classic path (spill_fraction >= 1,
+      // always true with the replanner disabled) every node spills, in
+      // tape order — exactly the pre-plan behavior. A partial plan
+      // spills the largest tensors first until the planned byte
+      // fraction is covered: deterministic, so a given plan always
+      // selects the same set, and non-spilled nodes simply stay in
+      // memory (no round trip, numerics unchanged either way — the raw
+      // spill is bit-exact).
+      std::vector<size_t> spill_set;
+      spill_set.reserve(acts.size());
+      if (schedule_.spill_fraction >= 1.0) {
+        for (size_t i = 0; i < acts.size(); ++i) spill_set.push_back(i);
+      } else if (schedule_.spill_fraction > 0.0) {
+        int64_t total_bytes = 0;
+        for (const ag::NodePtr& a : acts) total_bytes += 4 * a->NumElements();
+        std::vector<size_t> by_size(acts.size());
+        for (size_t i = 0; i < by_size.size(); ++i) by_size[i] = i;
+        std::stable_sort(by_size.begin(), by_size.end(),
+                         [&](size_t a, size_t b) {
+                           return acts[a]->NumElements() >
+                                  acts[b]->NumElements();
+                         });
+        const double target = schedule_.spill_fraction *
+                              static_cast<double>(total_bytes);
+        int64_t chosen = 0;
+        for (size_t i : by_size) {
+          if (static_cast<double>(chosen) >= target) break;
+          spill_set.push_back(i);
+          chosen += 4 * acts[i]->NumElements();
+        }
+        std::sort(spill_set.begin(), spill_set.end());
+      }
       int64_t spilled = 0;
       std::vector<TransferEngine::Ticket> spill_writes;
-      spill_writes.reserve(acts.size());
-      for (size_t i = 0; i < acts.size(); ++i) {
+      spill_writes.reserve(spill_set.size());
+      for (size_t i : spill_set) {
         ag::Node& node = *acts[i];
         const int64_t bytes = 4 * node.NumElements();
         spill_writes.push_back(engine_->SubmitWrite(
@@ -207,30 +304,30 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       }
       RATEL_RETURN_IF_ERROR(first_spill_error);
       // All swap-outs durable: release the "GPU memory".
-      for (ag::NodePtr& act : acts) std::vector<float>().swap(act->value);
+      for (size_t i : spill_set) std::vector<float>().swap(acts[i]->value);
 
       // Swap back in: all reads in flight at once, drained in order.
       // Buffer reads: DRAM-hot activations come back as cache refs and
       // cold ones land in pooled staging — no per-step heap churn.
       std::deque<Buffer> buffers;
       std::vector<TransferEngine::Ticket> spill_reads;
-      spill_reads.reserve(acts.size());
-      for (size_t i = 0; i < acts.size(); ++i) {
+      spill_reads.reserve(spill_set.size());
+      for (size_t i : spill_set) {
         buffers.emplace_back();
         spill_reads.push_back(engine_->SubmitRead(
             FlowClass::kActivationSpill,
             options_.key_namespace + "act/" + std::to_string(i),
             &buffers.back(), 4 * acts[i]->NumElements()));
       }
-      for (size_t i = 0; i < acts.size(); ++i) {
-        Status s = engine_->Wait(spill_reads[i]);
+      for (size_t k = 0; k < spill_reads.size(); ++k) {
+        Status s = engine_->Wait(spill_reads[k]);
         if (!s.ok() && first_spill_error.ok()) first_spill_error = s;
       }
       RATEL_RETURN_IF_ERROR(first_spill_error);
-      for (size_t i = 0; i < acts.size(); ++i) {
-        ag::Node& node = *acts[i];
+      for (size_t k = 0; k < spill_set.size(); ++k) {
+        ag::Node& node = *acts[spill_set[k]];
         node.value.resize(node.NumElements());
-        std::memcpy(node.value.data(), buffers[i].data(),
+        std::memcpy(node.value.data(), buffers[k].data(),
                     4 * node.NumElements());
       }
       stats.activation_bytes_spilled += spilled;
@@ -352,6 +449,23 @@ Result<float> RatelTrainer::TrainStep(const std::vector<int64_t>& ids,
       stats.xfer.Flow(FlowClass::kParamFetch).bytes_written +
       stats.xfer.Flow(FlowClass::kGradState).bytes_written;
   stats.loss = mean_loss;
+  // --- Step boundary: every read/write this step issued has been
+  // waited above, so swapping the schedule here can never invalidate
+  // in-flight I/O; deferred optimizer epochs keep draining through
+  // their per-tensor gates because the plan never touches their keys. ---
+  if (replanner_ != nullptr) {
+    const double swap0 = NowSeconds();
+    std::optional<ReplanResult> result =
+        replanner_->Observe(engine_->stats(), NowSeconds());
+    if (result.has_value()) {
+      InstallPlan(result->activation, result->recompute, result->calibrated,
+                  result->solve_index);
+      ++replans_installed_;
+      stats.plan_swap_s = NowSeconds() - swap0;
+    }
+    stats.replans = replans_installed_;
+    stats.plan_staleness_pct = replanner_->observation().staleness * 100.0;
+  }
   last_stats_ = stats;
   ++global_step_;
 

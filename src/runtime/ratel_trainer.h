@@ -9,7 +9,9 @@
 #include "autograd/transformer.h"
 #include "common/status.h"
 #include "core/iteration_sim.h"
+#include "core/replanner.h"
 #include "core/schedule_trace.h"
+#include "model/workload.h"
 #include "runtime/out_of_core_adam.h"
 #include "runtime/thread_pool.h"
 #include "xfer/transfer_engine.h"
@@ -111,6 +113,17 @@ struct TrainerOptions {
   /// tensor names, so they stay portable across namespaces. Empty (the
   /// default) keeps the classic key schema.
   std::string key_namespace;
+  /// Online re-planning (DESIGN.md §3i): watch windowed per-flow
+  /// bandwidth from TransferStats, re-solve Algorithm 1 + the recompute
+  /// knapsack when observed bandwidth drifts past the threshold, and
+  /// hot-swap the schedule at the next step boundary. Overlaid with the
+  /// RATEL_REPLAN_* environment knobs at Create. Disabled (the default)
+  /// runs the exact pre-replanner code path — bitwise identical.
+  ReplanConfig replan;
+  /// External fault injector (not owned) handed to the owned engine —
+  /// the wear-out (KillStripe) and stall seams for benches/tests.
+  /// Ignored when attaching to a shared_engine.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Wall-clock / traffic breakdown of one training step.
@@ -135,6 +148,16 @@ struct StepStats {
   /// Full per-flow transfer delta of this step: every byte the engine
   /// moved, keyed by FlowClass, plus DRAM-tier hit/miss counts.
   TransferStats xfer;
+  /// ---- Online re-planning (all zero with the replanner disabled) ----
+  /// Re-solved plans installed so far this run (cumulative).
+  int64_t replans = 0;
+  /// How far observed bandwidth has drifted from what the current plan
+  /// assumed, in percent (the replanner's deviation signal; resets to 0
+  /// at every install).
+  double plan_staleness_pct = 0.0;
+  /// Time this step spent observing + installing a swapped plan at the
+  /// boundary (0 when no swap happened).
+  double plan_swap_s = 0.0;
   float loss = 0.0f;
 };
 
@@ -187,6 +210,33 @@ class RatelTrainer {
 
   const StepStats& last_step_stats() const { return last_stats_; }
   OutOfCoreAdam& optimizer() { return *adam_; }
+
+  /// The schedule the trainer executes, swapped atomically between
+  /// steps. Defaults reproduce the classic path exactly (spill
+  /// everything, prefetch depth 4), so the replanner-disabled trainer —
+  /// which never touches this — is bitwise identical to pre-replan
+  /// builds.
+  struct ActiveSchedule {
+    /// Fraction of each micro-batch's activation bytes to spill through
+    /// the engine (largest tensors first); >= 1.0 spills everything —
+    /// the exact legacy path.
+    double spill_fraction = 1.0;
+    /// Read-ahead depth of the P16 prefetch pipeline.
+    int prefetch_depth = 4;
+    /// Planner units the recompute knapsack chose to keep resident
+    /// (advisory in this substrate: the autograd tape holds real
+    /// activations, so recompute choices inform the plan's cost model
+    /// rather than re-executing forward kernels).
+    std::vector<int> recompute_kept;
+    /// 0 = initial plan; re-solves bump this to their solve index.
+    int64_t version = 0;
+  };
+  const ActiveSchedule& active_schedule() const { return schedule_; }
+
+  /// The online re-planning loop; null when TrainerOptions::replan (or
+  /// its env overlay) leaves re-planning disabled, or before the first
+  /// TrainStep (the workload profile needs the batch size).
+  const Replanner* replanner() const { return replanner_.get(); }
   /// The unified data-movement layer under this trainer.
   TransferEngine& engine() { return *engine_; }
   /// Cumulative per-flow / cache / store accounting since Create.
@@ -203,6 +253,17 @@ class RatelTrainer {
   /// L-1..0, then embeddings (Section IV-C's decreasing-index arrival).
   std::vector<std::string> ArrivalOrder() const;
 
+  /// Lazily builds the replanner on the first step (the workload
+  /// profile needs the micro-batch size) and installs its initial plan.
+  void MaybeInitReplanner(int64_t micro_batch);
+
+  /// Maps a solved plan onto the runtime schedule. Only called between
+  /// steps — all of this step's I/O has been waited, and the plan never
+  /// touches optimizer keys, so in-flight deferred epochs and their
+  /// drain gates stay valid.
+  void InstallPlan(const ActivationPlan& plan, const KnapsackPlan& recompute,
+                   const HardwareProfile& profile, int64_t version);
+
   ag::TinyGpt* model_;  // not owned
   TrainerOptions options_;
   /// Engine opened by this trainer; null when attached to a shared one.
@@ -210,6 +271,12 @@ class RatelTrainer {
   /// The engine in use — owned_engine_.get() or options_.shared_engine.
   TransferEngine* engine_ = nullptr;
   std::unique_ptr<OutOfCoreAdam> adam_;
+  /// Online re-planning state (all null/default when disabled).
+  std::unique_ptr<WorkloadProfile> workload_;  // planner's model view
+  std::unique_ptr<Replanner> replanner_;
+  ActiveSchedule schedule_;
+  double nameplate_bw_s2m_ = 0.0;  // depth scaling reference
+  int64_t replans_installed_ = 0;
   std::unique_ptr<ThreadPool> pipeline_;  // declared last: joins first
   int64_t global_step_ = 0;
   StepStats last_stats_;

@@ -1,0 +1,17 @@
+#include "runtime/workload_map.h"
+
+namespace ratel {
+
+TransformerConfig ToTransformerConfig(const ag::TinyGptConfig& config,
+                                      const std::string& name) {
+  TransformerConfig tc;
+  tc.name = name;
+  tc.num_layers = static_cast<int>(config.num_layers);
+  tc.num_heads = static_cast<int>(config.num_heads);
+  tc.hidden_dim = config.hidden_dim;
+  tc.seq_len = config.seq_len;
+  tc.vocab_size = config.vocab_size;
+  return tc;
+}
+
+}  // namespace ratel

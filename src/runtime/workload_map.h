@@ -1,0 +1,22 @@
+#ifndef RATEL_RUNTIME_WORKLOAD_MAP_H_
+#define RATEL_RUNTIME_WORKLOAD_MAP_H_
+
+#include <string>
+
+#include "autograd/transformer.h"
+#include "model/transformer_config.h"
+
+namespace ratel {
+
+/// Maps the runnable TinyGpt configuration onto the planner-side
+/// TransformerConfig, so planning components (feasibility demand model,
+/// cost model, activation planner, replanner) describe exactly the
+/// model the runtime executes. Shared by the JobManager's admission
+/// control and the trainer's online re-planning loop — one mapping, not
+/// two drifting copies.
+TransformerConfig ToTransformerConfig(const ag::TinyGptConfig& config,
+                                      const std::string& name = "job");
+
+}  // namespace ratel
+
+#endif  // RATEL_RUNTIME_WORKLOAD_MAP_H_

@@ -111,6 +111,7 @@ Status BlockStore::StripeWriteFailure(int stripe, bool* declared_dead) {
   if (!stripe_dead_[stripe] &&
       stripe_fail_streak_[stripe] >= tuning_.stripe_death_threshold) {
     stripe_dead_[stripe] = 1;
+    dead_stripes_.fetch_add(1, std::memory_order_relaxed);
     *declared_dead = true;
     RATEL_LOG(Warning) << "stripe " << stripe << " declared dead after "
                        << stripe_fail_streak_[stripe]
@@ -270,10 +271,7 @@ int64_t BlockStore::allocated_bytes() const {
 }
 
 int BlockStore::num_dead_stripes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  int n = 0;
-  for (char dead : stripe_dead_) n += dead ? 1 : 0;
-  return n;
+  return dead_stripes_.load(std::memory_order_relaxed);
 }
 
 bool BlockStore::stripe_dead(int stripe) const {

@@ -99,6 +99,8 @@ class BlockStore {
   int num_stripes() const { return static_cast<int>(fds_.size()); }
 
   /// Stripes currently declared dead (write-failed past the threshold).
+  /// Lock-free — cheap enough for per-completion polling (the transfer
+  /// engine re-rates its channels when this changes).
   int num_dead_stripes() const;
   bool stripe_dead(int stripe) const;
   /// Blobs moved off a dead stripe by an in-place overwrite.
@@ -146,6 +148,7 @@ class BlockStore {
   int next_stripe_ = 0;
   std::vector<int> stripe_fail_streak_;
   std::vector<char> stripe_dead_;
+  std::atomic<int> dead_stripes_{0};  // mirrors stripe_dead_, lock-free
   int64_t relocations_ = 0;
   mutable std::atomic<int64_t> bytes_read_{0};  // Get() is const
   std::atomic<int64_t> bytes_written_{0};

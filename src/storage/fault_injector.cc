@@ -193,11 +193,25 @@ Status FaultInjector::OnBlobWrite(const std::string& key, int64_t size,
 }
 
 bool FaultInjector::FailsStripeWrite(int stripe) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (killed_stripes_.count(stripe) > 0) {
+      // Runtime wear-out: a killed device fails every write regardless
+      // of which flow happens to touch it.
+      ++counts_.stripe_write_failures;
+      return true;
+    }
+  }
   if (config_.dead_stripe < 0 || stripe != config_.dead_stripe) return false;
   if (!FlowEnabled()) return false;
   std::lock_guard<std::mutex> lock(mu_);
   ++counts_.stripe_write_failures;
   return true;
+}
+
+void FaultInjector::KillStripe(int stripe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  killed_stripes_.insert(stripe);
 }
 
 void FaultInjector::OnChannelTransfer(const std::string& channel,

@@ -123,8 +123,18 @@ class FaultInjector {
                      int64_t* torn_prefix_bytes);
 
   /// Store seam, stripe level: true if a write touching `stripe` must
-  /// fail (the dead-stripe fault). Honors the flow scope.
+  /// fail (the dead-stripe fault). Honors the flow scope for the
+  /// config-driven schedule; stripes killed at runtime (KillStripe)
+  /// fail unconditionally.
   bool FailsStripeWrite(int stripe);
+
+  /// Arms wear-out of `stripe` *now*: every subsequent write touching
+  /// it fails until the store declares it dead and re-stripes around
+  /// it. Unlike FaultConfig::dead_stripe (armed from run start), this
+  /// expresses "a device dies mid-run" — the trigger the online
+  /// re-planner bench uses. Ignores the flow mask: a worn-out device
+  /// does not care whose stripe it holds.
+  void KillStripe(int stripe);
 
   /// Channel seam: applies latency spikes to a throttled-channel
   /// transfer (spikes are scheduled per channel name).
@@ -204,6 +214,7 @@ class FaultInjector {
   // Per-(kind,key) attempt counters driving the periodic schedules.
   std::unordered_map<std::string, int64_t> seq_[kNumFaultKinds];
   std::unordered_set<std::string> stall_keys_;
+  std::unordered_set<int> killed_stripes_;  // runtime wear-out (KillStripe)
   int stalled_now_ = 0;
   bool stall_released_ = false;
   Counts counts_;

@@ -40,4 +40,15 @@ int64_t ThrottledChannel::total_bytes() const {
   return total_bytes_;
 }
 
+void ThrottledChannel::SetBandwidth(double bytes_per_second) {
+  RATEL_CHECK(bytes_per_second > 0.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_per_second_ = bytes_per_second;
+}
+
+double ThrottledChannel::bytes_per_second() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_per_second_;
+}
+
 }  // namespace ratel

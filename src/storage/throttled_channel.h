@@ -32,8 +32,13 @@ class ThrottledChannel {
   /// Total bytes accounted so far.
   int64_t total_bytes() const;
 
+  /// Re-rates the link, e.g. when stripes die and the array's aggregate
+  /// bandwidth shrinks. Takes effect for transfers accounted after the
+  /// call; already-queued sleep debt is preserved. Thread-safe.
+  void SetBandwidth(double bytes_per_second);
+
   const std::string& name() const { return name_; }
-  double bytes_per_second() const { return bytes_per_second_; }
+  double bytes_per_second() const;
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -1,0 +1,153 @@
+#include "xfer/flow_window.h"
+
+namespace ratel {
+
+void FlowWindow::Accumulate(const FlowWindow& w) {
+  // start/end track the covered span (union of the two windows).
+  if (reads == 0 && writes == 0 && bytes_read == 0 && bytes_written == 0 &&
+      start_seconds == 0.0 && end_seconds == 0.0) {
+    start_seconds = w.start_seconds;
+  }
+  if (w.end_seconds > end_seconds) end_seconds = w.end_seconds;
+  reads += w.reads;
+  writes += w.writes;
+  bytes_read += w.bytes_read;
+  bytes_written += w.bytes_written;
+  bytes_from_cache += w.bytes_from_cache;
+  encoded_bytes_read += w.encoded_bytes_read;
+  encoded_bytes_written += w.encoded_bytes_written;
+  read_seconds += w.read_seconds;
+  write_seconds += w.write_seconds;
+  errors += w.errors;
+  retries += w.retries;
+}
+
+FlowObserver::FlowObserver(int capacity, double ewma_alpha)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      alpha_(ewma_alpha <= 0.0 ? 0.5 : (ewma_alpha > 1.0 ? 1.0 : ewma_alpha)) {}
+
+void FlowObserver::Start(const TransferStats& cumulative, double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = cumulative;
+  previous_ = cumulative;
+  boundary_seconds_ = now_seconds;
+  windows_ = 0;
+  started_ = true;
+  for (int f = 0; f < kNumFlowClasses; ++f) {
+    ring_[f].clear();
+    dropped_[f] = FlowWindow{};
+    last_[f] = FlowWindow{};
+    ewma_[f] = Ewma{};
+  }
+}
+
+FlowWindow FlowObserver::DeltaWindow(const FlowCounters& later,
+                                     const FlowCounters& earlier,
+                                     double start_s, double end_s) const {
+  FlowWindow w;
+  w.start_seconds = start_s;
+  w.end_seconds = end_s;
+  w.reads = later.reads - earlier.reads;
+  w.writes = later.writes - earlier.writes;
+  w.bytes_read = later.bytes_read - earlier.bytes_read;
+  w.bytes_written = later.bytes_written - earlier.bytes_written;
+  w.bytes_from_cache = later.bytes_from_cache - earlier.bytes_from_cache;
+  w.encoded_bytes_read = later.encoded_bytes_read - earlier.encoded_bytes_read;
+  w.encoded_bytes_written =
+      later.encoded_bytes_written - earlier.encoded_bytes_written;
+  w.read_seconds = later.read_seconds - earlier.read_seconds;
+  w.write_seconds = later.write_seconds - earlier.write_seconds;
+  w.errors = later.errors - earlier.errors;
+  w.retries = later.retries - earlier.retries;
+  return w;
+}
+
+int64_t FlowObserver::Advance(const TransferStats& cumulative,
+                              double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) {
+    epoch_ = cumulative;
+    previous_ = cumulative;
+    boundary_seconds_ = now_seconds;
+    started_ = true;
+    return windows_;
+  }
+  for (int f = 0; f < kNumFlowClasses; ++f) {
+    const FlowClass flow = static_cast<FlowClass>(f);
+    FlowWindow w = DeltaWindow(cumulative.Flow(flow), previous_.Flow(flow),
+                               boundary_seconds_, now_seconds);
+    last_[f] = w;
+    if (static_cast<int>(ring_[f].size()) == capacity_) {
+      dropped_[f].Accumulate(ring_[f].front());
+      ring_[f].pop_front();
+    }
+    ring_[f].push_back(w);
+
+    Ewma& e = ewma_[f];
+    if (w.read_seconds > 0.0) {
+      const double bw = w.ReadServiceBandwidth();
+      const double lat = w.MeanReadLatency();
+      if (!e.read_valid) {
+        e.read_bandwidth = bw;
+        e.read_latency = lat;
+        e.read_valid = true;
+      } else {
+        e.read_bandwidth = alpha_ * bw + (1.0 - alpha_) * e.read_bandwidth;
+        e.read_latency = alpha_ * lat + (1.0 - alpha_) * e.read_latency;
+      }
+    }
+    if (w.write_seconds > 0.0) {
+      const double bw = w.WriteServiceBandwidth();
+      const double lat = w.MeanWriteLatency();
+      if (!e.write_valid) {
+        e.write_bandwidth = bw;
+        e.write_latency = lat;
+        e.write_valid = true;
+      } else {
+        e.write_bandwidth = alpha_ * bw + (1.0 - alpha_) * e.write_bandwidth;
+        e.write_latency = alpha_ * lat + (1.0 - alpha_) * e.write_latency;
+      }
+    }
+  }
+  previous_ = cumulative;
+  boundary_seconds_ = now_seconds;
+  return ++windows_;
+}
+
+int64_t FlowObserver::windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return windows_;
+}
+
+std::vector<FlowWindow> FlowObserver::History(FlowClass flow) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto& ring = ring_[static_cast<int>(flow)];
+  return std::vector<FlowWindow>(ring.begin(), ring.end());
+}
+
+FlowWindow FlowObserver::Last(FlowClass flow) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_[static_cast<int>(flow)];
+}
+
+FlowWindow FlowObserver::DroppedBase(FlowClass flow) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_[static_cast<int>(flow)];
+}
+
+FlowObserver::Ewma FlowObserver::ewma(FlowClass flow) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_[static_cast<int>(flow)];
+}
+
+TransferStats FlowObserver::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+TransferStats FlowObserver::latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return previous_;
+}
+
+}  // namespace ratel

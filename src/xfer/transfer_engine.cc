@@ -228,6 +228,9 @@ TransferEngine::Ticket TransferEngine::SubmitWriteImpl(FlowClass flow,
           });
         }
         ReleaseInflight(tenant, store_bytes);
+        // Stripes only die on writes; poll here so a wear-out event
+        // re-rates the throttled channels within one completion.
+        MaybeRescaleChannels();
       },
       static_cast<int>(flow), tenant);
   std::lock_guard<std::mutex> lock(mu_);
@@ -695,6 +698,36 @@ void TransferEngine::ReleaseInflight(TenantId tenant, int64_t size) {
     inflight_bytes_[tenant] -= size;
   }
   inflight_cv_.notify_all();
+}
+
+void TransferEngine::MaybeRescaleChannels() {
+  if (!options_.degrade_bandwidth_on_stripe_death) return;
+  if (read_channel_ == nullptr && write_channel_ == nullptr) return;
+  const int dead = store_->num_dead_stripes();
+  int seen = seen_dead_stripes_.load(std::memory_order_relaxed);
+  if (dead == seen) return;
+  // One completion wins the transition; losers see the updated count.
+  if (!seen_dead_stripes_.compare_exchange_strong(seen, dead)) return;
+  const int total = store_->num_stripes();
+  if (dead >= total) return;  // fully dead array: writes fail anyway
+  const double scale = static_cast<double>(total - dead) / total;
+  if (read_channel_ != nullptr) {
+    read_channel_->SetBandwidth(options_.read_bandwidth * scale);
+  }
+  if (write_channel_ != nullptr) {
+    write_channel_->SetBandwidth(options_.write_bandwidth * scale);
+  }
+  RATEL_LOG(Warning) << "array degraded to " << (total - dead) << "/" << total
+                     << " live stripes; channel bandwidth rescaled to "
+                     << scale << "x";
+}
+
+double TransferEngine::current_read_bandwidth() const {
+  return read_channel_ != nullptr ? read_channel_->bytes_per_second() : 0.0;
+}
+
+double TransferEngine::current_write_bandwidth() const {
+  return write_channel_ != nullptr ? write_channel_->bytes_per_second() : 0.0;
 }
 
 }  // namespace ratel

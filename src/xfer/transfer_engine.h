@@ -2,6 +2,7 @@
 #define RATEL_XFER_TRANSFER_ENGINE_H_
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -147,6 +148,12 @@ struct TransferOptions {
   /// Consecutive write failures before the store declares a stripe dead
   /// and re-stripes around it.
   int stripe_death_threshold = 3;
+  /// Model array bandwidth as proportional to live stripes: when the
+  /// store declares a stripe dead, both throttled channels are re-rated
+  /// to base * live/total (a RAID-0 array losing a device loses that
+  /// device's lanes). No effect when unthrottled (bandwidth = 0), so
+  /// fault tests on unthrottled stores are unaffected.
+  bool degrade_bandwidth_on_stripe_death = true;
   /// Deficit-weighted round robin among tenants inside each scheduler
   /// priority class (see IoScheduler::Tuning); false degrades tenancy
   /// to one global FIFO per class — the A/B baseline for the
@@ -314,6 +321,12 @@ class TransferEngine {
   /// The per-flow codec table (built from TransferOptions::codec).
   const CodecRegistry& codecs() const { return codecs_; }
 
+  /// Current effective channel rates in bytes/s (0 when unthrottled).
+  /// Differ from TransferOptions::{read,write}_bandwidth once stripe
+  /// death degraded the array (degrade_bandwidth_on_stripe_death).
+  double current_read_bandwidth() const;
+  double current_write_bandwidth() const;
+
  private:
   explicit TransferEngine(const TransferOptions& options);
 
@@ -358,6 +371,12 @@ class TransferEngine {
                              const Codec& codec, int64_t size,
                              std::function<int64_t(const Buffer&)> deliver);
 
+  /// Re-rates both channels to base * live/total when the store's
+  /// dead-stripe count changed since the last poll. Called from write
+  /// completions (stripes only die on writes); lock-free no-op on the
+  /// steady-state path.
+  void MaybeRescaleChannels();
+
   TransferOptions options_;
   std::unique_ptr<FaultInjector> owned_injector_;  // outlives store/sched
   FaultInjector* injector_ = nullptr;  // active injector; may be external
@@ -382,6 +401,8 @@ class TransferEngine {
   std::unordered_map<Ticket, Status> resolved_;
   // In-flight tickets map to the scheduler ticket doing the store I/O.
   std::unordered_map<Ticket, IoScheduler::Ticket> inflight_;
+  // Dead-stripe count already folded into the channel rates.
+  std::atomic<int> seen_dead_stripes_{0};
 };
 
 }  // namespace ratel

@@ -16,9 +16,14 @@
 # JobManager suite whose N job threads hammer one shared engine's
 # accounting, quotas, and fair-share lanes concurrently — or `codec`,
 # the offload-codec conformance battery whose framed encode/decode runs
-# inside the I/O workers' finalize hooks, concurrent with retries).
+# inside the I/O workers' finalize hooks, concurrent with retries — or
+# `replan`, the online re-planning loop whose FlowObserver windows race
+# the engine's workers and whose hot-swaps land between steps while the
+# async optimizer still holds deferred epochs in flight).
 # Without one the full suite runs under both sanitizers, which includes
-# the tenant and codec labels.
+# the tenant, codec, and replan labels. The replan label also rides the
+# determinism label, so its bitwise-identity assertions run under both
+# RATEL_SIMD modes.
 #
 # Environment:
 #   SANITIZERS   space-separated subset to run (default: "thread address")
